@@ -1,0 +1,214 @@
+(* Benchmark harness: regenerates every table/figure of the reproduction
+   (experiments E1-E6, see DESIGN.md) and then times the algorithms with
+   Bechamel (experiment E7, the Section 4 efficiency claim).
+
+   Pass --quick to shrink experiment sizes; pass --tables-only or
+   --bench-only to run one half. *)
+
+open Bechamel
+open Omflp_prelude
+open Omflp_instance
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
+let bench_only = Array.exists (( = ) "--bench-only") Sys.argv
+
+(* ---------- Part 1: experiment tables (one per paper artifact) ---------- *)
+
+let run_tables () =
+  print_endline "====================================================";
+  print_endline " OMFLP reproduction: experiment tables (E1-E6, E8-E10)";
+  print_endline " paper: Castenow et al., SPAA 2020 (arXiv:2005.08391)";
+  print_endline "====================================================";
+  List.iter Omflp_experiments.Exp_common.print_section
+    (Omflp_experiments.Suite.run ~quick ~which:"all")
+
+(* ---------- Part 2: Bechamel microbenchmarks ---------- *)
+
+(* Workload shared by the per-algorithm benches: a clustered instance with
+   a sqrt construction cost. *)
+let bench_instance ~n_sites ~n_requests ~n_commodities =
+  let rng = Splitmix.of_int 0xbe9c4 in
+  Generators.clustered rng ~clusters:(max 2 (n_sites / 4)) ~per_cluster:4
+    ~n_requests ~n_commodities ~side:100.0 ~spread:2.0
+    ~cost:(fun ~n_commodities ~n_sites ->
+      Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+
+let full_run (module A : Omflp_core.Algo_intf.ALGO) inst () =
+  let t = A.create ~seed:17 inst.Instance.metric inst.Instance.cost in
+  Array.iter (fun r -> ignore (A.step t r)) inst.Instance.requests;
+  Omflp_core.Run.total_cost (A.run_so_far t)
+
+(* One Test.make per table/figure artifact: the computational kernel that
+   regenerates it. *)
+let table_kernels =
+  let t2_instance =
+    let rng = Splitmix.of_int 0xe1 in
+    Generators.theorem2 rng ~n_commodities:256
+  in
+  let sweep_instance =
+    let rng = Splitmix.of_int 0xe3 in
+    Generators.single_point_adversary rng ~n_commodities:64
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+      ~n_requested:8
+  in
+  let line_instance =
+    let rng = Splitmix.of_int 0xe4 in
+    Generators.line rng ~n_sites:10 ~n_requests:100 ~n_commodities:8
+      ~length:100.0
+      ~demand:(Demand.Zipf_bundle { zipf_s = 1.0; max_size = 4 })
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+  in
+  let clustered_instance = bench_instance ~n_sites:12 ~n_requests:50 ~n_commodities:8 in
+  let linear_instance =
+    let rng = Splitmix.of_int 0xe6 in
+    Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:30
+      ~n_commodities:8 ~side:100.0 ~spread:2.0
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Omflp_commodity.Cost_function.linear ~n_commodities ~n_sites
+          ~per_commodity:1.0)
+  in
+  [
+    Test.make ~name:"E1/theorem2-adversary |S|=256 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) t2_instance));
+    Test.make ~name:"E2/figure2-curves"
+      (Staged.stage (fun () ->
+           let acc = ref 0.0 in
+           for i = 0 to 200 do
+             let x = 2.0 *. float_of_int i /. 200.0 in
+             acc :=
+               !acc
+               +. Omflp_experiments.Exp_bounds_curve.upper_factor
+                    ~n_commodities:10_000 ~x
+               +. Omflp_experiments.Exp_bounds_curve.lower_factor
+                    ~n_commodities:10_000 ~x
+           done;
+           !acc));
+    Test.make ~name:"E3/cost-sweep g_1 |S|=64 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) sweep_instance));
+    Test.make ~name:"E4/line n=100 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) line_instance));
+    Test.make ~name:"E5/clustered n=50 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) clustered_instance));
+    Test.make ~name:"E6/linear-cost ablation (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) linear_instance));
+    (let heavy_instance =
+       let rng = Splitmix.of_int 0xe8 in
+       Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:30
+         ~n_commodities:6 ~side:100.0 ~spread:2.0
+         ~cost:(fun ~n_commodities ~n_sites ->
+           let base =
+             Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+               ~x:1.0
+           in
+           let surcharges = Array.make n_commodities 0.0 in
+           surcharges.(0) <- 10.0;
+           Omflp_commodity.Cost_function.with_surcharge base ~surcharges)
+     in
+     Test.make ~name:"E8/heavy-commodity (HEAVY-AWARE)"
+       (Staged.stage (full_run (module Omflp_core.Heavy_aware) heavy_instance)));
+  ]
+
+(* E7: per-request efficiency, PD vs RAND vs baselines — the paper's
+   Section 4 claim that the randomized algorithm is much cheaper to run. *)
+let algo_benches =
+  let inst = bench_instance ~n_sites:16 ~n_requests:60 ~n_commodities:8 in
+  List.map
+    (fun (name, algo) ->
+      Test.make ~name:(Printf.sprintf "E7/full-run %s (n=60)" name)
+        (Staged.stage (full_run algo inst)))
+    (Omflp_core.Registry.all ()
+    @ [ (Omflp_core.Heavy_aware.name, (module Omflp_core.Heavy_aware : Omflp_core.Algo_intf.ALGO)) ])
+
+let scaling_benches =
+  (* PD and RAND as n grows: the deterministic event loop is quadratic in
+     past requests, the randomized one near-linear. *)
+  List.concat_map
+    (fun n_requests ->
+      let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
+      [
+        Test.make ~name:(Printf.sprintf "E7/scaling PD n=%d" n_requests)
+          (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst));
+        Test.make ~name:(Printf.sprintf "E7/scaling PD-FAST n=%d" n_requests)
+          (Staged.stage (full_run (module Omflp_core.Pd_omflp_fast) inst));
+        Test.make ~name:(Printf.sprintf "E7/scaling RAND n=%d" n_requests)
+          (Staged.stage (full_run (module Omflp_core.Rand_omflp) inst));
+      ])
+    (if quick then [ 25; 50 ] else [ 25; 50; 100; 200 ])
+
+let commodity_sweep_benches =
+  (* PD and RAND as |S| grows on the single-point adversary. *)
+  List.concat_map
+    (fun s ->
+      let inst =
+        let rng = Splitmix.of_int (0x5e + s) in
+        Generators.theorem2 rng ~n_commodities:s
+      in
+      [
+        Test.make ~name:(Printf.sprintf "E7/sweep-|S| PD |S|=%d" s)
+          (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst));
+        Test.make ~name:(Printf.sprintf "E7/sweep-|S| RAND |S|=%d" s)
+          (Staged.stage (full_run (module Omflp_core.Rand_omflp) inst));
+      ])
+    (if quick then [ 64; 256 ] else [ 64; 256; 1024 ])
+
+let site_sweep_benches =
+  (* PD as the number of candidate sites grows (the event loop scans every
+     site). *)
+  List.map
+    (fun n_sites ->
+      let inst = bench_instance ~n_sites ~n_requests:40 ~n_commodities:6 in
+      Test.make ~name:(Printf.sprintf "E7/sweep-|M| PD |M|=%d" n_sites)
+        (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst)))
+    (if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ])
+
+let offline_benches =
+  let inst = bench_instance ~n_sites:12 ~n_requests:30 ~n_commodities:6 in
+  [
+    Test.make ~name:"offline/greedy n=30"
+      (Staged.stage (fun () -> (Omflp_offline.Greedy_offline.solve inst).cost));
+  ]
+
+let run_benchmarks () =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " E7: Bechamel microbenchmarks (ns per full run)";
+  print_endline "====================================================";
+  let cfg =
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if quick then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let tests =
+    table_kernels @ algo_benches @ scaling_benches @ commodity_sweep_benches
+    @ site_sweep_benches @ offline_benches
+  in
+  let table = Texttable.create [ "benchmark"; "ns/run"; "ms/run" ] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) ->
+              Texttable.add_row table
+                [
+                  name;
+                  Printf.sprintf "%.0f" est;
+                  Printf.sprintf "%.3f" (est /. 1e6);
+                ]
+          | _ -> Texttable.add_row table [ name; "n/a"; "n/a" ])
+        results)
+    tests;
+  Texttable.print table
+
+let () =
+  if not bench_only then run_tables ();
+  if not tables_only then run_benchmarks ()

@@ -1,0 +1,304 @@
+(* omflp — command-line front end: run online algorithms, solve offline,
+   and regenerate the paper's experiments. *)
+
+open Cmdliner
+open Omflp_prelude
+open Omflp_instance
+
+let make_cost kind ~n_commodities ~n_sites =
+  match kind with
+  | "linear" ->
+      Omflp_commodity.Cost_function.linear ~n_commodities ~n_sites
+        ~per_commodity:1.0
+  | "constant" ->
+      Omflp_commodity.Cost_function.constant ~n_commodities ~n_sites ~cost:1.0
+  | "theorem2" -> Omflp_commodity.Cost_function.theorem2 ~n_commodities ~n_sites
+  | s when String.length s > 2 && String.sub s 0 2 = "x=" ->
+      let x = float_of_string (String.sub s 2 (String.length s - 2)) in
+      Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown cost %S (use linear | constant | theorem2 | x=<v>)" other)
+
+let make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities ~cost_kind =
+  let rng = Splitmix.of_int seed in
+  let cost = make_cost cost_kind in
+  match family with
+  | "adversary" -> Generators.theorem2 rng ~n_commodities
+  | "line" ->
+      Generators.line rng ~n_sites ~n_requests ~n_commodities ~length:100.0
+        ~demand:
+          (Demand.Zipf_bundle { zipf_s = 1.0; max_size = min 3 n_commodities })
+        ~cost
+  | "clustered" ->
+      Generators.clustered rng ~clusters:(max 2 (n_sites / 4))
+        ~per_cluster:4 ~n_requests ~n_commodities ~side:100.0 ~spread:2.0 ~cost
+  | "network" ->
+      Generators.network rng ~n_sites ~extra_edges:(n_sites / 2) ~n_requests
+        ~n_commodities
+        ~demand:(Demand.Bernoulli { p = 0.4 })
+        ~cost
+  | "uniform" ->
+      Generators.uniform_metric rng ~n_sites ~d:10.0 ~n_requests ~n_commodities
+        ~demand:(Demand.Bernoulli { p = 0.4 })
+        ~cost
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown family %S (adversary | line | clustered | network | uniform)"
+           other)
+
+(* Shared argument definitions. *)
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "line"
+    & info [ "family" ]
+        ~doc:"Instance family: adversary | line | clustered | network | uniform.")
+
+let sites_arg =
+  Arg.(value & opt int 12 & info [ "sites" ] ~doc:"Number of metric points.")
+
+let requests_arg =
+  Arg.(value & opt int 30 & info [ "requests" ] ~doc:"Number of requests.")
+
+let commodities_arg =
+  Arg.(value & opt int 6 & info [ "commodities" ] ~doc:"Number of commodities |S|.")
+
+let cost_arg =
+  Arg.(
+    value
+    & opt string "x=1"
+    & info [ "cost" ]
+        ~doc:"Construction cost: linear | constant | theorem2 | x=<v> (power law).")
+
+(* omflp run *)
+let run_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "algo" ] ~doc:"Algorithm name or 'all'.")
+  in
+  let action algo family seed n_sites n_requests n_commodities cost_kind =
+    let inst =
+      make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities ~cost_kind
+    in
+    Format.printf "%a@." Instance.pp inst;
+    let runs =
+      if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
+      else
+        match Omflp_core.Registry.find algo with
+        | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
+        | None ->
+            invalid_arg
+              (Printf.sprintf "unknown algorithm %S (available: %s)" algo
+                 (String.concat ", " (Omflp_core.Registry.names ())))
+    in
+    let bracket = Omflp_offline.Opt_estimate.bracket inst in
+    Printf.printf "offline bracket: [%.4g, %.4g] (%s / %s)\n" bracket.lower
+      bracket.upper bracket.lower_method bracket.upper_method;
+    List.iter
+      (fun (_, run) ->
+        Format.printf "%a  ratio<=%.3f@." Omflp_core.Run.pp run
+          (Omflp_core.Run.total_cost run /. bracket.upper))
+      runs
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run online algorithm(s) on a generated instance.")
+    Term.(
+      const action $ algo_arg $ family_arg $ seed_arg $ sites_arg
+      $ requests_arg $ commodities_arg $ cost_arg)
+
+(* omflp solve *)
+let solve_cmd =
+  let action family seed n_sites n_requests n_commodities cost_kind =
+    let inst =
+      make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities ~cost_kind
+    in
+    Format.printf "%a@." Instance.pp inst;
+    let greedy = Omflp_offline.Greedy_offline.solve inst in
+    Printf.printf "greedy offline: cost %.4g with %d facilities\n" greedy.cost
+      (List.length greedy.facilities);
+    let ls = Omflp_offline.Local_search.improve inst greedy.facilities in
+    Printf.printf "+ local search: cost %.4g (%d moves)\n" ls.cost ls.moves;
+    let bracket = Omflp_offline.Opt_estimate.bracket inst in
+    Printf.printf "bracket: [%.4g, %.4g] (%s / %s)%s\n" bracket.lower
+      bracket.upper bracket.lower_method bracket.upper_method
+      (if Omflp_offline.Opt_estimate.certified bracket then " [exact]" else "")
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve a generated instance offline.")
+    Term.(
+      const action $ family_arg $ seed_arg $ sites_arg $ requests_arg
+      $ commodities_arg $ cost_arg)
+
+(* omflp gen *)
+let gen_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~doc:"Output file for the instance.")
+  in
+  let action out family seed n_sites n_requests n_commodities cost_kind =
+    let inst =
+      make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities ~cost_kind
+    in
+    Serial.save_file out inst;
+    Format.printf "wrote %a to %s@." Instance.pp inst out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an instance and save it to a file.")
+    Term.(
+      const action $ out_arg $ family_arg $ seed_arg $ sites_arg
+      $ requests_arg $ commodities_arg $ cost_arg)
+
+(* omflp replay *)
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Instance file written by 'omflp gen'.")
+  in
+  let algo_arg =
+    Arg.(value & opt string "all" & info [ "algo" ] ~doc:"Algorithm name or 'all'.")
+  in
+  let action file algo seed =
+    let inst = Serial.load_file file in
+    Format.printf "%a@." Instance.pp inst;
+    let runs =
+      if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
+      else
+        match Omflp_core.Registry.find algo with
+        | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
+        | None -> invalid_arg (Printf.sprintf "unknown algorithm %S" algo)
+    in
+    List.iter (fun (_, run) -> Format.printf "%a@." Omflp_core.Run.pp run) runs
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Load a saved instance and run algorithm(s) on it.")
+    Term.(const action $ file_arg $ algo_arg $ seed_arg)
+
+(* omflp stats *)
+let stats_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~doc:"Instance file; omit to generate one instead.")
+  in
+  let action file family seed n_sites n_requests n_commodities cost_kind =
+    let inst =
+      match file with
+      | Some f -> Serial.load_file f
+      | None ->
+          make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities
+            ~cost_kind
+    in
+    Format.printf "%a@.%a@." Instance.pp inst Instance_stats.pp
+      (Instance_stats.compute inst);
+    let heavy = Omflp_core.Heavy.detect inst.Instance.cost in
+    if Omflp_commodity.Cset.is_empty heavy then
+      Format.printf "no heavy commodities detected@."
+    else
+      Format.printf "heavy commodities: %a@." Omflp_commodity.Cset.pp heavy
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Describe an instance's demand structure.")
+    Term.(
+      const action $ file_arg $ family_arg $ seed_arg $ sites_arg
+      $ requests_arg $ commodities_arg $ cost_arg)
+
+(* omflp exp *)
+let exp_cmd =
+  let which_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "id" ]
+          ~doc:"Experiment id: e1 | e2 | e3 | e4 | e5 | e6 | e8 | e9 | e10 | all.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and repetitions.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ]
+          ~doc:"Also write each table as CSV into this directory.")
+  in
+  let action which quick csv_dir =
+    let sections = Omflp_experiments.Suite.run ~quick ~which in
+    List.iter Omflp_experiments.Exp_common.print_section sections;
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun section ->
+            let path = Omflp_experiments.Export.write_csv ~dir section in
+            Printf.printf "wrote %s\n" path)
+          sections
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate the paper's experiment tables/figures.")
+    Term.(const action $ which_arg $ quick_arg $ csv_arg)
+
+(* omflp selfcheck *)
+let selfcheck_cmd =
+  let action seed =
+    let inst =
+      make_instance ~family:"clustered" ~seed ~n_sites:8 ~n_requests:20
+        ~n_commodities:5 ~cost_kind:"x=1"
+    in
+    List.iter
+      (fun (name, run) ->
+        match Omflp_core.Simulator.validate inst run with
+        | Ok () -> Printf.printf "%-10s valid (cost %.4g)\n" name
+                     (Omflp_core.Run.total_cost run)
+        | Error e -> Printf.printf "%-10s INVALID: %s\n" name e)
+      (Omflp_core.Simulator.run_all ~seed inst);
+    (* PD-specific theory checks. *)
+    let t =
+      Omflp_core.Pd_omflp.create inst.Instance.metric inst.Instance.cost
+    in
+    Array.iter
+      (fun r -> ignore (Omflp_core.Pd_omflp.step t r))
+      inst.Instance.requests;
+    (match Omflp_core.Dual_checker.corollary8 t with
+    | Ok () -> print_endline "Corollary 8 (cost <= 3*duals): ok"
+    | Error e -> print_endline ("Corollary 8 FAILED: " ^ e));
+    match
+      Omflp_core.Dual_checker.scaled_dual_feasible inst.Instance.metric
+        inst.Instance.cost
+        (Omflp_core.Pd_omflp.dual_records t)
+    with
+    | Ok () -> print_endline "Corollary 17 (scaled duals feasible): ok"
+    | Error (m, sigma) ->
+        Format.printf "Corollary 17 FAILED at site %d, sigma %a@." m
+          Omflp_commodity.Cset.pp sigma
+  in
+  Cmd.v
+    (Cmd.info "selfcheck" ~doc:"Run validity and theory checks on a sample instance.")
+    Term.(const action $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "omflp" ~version:"1.0.0"
+             ~doc:"Online Multi-Commodity Facility Location (SPAA 2020) toolkit")
+          [
+            run_cmd;
+            solve_cmd;
+            gen_cmd;
+            replay_cmd;
+            stats_cmd;
+            exp_cmd;
+            selfcheck_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/heavy_commodities.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cost_function Cset Dual_checker Facility Format Instance List Omflp_commodity Omflp_core Omflp_instance Omflp_metric Omflp_offline Pd_omflp Request Run Simulator

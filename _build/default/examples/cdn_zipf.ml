@@ -1,0 +1,62 @@
+(* A content-delivery scenario: regional clusters of viewers request
+   bundles of content categories with Zipf popularity; edge caches can be
+   provisioned with any subset of categories at sqrt-concave cost.
+
+   Demonstrates the offline toolkit: greedy (Ravi-Sinha style), local
+   search, the LP-based certified lower bound on a truncated prefix, and
+   the PD dual lower bound on the full instance.
+
+     dune exec examples/cdn_zipf.exe *)
+
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+open Omflp_core
+
+let () =
+  let rng = Splitmix.of_int 4242 in
+  let n_categories = 8 in
+  let inst =
+    Generators.clustered rng ~clusters:4 ~per_cluster:5 ~n_requests:60
+      ~n_commodities:n_categories ~side:200.0 ~spread:4.0
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+  in
+  Format.printf "%a@.@." Instance.pp inst;
+
+  (* Online: deterministic and randomized. *)
+  let pd = Simulator.run ~seed:5 (module Pd_omflp) inst in
+  let rand = Simulator.run ~seed:5 (module Rand_omflp) inst in
+  Format.printf "online  %a@." Run.pp pd;
+  Format.printf "online  %a@.@." Run.pp rand;
+
+  (* Offline: greedy, then local search. *)
+  let greedy = Omflp_offline.Greedy_offline.solve inst in
+  Format.printf "offline greedy:        %.2f with %d caches@."
+    greedy.Omflp_offline.Greedy_offline.cost
+    (List.length greedy.Omflp_offline.Greedy_offline.facilities);
+  let ls =
+    Omflp_offline.Local_search.improve ~max_moves:60 inst
+      greedy.Omflp_offline.Greedy_offline.facilities
+  in
+  Format.printf "offline + local search: %.2f (%d improving moves)@.@."
+    ls.Omflp_offline.Local_search.cost ls.Omflp_offline.Local_search.moves;
+
+  (* Certified lower bounds: the PD dual (Corollary 17 + weak duality) on
+     the whole instance, and the LP relaxation on a small prefix. *)
+  let t = Pd_omflp.create inst.Instance.metric inst.Instance.cost in
+  Array.iter (fun r -> ignore (Pd_omflp.step t r)) inst.Instance.requests;
+  Format.printf "PD dual lower bound on OPT: %.2f@." (Dual_checker.dual_lower_bound t);
+  let prefix = Instance.truncate inst 6 in
+  (try
+     let lp = Omflp_lp.Mflp_model.lp_lower_bound prefix in
+     Format.printf "LP lower bound (first %d requests): %.2f@."
+       (Instance.n_requests prefix) lp
+   with Invalid_argument msg ->
+     Format.printf "LP skipped: %s@." msg);
+
+  Format.printf "@.upper/lower picture: OPT is in [%.2f, %.2f]@."
+    (Dual_checker.dual_lower_bound t)
+    ls.Omflp_offline.Local_search.cost;
+  Format.printf "PD-OMFLP ratio against best-known offline: %.3f@."
+    (Run.total_cost pd /. ls.Omflp_offline.Local_search.cost)

@@ -1,0 +1,55 @@
+(* Quickstart: build a small OMFLP instance by hand, run the deterministic
+   algorithm, and inspect the outcome.
+
+     dune exec examples/quickstart.exe *)
+
+open Omflp_commodity
+open Omflp_instance
+open Omflp_core
+
+let () =
+  (* A metric space: five points on a line. Facilities may be built at any
+     point; requests arrive at points. *)
+  let metric = Omflp_metric.Finite_metric.line [| 0.0; 1.0; 2.0; 10.0; 11.0 |] in
+
+  (* Three commodities; opening a facility with configuration sigma costs
+     sqrt(|sigma|) — concave, so bundling commodities is cheaper. *)
+  let cost = Cost_function.power_law ~n_commodities:3 ~n_sites:5 ~x:1.0 in
+
+  (* An online request sequence: demands are commodity subsets. *)
+  let demand es = Cset.of_list ~n_commodities:3 es in
+  let requests =
+    [|
+      Request.make ~site:0 ~demand:(demand [ 0 ]);
+      Request.make ~site:1 ~demand:(demand [ 0; 1 ]);
+      Request.make ~site:2 ~demand:(demand [ 0; 1; 2 ]);
+      Request.make ~site:3 ~demand:(demand [ 2 ]);
+      Request.make ~site:4 ~demand:(demand [ 1; 2 ]);
+    |]
+  in
+  let instance = Instance.make ~name:"quickstart" ~metric ~cost ~requests in
+  Format.printf "instance: %a@.@." Instance.pp instance;
+
+  (* Run the paper's deterministic primal-dual algorithm online. The
+     simulator re-validates every decision (coverage, costs, causality). *)
+  let run = Simulator.run (module Pd_omflp) instance in
+  Format.printf "%a@." Run.pp run;
+  List.iter (fun f -> Format.printf "  %a@." Facility.pp f) run.Run.facilities;
+
+  (* Compare against the offline optimum (exact on this tiny instance). *)
+  let bracket = Omflp_offline.Opt_estimate.bracket instance in
+  Format.printf "@.offline OPT: %.4g (%s)@." bracket.Omflp_offline.Opt_estimate.upper
+    bracket.Omflp_offline.Opt_estimate.upper_method;
+  Format.printf "competitive ratio on this input: %.3f@."
+    (Run.total_cost run /. bracket.Omflp_offline.Opt_estimate.upper);
+
+  (* The theory checks of Section 3.2, executable: *)
+  let t = Pd_omflp.create metric cost in
+  Array.iter (fun r -> ignore (Pd_omflp.step t r)) requests;
+  (match Dual_checker.corollary8 t with
+  | Ok () -> Format.printf "Corollary 8  (cost <= 3 * duals): ok@."
+  | Error e -> Format.printf "Corollary 8 violated: %s@." e);
+  match Dual_checker.scaled_dual_feasible metric cost (Pd_omflp.dual_records t) with
+  | Ok () -> Format.printf "Corollary 17 (scaled duals feasible): ok@."
+  | Error (m, sigma) ->
+      Format.printf "Corollary 17 violated at site %d, %a@." m Cset.pp sigma

@@ -1,0 +1,96 @@
+(* The paper's motivating scenario (Section 1): a provider places service
+   instances in a network. Clients appear at network nodes over time and
+   each asks for a subset of the offered services; instantiating a bundle
+   of services in one VM costs less than instantiating them separately,
+   and talking to one node serving several services is cheaper than
+   talking to several nodes.
+
+   We build a random data-center-like network, derive its shortest-path
+   metric, and replay a day of client arrivals against every online
+   algorithm.
+
+     dune exec examples/service_placement.exe *)
+
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+open Omflp_core
+
+let n_services = 6
+let n_nodes = 24
+let n_clients = 80
+
+let service_names =
+  [| "auth"; "search"; "storage"; "video"; "payments"; "telemetry" |]
+
+let () =
+  let rng = Splitmix.of_int 2026 in
+  (* Network: random connected topology with a few redundant links. *)
+  let graph =
+    Omflp_metric.Graph.random_connected rng ~n:n_nodes ~extra_edges:12
+      ~max_weight:5.0
+  in
+  let metric = Omflp_metric.Graph.shortest_path_metric graph in
+  Format.printf "network: %d nodes, %d links, diameter %.2f@." n_nodes
+    (Omflp_metric.Graph.n_edges graph)
+    (Omflp_metric.Finite_metric.diameter metric);
+
+  (* VM cost: sqrt-concave in the bundle size, with per-node multipliers
+     (some nodes have cheaper capacity). *)
+  let base = Cost_function.power_law ~n_commodities:n_services ~n_sites:n_nodes ~x:1.0 in
+  let multipliers =
+    Array.init n_nodes (fun _ -> Sampler.uniform_float rng ~lo:2.0 ~hi:6.0)
+  in
+  let cost = Cost_function.site_scaled base multipliers in
+
+  (* Clients ask for correlated service bundles (e.g. video implies auth)
+     with Zipf popularity. *)
+  let requests =
+    Array.init n_clients (fun _ ->
+        Request.make
+          ~site:(Splitmix.int rng n_nodes)
+          ~demand:
+            (Demand.sample rng ~n_commodities:n_services
+               (Demand.Zipf_bundle { zipf_s = 1.2; max_size = 3 })))
+  in
+  let instance = Instance.make ~name:"service placement" ~metric ~cost ~requests in
+  Format.printf "%a@.@." Instance.pp instance;
+
+  (* Offline reference: greedy + local search. *)
+  let bracket = Omflp_offline.Opt_estimate.bracket instance in
+  Format.printf "offline best known: %.2f (%s)@.@."
+    bracket.Omflp_offline.Opt_estimate.upper
+    bracket.Omflp_offline.Opt_estimate.upper_method;
+
+  let table =
+    Texttable.create
+      [ "algorithm"; "total"; "VMs"; "large VMs"; "assignment"; "ratio<=" ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      let run = Simulator.run ~seed:7 algo instance in
+      Texttable.add_row table
+        [
+          name;
+          Texttable.cell_f (Run.total_cost run);
+          Texttable.cell_i (List.length run.Run.facilities);
+          Texttable.cell_i (Run.n_large run);
+          Texttable.cell_f run.Run.assignment_cost;
+          Texttable.cell_f
+            (Run.total_cost run /. bracket.Omflp_offline.Opt_estimate.upper);
+        ])
+    (Registry.all ());
+  Texttable.print table;
+
+  (* Show where PD-OMFLP placed its service bundles. *)
+  let run = Simulator.run ~seed:7 (module Pd_omflp) instance in
+  Format.printf "@.PD-OMFLP placement:@.";
+  List.iter
+    (fun (f : Facility.t) ->
+      let services =
+        String.concat "+"
+          (List.map (fun e -> service_names.(e)) (Cset.elements f.offered))
+      in
+      Format.printf "  node %2d: %-50s (cost %.2f, at client %d)@." f.site
+        services f.cost f.opened_at)
+    run.Run.facilities

@@ -1,0 +1,1 @@
+lib/commodity/cost_classes.ml: Array Cost_function Float Hashtbl List Numerics Omflp_prelude Option

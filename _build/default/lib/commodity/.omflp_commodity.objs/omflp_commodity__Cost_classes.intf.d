@@ -1,0 +1,1 @@
+lib/commodity/cost_classes.mli: Cost_function

@@ -1,0 +1,1 @@
+lib/commodity/cost_function.ml: Array Bitset Cset Float List Numerics Omflp_prelude Printf Sampler Splitmix

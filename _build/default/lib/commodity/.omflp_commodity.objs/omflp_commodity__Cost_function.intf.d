@@ -1,0 +1,1 @@
+lib/commodity/cost_function.mli: Cset Omflp_prelude

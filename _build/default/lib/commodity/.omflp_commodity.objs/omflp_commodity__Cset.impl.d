@@ -1,0 +1,1 @@
+lib/commodity/cset.ml: Array Bitset List Omflp_prelude

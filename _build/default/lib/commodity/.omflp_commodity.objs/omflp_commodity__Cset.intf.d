@@ -1,0 +1,1 @@
+lib/commodity/cset.mli: Format Omflp_prelude

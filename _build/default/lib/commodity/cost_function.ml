@@ -1,0 +1,218 @@
+open Omflp_prelude
+
+type t = {
+  name : string;
+  n_commodities : int;
+  n_sites : int;
+  f : int -> Cset.t -> float;
+}
+
+let make ~name ~n_commodities ~n_sites f =
+  if n_commodities <= 0 then
+    invalid_arg "Cost_function.make: need at least one commodity";
+  if n_sites <= 0 then invalid_arg "Cost_function.make: need at least one site";
+  { name; n_commodities; n_sites; f }
+
+let name t = t.name
+let n_commodities t = t.n_commodities
+let n_sites t = t.n_sites
+
+let eval t m sigma =
+  if m < 0 || m >= t.n_sites then
+    invalid_arg
+      (Printf.sprintf "Cost_function.eval: site %d outside [0, %d)" m t.n_sites);
+  if Cset.n_commodities sigma <> t.n_commodities then
+    invalid_arg "Cost_function.eval: configuration from wrong universe";
+  if Cset.is_empty sigma then 0.0 else t.f m sigma
+
+let singleton_cost t m e =
+  eval t m (Cset.singleton ~n_commodities:t.n_commodities e)
+
+let full_cost t m = eval t m (Cset.full ~n_commodities:t.n_commodities)
+
+let size_based ~name ~n_commodities ~n_sites g =
+  make ~name ~n_commodities ~n_sites (fun _m sigma ->
+      g (Cset.cardinal sigma))
+
+let power_law ~n_commodities ~n_sites ~x =
+  if x < 0.0 || x > 2.0 then
+    invalid_arg "Cost_function.power_law: x must lie in [0, 2]";
+  size_based
+    ~name:(Printf.sprintf "g_x(x=%.2g)" x)
+    ~n_commodities ~n_sites
+    (fun k -> Float.pow (float_of_int k) (x /. 2.0))
+
+let theorem2 ~n_commodities ~n_sites =
+  let root = Numerics.isqrt n_commodities in
+  let root = max root 1 in
+  size_based ~name:"ceil(|sigma|/sqrt|S|)" ~n_commodities ~n_sites (fun k ->
+      float_of_int (Numerics.ceil_div k root))
+
+let linear ~n_commodities ~n_sites ~per_commodity =
+  if per_commodity < 0.0 then
+    invalid_arg "Cost_function.linear: negative per-commodity cost";
+  size_based ~name:"linear" ~n_commodities ~n_sites (fun k ->
+      per_commodity *. float_of_int k)
+
+let constant ~n_commodities ~n_sites ~cost =
+  if cost < 0.0 then invalid_arg "Cost_function.constant: negative cost";
+  size_based ~name:"constant" ~n_commodities ~n_sites (fun _ -> cost)
+
+let site_scaled base multipliers =
+  if Array.length multipliers <> base.n_sites then
+    invalid_arg "Cost_function.site_scaled: arity mismatch";
+  Array.iter
+    (fun m ->
+      if m <= 0.0 then
+        invalid_arg "Cost_function.site_scaled: non-positive multiplier")
+    multipliers;
+  {
+    base with
+    name = base.name ^ "+site-scaled";
+    f = (fun m sigma -> multipliers.(m) *. base.f m sigma);
+  }
+
+let of_table ~n_commodities table =
+  if n_commodities > 20 then
+    invalid_arg "Cost_function.of_table: universe too large";
+  let n_sites = Array.length table in
+  let expected = 1 lsl n_commodities in
+  Array.iteri
+    (fun m row ->
+      if Array.length row <> expected then
+        invalid_arg "Cost_function.of_table: row arity mismatch";
+      if row.(0) <> 0.0 then
+        invalid_arg "Cost_function.of_table: empty configuration must cost 0";
+      Array.iter
+        (fun v ->
+          if v < 0.0 then
+            invalid_arg
+              (Printf.sprintf "Cost_function.of_table: negative cost at site %d"
+                 m))
+        row)
+    table;
+  make ~name:"table" ~n_commodities ~n_sites (fun m sigma ->
+      table.(m).(Bitset.to_int sigma))
+
+let project t ~keep =
+  if Cset.n_commodities keep <> t.n_commodities then
+    invalid_arg "Cost_function.project: keep from wrong universe";
+  if Cset.is_empty keep then
+    invalid_arg "Cost_function.project: empty sub-universe";
+  let old_of_new = Array.of_list (Cset.elements keep) in
+  let sub_k = Array.length old_of_new in
+  let embed sigma' =
+    Cset.fold
+      (fun e' acc -> Cset.add acc old_of_new.(e'))
+      sigma'
+      (Cset.empty ~n_commodities:t.n_commodities)
+  in
+  let projected =
+    make
+      ~name:(Printf.sprintf "%s|%d-of-%d" t.name sub_k t.n_commodities)
+      ~n_commodities:sub_k ~n_sites:t.n_sites
+      (fun m sigma' -> t.f m (embed sigma'))
+  in
+  (projected, old_of_new)
+
+let with_surcharge t ~surcharges =
+  if Array.length surcharges <> t.n_commodities then
+    invalid_arg "Cost_function.with_surcharge: arity mismatch";
+  Array.iter
+    (fun s ->
+      if s < 0.0 then
+        invalid_arg "Cost_function.with_surcharge: negative surcharge")
+    surcharges;
+  {
+    t with
+    name = t.name ^ "+surcharge";
+    f =
+      (fun m sigma ->
+        Cset.fold (fun e acc -> acc +. surcharges.(e)) sigma (t.f m sigma));
+  }
+
+(* Validation: exhaustive when the configuration space is small, sampled
+   otherwise. *)
+
+let random_config rng ~n_commodities =
+  let s = ref (Cset.empty ~n_commodities) in
+  while Cset.is_empty !s do
+    s := Sampler.random_subset rng ~universe:n_commodities ~p:0.5
+  done;
+  !s
+
+let check_condition1 ?(exhaustive_limit = 12) ?(samples = 2000) ?rng t =
+  let holds m sigma =
+    let k = Cset.cardinal sigma in
+    if k = 0 then true
+    else
+      let per_sigma = eval t m sigma /. float_of_int k in
+      let per_full = full_cost t m /. float_of_int t.n_commodities in
+      Numerics.approx_le per_full per_sigma
+  in
+  let violation = ref None in
+  (try
+     if t.n_commodities <= exhaustive_limit then
+       for m = 0 to t.n_sites - 1 do
+         List.iter
+           (fun sigma ->
+             if not (holds m sigma) then begin
+               violation := Some (m, sigma);
+               raise Exit
+             end)
+           (Cset.all_nonempty_subsets ~n_commodities:t.n_commodities)
+       done
+     else begin
+       let rng =
+         match rng with Some r -> r | None -> Splitmix.of_int 0x51ab
+       in
+       for _ = 1 to samples do
+         let m = Splitmix.int rng t.n_sites in
+         let sigma = random_config rng ~n_commodities:t.n_commodities in
+         if not (holds m sigma) then begin
+           violation := Some (m, sigma);
+           raise Exit
+         end
+       done
+     end
+   with Exit -> ());
+  match !violation with None -> Ok () | Some v -> Error v
+
+let check_subadditive ?(exhaustive_limit = 8) ?(samples = 2000) ?rng t =
+  let holds m a b =
+    let u = Cset.union a b in
+    Numerics.approx_le (eval t m u) (eval t m a +. eval t m b)
+  in
+  let violation = ref None in
+  (try
+     if t.n_commodities <= exhaustive_limit then begin
+       let subsets = Cset.all_subsets ~n_commodities:t.n_commodities in
+       for m = 0 to t.n_sites - 1 do
+         List.iter
+           (fun a ->
+             List.iter
+               (fun b ->
+                 if not (holds m a b) then begin
+                   violation := Some (m, a, b);
+                   raise Exit
+                 end)
+               subsets)
+           subsets
+       done
+     end
+     else begin
+       let rng =
+         match rng with Some r -> r | None -> Splitmix.of_int 0x5ba2
+       in
+       for _ = 1 to samples do
+         let m = Splitmix.int rng t.n_sites in
+         let a = random_config rng ~n_commodities:t.n_commodities in
+         let b = random_config rng ~n_commodities:t.n_commodities in
+         if not (holds m a b) then begin
+           violation := Some (m, a, b);
+           raise Exit
+         end
+       done
+     end
+   with Exit -> ());
+  match !violation with None -> Ok () | Some v -> Error v

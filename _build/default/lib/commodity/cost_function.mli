@@ -1,0 +1,103 @@
+(** Facility construction cost functions [f^σ_m].
+
+    A cost function assigns to every site [m] and non-empty configuration
+    [σ ⊆ S] the cost of opening a facility at [m] offering exactly the
+    commodities of [σ]. The paper's standing assumptions are subadditivity
+    (w.l.o.g., Section 1.1) and Condition 1:
+    [f^σ_m / |σ| ≥ f^S_m / |S|]; both can be validated here.
+
+    The empty configuration always costs 0. *)
+
+type t
+
+(** [make ~name ~n_commodities ~n_sites f] wraps an arbitrary cost
+    oracle. [f site σ] must be non-negative and deterministic. *)
+val make :
+  name:string -> n_commodities:int -> n_sites:int -> (int -> Cset.t -> float) -> t
+
+val name : t -> string
+val n_commodities : t -> int
+val n_sites : t -> int
+
+(** [eval t m σ] is [f^σ_m]. Raises [Invalid_argument] on a site out of
+    range or a configuration from the wrong universe. [eval t m ∅ = 0]. *)
+val eval : t -> int -> Cset.t -> float
+
+(** [singleton_cost t m e] is [f^{{e}}_m]. *)
+val singleton_cost : t -> int -> int -> float
+
+(** [full_cost t m] is [f^S_m]. *)
+val full_cost : t -> int -> float
+
+(** {1 Families} *)
+
+(** [size_based ~name ~n_commodities ~n_sites g] has
+    [f^σ_m = g |σ|] at every site. [g 0] is ignored (treated as 0). *)
+val size_based :
+  name:string -> n_commodities:int -> n_sites:int -> (int -> float) -> t
+
+(** [power_law ~n_commodities ~n_sites ~x] is the paper's Section 3.3
+    class [C]: [g_x(|σ|) = |σ|^{x/2}] with [x ∈ [0, 2]]. Raises
+    [Invalid_argument] outside that range. *)
+val power_law : n_commodities:int -> n_sites:int -> x:float -> t
+
+(** [theorem2 ~n_commodities ~n_sites] is the lower-bound construction's
+    cost [g(|σ|) = ⌈|σ| / √|S|⌉] (Section 2). *)
+val theorem2 : n_commodities:int -> n_sites:int -> t
+
+(** [linear ~n_commodities ~n_sites ~per_commodity] is
+    [f^σ_m = per_commodity · |σ|] — the case where co-location brings no
+    advantage and prediction is useless (Section 3.3). *)
+val linear : n_commodities:int -> n_sites:int -> per_commodity:float -> t
+
+(** [constant ~n_commodities ~n_sites ~cost] charges [cost] for any
+    non-empty configuration — the [x = 0] extreme. *)
+val constant : n_commodities:int -> n_sites:int -> cost:float -> t
+
+(** [site_scaled base multipliers] scales [base] by a positive per-site
+    factor — the non-uniform facility cost setting. Raises
+    [Invalid_argument] on an arity mismatch or non-positive factor. *)
+val site_scaled : t -> float array -> t
+
+(** [of_table ~n_commodities table] gives explicit costs:
+    [table.(m).(bits)] is the cost of the configuration with bit pattern
+    [bits] at site [m] ([bits = 0] must be 0). Universe limited to 20
+    commodities. *)
+val of_table : n_commodities:int -> float array array -> t
+
+(** [project t ~keep] restricts [t] to the sub-universe [keep ⊆ S]: the
+    result has [|keep|] commodities (re-indexed in increasing order of the
+    original ids) and satisfies
+    [eval (project t ~keep) m σ' = eval t m (embed σ')]. Raises
+    [Invalid_argument] if [keep] is empty or from the wrong universe.
+    Returns the projected function together with the [new → old] commodity
+    index map. *)
+val project : t -> keep:Cset.t -> t * int array
+
+(** [with_surcharge t ~surcharges] adds a per-commodity additive surcharge:
+    [f'^σ_m = f^σ_m + Σ_{e ∈ σ} surcharges.(e)]. Commodities with a large
+    surcharge are exactly the paper's "heavy" commodities (Section 5):
+    they typically break Condition 1 while preserving subadditivity.
+    Raises [Invalid_argument] on arity mismatch or negative surcharge. *)
+val with_surcharge : t -> surcharges:float array -> t
+
+(** {1 Validation} *)
+
+(** [check_condition1 t] verifies Condition 1 on every (site, σ) pair for
+    universes of at most [exhaustive_limit] commodities (default 12), and
+    on [samples] random pairs otherwise. [Ok ()] or [Error (m, σ)]. *)
+val check_condition1 :
+  ?exhaustive_limit:int ->
+  ?samples:int ->
+  ?rng:Omflp_prelude.Splitmix.t ->
+  t ->
+  (unit, int * Cset.t) result
+
+(** [check_subadditive t] verifies [f^{a∪b}_m ≤ f^a_m + f^b_m] the same
+    way; [Error (m, a, b)] names a violation. *)
+val check_subadditive :
+  ?exhaustive_limit:int ->
+  ?samples:int ->
+  ?rng:Omflp_prelude.Splitmix.t ->
+  t ->
+  (unit, int * Cset.t * Cset.t) result

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Algo_intf Array Cost_function Cset Facility Finite_metric Float Instance List Omflp_commodity Omflp_instance Omflp_metric Printf Request Run

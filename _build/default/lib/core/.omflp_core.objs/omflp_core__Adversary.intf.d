@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Algo_intf Omflp_instance Run

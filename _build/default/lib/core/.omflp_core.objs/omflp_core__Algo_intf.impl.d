@@ -1,0 +1,1 @@
+lib/core/algo_intf.ml: Omflp_commodity Omflp_instance Omflp_metric Run Service

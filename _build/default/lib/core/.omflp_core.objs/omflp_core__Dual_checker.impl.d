@@ -1,0 +1,1 @@
+lib/core/dual_checker.ml: Array Cost_function Cset List Numerics Omflp_commodity Omflp_metric Omflp_prelude Pd_omflp Printf Run

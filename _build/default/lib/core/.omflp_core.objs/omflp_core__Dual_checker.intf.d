@@ -1,0 +1,1 @@
+lib/core/dual_checker.mli: Omflp_commodity Omflp_metric Pd_omflp

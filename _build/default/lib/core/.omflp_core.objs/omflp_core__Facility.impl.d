@@ -1,0 +1,1 @@
+lib/core/facility.ml: Cset Format Omflp_commodity Printf

@@ -1,0 +1,1 @@
+lib/core/facility.mli: Format Omflp_commodity

@@ -1,0 +1,1 @@
+lib/core/facility_store.ml: Array Cset Facility Finite_metric Hashtbl List Omflp_commodity Omflp_metric Service

@@ -1,0 +1,1 @@
+lib/core/facility_store.mli: Facility Omflp_metric Service

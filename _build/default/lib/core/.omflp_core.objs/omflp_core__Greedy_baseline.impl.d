@@ -1,0 +1,1 @@
+lib/core/greedy_baseline.ml: Cost_function Cset Facility Facility_store Finite_metric Float List Omflp_commodity Omflp_instance Omflp_metric Option Request Run Service

@@ -1,0 +1,1 @@
+lib/core/heavy.ml: Array Cost_function Cset Float Omflp_commodity

@@ -1,0 +1,1 @@
+lib/core/heavy.mli: Omflp_commodity

@@ -1,0 +1,1 @@
+lib/core/indep_baseline.ml: Array Cost_function Cset Facility Facility_store Finite_metric Float List Numerics Omflp_commodity Omflp_instance Omflp_metric Omflp_prelude Option Request Run Service

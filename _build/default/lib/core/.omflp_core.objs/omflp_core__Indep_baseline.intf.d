@@ -1,0 +1,1 @@
+lib/core/indep_baseline.mli: Facility_store Omflp_commodity Omflp_instance Omflp_metric Run Service

@@ -1,0 +1,1 @@
+lib/core/pd_omflp.ml: Array Cost_function Cset Facility Facility_store Finite_metric Float Fun List Numerics Omflp_commodity Omflp_instance Omflp_metric Omflp_prelude Option Request Run Service

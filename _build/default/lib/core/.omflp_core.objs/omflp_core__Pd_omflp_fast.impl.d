@@ -1,0 +1,1 @@
+lib/core/pd_omflp_fast.ml: Pd_omflp Run

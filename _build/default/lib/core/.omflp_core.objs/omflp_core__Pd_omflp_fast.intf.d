@@ -1,0 +1,1 @@
+lib/core/pd_omflp_fast.mli: Omflp_commodity Omflp_instance Omflp_metric Pd_omflp Run Service

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Algo_intf All_large_baseline Greedy_baseline Heavy_aware Indep_baseline List Pd_omflp Pd_omflp_fast Rand_omflp String

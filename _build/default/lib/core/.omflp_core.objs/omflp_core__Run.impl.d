@@ -1,0 +1,1 @@
+lib/core/run.ml: Facility Facility_store Format List Service

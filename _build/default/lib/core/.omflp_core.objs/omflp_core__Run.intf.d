@@ -1,0 +1,1 @@
+lib/core/run.mli: Facility Facility_store Format Service

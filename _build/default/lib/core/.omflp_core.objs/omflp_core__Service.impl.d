@@ -1,0 +1,1 @@
+lib/core/service.ml: Cset List Omflp_commodity Omflp_metric

@@ -1,0 +1,1 @@
+lib/core/service.mli: Omflp_commodity Omflp_metric

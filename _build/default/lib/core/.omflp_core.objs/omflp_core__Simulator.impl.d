@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Algo_intf Array Facility Hashtbl Instance List Omflp_commodity Omflp_instance Omflp_prelude Printf Registry Request Run Service

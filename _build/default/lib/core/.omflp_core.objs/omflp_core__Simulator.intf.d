@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Algo_intf Omflp_instance Run

@@ -1,0 +1,42 @@
+(** Adaptive adversaries.
+
+    Theorem 2's distribution is oblivious; the [log n / log log n] term of
+    the paper's lower bound (inherited from Fotakis' OFLP bound, which
+    already holds on line metrics) needs {e adaptivity}: the adversary
+    watches where the algorithm opens facilities and sends the next batch
+    of requests where coverage is worst. This module implements the
+    classic zoom-in construction on a dyadic line:
+
+    - points are [j / 2^levels] for [j = 0 .. 2^levels];
+    - phase [l] sends a batch of [batch_base · 2^l] requests at the centre
+      of the current interval (length [2^-l]);
+    - the adversary then recurses into the half whose midpoint is farther
+      from every open facility.
+
+    With uniform facility cost 1, each phase costs any online algorithm
+    Θ(1) (connect the batch over distance ~2^-l, or open yet another
+    facility) while OPT serves everything from one facility placed at the
+    final zoom point — so the online/offline gap grows with [levels]
+    ≈ log n. *)
+
+type outcome = {
+  run : Run.t;
+  realized : Omflp_instance.Instance.t;
+      (** the adaptively chosen request sequence, as an ordinary instance
+          (usable with the offline solvers) *)
+  zoom_point : int;  (** the site the adversary zoomed into *)
+}
+
+(** [zoom_line ?batch_base ?facility_cost ?n_commodities ~levels algo]
+    runs the adversary against a fresh instance of [algo]. All requests
+    demand commodity 0; [n_commodities] (default 1) only widens the
+    universe (and prices large facilities accordingly). Raises
+    [Invalid_argument] for [levels < 1] or [levels > 14]. *)
+val zoom_line :
+  ?batch_base:int ->
+  ?facility_cost:float ->
+  ?n_commodities:int ->
+  ?seed:int ->
+  levels:int ->
+  (module Algo_intf.ALGO) ->
+  outcome

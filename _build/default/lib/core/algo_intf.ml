@@ -1,0 +1,28 @@
+(** Common interface of online OMFLP algorithms.
+
+    Algorithms receive the metric space and the cost function up front
+    (both are public knowledge in the model) and the requests one by one —
+    they never see the request sequence. *)
+
+module type ALGO = sig
+  type t
+
+  val name : string
+
+  (** [create ?seed metric cost] starts a run; [seed] only matters for
+      randomized algorithms. *)
+  val create :
+    ?seed:int ->
+    Omflp_metric.Finite_metric.t ->
+    Omflp_commodity.Cost_function.t ->
+    t
+
+  (** [step t request] irrevocably serves the request (opening facilities
+      as needed) and returns the service decision. *)
+  val step : t -> Omflp_instance.Request.t -> Service.t
+
+  (** [run_so_far t] snapshots facilities, services, and costs. *)
+  val run_so_far : t -> Run.t
+end
+
+type packed = (module ALGO)

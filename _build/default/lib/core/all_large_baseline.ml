@@ -1,0 +1,67 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type past = { site : int; dual : float }
+
+type t = {
+  metric : Finite_metric.t;
+  cost : Cost_function.t;
+  store : Facility_store.t;
+  mutable past : past list;
+  mutable n_requests : int;
+}
+
+let name = "ALL-LARGE"
+
+let create ?seed:_ metric cost =
+  {
+    metric;
+    cost;
+    store =
+      Facility_store.create metric
+        ~n_commodities:(Cost_function.n_commodities cost);
+    past = [];
+    n_requests = 0;
+  }
+
+let step t (r : Request.t) =
+  let n_sites = Finite_metric.size t.metric in
+  let connect_at = Facility_store.dist_large t.store ~from:r.site in
+  let best_site = ref (-1) in
+  let best_open = ref infinity in
+  for m = 0 to n_sites - 1 do
+    let bids =
+      List.fold_left
+        (fun acc p ->
+          let cap =
+            Float.min p.dual (Facility_store.dist_large t.store ~from:p.site)
+          in
+          acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.site m))
+        0.0 t.past
+    in
+    let open_at =
+      Finite_metric.dist t.metric r.site m
+      +. Numerics.pos (Cost_function.full_cost t.cost m -. bids)
+    in
+    if open_at < !best_open then begin
+      best_open := open_at;
+      best_site := m
+    end
+  done;
+  let dual = Float.min connect_at !best_open in
+  if !best_open < connect_at then
+    ignore
+      (Facility_store.open_facility t.store ~site:!best_site ~kind:Facility.Large
+         ~cost:(Cost_function.full_cost t.cost !best_site)
+         ~opened_at:t.n_requests);
+  t.past <- { site = r.site; dual } :: t.past;
+  let fac, _ = Option.get (Facility_store.nearest_large t.store ~from:r.site) in
+  let service = Service.To_single fac.Facility.id in
+  Facility_store.record_service t.store ~request_site:r.site service;
+  t.n_requests <- t.n_requests + 1;
+  service
+
+let run_so_far t = Run.of_store ~algorithm:name t.store
+let store t = t.store

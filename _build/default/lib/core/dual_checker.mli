@@ -1,0 +1,31 @@
+(** Executable checks of the PD-OMFLP analysis (Section 3.2).
+
+    These turn the paper's lemmas into machine-checked run invariants:
+    Corollary 8 bounds the algorithm's cost by the dual objective, and
+    Corollary 17 states that the duals scaled by
+    [γ = 1 / (5 √|S| H_n)] are dual-feasible — which by weak duality makes
+    [γ · Σ a_re] a lower bound on OPT. *)
+
+(** [gamma ~n_commodities ~n_requests] is the paper's scaling factor. *)
+val gamma : n_commodities:int -> n_requests:int -> float
+
+(** [corollary8 t] checks total cost ≤ 3 Σ_r Σ_e a_re (with tolerance). *)
+val corollary8 : Pd_omflp.t -> (unit, string) result
+
+(** [scaled_dual_feasible ?configs ?scale metric cost records] checks the
+    simplified dual constraint
+    [Σ_r (Σ_{e ∈ s_r ∩ σ} scale·a_re − d(m,r))₊ ≤ f^σ_m]
+    for every site [m] and every configuration in [configs] (default: all
+    singletons, the full set, and — when [|S| ≤ 10] — every subset).
+    [scale] defaults to {!gamma}. Returns the first violation. *)
+val scaled_dual_feasible :
+  ?configs:Omflp_commodity.Cset.t list ->
+  ?scale:float ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  Pd_omflp.dual_record list ->
+  (unit, int * Omflp_commodity.Cset.t) result
+
+(** [dual_lower_bound t] is [γ · Σ_r Σ_e a_re] — by Corollary 17 and weak
+    duality a lower bound on OPT for this instance. *)
+val dual_lower_bound : Pd_omflp.t -> float

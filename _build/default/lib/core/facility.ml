@@ -1,0 +1,27 @@
+open Omflp_commodity
+
+type kind = Small of int | Large | Custom of Cset.t
+
+type t = {
+  id : int;
+  site : int;
+  kind : kind;
+  offered : Cset.t;
+  cost : float;
+  opened_at : int;
+}
+
+let offered_of_kind ~n_commodities = function
+  | Small e -> Cset.singleton ~n_commodities e
+  | Large -> Cset.full ~n_commodities
+  | Custom s -> s
+
+let pp ppf t =
+  let kind =
+    match t.kind with
+    | Small e -> Printf.sprintf "small(%d)" e
+    | Large -> "large"
+    | Custom _ -> "custom"
+  in
+  Format.fprintf ppf "facility#%d %s @%d cost=%.4g (opened at req %d)" t.id
+    kind t.site t.cost t.opened_at

@@ -1,0 +1,21 @@
+(** Facilities opened by an online algorithm. *)
+
+type kind =
+  | Small of int  (** serves the single commodity [e] — configuration [{e}] *)
+  | Large  (** serves every commodity — configuration [S] *)
+  | Custom of Omflp_commodity.Cset.t  (** arbitrary configuration (baselines) *)
+
+type t = {
+  id : int;  (** unique within one run, in opening order *)
+  site : int;
+  kind : kind;
+  offered : Omflp_commodity.Cset.t;  (** the configuration as a set *)
+  cost : float;  (** construction cost paid *)
+  opened_at : int;  (** index of the request whose arrival opened it *)
+}
+
+(** [offered_of_kind ~n_commodities kind] expands a kind to its commodity
+    set. *)
+val offered_of_kind : n_commodities:int -> kind -> Omflp_commodity.Cset.t
+
+val pp : Format.formatter -> t -> unit

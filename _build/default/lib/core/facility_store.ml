@@ -1,0 +1,92 @@
+open Omflp_commodity
+open Omflp_metric
+
+type t = {
+  metric : Finite_metric.t;
+  n_commodities : int;
+  mutable facilities_rev : Facility.t list;
+  mutable count : int;
+  by_id : (int, Facility.t) Hashtbl.t;
+  (* nearest.(e).(p): (distance, facility id) of the nearest facility
+     offering commodity e, seen from site p. *)
+  nearest : (float * int) array array;
+  nearest_large : (float * int) array;
+  mutable services_rev : Service.t list;
+  mutable construction : float;
+  mutable assignment : float;
+}
+
+let create metric ~n_commodities =
+  let n_sites = Finite_metric.size metric in
+  {
+    metric;
+    n_commodities;
+    facilities_rev = [];
+    count = 0;
+    by_id = Hashtbl.create 64;
+    nearest =
+      Array.init n_commodities (fun _ -> Array.make n_sites (infinity, -1));
+    nearest_large = Array.make n_sites (infinity, -1);
+    services_rev = [];
+    construction = 0.0;
+    assignment = 0.0;
+  }
+
+let metric t = t.metric
+let n_commodities t = t.n_commodities
+
+let open_facility t ~site ~kind ~cost ~opened_at =
+  if cost < 0.0 then invalid_arg "Facility_store.open_facility: negative cost";
+  let offered = Facility.offered_of_kind ~n_commodities:t.n_commodities kind in
+  let fac =
+    { Facility.id = t.count; site; kind; offered; cost; opened_at }
+  in
+  t.count <- t.count + 1;
+  t.facilities_rev <- fac :: t.facilities_rev;
+  Hashtbl.replace t.by_id fac.id fac;
+  t.construction <- t.construction +. cost;
+  let n_sites = Finite_metric.size t.metric in
+  for p = 0 to n_sites - 1 do
+    let d = Finite_metric.dist t.metric p site in
+    Cset.iter
+      (fun e ->
+        let cur, _ = t.nearest.(e).(p) in
+        if d < cur then t.nearest.(e).(p) <- (d, fac.id))
+      offered;
+    if Cset.is_full offered then begin
+      let cur, _ = t.nearest_large.(p) in
+      if d < cur then t.nearest_large.(p) <- (d, fac.id)
+    end
+  done;
+  fac
+
+let facilities t = List.rev t.facilities_rev
+let n_facilities t = t.count
+
+let facility t id = Hashtbl.find t.by_id id
+
+let dist_offering t ~commodity ~from = fst t.nearest.(commodity).(from)
+
+let nearest_offering t ~commodity ~from =
+  let d, id = t.nearest.(commodity).(from) in
+  if id < 0 then None else Some (facility t id, d)
+
+let dist_large t ~from = fst t.nearest_large.(from)
+
+let nearest_large t ~from =
+  let d, id = t.nearest_large.(from) in
+  if id < 0 then None else Some (facility t id, d)
+
+let record_service t ~request_site service =
+  let facility_site id = (facility t id).Facility.site in
+  let c =
+    Service.cost ~facility_site ~metric:t.metric ~request_site service
+  in
+  t.assignment <- t.assignment +. c;
+  t.services_rev <- service :: t.services_rev
+
+let services t = List.rev t.services_rev
+
+let construction_cost t = t.construction
+let assignment_cost t = t.assignment
+let total_cost t = t.construction +. t.assignment

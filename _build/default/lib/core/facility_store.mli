@@ -1,0 +1,54 @@
+(** Mutable bookkeeping shared by every online algorithm: the set of open
+    facilities, nearest-facility distance tables, and cost accounting.
+
+    Distance tables are maintained per commodity and for large facilities
+    ([F(e)] and [F̂] of the paper) so that algorithms query nearest
+    facilities in O(1) and pay O(|σ| · |M|) once per opening. *)
+
+type t
+
+(** [create metric ~n_commodities] starts with no facilities. *)
+val create : Omflp_metric.Finite_metric.t -> n_commodities:int -> t
+
+val metric : t -> Omflp_metric.Finite_metric.t
+val n_commodities : t -> int
+
+(** [open_facility t ~site ~kind ~cost ~opened_at] registers a facility,
+    pays its construction cost, updates the distance tables, and returns
+    the record. *)
+val open_facility :
+  t -> site:int -> kind:Facility.kind -> cost:float -> opened_at:int -> Facility.t
+
+(** [facilities t] lists open facilities in opening order. *)
+val facilities : t -> Facility.t list
+
+val n_facilities : t -> int
+
+(** [facility t id] fetches by id. Raises [Not_found]. *)
+val facility : t -> int -> Facility.t
+
+(** [dist_offering t ~commodity ~from] is [d(F(e), ·)]: the distance from
+    site [from] to the nearest open facility offering [commodity]
+    ([infinity] if none). *)
+val dist_offering : t -> commodity:int -> from:int -> float
+
+(** [nearest_offering t ~commodity ~from] also returns the facility. *)
+val nearest_offering : t -> commodity:int -> from:int -> (Facility.t * float) option
+
+(** [dist_large t ~from] is [d(F̂, ·)], distance to the nearest facility
+    offering all of [S] ([infinity] if none). *)
+val dist_large : t -> from:int -> float
+
+(** [nearest_large t ~from]. *)
+val nearest_large : t -> from:int -> (Facility.t * float) option
+
+(** [record_service t ~request_site service] accounts the connection cost
+    (per distinct facility) and stores the service. *)
+val record_service : t -> request_site:int -> Service.t -> unit
+
+val services : t -> Service.t list
+(** in request order *)
+
+val construction_cost : t -> float
+val assignment_cost : t -> float
+val total_cost : t -> float

@@ -1,0 +1,85 @@
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type t = {
+  metric : Finite_metric.t;
+  cost : Cost_function.t;
+  store : Facility_store.t;
+  mutable n_requests : int;
+}
+
+let name = "GREEDY"
+
+let create ?seed:_ metric cost =
+  {
+    metric;
+    cost;
+    store =
+      Facility_store.create metric
+        ~n_commodities:(Cost_function.n_commodities cost);
+    n_requests = 0;
+  }
+
+let step t (r : Request.t) =
+  (* Option A: per commodity, the cheaper of connecting to the nearest
+     facility offering it or opening {e} at the request's own site. *)
+  let option_a_cost =
+    Cset.fold
+      (fun e acc ->
+        let connect =
+          Facility_store.dist_offering t.store ~commodity:e ~from:r.site
+        in
+        let build = Cost_function.singleton_cost t.cost r.site e in
+        acc +. Float.min connect build)
+      r.demand 0.0
+  in
+  (* Option B: open the exact demand set at the request's own site. *)
+  let option_b_cost = Cost_function.eval t.cost r.site r.demand in
+  (* Option C: connect to the nearest large facility. *)
+  let option_c_cost = Facility_store.dist_large t.store ~from:r.site in
+  let service =
+    if option_c_cost <= option_a_cost && option_c_cost <= option_b_cost then begin
+      let fac, _ =
+        Option.get (Facility_store.nearest_large t.store ~from:r.site)
+      in
+      Service.To_single fac.Facility.id
+    end
+    else if option_b_cost <= option_a_cost then begin
+      let fac =
+        Facility_store.open_facility t.store ~site:r.site
+          ~kind:(Facility.Custom r.demand) ~cost:option_b_cost
+          ~opened_at:t.n_requests
+      in
+      Service.To_single fac.Facility.id
+    end
+    else begin
+      let pairs =
+        List.map
+          (fun e ->
+            let connect =
+              Facility_store.dist_offering t.store ~commodity:e ~from:r.site
+            in
+            let build = Cost_function.singleton_cost t.cost r.site e in
+            let fac =
+              if build < connect then
+                Facility_store.open_facility t.store ~site:r.site
+                  ~kind:(Facility.Small e) ~cost:build ~opened_at:t.n_requests
+              else
+                fst
+                  (Option.get
+                     (Facility_store.nearest_offering t.store ~commodity:e
+                        ~from:r.site))
+            in
+            (e, fac.Facility.id))
+          (Cset.elements r.demand)
+      in
+      Service.Per_commodity pairs
+    end
+  in
+  Facility_store.record_service t.store ~request_site:r.site service;
+  t.n_requests <- t.n_requests + 1;
+  service
+
+let run_so_far t = Run.of_store ~algorithm:name t.store
+let store t = t.store

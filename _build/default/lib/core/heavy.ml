@@ -1,0 +1,34 @@
+open Omflp_commodity
+
+let marginal cost ~commodity =
+  let n_sites = Cost_function.n_sites cost in
+  let k = Cost_function.n_commodities cost in
+  let full = Cset.full ~n_commodities:k in
+  let without = Cset.remove full commodity in
+  let acc = ref 0.0 in
+  for m = 0 to n_sites - 1 do
+    acc :=
+      !acc +. (Cost_function.full_cost cost m -. Cost_function.eval cost m without)
+  done;
+  !acc /. float_of_int n_sites
+
+let detect ?(threshold = 4.0) cost =
+  let k = Cost_function.n_commodities cost in
+  let marginals = Array.init k (fun e -> marginal cost ~commodity:e) in
+  (* Compare against the median marginal: robust to the heavy commodities
+     themselves inflating the average. *)
+  let sorted = Array.copy marginals in
+  Array.sort Float.compare sorted;
+  let median = sorted.(k / 2) in
+  let bar = threshold *. Float.max median 1e-12 in
+  let heavy = ref (Cset.empty ~n_commodities:k) in
+  Array.iteri
+    (fun e m -> if m > bar then heavy := Cset.add !heavy e)
+    marginals;
+  (* Keep at least one light commodity: drop the least heavy if needed. *)
+  if Cset.cardinal !heavy = k then begin
+    let lightest = ref 0 in
+    Array.iteri (fun e m -> if m < marginals.(!lightest) then lightest := e) marginals;
+    heavy := Cset.diff !heavy (Cset.singleton ~n_commodities:k !lightest)
+  end;
+  !heavy

@@ -1,0 +1,20 @@
+(** Heavy-commodity detection (Section 5, closing remarks).
+
+    Condition 1 indirectly requires that no single commodity dominates the
+    full configuration's cost. A commodity is {e heavy} when its marginal
+    cost inside the full configuration is much larger than the average
+    per-commodity share; the paper suggests excluding such commodities
+    from the "large facility" configuration and handling them separately
+    ({!Heavy_aware}). *)
+
+(** [marginal cost ~commodity] is the average over sites of
+    [f^S_m − f^{S∖{e}}_m]. *)
+val marginal : Omflp_commodity.Cost_function.t -> commodity:int -> float
+
+(** [detect ?threshold cost] returns the set of heavy commodities: those
+    whose marginal exceeds [threshold] times the {e median} marginal (the
+    median is robust against the heavy commodities inflating the
+    average). The default [threshold] is 4.0. Never returns all of [S]
+    (the least heavy commodity is dropped if necessary). *)
+val detect :
+  ?threshold:float -> Omflp_commodity.Cost_function.t -> Omflp_commodity.Cset.t

@@ -1,0 +1,38 @@
+(** HEAVY-AWARE PD — the paper's Section 5 proposal, implemented.
+
+    "Naturally, one could simply run our algorithms in which the heavy
+    commodities are excluded such that a large facility becomes one
+    including all non-heavy commodities. This reflects the intuition that
+    heavy commodities should be avoided as far as possible."
+
+    The algorithm detects heavy commodities ({!Heavy.detect}), runs
+    PD-OMFLP on the instance projected to the light sub-universe (its
+    "large" facilities offer exactly the light commodities), and serves
+    each heavy commodity with an independent per-commodity primal–dual
+    OFL. On cost functions satisfying Condition 1 nothing is heavy and
+    the algorithm coincides with PD-OMFLP; with heavy commodities present
+    it avoids paying their surcharge in every large facility. *)
+
+type t
+
+val name : string
+
+val create :
+  ?seed:int ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+
+(** [create_with_heavy ~heavy metric cost] overrides detection. *)
+val create_with_heavy :
+  heavy:Omflp_commodity.Cset.t ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+
+val step : t -> Omflp_instance.Request.t -> Service.t
+val run_so_far : t -> Run.t
+val store : t -> Facility_store.t
+
+(** [heavy_set t] is the commodity set treated as heavy. *)
+val heavy_set : t -> Omflp_commodity.Cset.t

@@ -1,0 +1,79 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type past = { site : int; dual : float }
+
+type t = {
+  metric : Finite_metric.t;
+  cost : Cost_function.t;
+  store : Facility_store.t;
+  past : past list array;  (** per commodity, newest first *)
+  mutable n_requests : int;
+}
+
+let name = "INDEP"
+
+let create ?seed:_ metric cost =
+  let n_commodities = Cost_function.n_commodities cost in
+  {
+    metric;
+    cost;
+    store = Facility_store.create metric ~n_commodities;
+    past = Array.make n_commodities [];
+    n_requests = 0;
+  }
+
+(* One Fotakis primal–dual step for a single commodity: the request either
+   connects at the nearest facility's distance or its bid completes the
+   payment of a facility at some site. *)
+let serve_commodity t ~site e =
+  let n_sites = Finite_metric.size t.metric in
+  let connect_at = Facility_store.dist_offering t.store ~commodity:e ~from:site in
+  let best_site = ref (-1) in
+  let best_open = ref infinity in
+  for m = 0 to n_sites - 1 do
+    let bids =
+      List.fold_left
+        (fun acc p ->
+          let cap =
+            Float.min p.dual
+              (Facility_store.dist_offering t.store ~commodity:e ~from:p.site)
+          in
+          acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.site m))
+        0.0 t.past.(e)
+    in
+    let open_at =
+      Finite_metric.dist t.metric site m
+      +. Numerics.pos (Cost_function.singleton_cost t.cost m e -. bids)
+    in
+    if open_at < !best_open then begin
+      best_open := open_at;
+      best_site := m
+    end
+  done;
+  let dual = Float.min connect_at !best_open in
+  if !best_open < connect_at then
+    ignore
+      (Facility_store.open_facility t.store ~site:!best_site
+         ~kind:(Facility.Small e)
+         ~cost:(Cost_function.singleton_cost t.cost !best_site e)
+         ~opened_at:t.n_requests);
+  t.past.(e) <- { site; dual } :: t.past.(e);
+  let fac, _ =
+    Option.get (Facility_store.nearest_offering t.store ~commodity:e ~from:site)
+  in
+  (e, fac.Facility.id)
+
+let step t (r : Request.t) =
+  let pairs =
+    List.map (serve_commodity t ~site:r.site) (Cset.elements r.demand)
+  in
+  let service = Service.Per_commodity pairs in
+  Facility_store.record_service t.store ~request_site:r.site service;
+  t.n_requests <- t.n_requests + 1;
+  service
+
+let run_so_far t = Run.of_store ~algorithm:name t.store
+let store t = t.store

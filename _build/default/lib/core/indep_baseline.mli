@@ -1,0 +1,19 @@
+(** INDEP — the trivial baseline of Section 1.3: one independent instance
+    of (deterministic, primal–dual) Online Facility Location per
+    commodity, each opening only small facilities with cost [f^{{e}}_m].
+    O(|S| · log n)-competitive; never aggregates commodities, so the
+    Theorem 2 adversary forces a Θ(√|S|) gap against PD-OMFLP. *)
+
+type t
+
+val name : string
+
+val create :
+  ?seed:int ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+
+val step : t -> Omflp_instance.Request.t -> Service.t
+val run_so_far : t -> Run.t
+val store : t -> Facility_store.t

@@ -1,0 +1,421 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type dual_record = {
+  site : int;
+  demand : Cset.t;
+  duals : float array;
+  dual_sum : float;
+}
+
+type fired =
+  | Connected_small of { commodity : int; facility : int; dual : float }
+  | Opened_small of { commodity : int; site : int; dual : float }
+  | Connected_large of { facility : int; dual_sum : float }
+  | Opened_large of { site : int; dual_sum : float }
+
+(* Internal past-request record. [caps] holds, per demanded commodity, the
+   value min{a_je, d(F(e), j)} currently accounted in the incremental bid
+   caches; [cap4] the corresponding min{Σ a_je, d(F̂, j)}. *)
+type past = {
+  p_site : int;
+  p_demand : Cset.t;
+  p_duals : float array;
+  p_dual_sum : float;
+  p_caps : float array;
+  mutable p_cap4 : float;
+}
+
+type t = {
+  metric : Finite_metric.t;
+  cost : Cost_function.t;
+  store : Facility_store.t;
+  mutable past_rev : past list;
+  mutable trace_rev : fired list list;
+  mutable n_requests : int;
+  (* Incremental mode: bid sums are maintained across arrivals instead of
+     being recomputed from the whole history. [b3_cache.(e).(m)] is the
+     constraint-(3) bid sum of all past requests towards a small facility
+     {e} at site m; [b4_cache.(m)] the constraint-(4) analogue. *)
+  incremental : bool;
+  b3_cache : float array array;
+  b4_cache : float array;
+}
+
+let name = "PD-OMFLP"
+
+let create_mode ~incremental metric cost =
+  let n_commodities = Cost_function.n_commodities cost in
+  let n_sites = Finite_metric.size metric in
+  {
+    metric;
+    cost;
+    store = Facility_store.create metric ~n_commodities;
+    past_rev = [];
+    trace_rev = [];
+    n_requests = 0;
+    incremental;
+    b3_cache =
+      (if incremental then Array.make_matrix n_commodities n_sites 0.0
+       else [||]);
+    b4_cache = (if incremental then Array.make n_sites 0.0 else [||]);
+  }
+
+let create ?seed:_ metric cost = create_mode ~incremental:false metric cost
+
+let create_incremental ?seed:_ metric cost =
+  create_mode ~incremental:true metric cost
+
+(* The serving target of one commodity while the request is processed. *)
+type serving =
+  | Unserved
+  | By_existing of int  (** facility id *)
+  | By_temp of int  (** site of a tentatively opened small facility *)
+
+(* The four tightness events of Algorithm 1. The int payloads identify the
+   commodity (index into the demand array) and/or the site. Priority order
+   on ties follows the paper's loop structure: connections and small
+   facilities (lines 3–5) are examined before large ones (lines 6–9). *)
+type event =
+  | E1_connect_small of int
+  | E3_open_small of int * int
+  | E2_connect_large
+  | E4_open_large of int
+
+let event_rank = function
+  | E1_connect_small _ -> 0
+  | E3_open_small _ -> 1
+  | E2_connect_large -> 2
+  | E4_open_large _ -> 3
+
+(* Incremental maintenance: a newly opened facility at [fs] offering [o]
+   can only shrink past caps — min{a, d(F(e), j)} becomes
+   min{old cap, d(j, fs)} — so each affected (request, commodity) adjusts
+   the caches by the difference of its contribution. *)
+let note_facility_opened t ~fs ~offered =
+  if t.incremental then begin
+    let n_sites = Finite_metric.size t.metric in
+    let offers_all = Cset.is_full offered in
+    List.iter
+      (fun (p : past) ->
+        let d_jf = Finite_metric.dist t.metric p.p_site fs in
+        Cset.iter
+          (fun e ->
+            if Cset.mem offered e && d_jf < p.p_caps.(e) then begin
+              let old_cap = p.p_caps.(e) in
+              let row = t.b3_cache.(e) in
+              for m = 0 to n_sites - 1 do
+                let d = Finite_metric.dist t.metric p.p_site m in
+                row.(m) <-
+                  row.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
+              done;
+              p.p_caps.(e) <- d_jf
+            end)
+          p.p_demand;
+        if offers_all && d_jf < p.p_cap4 then begin
+          let old_cap = p.p_cap4 in
+          for m = 0 to n_sites - 1 do
+            let d = Finite_metric.dist t.metric p.p_site m in
+            t.b4_cache.(m) <-
+              t.b4_cache.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
+          done;
+          p.p_cap4 <- d_jf
+        end)
+      t.past_rev
+  end
+
+let open_facility t ~site ~kind =
+  let cost =
+    match kind with
+    | Facility.Small e -> Cost_function.singleton_cost t.cost site e
+    | Facility.Large -> Cost_function.full_cost t.cost site
+    | Facility.Custom sigma -> Cost_function.eval t.cost site sigma
+  in
+  let fac =
+    Facility_store.open_facility t.store ~site ~kind ~cost
+      ~opened_at:t.n_requests
+  in
+  note_facility_opened t ~fs:site ~offered:fac.Facility.offered;
+  fac
+
+let step t (r : Request.t) =
+  let n_sites = Finite_metric.size t.metric in
+  let s = Cost_function.n_commodities t.cost in
+  let es = Array.of_list (Cset.elements r.demand) in
+  let k_total = Array.length es in
+  let a = Array.make s 0.0 in
+  let serving = Array.make s Unserved in
+  let d_rm = Array.init n_sites (fun m -> Finite_metric.dist t.metric r.site m) in
+  (* Per-arrival-constant bid sums of past requests (constraints (3) and
+     (4)); facilities only open once processing ends, so the caps
+     min{a_je, d(F(e), j)} and min{Σa_je, d(F̂, j)} do not move.
+     Incremental mode reads them off the maintained caches; otherwise they
+     are recomputed from the whole history. *)
+  let get_b3, get_b4 =
+    if t.incremental then
+      ((fun i m -> t.b3_cache.(es.(i)).(m)), fun m -> t.b4_cache.(m))
+    else begin
+      let b3 =
+        Array.map
+          (fun e ->
+            Array.init n_sites (fun m ->
+                List.fold_left
+                  (fun acc (p : past) ->
+                    if Cset.mem p.p_demand e then begin
+                      let cap =
+                        Float.min p.p_duals.(e)
+                          (Facility_store.dist_offering t.store ~commodity:e
+                             ~from:p.p_site)
+                      in
+                      acc
+                      +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m)
+                    end
+                    else acc)
+                  0.0 t.past_rev))
+          es
+      in
+      let b4 =
+        Array.init n_sites (fun m ->
+            List.fold_left
+              (fun acc (p : past) ->
+                let cap =
+                  Float.min p.p_dual_sum
+                    (Facility_store.dist_large t.store ~from:p.p_site)
+                in
+                acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m))
+              0.0 t.past_rev)
+      in
+      ((fun i m -> b3.(i).(m)), fun m -> b4.(m))
+    end
+  in
+  let sum_a = ref 0.0 in
+  let large_result = ref None in
+  let fired_rev = ref [] in
+  let finished = ref false in
+  while not !finished do
+    let unserved =
+      List.filter
+        (fun i -> serving.(es.(i)) = Unserved)
+        (List.init k_total Fun.id)
+    in
+    if unserved = [] then finished := true
+    else begin
+      let k = float_of_int (List.length unserved) in
+      (* Collect the earliest event; ties resolved by event rank, then by
+         commodity index, then by site. Deltas within a relative 1e-9 of
+         each other count as tied, so tie-breaking is stable under the
+         float-summation-order differences between the recomputing and
+         incremental bid modes (integer-valued cost functions produce
+         exact (3)-vs-(4) ties all the time). *)
+      let best = ref None in
+      let consider delta ev i m =
+        let delta = Float.max delta 0.0 in
+        match !best with
+        | None -> best := Some ((delta, event_rank ev, i, m), ev)
+        | Some ((bd, br, bi, bm), _) ->
+            let eps = 1e-9 *. Float.max 1.0 (Float.max delta bd) in
+            if delta < bd -. eps then
+              best := Some ((delta, event_rank ev, i, m), ev)
+            else if
+              delta <= bd +. eps && (event_rank ev, i, m) < (br, bi, bm)
+            then
+              (* Tie: keep the smaller delta as the anchor so chains of
+                 near-ties cannot drift. *)
+              best := Some ((Float.min delta bd, event_rank ev, i, m), ev)
+      in
+      List.iter
+        (fun i ->
+          let e = es.(i) in
+          let d_fe = Facility_store.dist_offering t.store ~commodity:e ~from:r.site in
+          if d_fe < infinity then
+            consider (d_fe -. a.(e)) (E1_connect_small i) i 0;
+          for m = 0 to n_sites - 1 do
+            (* Tight when (a_re - d(m,r))+ + B3 = f: the own bid must be
+               active, i.e. a_re reaches d(m,r) + (f - B3)+. Waiting until
+               then never violates the constraint because B3 <= f holds at
+               every arrival. *)
+            let f = Cost_function.singleton_cost t.cost m e in
+            let target = d_rm.(m) +. Numerics.pos (f -. get_b3 i m) in
+            consider (target -. a.(e)) (E3_open_small (i, m)) i m
+          done)
+        unserved;
+      let d_large = Facility_store.dist_large t.store ~from:r.site in
+      if d_large < infinity then
+        consider ((d_large -. !sum_a) /. k) E2_connect_large 0 0;
+      for m = 0 to n_sites - 1 do
+        let f = Cost_function.full_cost t.cost m in
+        let target = d_rm.(m) +. Numerics.pos (f -. get_b4 m) in
+        consider ((target -. !sum_a) /. k) (E4_open_large m) 0 m
+      done;
+      match !best with
+      | None -> assert false (* E3 events always exist *)
+      | Some ((delta, _, _, _), ev) ->
+          List.iter (fun i -> a.(es.(i)) <- a.(es.(i)) +. delta) unserved;
+          sum_a := !sum_a +. (k *. delta);
+          (match ev with
+          | E1_connect_small i ->
+              let e = es.(i) in
+              let fac, _ =
+                Option.get
+                  (Facility_store.nearest_offering t.store ~commodity:e
+                     ~from:r.site)
+              in
+              serving.(e) <- By_existing fac.Facility.id;
+              fired_rev :=
+                Connected_small
+                  { commodity = e; facility = fac.Facility.id; dual = a.(e) }
+                :: !fired_rev
+          | E3_open_small (i, m) ->
+              serving.(es.(i)) <- By_temp m;
+              fired_rev :=
+                Opened_small { commodity = es.(i); site = m; dual = a.(es.(i)) }
+                :: !fired_rev
+          | E2_connect_large ->
+              let fac, _ =
+                Option.get (Facility_store.nearest_large t.store ~from:r.site)
+              in
+              large_result := Some (`Existing fac.Facility.id);
+              fired_rev :=
+                Connected_large { facility = fac.Facility.id; dual_sum = !sum_a }
+                :: !fired_rev;
+              finished := true
+          | E4_open_large m ->
+              large_result := Some (`New m);
+              fired_rev :=
+                Opened_large { site = m; dual_sum = !sum_a } :: !fired_rev;
+              finished := true)
+    end
+  done;
+  let service =
+    match !large_result with
+    | Some target ->
+        (* Lines 7–9: the whole request is served by one large facility;
+           tentative small facilities are discarded. *)
+        let fid =
+          match target with
+          | `Existing fid -> fid
+          | `New m -> (open_facility t ~site:m ~kind:Facility.Large).Facility.id
+        in
+        Service.To_single fid
+    | None ->
+        (* Line 10: confirm the remaining tentative small facilities. *)
+        let pairs =
+          Array.to_list
+            (Array.map
+               (fun e ->
+                 match serving.(e) with
+                 | By_existing fid -> (e, fid)
+                 | By_temp m ->
+                     (e, (open_facility t ~site:m ~kind:(Facility.Small e)).Facility.id)
+                 | Unserved -> assert false)
+               es)
+        in
+        Service.Per_commodity pairs
+  in
+  Facility_store.record_service t.store ~request_site:r.site service;
+  (* Record the request's duals; in incremental mode also add its bid
+     contributions (capped by the post-opening facility distances) to the
+     caches. *)
+  let caps = Array.make s 0.0 in
+  Cset.iter
+    (fun e ->
+      caps.(e) <-
+        Float.min a.(e)
+          (Facility_store.dist_offering t.store ~commodity:e ~from:r.site))
+    r.demand;
+  let cap4 =
+    Float.min !sum_a (Facility_store.dist_large t.store ~from:r.site)
+  in
+  let p =
+    {
+      p_site = r.site;
+      p_demand = r.demand;
+      p_duals = a;
+      p_dual_sum = !sum_a;
+      p_caps = caps;
+      p_cap4 = cap4;
+    }
+  in
+  if t.incremental then begin
+    Cset.iter
+      (fun e ->
+        let row = t.b3_cache.(e) in
+        for m = 0 to n_sites - 1 do
+          row.(m) <-
+            row.(m)
+            +. Numerics.pos (caps.(e) -. Finite_metric.dist t.metric r.site m)
+        done)
+      r.demand;
+    for m = 0 to n_sites - 1 do
+      t.b4_cache.(m) <-
+        t.b4_cache.(m)
+        +. Numerics.pos (cap4 -. Finite_metric.dist t.metric r.site m)
+    done
+  end;
+  t.past_rev <- p :: t.past_rev;
+  t.trace_rev <- List.rev !fired_rev :: t.trace_rev;
+  t.n_requests <- t.n_requests + 1;
+  service
+
+let run_so_far t = Run.of_store ~algorithm:name t.store
+
+let dual_records t =
+  List.rev_map
+    (fun (p : past) ->
+      {
+        site = p.p_site;
+        demand = p.p_demand;
+        duals = p.p_duals;
+        dual_sum = p.p_dual_sum;
+      })
+    t.past_rev
+
+let trace t = List.rev t.trace_rev
+
+let dual_objective t =
+  List.fold_left (fun acc (p : past) -> acc +. p.p_dual_sum) 0.0 t.past_rev
+
+let store t = t.store
+
+let cache_drift t =
+  if not t.incremental then 0.0
+  else begin
+    let n_sites = Finite_metric.size t.metric in
+    let s = Cost_function.n_commodities t.cost in
+    let drift = ref 0.0 in
+    for e = 0 to s - 1 do
+      for m = 0 to n_sites - 1 do
+        let fresh =
+          List.fold_left
+            (fun acc (p : past) ->
+              if Cset.mem p.p_demand e then begin
+                let cap =
+                  Float.min p.p_duals.(e)
+                    (Facility_store.dist_offering t.store ~commodity:e
+                       ~from:p.p_site)
+                in
+                acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m)
+              end
+              else acc)
+            0.0 t.past_rev
+        in
+        drift := Float.max !drift (Float.abs (fresh -. t.b3_cache.(e).(m)))
+      done
+    done;
+    for m = 0 to n_sites - 1 do
+      let fresh =
+        List.fold_left
+          (fun acc (p : past) ->
+            let cap =
+              Float.min p.p_dual_sum
+                (Facility_store.dist_large t.store ~from:p.p_site)
+            in
+            acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m))
+          0.0 t.past_rev
+      in
+      drift := Float.max !drift (Float.abs (fresh -. t.b4_cache.(m)))
+    done;
+    !drift
+  end

@@ -1,0 +1,9 @@
+type t = Pd_omflp.t
+
+let name = "PD-OMFLP-FAST"
+
+let create ?seed metric cost = Pd_omflp.create_incremental ?seed metric cost
+
+let step = Pd_omflp.step
+
+let run_so_far t = Run.of_store ~algorithm:name (Pd_omflp.store t)

@@ -1,0 +1,17 @@
+(** PD-OMFLP with incremental bid maintenance — the same algorithm as
+    {!Pd_omflp} (identical decisions up to floating-point summation
+    order), with per-request work reduced from O(|s_r|·|M|·n) to
+    amortized O((|s_r| + opened)·|M|). *)
+
+type t = Pd_omflp.t
+
+val name : string
+
+val create :
+  ?seed:int ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+
+val step : t -> Omflp_instance.Request.t -> Service.t
+val run_so_far : t -> Run.t

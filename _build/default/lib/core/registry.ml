@@ -1,0 +1,23 @@
+let all () : (string * (module Algo_intf.ALGO)) list =
+  [
+    (Pd_omflp.name, (module Pd_omflp));
+    (Rand_omflp.name, (module Rand_omflp));
+    (Indep_baseline.name, (module Indep_baseline));
+    (All_large_baseline.name, (module All_large_baseline));
+    (Greedy_baseline.name, (module Greedy_baseline));
+  ]
+
+let extended () =
+  all ()
+  @ [
+      (Pd_omflp_fast.name, (module Pd_omflp_fast : Algo_intf.ALGO));
+      (Heavy_aware.name, (module Heavy_aware));
+    ]
+
+let find name =
+  let norm = String.lowercase_ascii name in
+  List.find_map
+    (fun (n, a) -> if String.lowercase_ascii n = norm then Some a else None)
+    (extended ())
+
+let names () = List.map fst (extended ())

@@ -1,0 +1,14 @@
+(** Name-indexed registry of the online algorithms. *)
+
+(** [all ()] lists the paper's canonical (name, algorithm) pairs:
+    PD-OMFLP, RAND-OMFLP, INDEP, ALL-LARGE, GREEDY. *)
+val all : unit -> (string * (module Algo_intf.ALGO)) list
+
+(** [extended ()] additionally contains the extensions: PD-OMFLP-FAST
+    (incremental bids, same decisions) and HEAVY-AWARE (Section 5). *)
+val extended : unit -> (string * (module Algo_intf.ALGO)) list
+
+(** [find name] resolves case-insensitively over {!extended}. *)
+val find : string -> (module Algo_intf.ALGO) option
+
+val names : unit -> string list

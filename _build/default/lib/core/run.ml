@@ -1,0 +1,36 @@
+type t = {
+  algorithm : string;
+  facilities : Facility.t list;
+  services : Service.t list;
+  construction_cost : float;
+  assignment_cost : float;
+}
+
+let total_cost t = t.construction_cost +. t.assignment_cost
+
+let of_store ~algorithm store =
+  {
+    algorithm;
+    facilities = Facility_store.facilities store;
+    services = Facility_store.services store;
+    construction_cost = Facility_store.construction_cost store;
+    assignment_cost = Facility_store.assignment_cost store;
+  }
+
+let n_small t =
+  List.length
+    (List.filter
+       (fun f -> match f.Facility.kind with Facility.Small _ -> true | _ -> false)
+       t.facilities)
+
+let n_large t =
+  List.length
+    (List.filter
+       (fun f -> match f.Facility.kind with Facility.Large -> true | _ -> false)
+       t.facilities)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: total=%.4g (construction=%.4g, assignment=%.4g), %d facilities (%d small, %d large)"
+    t.algorithm (total_cost t) t.construction_cost t.assignment_cost
+    (List.length t.facilities) (n_small t) (n_large t)

@@ -1,0 +1,22 @@
+(** Completed (or in-progress) outcome of an online algorithm. *)
+
+type t = {
+  algorithm : string;
+  facilities : Facility.t list;
+  services : Service.t list;  (** one per processed request, in order *)
+  construction_cost : float;
+  assignment_cost : float;
+}
+
+val total_cost : t -> float
+
+(** [of_store ~algorithm store] snapshots a {!Facility_store}. *)
+val of_store : algorithm:string -> Facility_store.t -> t
+
+(** [n_small run] counts facilities with a singleton configuration. *)
+val n_small : t -> int
+
+(** [n_large run] counts full-configuration facilities. *)
+val n_large : t -> int
+
+val pp : Format.formatter -> t -> unit

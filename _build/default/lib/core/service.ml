@@ -1,0 +1,26 @@
+open Omflp_commodity
+
+type t = To_single of int | Per_commodity of (int * int) list
+
+let facility_ids = function
+  | To_single id -> [ id ]
+  | Per_commodity pairs ->
+      List.sort_uniq compare (List.map snd pairs)
+
+let covers ~facility_offered ~demand t =
+  match t with
+  | To_single id -> Cset.subset demand (facility_offered id)
+  | Per_commodity pairs ->
+      Cset.for_all
+        (fun e ->
+          List.exists
+            (fun (e', id) -> e' = e && Cset.mem (facility_offered id) e)
+            pairs)
+        demand
+
+let cost ~facility_site ~metric ~request_site t =
+  List.fold_left
+    (fun acc id ->
+      acc
+      +. Omflp_metric.Finite_metric.dist metric request_site (facility_site id))
+    0.0 (facility_ids t)

@@ -1,0 +1,30 @@
+(** How a request was served.
+
+    The model charges the distance to every {e distinct} facility the
+    request connects to, once per facility — serving several commodities
+    over one connection is the whole point of large facilities. *)
+
+type t =
+  | To_single of int  (** whole demand to one facility (id), e.g. a large one *)
+  | Per_commodity of (int * int) list  (** (commodity, facility id) pairs *)
+
+(** [facility_ids t] is the deduplicated list of connected facilities. *)
+val facility_ids : t -> int list
+
+(** [covers ~facility_offered ~demand t] checks the service is feasible:
+    every demanded commodity is offered by the facility serving it.
+    [facility_offered id] must return the facility's configuration. *)
+val covers :
+  facility_offered:(int -> Omflp_commodity.Cset.t) ->
+  demand:Omflp_commodity.Cset.t ->
+  t ->
+  bool
+
+(** [cost ~facility_site ~metric ~request_site t] is the connection cost:
+    the sum of distances to distinct connected facilities. *)
+val cost :
+  facility_site:(int -> int) ->
+  metric:Omflp_metric.Finite_metric.t ->
+  request_site:int ->
+  t ->
+  float

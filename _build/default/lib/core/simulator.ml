@@ -1,0 +1,94 @@
+open Omflp_instance
+
+let validate (inst : Instance.t) (run : Run.t) =
+  let facility_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Facility.t) -> Hashtbl.replace facility_tbl f.id f)
+    run.facilities;
+  let facility id =
+    match Hashtbl.find_opt facility_tbl id with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "unknown facility id %d" id)
+  in
+  let n_req = Instance.n_requests inst in
+  let services = Array.of_list run.services in
+  try
+    if Array.length services <> n_req then
+      failwith
+        (Printf.sprintf "expected %d services, got %d" n_req
+           (Array.length services));
+    (* Coverage, respecting opening times: a facility used by request i
+       must have been opened at or before i. *)
+    Array.iteri
+      (fun i service ->
+        let r = inst.requests.(i) in
+        List.iter
+          (fun id ->
+            let f = facility id in
+            if f.Facility.opened_at > i then
+              failwith
+                (Printf.sprintf
+                   "request %d served by facility %d opened later (at %d)" i id
+                   f.Facility.opened_at))
+          (Service.facility_ids service);
+        if
+          not
+            (Service.covers
+               ~facility_offered:(fun id -> (facility id).Facility.offered)
+               ~demand:r.Request.demand service)
+        then failwith (Printf.sprintf "request %d not fully served" i))
+      services;
+    (* Cost recomputation. *)
+    let construction =
+      List.fold_left (fun acc (f : Facility.t) -> acc +. f.cost) 0.0
+        run.facilities
+    in
+    let assignment = ref 0.0 in
+    Array.iteri
+      (fun i service ->
+        assignment :=
+          !assignment
+          +. Service.cost
+               ~facility_site:(fun id -> (facility id).Facility.site)
+               ~metric:inst.metric
+               ~request_site:inst.requests.(i).Request.site service)
+      services;
+    let open Omflp_prelude.Numerics in
+    if not (approx_eq ~tol:1e-6 construction run.construction_cost) then
+      failwith
+        (Printf.sprintf "construction cost mismatch: %.9g vs reported %.9g"
+           construction run.construction_cost);
+    if not (approx_eq ~tol:1e-6 !assignment run.assignment_cost) then
+      failwith
+        (Printf.sprintf "assignment cost mismatch: %.9g vs reported %.9g"
+           !assignment run.assignment_cost);
+    (* Facility construction costs must match the cost function. *)
+    List.iter
+      (fun (f : Facility.t) ->
+        let expected =
+          Omflp_commodity.Cost_function.eval inst.cost f.site f.offered
+        in
+        if not (approx_eq ~tol:1e-6 expected f.cost) then
+          failwith
+            (Printf.sprintf "facility %d cost %.9g but f^sigma_m = %.9g" f.id
+               f.cost expected))
+      run.facilities;
+    Ok ()
+  with Failure msg -> Error (run.algorithm ^ ": " ^ msg)
+
+let run ?seed ?(check = true) (module A : Algo_intf.ALGO)
+    (inst : Instance.t) =
+  let t = A.create ?seed inst.metric inst.cost in
+  Array.iter (fun r -> ignore (A.step t r)) inst.requests;
+  let result = A.run_so_far t in
+  if check then begin
+    match validate inst result with
+    | Ok () -> ()
+    | Error msg -> failwith ("Simulator.run: invalid run: " ^ msg)
+  end;
+  result
+
+let run_all ?seed inst =
+  List.map
+    (fun (name, algo) -> (name, run ?seed algo inst))
+    (Registry.all ())

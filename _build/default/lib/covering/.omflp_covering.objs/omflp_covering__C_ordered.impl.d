@@ -1,0 +1,1 @@
+lib/covering/c_ordered.ml: Array Bitset List Numerics Omflp_prelude Printf Splitmix

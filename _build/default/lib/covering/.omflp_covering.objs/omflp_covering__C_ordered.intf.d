@@ -1,0 +1,1 @@
+lib/covering/c_ordered.mli: Omflp_prelude

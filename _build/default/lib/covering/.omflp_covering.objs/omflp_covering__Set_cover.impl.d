@@ -1,0 +1,1 @@
+lib/covering/set_cover.ml: Array Bitset List Omflp_prelude

@@ -1,0 +1,1 @@
+lib/covering/set_cover.mli: Bitset Omflp_prelude

@@ -1,0 +1,83 @@
+open Omflp_prelude
+
+type set = { weight : float; members : Bitset.t }
+
+let check_coverable ~target sets =
+  let union =
+    Array.fold_left
+      (fun acc s -> Bitset.union acc s.members)
+      (Bitset.create (Bitset.universe target))
+      sets
+  in
+  if not (Bitset.subset target union) then
+    invalid_arg "Set_cover: sets do not cover the target"
+
+let greedy_partial ~target sets =
+  Array.iter
+    (fun s ->
+      if s.weight < 0.0 then invalid_arg "Set_cover: negative weight")
+    sets;
+  check_coverable ~target sets;
+  let uncovered = ref target in
+  let chosen = ref [] in
+  let total = ref 0.0 in
+  while not (Bitset.is_empty !uncovered) do
+    let best = ref None in
+    Array.iteri
+      (fun idx s ->
+        let gain = Bitset.cardinal (Bitset.inter s.members !uncovered) in
+        if gain > 0 then begin
+          let ratio = s.weight /. float_of_int gain in
+          match !best with
+          | Some (_, best_ratio) when best_ratio <= ratio -> ()
+          | _ -> best := Some (idx, ratio)
+        end)
+      sets;
+    match !best with
+    | None -> assert false (* coverability checked above *)
+    | Some (idx, _) ->
+        chosen := idx :: !chosen;
+        total := !total +. sets.(idx).weight;
+        uncovered := Bitset.diff !uncovered sets.(idx).members
+  done;
+  (List.rev !chosen, !total)
+
+let greedy ~universe sets = greedy_partial ~target:(Bitset.full universe) sets
+
+let exact_partial ~target sets =
+  let universe = Bitset.universe target in
+  if universe > 20 then invalid_arg "Set_cover.exact: universe too large";
+  check_coverable ~target sets;
+  let full = Bitset.to_int target in
+  let size = full + 1 in
+  let dp = Array.make size infinity in
+  let back = Array.make size (-1) in
+  let prev = Array.make size (-1) in
+  dp.(0) <- 0.0;
+  (* Masks are processed in increasing order; adding a set only sets bits,
+     so every state is final when visited. Only bits inside [target]
+     matter. *)
+  for mask = 0 to size - 1 do
+    if mask land full = mask && dp.(mask) < infinity then
+      Array.iteri
+        (fun idx s ->
+          let bits = Bitset.to_int s.members land full in
+          let next = mask lor bits in
+          if next <> mask && dp.(mask) +. s.weight < dp.(next) then begin
+            dp.(next) <- dp.(mask) +. s.weight;
+            back.(next) <- idx;
+            prev.(next) <- mask
+          end)
+        sets
+  done;
+  let rec walk mask acc =
+    if mask = 0 then acc
+    else begin
+      let idx = back.(mask) in
+      assert (idx >= 0);
+      walk prev.(mask) (idx :: acc)
+    end
+  in
+  (walk full [], dp.(full))
+
+let exact ~universe sets = exact_partial ~target:(Bitset.full universe) sets

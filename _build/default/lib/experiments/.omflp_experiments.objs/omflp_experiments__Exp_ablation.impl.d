@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Exp_common Generators List Omflp_commodity Omflp_instance Omflp_prelude Texttable

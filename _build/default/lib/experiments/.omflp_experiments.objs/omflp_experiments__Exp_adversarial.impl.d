@@ -1,0 +1,1 @@
+lib/experiments/exp_adversarial.ml: Exp_common List Omflp_core Omflp_instance Omflp_offline Omflp_prelude Texttable

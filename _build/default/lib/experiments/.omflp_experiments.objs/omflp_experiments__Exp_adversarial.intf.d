@@ -1,0 +1,1 @@
+lib/experiments/exp_adversarial.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_algorithms_table.mli: Exp_common

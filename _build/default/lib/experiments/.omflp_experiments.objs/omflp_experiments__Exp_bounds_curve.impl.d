@@ -1,0 +1,1 @@
+lib/experiments/exp_bounds_curve.ml: Exp_common Float Omflp_prelude Printf Texttable

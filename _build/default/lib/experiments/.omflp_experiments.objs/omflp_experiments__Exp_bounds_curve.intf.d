@@ -1,0 +1,1 @@
+lib/experiments/exp_bounds_curve.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Array List Omflp_core Omflp_offline Omflp_prelude Printf Splitmix Stats Texttable

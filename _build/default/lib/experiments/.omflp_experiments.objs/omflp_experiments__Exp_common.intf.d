@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Omflp_core Omflp_instance Omflp_prelude Splitmix Texttable

@@ -1,0 +1,1 @@
+lib/experiments/exp_heavy.ml: Array Exp_common Generators List Omflp_commodity Omflp_core Omflp_instance Omflp_prelude Texttable

@@ -1,0 +1,1 @@
+lib/experiments/exp_model_transform.ml: Array Exp_common Generators Instance List Omflp_commodity Omflp_core Omflp_instance Omflp_prelude Printf Splitmix Texttable

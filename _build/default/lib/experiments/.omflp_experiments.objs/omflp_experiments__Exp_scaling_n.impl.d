@@ -1,0 +1,1 @@
+lib/experiments/exp_scaling_n.ml: Exp_common List Numerics Omflp_commodity Omflp_instance Omflp_prelude Printf Texttable

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Buffer Char Exp_common Filename Fun List Omflp_prelude String Sys Texttable

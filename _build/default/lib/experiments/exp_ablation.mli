@@ -1,0 +1,10 @@
+(** E6 — Section 3.3 ablation: how the construction cost function changes
+    who wins.
+
+    Three costs on the same clustered workload: linear ([x = 2], no
+    co-location advantage — prediction is useless, INDEP should match
+    PD-OMFLP), square-root ([x = 1], the hard middle), and constant
+    ([x = 0], one facility serves all — ALL-LARGE-style prediction is
+    free). *)
+
+val run : ?reps:int -> ?seed:int -> unit -> Exp_common.section

@@ -1,0 +1,9 @@
+(** E10 — adaptive zoom-in adversary (the [log n] pressure behind
+    Corollary 3's second term, inherited from Fotakis' OFLP bound).
+
+    Every algorithm is attacked individually (the adversary watches its
+    facilities); ratios are against the offline bracket of the realized
+    sequence. The ratio should grow roughly linearly in [levels] ≈ log n —
+    in contrast with E4's flat curves on random inputs. *)
+
+val run : ?levels_list:int list -> ?seed:int -> unit -> Exp_common.section

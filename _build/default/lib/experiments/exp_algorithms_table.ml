@@ -1,0 +1,77 @@
+open Omflp_prelude
+open Omflp_instance
+
+let families ~quick =
+  let scale = if quick then 1 else 2 in
+  [
+    ( "adversary |S|=64",
+      fun rng -> Generators.theorem2 rng ~n_commodities:64 );
+    ( "line",
+      fun rng ->
+        Generators.line rng ~n_sites:(10 * scale) ~n_requests:(30 * scale)
+          ~n_commodities:6 ~length:50.0
+          ~demand:(Demand.Zipf_bundle { zipf_s = 1.0; max_size = 3 })
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+              ~x:1.0) );
+    ( "clustered",
+      fun rng ->
+        Generators.clustered rng ~clusters:3 ~per_cluster:(4 * scale)
+          ~n_requests:(30 * scale) ~n_commodities:8 ~side:100.0 ~spread:2.0
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+              ~x:1.0) );
+    ( "network",
+      fun rng ->
+        Generators.network rng ~n_sites:(12 * scale) ~extra_edges:(6 * scale)
+          ~n_requests:(25 * scale) ~n_commodities:6
+          ~demand:(Demand.Bernoulli { p = 0.4 })
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+              ~x:1.0) );
+  ]
+
+let run ?(reps = 5) ?(seed = 45) ?(quick = false) () =
+  let table =
+    Texttable.create
+      [
+        "family";
+        "algorithm";
+        "mean cost";
+        "mean ratio";
+        "+/-";
+        "facilities";
+        "OPT estimator";
+      ]
+  in
+  List.iter
+    (fun (fname, gen) ->
+      let outcome =
+        Exp_common.measure ~reps ~seed ~gen
+          ~algos:(Exp_common.default_algos ())
+          ()
+      in
+      List.iter
+        (fun (m : Exp_common.measurement) ->
+          Texttable.add_row table
+            [
+              fname;
+              m.algorithm;
+              Texttable.cell_f (Exp_common.mean m.costs);
+              Texttable.cell_f (Exp_common.mean m.ratios_vs_upper);
+              Texttable.cell_f (Exp_common.ci m.ratios_vs_upper);
+              Texttable.cell_f (Exp_common.mean m.n_facilities);
+              outcome.upper_method;
+            ])
+        outcome.measurements;
+      Texttable.add_rule table)
+    (families ~quick);
+  {
+    Exp_common.title = "E5: algorithm comparison across instance families";
+    notes =
+      [
+        "Ratios against the bracket's upper estimate (feasible offline solution";
+        "or exact OPT, see the estimator column).";
+      ];
+    table;
+  }

@@ -1,0 +1,10 @@
+(** E5 — cross-family comparison: every algorithm on every instance
+    family (single-point adversary, line, clustered Euclidean, network),
+    with costs and ratios against the OPT bracket.
+
+    This is the evaluation table the paper implies in Section 1.3: the
+    trivial per-commodity baseline (INDEP) against PD-OMFLP and
+    RAND-OMFLP, with the non-competitive GREEDY heuristic and the
+    always-predict ALL-LARGE extreme for context. *)
+
+val run : ?reps:int -> ?seed:int -> ?quick:bool -> unit -> Exp_common.section

@@ -1,0 +1,33 @@
+open Omflp_prelude
+
+let upper_factor ~n_commodities ~x =
+  Float.pow (sqrt (float_of_int n_commodities)) (((2.0 *. x) -. (x *. x)) /. 2.0)
+
+let lower_factor ~n_commodities ~x =
+  let root = sqrt (float_of_int n_commodities) in
+  Float.min (Float.pow root ((2.0 -. x) /. 2.0)) (Float.pow root (x /. 2.0))
+
+let run ?(n_commodities = 10_000) ?(steps = 20) () =
+  let table =
+    Texttable.create
+      [ "x"; "upper: sqrt|S|^((2x-x^2)/2)"; "lower: min(sqrt|S|^((2-x)/2), sqrt|S|^(x/2))" ]
+  in
+  for i = 0 to steps do
+    let x = 2.0 *. float_of_int i /. float_of_int steps in
+    Texttable.add_row table
+      [
+        Printf.sprintf "%.2f" x;
+        Texttable.cell_f (upper_factor ~n_commodities ~x);
+        Texttable.cell_f (lower_factor ~n_commodities ~x);
+      ]
+  done;
+  {
+    Exp_common.title =
+      Printf.sprintf "E2: Figure 2 bound curves (|S| = %d)" n_commodities;
+    notes =
+      [
+        "Closed-form reproduction; both curves peak at |S|^(1/4) = 10 at x = 1";
+        "and coincide at x in {0, 1, 2}.";
+      ];
+    table;
+  }

@@ -1,0 +1,18 @@
+(** E2 — exact regeneration of Figure 2.
+
+    The two closed-form curves over the cost-function exponent
+    [x ∈ [0, 2]] for [|S| = 10,000]:
+
+    - upper bound factor [√|S|^{(2x − x²)/2}] (PD-OMFLP, Theorem 18),
+    - lower bound factor [min{√|S|^{(2−x)/2}, √|S|^{x/2}}].
+
+    Both peak at [⁴√|S| = 10] for [x = 1] and meet at [x ∈ {0, 1, 2}],
+    exactly as in the paper's figure. *)
+
+(** [upper_factor ~n_commodities ~x], [lower_factor ~n_commodities ~x] —
+    the plotted functions. *)
+val upper_factor : n_commodities:int -> x:float -> float
+
+val lower_factor : n_commodities:int -> x:float -> float
+
+val run : ?n_commodities:int -> ?steps:int -> unit -> Exp_common.section

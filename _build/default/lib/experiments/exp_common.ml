@@ -1,0 +1,75 @@
+open Omflp_prelude
+
+type measurement = {
+  algorithm : string;
+  costs : float array;
+  ratios_vs_upper : float array;
+  n_facilities : float array;
+}
+
+type outcome = {
+  measurements : measurement list;
+  opt_uppers : float array;
+  opt_lowers : float array;
+  lower_method : string;
+  upper_method : string;
+}
+
+let measure ?exact ?local_search ~reps ~seed ~gen ~algos () =
+  if reps <= 0 then invalid_arg "Exp_common.measure: reps must be positive";
+  let uppers = Array.make reps 0.0 in
+  let lowers = Array.make reps 0.0 in
+  let lower_method = ref "" in
+  let upper_method = ref "" in
+  let costs = Array.make_matrix (List.length algos) reps 0.0 in
+  let ratios = Array.make_matrix (List.length algos) reps 0.0 in
+  let n_fac = Array.make_matrix (List.length algos) reps 0.0 in
+  for rep = 0 to reps - 1 do
+    let rng = Splitmix.of_int (seed + (1009 * rep)) in
+    let inst = gen rng in
+    let bracket = Omflp_offline.Opt_estimate.bracket ?exact ?local_search inst in
+    uppers.(rep) <- bracket.upper;
+    lowers.(rep) <- bracket.lower;
+    lower_method := bracket.lower_method;
+    upper_method := bracket.upper_method;
+    List.iteri
+      (fun ai (_, algo) ->
+        let run =
+          Omflp_core.Simulator.run ~seed:(seed + (31 * rep)) algo inst
+        in
+        let c = Omflp_core.Run.total_cost run in
+        costs.(ai).(rep) <- c;
+        ratios.(ai).(rep) <- (if bracket.upper > 0.0 then c /. bracket.upper else 1.0);
+        n_fac.(ai).(rep) <-
+          float_of_int (List.length run.Omflp_core.Run.facilities))
+      algos
+  done;
+  {
+    measurements =
+      List.mapi
+        (fun ai (name, _) ->
+          {
+            algorithm = name;
+            costs = costs.(ai);
+            ratios_vs_upper = ratios.(ai);
+            n_facilities = n_fac.(ai);
+          })
+        algos;
+    opt_uppers = uppers;
+    opt_lowers = lowers;
+    lower_method = !lower_method;
+    upper_method = !upper_method;
+  }
+
+let mean = Stats.mean
+let ci = Stats.ci95
+
+let default_algos () = Omflp_core.Registry.all ()
+
+type section = { title : string; notes : string list; table : Texttable.t }
+
+let print_section s =
+  Printf.printf "\n== %s ==\n" s.title;
+  List.iter (fun n -> Printf.printf "   %s\n" n) s.notes;
+  print_newline ();
+  Texttable.print s.table

@@ -1,0 +1,47 @@
+(** Shared experiment plumbing: seeded repetition, OPT bracketing, ratio
+    aggregation, table assembly. *)
+
+open Omflp_prelude
+
+type measurement = {
+  algorithm : string;
+  costs : float array;  (** total cost per repetition *)
+  ratios_vs_upper : float array;
+      (** cost / best-known offline solution (conservative: never
+          over-reports the competitive ratio) *)
+  n_facilities : float array;
+}
+
+type outcome = {
+  measurements : measurement list;
+  opt_uppers : float array;
+  opt_lowers : float array;
+  lower_method : string;
+  upper_method : string;
+}
+
+(** [measure ~reps ~seed ~gen ~algos ()] generates [reps] seeded instances,
+    brackets OPT on each, and runs every algorithm. [exact]/[local_search]
+    are forwarded to {!Omflp_offline.Opt_estimate.bracket}. *)
+val measure :
+  ?exact:bool ->
+  ?local_search:bool ->
+  reps:int ->
+  seed:int ->
+  gen:(Splitmix.t -> Omflp_instance.Instance.t) ->
+  algos:(string * (module Omflp_core.Algo_intf.ALGO)) list ->
+  unit ->
+  outcome
+
+(** [mean xs], [ci xs] — re-exports for report code. *)
+val mean : float array -> float
+
+val ci : float array -> float
+
+(** [default_algos ()] is the full registry. *)
+val default_algos : unit -> (string * (module Omflp_core.Algo_intf.ALGO)) list
+
+(** A titled table, the unit every experiment produces. *)
+type section = { title : string; notes : string list; table : Texttable.t }
+
+val print_section : section -> unit

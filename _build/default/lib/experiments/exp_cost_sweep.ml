@@ -1,0 +1,48 @@
+open Omflp_prelude
+
+let run ?(reps = 5) ?(n_commodities = 64) ?(xs = [ 0.0; 0.5; 1.0; 1.5; 2.0 ])
+    ?(seed = 43) () =
+  let root = Numerics.isqrt n_commodities in
+  let table =
+    Texttable.create
+      [ "x"; "algorithm"; "mean ratio"; "+/-"; "upper factor"; "lower factor" ]
+  in
+  List.iter
+    (fun x ->
+      let outcome =
+        Exp_common.measure ~reps ~seed
+          ~gen:(fun rng ->
+            Omflp_instance.Generators.single_point_adversary rng ~n_commodities
+              ~cost:(fun ~n_commodities ~n_sites ->
+                Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+                  ~x)
+              ~n_requested:root)
+          ~algos:(Exp_common.default_algos ())
+          ()
+      in
+      List.iter
+        (fun (m : Exp_common.measurement) ->
+          Texttable.add_row table
+            [
+              Printf.sprintf "%.1f" x;
+              m.algorithm;
+              Texttable.cell_f (Exp_common.mean m.ratios_vs_upper);
+              Texttable.cell_f (Exp_common.ci m.ratios_vs_upper);
+              Texttable.cell_f (Exp_bounds_curve.upper_factor ~n_commodities ~x);
+              Texttable.cell_f (Exp_bounds_curve.lower_factor ~n_commodities ~x);
+            ])
+        outcome.measurements;
+      Texttable.add_rule table)
+    xs;
+  {
+    Exp_common.title =
+      Printf.sprintf
+        "E3: Theorem 18 cost-function sweep g_x on the single-point adversary (|S| = %d, OPT exact)"
+        n_commodities;
+    notes =
+      [
+        "Ratios are against exact OPT (single-point set cover).";
+        "Paper: PD-OMFLP is O(sqrt|S|^((2x-x^2)/2) log n); prediction is useless at x = 2.";
+      ];
+    table;
+  }

@@ -1,0 +1,15 @@
+(** E3 — Theorem 18: competitive ratio under the power-law cost family
+    [g_x(|σ|) = |σ|^{x/2}], measured on the single-point adversary.
+
+    For each exponent [x] the table reports measured ratios next to the
+    adaptive bound factors of E2: at [x = 2] (linear cost) prediction is
+    useless and every reasonable algorithm is near-optimal; at [x = 1] the
+    gap to non-predicting baselines is widest (factor ≈ ⁴√|S|). *)
+
+val run :
+  ?reps:int ->
+  ?n_commodities:int ->
+  ?xs:float list ->
+  ?seed:int ->
+  unit ->
+  Exp_common.section

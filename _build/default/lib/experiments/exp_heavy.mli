@@ -1,0 +1,11 @@
+(** E8 — Section 5 (closing remarks): heavy commodities.
+
+    A per-commodity surcharge on one commodity breaks Condition 1: every
+    full-configuration facility pays the surcharge, so vanilla PD-OMFLP's
+    large facilities become increasingly wasteful as the surcharge grows,
+    while the paper's proposed fix — exclude heavy commodities from large
+    facilities and serve them independently ({!Omflp_core.Heavy_aware}) —
+    stays flat. *)
+
+val run :
+  ?reps:int -> ?surcharges:float list -> ?seed:int -> unit -> Exp_common.section

@@ -1,0 +1,12 @@
+(** E1 — the Theorem 2 / Figure 1 lower-bound experiment.
+
+    The exact Yao distribution of Section 2 on a single point with cost
+    [⌈|σ|/√|S|⌉]: OPT opens one facility for the √|S| requested
+    commodities and pays exactly 1, while any non-predicting algorithm
+    pays Θ(√|S|). The table shows, per |S| and algorithm, the mean cost
+    (which equals the ratio, OPT = 1) and its normalization by √|S|:
+    the paper predicts the normalized column to be Θ(1) for
+    non-predicting algorithms (INDEP, GREEDY) and o(1)-to-constant with a
+    much smaller constant for the predicting ones (PD, RAND). *)
+
+val run : ?reps:int -> ?sizes:int list -> ?seed:int -> unit -> Exp_common.section

@@ -1,0 +1,63 @@
+open Omflp_prelude
+open Omflp_instance
+
+let gen rng =
+  Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:25
+    ~n_commodities:6 ~side:80.0 ~spread:2.0
+    ~cost:(fun ~n_commodities ~n_sites ->
+      Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+
+let run ?(reps = 5) ?(seed = 48) () =
+  let algos = Exp_common.default_algos () in
+  let table =
+    Texttable.create
+      [
+        "algorithm";
+        "cost (joint)";
+        "cost (per-commodity)";
+        "inflation";
+        "requests joint/split";
+      ]
+  in
+  let joint = Array.make_matrix (List.length algos) reps 0.0 in
+  let split = Array.make_matrix (List.length algos) reps 0.0 in
+  let n_joint = ref 0 and n_split = ref 0 in
+  for rep = 0 to reps - 1 do
+    let rng = Splitmix.of_int (seed + (1009 * rep)) in
+    let inst = gen rng in
+    let inst_split = Instance.split_per_commodity inst in
+    n_joint := Instance.n_requests inst;
+    n_split := Instance.n_requests inst_split;
+    List.iteri
+      (fun ai (_, algo) ->
+        joint.(ai).(rep) <-
+          Omflp_core.Run.total_cost
+            (Omflp_core.Simulator.run ~seed:(seed + rep) algo inst);
+        split.(ai).(rep) <-
+          Omflp_core.Run.total_cost
+            (Omflp_core.Simulator.run ~seed:(seed + rep) algo inst_split))
+      algos
+  done;
+  List.iteri
+    (fun ai (name, _) ->
+      let j = Exp_common.mean joint.(ai) and s = Exp_common.mean split.(ai) in
+      Texttable.add_row table
+        [
+          name;
+          Texttable.cell_f j;
+          Texttable.cell_f s;
+          Texttable.cell_f (s /. j);
+          Printf.sprintf "%d/%d" !n_joint !n_split;
+        ])
+    algos;
+  {
+    Exp_common.title =
+      "E9: per-commodity connection model via request splitting (Section 1.1)";
+    notes =
+      [
+        "Splitting removes the shared-connection discount; the paper argues the";
+        "competitive ratio only changes by a constant factor — the inflation";
+        "column stays small even though the sequence length multiplies.";
+      ];
+    table;
+  }

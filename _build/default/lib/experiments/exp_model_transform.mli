@@ -1,0 +1,11 @@
+(** E9 — Section 1.1's "different cost model".
+
+    The paper notes that charging connection cost per commodity (instead
+    of once per facility connection) is simulated by replacing every
+    request by singleton requests, growing the sequence by at most a
+    factor |S| and the competitive ratios by only a constant. The table
+    runs every algorithm on original vs per-commodity-split instances and
+    reports the cost inflation — which should stay a small constant even
+    though the sequence length multiplies. *)
+
+val run : ?reps:int -> ?seed:int -> unit -> Exp_common.section

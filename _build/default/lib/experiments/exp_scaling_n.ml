@@ -1,0 +1,61 @@
+open Omflp_prelude
+
+let run ?(reps = 3) ?(ns = [ 50; 100; 200; 400 ]) ?(n_commodities = 8)
+    ?(seed = 44) () =
+  let table =
+    Texttable.create
+      [
+        "n";
+        "algorithm";
+        "mean ratio";
+        "+/-";
+        "ratio/H_n";
+        "ratio/(ln n/ln ln n)";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let outcome =
+        Exp_common.measure ~reps ~seed ~exact:false ~local_search:(n <= 60)
+          ~gen:(fun rng ->
+            Omflp_instance.Generators.line rng ~n_sites:(max 10 (n / 10))
+              ~n_requests:n ~n_commodities ~length:100.0
+              ~demand:
+                (Omflp_instance.Demand.Zipf_bundle
+                   { zipf_s = 1.0; max_size = min 4 n_commodities })
+              ~cost:(fun ~n_commodities ~n_sites ->
+                Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+                  ~x:1.0))
+          ~algos:(Exp_common.default_algos ())
+          ()
+      in
+      let hn = Numerics.harmonic n in
+      let lll = Numerics.log_over_loglog n in
+      List.iter
+        (fun (m : Exp_common.measurement) ->
+          let r = Exp_common.mean m.ratios_vs_upper in
+          Texttable.add_row table
+            [
+              Texttable.cell_i n;
+              m.algorithm;
+              Texttable.cell_f r;
+              Texttable.cell_f (Exp_common.ci m.ratios_vs_upper);
+              Texttable.cell_f (r /. hn);
+              Texttable.cell_f (r /. lll);
+            ])
+        outcome.measurements;
+      Texttable.add_rule table)
+    ns;
+  {
+    Exp_common.title =
+      Printf.sprintf
+        "E4: ratio growth with n on line metrics (|S| = %d, cost g_1 = sqrt, zipf bundles)"
+        n_commodities;
+    notes =
+      [
+        "OPT estimated by the greedy offline solution (+ local search for n <= 60):";
+        "reported ratios under-estimate the true competitive ratio.";
+        "Paper: PD = O(sqrt|S| log n), RAND = O(sqrt|S| log n / log log n).";
+      ];
+    table;
+  }

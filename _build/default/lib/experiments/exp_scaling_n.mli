@@ -1,0 +1,17 @@
+(** E4 — Theorems 4 and 19: growth of the competitive ratio with the
+    number of requests [n] on line metrics.
+
+    The paper proves O(√|S|·log n) for PD-OMFLP and
+    O(√|S|·log n / log log n) for RAND-OMFLP; the table reports measured
+    ratios together with their normalizations by [H_n] and
+    [ln n / ln ln n] — the normalized columns should stay bounded (and in
+    practice nearly flat) as [n] grows. Ratios are against the best-known
+    offline solution (greedy), so they under-report the true ratio. *)
+
+val run :
+  ?reps:int ->
+  ?ns:int list ->
+  ?n_commodities:int ->
+  ?seed:int ->
+  unit ->
+  Exp_common.section

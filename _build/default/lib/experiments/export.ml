@@ -1,0 +1,62 @@
+open Omflp_prelude
+
+let escape_cell cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quoting then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_line cells = String.concat "," (List.map escape_cell cells) ^ "\n"
+
+let csv_string (section : Exp_common.section) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (csv_line (Texttable.headers section.table));
+  List.iter
+    (fun row -> Buffer.add_string buf (csv_line row))
+    (Texttable.rows section.table);
+  Buffer.contents buf
+
+let slug title =
+  let b = Buffer.create (String.length title) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+          Buffer.add_char b c;
+          last_dash := false
+      | 'A' .. 'Z' ->
+          Buffer.add_char b (Char.lowercase_ascii c);
+          last_dash := false
+      | _ ->
+          if not !last_dash then begin
+            Buffer.add_char b '-';
+            last_dash := true
+          end)
+    title;
+  let s = Buffer.contents b in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '-' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  if s = "" then "section" else if String.length s > 60 then String.sub s 0 60 else s
+
+let write_csv ~dir (section : Exp_common.section) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (slug section.title ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (csv_string section));
+  path

@@ -1,0 +1,13 @@
+(** CSV export of experiment sections (for plotting outside the CLI). *)
+
+(** [csv_string section] renders the table as RFC-4180-ish CSV (cells with
+    commas/quotes/newlines are quoted, quotes doubled); horizontal rules
+    are omitted. *)
+val csv_string : Exp_common.section -> string
+
+(** [write_csv ~dir section] writes [<dir>/<slug-of-title>.csv] (creating
+    [dir] if needed) and returns the path. *)
+val write_csv : dir:string -> Exp_common.section -> string
+
+(** [slug title] is the filename stem used by {!write_csv}. *)
+val slug : string -> string

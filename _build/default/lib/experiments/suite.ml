@@ -1,0 +1,32 @@
+let ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10" ]
+
+let run_one ~quick = function
+  | "e1" ->
+      if quick then
+        Exp_lower_bound.run ~reps:3 ~sizes:[ 16; 64; 256 ] ()
+      else Exp_lower_bound.run ()
+  | "e2" -> Exp_bounds_curve.run ()
+  | "e3" ->
+      if quick then Exp_cost_sweep.run ~reps:3 ~n_commodities:16 ()
+      else Exp_cost_sweep.run ()
+  | "e4" ->
+      if quick then Exp_scaling_n.run ~reps:2 ~ns:[ 25; 50; 100 ] ()
+      else Exp_scaling_n.run ()
+  | "e5" ->
+      if quick then Exp_algorithms_table.run ~reps:2 ~quick:true ()
+      else Exp_algorithms_table.run ()
+  | "e6" ->
+      if quick then Exp_ablation.run ~reps:2 () else Exp_ablation.run ()
+  | "e8" -> if quick then Exp_heavy.run ~reps:2 () else Exp_heavy.run ()
+  | "e9" ->
+      if quick then Exp_model_transform.run ~reps:2 ()
+      else Exp_model_transform.run ()
+  | "e10" ->
+      if quick then Exp_adversarial.run ~levels_list:[ 4; 6 ] ()
+      else Exp_adversarial.run ()
+  | other -> invalid_arg (Printf.sprintf "unknown experiment id %S" other)
+
+let run ~quick ~which =
+  let which = String.lowercase_ascii which in
+  if which = "all" then List.map (fun id -> run_one ~quick id) ids
+  else [ run_one ~quick which ]

@@ -1,0 +1,9 @@
+(** Experiment suite entry point: maps experiment ids to runners. *)
+
+(** [run ~quick ~which] executes experiments. [which] is an id
+    ("e1" … "e6", "e8"; "e7" is the Bechamel half of [bench/main.exe]) or
+    "all". [quick] shrinks sizes/repetitions for smoke runs. Raises
+    [Invalid_argument] on an unknown id. *)
+val run : quick:bool -> which:string -> Exp_common.section list
+
+val ids : string list

@@ -1,0 +1,1 @@
+lib/instance/demand.ml: Array Cset Omflp_commodity Omflp_prelude Printf Sampler Splitmix

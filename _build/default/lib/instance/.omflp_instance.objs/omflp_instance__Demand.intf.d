@@ -1,0 +1,1 @@
+lib/instance/demand.mli: Omflp_commodity Omflp_prelude Splitmix

@@ -1,0 +1,1 @@
+lib/instance/generators.ml: Array Cost_function Cset Demand Finite_metric Instance Metric_gen Numerics Omflp_commodity Omflp_metric Omflp_prelude Printf Request Sampler Splitmix

@@ -1,0 +1,1 @@
+lib/instance/generators.mli: Demand Instance Omflp_commodity Omflp_prelude Splitmix

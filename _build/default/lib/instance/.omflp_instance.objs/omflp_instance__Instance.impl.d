@@ -1,0 +1,1 @@
+lib/instance/instance.ml: Array Cost_function Cset Format List Omflp_commodity Omflp_metric Printf Request

@@ -1,0 +1,1 @@
+lib/instance/instance.mli: Format Omflp_commodity Omflp_metric Request

@@ -1,0 +1,1 @@
+lib/instance/instance_stats.ml: Array Cset Format Instance Omflp_commodity Omflp_metric Request

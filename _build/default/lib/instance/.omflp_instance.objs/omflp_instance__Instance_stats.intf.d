@@ -1,0 +1,1 @@
+lib/instance/instance_stats.mli: Format Instance

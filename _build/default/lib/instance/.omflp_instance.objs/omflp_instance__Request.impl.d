@@ -1,0 +1,1 @@
+lib/instance/request.ml: Format Omflp_commodity

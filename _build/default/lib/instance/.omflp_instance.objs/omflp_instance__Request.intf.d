@@ -1,0 +1,1 @@
+lib/instance/request.mli: Format Omflp_commodity

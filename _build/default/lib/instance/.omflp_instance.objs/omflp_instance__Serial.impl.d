@@ -1,0 +1,1 @@
+lib/instance/serial.ml: Array Cost_function Cset Filename Fun Instance List Omflp_commodity Omflp_metric Printf Request String Sys

@@ -1,0 +1,1 @@
+lib/instance/serial.mli: Instance

@@ -1,0 +1,68 @@
+open Omflp_prelude
+open Omflp_commodity
+
+type model =
+  | Singletons of { zipf_s : float }
+  | Bernoulli of { p : float }
+  | Zipf_bundle of { zipf_s : float; max_size : int }
+  | Profile of { profiles : Cset.t array; keep_p : float }
+
+let sample rng ~n_commodities model =
+  match model with
+  | Singletons { zipf_s } ->
+      Cset.singleton ~n_commodities (Sampler.zipf rng ~n:n_commodities ~s:zipf_s)
+  | Bernoulli { p } ->
+      if p <= 0.0 || p > 1.0 then
+        invalid_arg "Demand.sample: Bernoulli p must lie in (0, 1]";
+      let s = ref (Cset.empty ~n_commodities) in
+      while Cset.is_empty !s do
+        s := Sampler.random_subset rng ~universe:n_commodities ~p
+      done;
+      !s
+  | Zipf_bundle { zipf_s; max_size } ->
+      if max_size < 1 || max_size > n_commodities then
+        invalid_arg "Demand.sample: bundle size out of range";
+      let size = 1 + Splitmix.int rng max_size in
+      let table = Sampler.zipf_table ~n:n_commodities ~s:zipf_s in
+      let s = ref (Cset.empty ~n_commodities) in
+      (* Draw until [size] distinct commodities are collected; bounded
+         retries keep the loop total even for adversarial tables. *)
+      let guard = ref 0 in
+      while Cset.cardinal !s < size && !guard < 1000 * size do
+        incr guard;
+        s := Cset.add !s (Sampler.zipf_draw rng table)
+      done;
+      if Cset.is_empty !s then
+        Cset.singleton ~n_commodities (Sampler.zipf_draw rng table)
+      else !s
+  | Profile { profiles; keep_p } ->
+      if Array.length profiles = 0 then
+        invalid_arg "Demand.sample: empty profile list";
+      if keep_p <= 0.0 || keep_p > 1.0 then
+        invalid_arg "Demand.sample: keep_p must lie in (0, 1]";
+      Array.iter
+        (fun p ->
+          if Cset.n_commodities p <> n_commodities then
+            invalid_arg "Demand.sample: profile from wrong universe";
+          if Cset.is_empty p then
+            invalid_arg "Demand.sample: empty profile")
+        profiles;
+      let profile = profiles.(Splitmix.int rng (Array.length profiles)) in
+      let s = ref (Cset.empty ~n_commodities) in
+      while Cset.is_empty !s do
+        s :=
+          Cset.fold
+            (fun e acc ->
+              if Splitmix.bernoulli rng keep_p then Cset.add acc e else acc)
+            profile
+            (Cset.empty ~n_commodities)
+      done;
+      !s
+
+let describe = function
+  | Singletons { zipf_s } -> Printf.sprintf "singletons(zipf %.2g)" zipf_s
+  | Bernoulli { p } -> Printf.sprintf "bernoulli(p=%.2g)" p
+  | Zipf_bundle { zipf_s; max_size } ->
+      Printf.sprintf "zipf-bundle(s=%.2g, <=%d)" zipf_s max_size
+  | Profile { profiles; keep_p } ->
+      Printf.sprintf "profiles(%d, keep=%.2g)" (Array.length profiles) keep_p

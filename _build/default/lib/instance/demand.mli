@@ -1,0 +1,24 @@
+(** Demand-set sampling models for workload generators. *)
+
+open Omflp_prelude
+
+type model =
+  | Singletons of { zipf_s : float }
+      (** one commodity per request, popularity Zipf(s) *)
+  | Bernoulli of { p : float }
+      (** each commodity independently with probability [p]; resampled
+          until non-empty *)
+  | Zipf_bundle of { zipf_s : float; max_size : int }
+      (** bundle size uniform in [1, max_size], members Zipf-popular *)
+  | Profile of { profiles : Omflp_commodity.Cset.t array; keep_p : float }
+      (** pick a uniform profile, keep each member with probability
+          [keep_p]; resampled until non-empty *)
+
+(** [sample rng ~n_commodities model] draws one non-empty demand set.
+    Raises [Invalid_argument] on inconsistent parameters (empty profile
+    list, profile from another universe, [max_size < 1], ...). *)
+val sample :
+  Splitmix.t -> n_commodities:int -> model -> Omflp_commodity.Cset.t
+
+(** [describe model] is a short label for reports. *)
+val describe : model -> string

@@ -1,0 +1,94 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+
+let singleton_sequence rng ~n_commodities ~n_requested ~site =
+  let chosen =
+    Sampler.sample_without_replacement rng ~n:n_commodities ~k:n_requested
+  in
+  Array.map
+    (fun e ->
+      Request.make ~site ~demand:(Cset.singleton ~n_commodities e))
+    chosen
+
+let single_point_adversary rng ~n_commodities ~cost ~n_requested =
+  let metric = Finite_metric.single_point () in
+  let cost = cost ~n_commodities ~n_sites:1 in
+  let requests =
+    singleton_sequence rng ~n_commodities ~n_requested ~site:0
+  in
+  Instance.make
+    ~name:(Printf.sprintf "single-point(|S|=%d, |S'|=%d)" n_commodities n_requested)
+    ~metric ~cost ~requests
+
+let theorem2 rng ~n_commodities =
+  let root = max 1 (Numerics.isqrt n_commodities) in
+  single_point_adversary rng ~n_commodities ~cost:Cost_function.theorem2
+    ~n_requested:root
+
+let random_requests rng ~n_sites ~n_requests ~n_commodities ~demand =
+  Array.init n_requests (fun _ ->
+      Request.make ~site:(Splitmix.int rng n_sites)
+        ~demand:(Demand.sample rng ~n_commodities demand))
+
+let line rng ~n_sites ~n_requests ~n_commodities ~length ~demand ~cost =
+  let metric = Metric_gen.random_line rng ~n:n_sites ~length in
+  let cost = cost ~n_commodities ~n_sites in
+  let requests =
+    random_requests rng ~n_sites ~n_requests ~n_commodities ~demand
+  in
+  Instance.make
+    ~name:(Printf.sprintf "line(%d sites, %d reqs)" n_sites n_requests)
+    ~metric ~cost ~requests
+
+let clustered rng ~clusters ~per_cluster ~n_requests ~n_commodities ~side
+    ~spread ~cost =
+  let metric =
+    Metric_gen.clustered_euclidean rng ~clusters ~per_cluster ~side ~spread
+  in
+  let n_sites = Finite_metric.size metric in
+  let cost = cost ~n_commodities ~n_sites in
+  (* Each cluster is biased towards a commodity profile of about half of
+     S; requests demand non-empty subsets of their cluster's profile. *)
+  let profiles =
+    Array.init clusters (fun _ ->
+        let k = max 1 (Numerics.ceil_div n_commodities 2) in
+        Sampler.random_subset_of_size rng ~universe:n_commodities ~k)
+  in
+  let requests =
+    Array.init n_requests (fun _ ->
+        let c = Splitmix.int rng clusters in
+        let site = (c * per_cluster) + Splitmix.int rng per_cluster in
+        let demand =
+          Demand.sample rng ~n_commodities
+            (Demand.Profile { profiles = [| profiles.(c) |]; keep_p = 0.6 })
+        in
+        Request.make ~site ~demand)
+  in
+  Instance.make
+    ~name:
+      (Printf.sprintf "clustered(%dx%d sites, %d reqs)" clusters per_cluster
+         n_requests)
+    ~metric ~cost ~requests
+
+let network rng ~n_sites ~extra_edges ~n_requests ~n_commodities ~demand ~cost =
+  let metric =
+    Metric_gen.random_graph_metric rng ~n:n_sites ~extra_edges ~max_weight:1.0
+  in
+  let cost = cost ~n_commodities ~n_sites in
+  let requests =
+    random_requests rng ~n_sites ~n_requests ~n_commodities ~demand
+  in
+  Instance.make
+    ~name:(Printf.sprintf "network(%d sites, %d reqs)" n_sites n_requests)
+    ~metric ~cost ~requests
+
+let uniform_metric rng ~n_sites ~d ~n_requests ~n_commodities ~demand ~cost =
+  let metric = Finite_metric.uniform n_sites ~d in
+  let cost = cost ~n_commodities ~n_sites in
+  let requests =
+    random_requests rng ~n_sites ~n_requests ~n_commodities ~demand
+  in
+  Instance.make
+    ~name:(Printf.sprintf "uniform(%d sites, %d reqs)" n_sites n_requests)
+    ~metric ~cost ~requests

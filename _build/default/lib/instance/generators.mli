@@ -1,0 +1,76 @@
+(** Workload generators: the paper's adversarial distribution plus the
+    natural instance families used by the evaluation harness. *)
+
+open Omflp_prelude
+
+(** [theorem2 rng ~n_commodities] is the exact Yao distribution of the
+    Theorem 2 lower bound: a single metric point, construction cost
+    [g(|σ|) = ⌈|σ|/√|S|⌉], a uniformly random commodity subset
+    [S' ⊂ S] with [|S'| = ⌊√|S|⌋], and one singleton request per element of
+    [S'] (in random order). The offline optimum for this instance is
+    exactly [g(|S'|) = 1]. *)
+val theorem2 : Splitmix.t -> n_commodities:int -> Instance.t
+
+(** [single_point_adversary rng ~n_commodities ~cost ~n_requested] is the
+    same sequence shape with an arbitrary size-based cost function and a
+    chosen [|S'|]. *)
+val single_point_adversary :
+  Splitmix.t ->
+  n_commodities:int ->
+  cost:(n_commodities:int -> n_sites:int -> Omflp_commodity.Cost_function.t) ->
+  n_requested:int ->
+  Instance.t
+
+(** [line rng ~n_sites ~n_requests ~n_commodities ~length ~demand ~cost]
+    places sites uniformly on a segment; requests pick a uniform site and a
+    demand from the model. *)
+val line :
+  Splitmix.t ->
+  n_sites:int ->
+  n_requests:int ->
+  n_commodities:int ->
+  length:float ->
+  demand:Demand.model ->
+  cost:(n_commodities:int -> n_sites:int -> Omflp_commodity.Cost_function.t) ->
+  Instance.t
+
+(** [clustered rng ~clusters ~per_cluster ~n_requests ~n_commodities ~side
+    ~spread ~cost] builds a clustered Euclidean metric; each cluster is
+    assigned a commodity profile and its requests demand random non-empty
+    subsets of that profile — the workload where commodity co-location is
+    most valuable. *)
+val clustered :
+  Splitmix.t ->
+  clusters:int ->
+  per_cluster:int ->
+  n_requests:int ->
+  n_commodities:int ->
+  side:float ->
+  spread:float ->
+  cost:(n_commodities:int -> n_sites:int -> Omflp_commodity.Cost_function.t) ->
+  Instance.t
+
+(** [network rng ~n_sites ~extra_edges ~n_requests ~n_commodities ~demand
+    ~cost] uses a random connected graph's shortest-path metric — the
+    intro's service-placement scenario. *)
+val network :
+  Splitmix.t ->
+  n_sites:int ->
+  extra_edges:int ->
+  n_requests:int ->
+  n_commodities:int ->
+  demand:Demand.model ->
+  cost:(n_commodities:int -> n_sites:int -> Omflp_commodity.Cost_function.t) ->
+  Instance.t
+
+(** [uniform_metric rng ~n_sites ~d ~n_requests ~n_commodities ~demand
+    ~cost] uses the uniform metric (all distances [d]). *)
+val uniform_metric :
+  Splitmix.t ->
+  n_sites:int ->
+  d:float ->
+  n_requests:int ->
+  n_commodities:int ->
+  demand:Demand.model ->
+  cost:(n_commodities:int -> n_sites:int -> Omflp_commodity.Cost_function.t) ->
+  Instance.t

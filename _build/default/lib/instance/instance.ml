@@ -1,0 +1,65 @@
+open Omflp_commodity
+
+type t = {
+  name : string;
+  metric : Omflp_metric.Finite_metric.t;
+  cost : Cost_function.t;
+  requests : Request.t array;
+}
+
+let make ~name ~metric ~cost ~requests =
+  let n_sites = Omflp_metric.Finite_metric.size metric in
+  if Cost_function.n_sites cost <> n_sites then
+    invalid_arg
+      (Printf.sprintf
+         "Instance.make: cost function covers %d sites but metric has %d"
+         (Cost_function.n_sites cost) n_sites);
+  Array.iter
+    (fun (r : Request.t) ->
+      if r.site >= n_sites then
+        invalid_arg
+          (Printf.sprintf "Instance.make: request site %d outside metric"
+             r.site);
+      if Cset.n_commodities r.demand <> Cost_function.n_commodities cost then
+        invalid_arg "Instance.make: request demand from wrong universe")
+    requests;
+  { name; metric; cost; requests }
+
+let n_requests t = Array.length t.requests
+let n_sites t = Omflp_metric.Finite_metric.size t.metric
+let n_commodities t = Cost_function.n_commodities t.cost
+
+let distinct_commodities t =
+  Array.fold_left
+    (fun acc (r : Request.t) -> Cset.union acc r.demand)
+    (Cset.empty ~n_commodities:(n_commodities t))
+    t.requests
+
+let total_demand_pairs t =
+  Array.fold_left
+    (fun acc (r : Request.t) -> acc + Cset.cardinal r.demand)
+    0 t.requests
+
+let split_per_commodity t =
+  let k = n_commodities t in
+  let requests =
+    Array.of_list
+      (List.concat_map
+         (fun (r : Request.t) ->
+           List.map
+             (fun e ->
+               Request.make ~site:r.site ~demand:(Cset.singleton ~n_commodities:k e))
+             (Cset.elements r.demand))
+         (Array.to_list t.requests))
+  in
+  { t with name = t.name ^ " (per-commodity)"; requests }
+
+let truncate t k =
+  if k < 0 || k > Array.length t.requests then
+    invalid_arg "Instance.truncate: bad length";
+  { t with requests = Array.sub t.requests 0 k }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d requests, %d sites, %d commodities, cost=%s"
+    t.name (n_requests t) (n_sites t) (n_commodities t)
+    (Cost_function.name t.cost)

@@ -1,0 +1,45 @@
+(** A complete OMFLP instance: metric space, construction costs, and the
+    (online) request sequence. *)
+
+type t = {
+  name : string;
+  metric : Omflp_metric.Finite_metric.t;
+  cost : Omflp_commodity.Cost_function.t;
+  requests : Request.t array;  (** in arrival order *)
+}
+
+(** [make ~name ~metric ~cost ~requests] validates consistency: the cost
+    function must cover every metric point as a site, every request site
+    must be a metric point, and every demand must live in the cost
+    function's commodity universe. *)
+val make :
+  name:string ->
+  metric:Omflp_metric.Finite_metric.t ->
+  cost:Omflp_commodity.Cost_function.t ->
+  requests:Request.t array ->
+  t
+
+val n_requests : t -> int
+val n_sites : t -> int
+val n_commodities : t -> int
+
+(** [distinct_commodities t] is the union of all demands — the part of [S]
+    actually requested. *)
+val distinct_commodities : t -> Omflp_commodity.Cset.t
+
+(** [total_demand_pairs t] is [Σ_r |s_r|], the number of (request,
+    commodity) pairs to serve. *)
+val total_demand_pairs : t -> int
+
+(** [truncate t k] keeps only the first [k] requests. *)
+val truncate : t -> int -> t
+
+(** [split_per_commodity t] is the paper's Section 1.1 model
+    transformation: every request with demand [s_r] is replaced by [|s_r|]
+    consecutive singleton requests at the same point. In the transformed
+    instance the "one connection serves many commodities" discount
+    disappears, simulating the per-commodity connection cost model; the
+    sequence length grows to [Σ|s_r|]. *)
+val split_per_commodity : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+open Omflp_commodity
+
+type t = {
+  n_requests : int;
+  n_sites : int;
+  n_commodities : int;
+  mean_demand_size : float;
+  max_demand_size : int;
+  distinct_requested : int;
+  popularity : int array;
+  mean_pairwise_overlap : float;
+  metric_diameter : float;
+  mean_request_spread : float;
+}
+
+let compute (inst : Instance.t) =
+  let n = Instance.n_requests inst in
+  let k = Instance.n_commodities inst in
+  let popularity = Array.make k 0 in
+  Array.iter
+    (fun (r : Request.t) ->
+      Cset.iter (fun e -> popularity.(e) <- popularity.(e) + 1) r.demand)
+    inst.requests;
+  let sizes =
+    Array.map (fun (r : Request.t) -> Cset.cardinal r.demand) inst.requests
+  in
+  let overlap_sum = ref 0.0 in
+  let spread_sum = ref 0.0 in
+  let pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      incr pairs;
+      let a = inst.requests.(i).Request.demand
+      and b = inst.requests.(j).Request.demand in
+      let inter = Cset.cardinal (Cset.inter a b) in
+      let union = Cset.cardinal (Cset.union a b) in
+      overlap_sum := !overlap_sum +. (float_of_int inter /. float_of_int union);
+      spread_sum :=
+        !spread_sum
+        +. Omflp_metric.Finite_metric.dist inst.metric
+             inst.requests.(i).Request.site inst.requests.(j).Request.site
+    done
+  done;
+  let pair_count = float_of_int (max 1 !pairs) in
+  {
+    n_requests = n;
+    n_sites = Instance.n_sites inst;
+    n_commodities = k;
+    mean_demand_size =
+      (if n = 0 then 0.0
+       else
+         float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int n);
+    max_demand_size = Array.fold_left max 0 sizes;
+    distinct_requested = Cset.cardinal (Instance.distinct_commodities inst);
+    popularity;
+    mean_pairwise_overlap = (if !pairs = 0 then 0.0 else !overlap_sum /. pair_count);
+    metric_diameter = Omflp_metric.Finite_metric.diameter inst.metric;
+    mean_request_spread = (if !pairs = 0 then 0.0 else !spread_sum /. pair_count);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d requests over %d sites, |S| = %d (%d requested)@,\
+     demand size: mean %.2f, max %d; pairwise Jaccard overlap %.3f@,\
+     metric diameter %.3g; mean request spread %.3g@]"
+    t.n_requests t.n_sites t.n_commodities t.distinct_requested
+    t.mean_demand_size t.max_demand_size t.mean_pairwise_overlap
+    t.metric_diameter t.mean_request_spread

@@ -1,0 +1,24 @@
+(** Descriptive statistics of an instance's demand structure.
+
+    Used by examples and reports to explain {e why} an algorithm behaves
+    as it does on a workload: heavy commodity skew favours prediction,
+    high pairwise overlap favours large facilities, etc. *)
+
+type t = {
+  n_requests : int;
+  n_sites : int;
+  n_commodities : int;
+  mean_demand_size : float;
+  max_demand_size : int;
+  distinct_requested : int;  (** |∪ s_r| *)
+  popularity : int array;  (** per commodity, number of requests asking it *)
+  mean_pairwise_overlap : float;
+      (** average |s_r ∩ s_q| / |s_r ∪ s_q| over request pairs (Jaccard) *)
+  metric_diameter : float;
+  mean_request_spread : float;
+      (** average pairwise distance between request positions *)
+}
+
+val compute : Instance.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type t = { site : int; demand : Omflp_commodity.Cset.t }
+
+let make ~site ~demand =
+  if Omflp_commodity.Cset.is_empty demand then
+    invalid_arg "Request.make: empty demand";
+  if site < 0 then invalid_arg "Request.make: negative site";
+  { site; demand }
+
+let pp ppf t =
+  Format.fprintf ppf "request@%d %a" t.site Omflp_commodity.Cset.pp t.demand

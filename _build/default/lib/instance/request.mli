@@ -1,0 +1,14 @@
+(** Online requests.
+
+    A request appears at a point of the metric space and demands a
+    non-empty set of commodities [s_r ⊆ S]. *)
+
+type t = {
+  site : int;  (** point of the metric space the request appears at *)
+  demand : Omflp_commodity.Cset.t;  (** [s_r], non-empty *)
+}
+
+(** [make ~site ~demand] validates non-emptiness. *)
+val make : site:int -> demand:Omflp_commodity.Cset.t -> t
+
+val pp : Format.formatter -> t -> unit

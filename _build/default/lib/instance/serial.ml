@@ -1,0 +1,128 @@
+open Omflp_commodity
+
+let magic = "omflp-instance 1"
+
+let save oc (inst : Instance.t) =
+  let n = Instance.n_sites inst in
+  let k = Instance.n_commodities inst in
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "name %s\n" inst.name;
+  Printf.fprintf oc "commodities %d\n" k;
+  Printf.fprintf oc "sites %d\n" n;
+  Printf.fprintf oc "metric\n";
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if v > 0 then output_char oc ' ';
+      Printf.fprintf oc "%.17g" (Omflp_metric.Finite_metric.dist inst.metric u v)
+    done;
+    output_char oc '\n'
+  done;
+  Printf.fprintf oc "costs\n";
+  for m = 0 to n - 1 do
+    for size = 1 to k do
+      if size > 1 then output_char oc ' ';
+      let sigma = Cset.of_list ~n_commodities:k (List.init size Fun.id) in
+      Printf.fprintf oc "%.17g" (Cost_function.eval inst.cost m sigma)
+    done;
+    output_char oc '\n'
+  done;
+  Printf.fprintf oc "requests %d\n" (Instance.n_requests inst);
+  Array.iter
+    (fun (r : Request.t) ->
+      Printf.fprintf oc "%d" r.site;
+      Cset.iter (fun e -> Printf.fprintf oc " %d" e) r.demand;
+      output_char oc '\n')
+    inst.requests
+
+let save_file path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save oc inst)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let load ic =
+  let line_no = ref 0 in
+  let read_line () =
+    incr line_no;
+    try input_line ic
+    with End_of_file -> fail "Serial.load: unexpected end of file at line %d" !line_no
+  in
+  let expect_prefix prefix =
+    let line = read_line () in
+    let p = String.length prefix in
+    if String.length line < p || String.sub line 0 p <> prefix then
+      fail "Serial.load: line %d: expected %S" !line_no prefix;
+    String.trim (String.sub line p (String.length line - p))
+  in
+  let int_of field s =
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> fail "Serial.load: line %d: bad integer for %s" !line_no field
+  in
+  let floats_of_line expected =
+    let line = read_line () in
+    let parts =
+      List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+    in
+    if List.length parts <> expected then
+      fail "Serial.load: line %d: expected %d values, found %d" !line_no
+        expected (List.length parts);
+    List.map
+      (fun s ->
+        match float_of_string_opt s with
+        | Some v -> v
+        | None -> fail "Serial.load: line %d: bad float %S" !line_no s)
+      parts
+  in
+  if read_line () <> magic then fail "Serial.load: missing %S header" magic;
+  let name = expect_prefix "name " in
+  let k = int_of "commodities" (expect_prefix "commodities ") in
+  let n = int_of "sites" (expect_prefix "sites ") in
+  if k <= 0 || n <= 0 then fail "Serial.load: non-positive dimensions";
+  ignore (expect_prefix "metric");
+  let dmat =
+    Array.init n (fun _ -> Array.of_list (floats_of_line n))
+  in
+  let metric = Omflp_metric.Finite_metric.of_matrix dmat in
+  ignore (expect_prefix "costs");
+  let cost_table =
+    Array.init n (fun _ -> Array.of_list (floats_of_line k))
+  in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 0.0 then fail "Serial.load: negative cost"))
+    cost_table;
+  let cost =
+    Cost_function.make ~name:"serialized(size-based)" ~n_commodities:k
+      ~n_sites:n (fun m sigma -> cost_table.(m).(Cset.cardinal sigma - 1))
+  in
+  let n_req = int_of "requests" (expect_prefix "requests ") in
+  let requests =
+    Array.init n_req (fun _ ->
+        let line = read_line () in
+        let parts =
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+        in
+        match parts with
+        | site :: es when es <> [] ->
+            let site = int_of "request site" site in
+            let demand =
+              Cset.of_list ~n_commodities:k
+                (List.map (fun e -> int_of "commodity" e) es)
+            in
+            Request.make ~site ~demand
+        | _ -> fail "Serial.load: line %d: malformed request" !line_no)
+  in
+  Instance.make ~name ~metric ~cost ~requests
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)
+
+let round_trip inst =
+  let tmp = Filename.temp_file "omflp" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      save_file tmp inst;
+      load_file tmp)

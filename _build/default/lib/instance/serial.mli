@@ -1,0 +1,41 @@
+(** Plain-text serialization of instances.
+
+    A simple line-oriented format so generated workloads can be saved,
+    shared, and replayed bit-for-bit:
+
+    {v
+    omflp-instance 1
+    name <string>
+    commodities <k>
+    sites <n>
+    metric
+    <n lines of n space-separated distances>
+    costs
+    <n lines of k values: cost of a size-j configuration at this site>
+    requests <m>
+    <m lines: site e1 e2 ...>
+    v}
+
+    General cost functions are oracles; the format stores, per site, the
+    cost of each configuration {e size} (evaluated on the prefix set
+    [{0..j-1}]) and reloads [f^σ_m] as [table.(m).(|σ|)]. This is an exact
+    round-trip for every size-based family shipped in
+    {!Omflp_commodity.Cost_function} (including site-scaled ones) and a
+    size-projection otherwise. *)
+
+(** [save oc instance] writes the format above. *)
+val save : out_channel -> Instance.t -> unit
+
+(** [save_file path instance]. *)
+val save_file : string -> Instance.t -> unit
+
+(** [load ic] parses an instance. Raises [Failure] with a descriptive
+    message on malformed input. *)
+val load : in_channel -> Instance.t
+
+(** [load_file path]. *)
+val load_file : string -> Instance.t
+
+(** [round_trip instance] is [load ∘ save] through a temporary buffer —
+    the canonicalized (size-projected) form. *)
+val round_trip : Instance.t -> Instance.t

@@ -1,0 +1,1 @@
+lib/lp/mflp_model.ml: Array Branch_bound Cost_function Cset Float Fun Instance List Omflp_commodity Omflp_instance Omflp_metric Omflp_prelude Option Printf Request Simplex

@@ -1,0 +1,1 @@
+lib/lp/mflp_model.mli: Omflp_commodity Omflp_instance Simplex

@@ -1,0 +1,69 @@
+type mip = { lp : Simplex.problem; integer_vars : int list }
+
+type outcome =
+  | Mip_optimal of { x : float array; objective : float }
+  | Mip_infeasible
+  | Mip_node_limit of { best : (float array * float) option }
+
+let int_tol = 1e-6
+
+let most_fractional integer_vars x =
+  List.fold_left
+    (fun best v ->
+      let frac = Float.abs (x.(v) -. Float.round x.(v)) in
+      if frac <= int_tol then best
+      else
+        match best with
+        | Some (_, bf) when bf >= frac -> best
+        | _ -> Some (v, frac))
+    None integer_vars
+
+let bound_constraint n v relation rhs =
+  let coeffs = Array.make n 0.0 in
+  coeffs.(v) <- 1.0;
+  { Simplex.coeffs; relation; rhs }
+
+let solve ?(node_limit = 50_000) mip =
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let better obj =
+    match !incumbent with None -> true | Some (_, best) -> obj < best -. 1e-9
+  in
+  let rec explore (lp : Simplex.problem) =
+    if !nodes >= node_limit then truncated := true
+    else begin
+      incr nodes;
+      match Simplex.solve lp with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded -> failwith "Branch_bound.solve: unbounded relaxation"
+      | Simplex.Optimal { x; objective } ->
+          (* The LP value lower-bounds every descendant: prune when it
+             cannot beat the incumbent. *)
+          if better objective then begin
+            match most_fractional mip.integer_vars x with
+            | None ->
+                let x = Array.map Float.round x in
+                incumbent := Some (x, objective)
+            | Some (v, _) ->
+                let n = lp.Simplex.n_vars in
+                let floor_v = Float.floor x.(v) in
+                let down =
+                  bound_constraint n v Simplex.Le floor_v :: lp.constraints
+                in
+                let up =
+                  bound_constraint n v Simplex.Ge (floor_v +. 1.0)
+                  :: lp.constraints
+                in
+                (* "Round down" first: facility problems usually close
+                   facilities in the optimum. *)
+                explore { lp with constraints = down };
+                explore { lp with constraints = up }
+          end
+    end
+  in
+  explore mip.lp;
+  match (!incumbent, !truncated) with
+  | Some (x, objective), false -> Mip_optimal { x; objective }
+  | best, true -> Mip_node_limit { best }
+  | None, false -> Mip_infeasible

@@ -1,0 +1,19 @@
+(** Generic branch-and-bound mixed-integer solver over {!Simplex}.
+
+    Depth-first search branching on the most fractional integer variable;
+    nodes are pruned against the incumbent. Intended for the small
+    instances that certify OPT in tests and experiment tables. *)
+
+type mip = {
+  lp : Simplex.problem;
+  integer_vars : int list;  (** variables required to be integral *)
+}
+
+type outcome =
+  | Mip_optimal of { x : float array; objective : float }
+  | Mip_infeasible
+  | Mip_node_limit of { best : (float array * float) option }
+      (** search truncated; [best] is the incumbent if any *)
+
+(** [solve ?node_limit mip] minimizes. [node_limit] defaults to 50_000. *)
+val solve : ?node_limit:int -> mip -> outcome

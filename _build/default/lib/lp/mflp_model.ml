@@ -1,0 +1,127 @@
+open Omflp_commodity
+open Omflp_instance
+
+type built = {
+  problem : Simplex.problem;
+  y_index : int -> Cset.t -> int;
+  x_index : int -> Cset.t -> int -> int;
+  configs : Cset.t array;
+}
+
+let build ?(max_commodities = 6) (inst : Instance.t) =
+  let s = Instance.n_commodities inst in
+  if s > max_commodities then
+    invalid_arg
+      (Printf.sprintf
+         "Mflp_model.build: %d commodities exceed the exact-solver limit %d" s
+         max_commodities);
+  let n_sites = Instance.n_sites inst in
+  let n_req = Instance.n_requests inst in
+  let configs = Array.of_list (Cset.all_nonempty_subsets ~n_commodities:s) in
+  let n_cfg = Array.length configs in
+  (* Column layout: y's first (site-major), then x's (site, config,
+     request). Config index = bit pattern - 1. *)
+  let cfg_idx sigma = Omflp_prelude.Bitset.to_int sigma - 1 in
+  let y_index m sigma = (m * n_cfg) + cfg_idx sigma in
+  let x_base = n_sites * n_cfg in
+  let x_index m sigma r = x_base + (((m * n_cfg) + cfg_idx sigma) * n_req) + r in
+  let n_vars = x_base + (n_sites * n_cfg * n_req) in
+  let objective = Array.make n_vars 0.0 in
+  for m = 0 to n_sites - 1 do
+    Array.iteri
+      (fun ci sigma ->
+        objective.((m * n_cfg) + ci) <- Cost_function.eval inst.cost m sigma;
+        for r = 0 to n_req - 1 do
+          objective.(x_index m sigma r) <-
+            Omflp_metric.Finite_metric.dist inst.metric m
+              inst.requests.(r).Request.site
+        done)
+      configs
+  done;
+  let constraints = ref [] in
+  (* Coverage: for each request r and each demanded commodity e. *)
+  for r = 0 to n_req - 1 do
+    Cset.iter
+      (fun e ->
+        let coeffs = Array.make n_vars 0.0 in
+        for m = 0 to n_sites - 1 do
+          Array.iter
+            (fun sigma ->
+              if Cset.mem sigma e then coeffs.(x_index m sigma r) <- 1.0)
+            configs
+        done;
+        constraints :=
+          { Simplex.coeffs; relation = Simplex.Ge; rhs = 1.0 } :: !constraints)
+      inst.requests.(r).Request.demand
+  done;
+  (* Linking: x^σ_mr − y^σ_m ≤ 0. Only needed when the x can appear in a
+     coverage constraint, i.e. when σ intersects the request's demand. *)
+  for m = 0 to n_sites - 1 do
+    Array.iter
+      (fun sigma ->
+        for r = 0 to n_req - 1 do
+          if not (Cset.is_empty (Cset.inter sigma inst.requests.(r).Request.demand))
+          then begin
+            let coeffs = Array.make n_vars 0.0 in
+            coeffs.(x_index m sigma r) <- 1.0;
+            coeffs.(y_index m sigma) <- -1.0;
+            constraints :=
+              { Simplex.coeffs; relation = Simplex.Le; rhs = 0.0 }
+              :: !constraints
+          end
+        done)
+      configs
+  done;
+  {
+    problem = { Simplex.n_vars; objective; constraints = !constraints };
+    y_index;
+    x_index;
+    configs;
+  }
+
+let lp_lower_bound ?max_commodities inst =
+  let { problem; _ } = build ?max_commodities inst in
+  match Simplex.solve problem with
+  | Simplex.Optimal { objective; _ } -> objective
+  | Simplex.Infeasible -> failwith "Mflp_model.lp_lower_bound: LP infeasible"
+  | Simplex.Unbounded -> failwith "Mflp_model.lp_lower_bound: LP unbounded"
+
+type exact = { objective : float; facilities : (int * Cset.t) list }
+
+type exact_outcome = Exact of exact | Truncated of exact option
+
+let decode built (inst : Instance.t) x =
+  let n_sites = Instance.n_sites inst in
+  let facilities = ref [] in
+  for m = 0 to n_sites - 1 do
+    Array.iter
+      (fun sigma ->
+        let v = x.(built.y_index m sigma) in
+        let count = int_of_float (Float.round v) in
+        for _ = 1 to count do
+          facilities := (m, sigma) :: !facilities
+        done)
+      built.configs
+  done;
+  List.rev !facilities
+
+let solve_exact ?max_commodities ?node_limit inst =
+  let built = build ?max_commodities inst in
+  let n_vars = built.problem.Simplex.n_vars in
+  let mip =
+    {
+      Branch_bound.lp = built.problem;
+      integer_vars = List.init n_vars Fun.id;
+    }
+  in
+  match Branch_bound.solve ?node_limit mip with
+  | Branch_bound.Mip_optimal { x; objective } ->
+      Exact { objective; facilities = decode built inst x }
+  | Branch_bound.Mip_infeasible ->
+      failwith "Mflp_model.solve_exact: infeasible (impossible)"
+  | Branch_bound.Mip_node_limit { best } ->
+      Truncated
+        (Option.map
+           (fun (x, objective) ->
+             { objective; facilities = decode built inst x })
+           best)

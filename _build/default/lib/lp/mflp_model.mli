@@ -1,0 +1,47 @@
+(** The MFLP integer program of Section 1.1 (simplified form) and its LP
+    relaxation.
+
+    Variables: [y^σ_m] (a facility with configuration σ at site m) and
+    [x^σ_mr] (request r is served σ ∩ s_r by that facility), for every site
+    and every non-empty [σ ⊆ S]. Objective
+    [Σ f^σ_m y^σ_m + Σ d(m,r) x^σ_mr]; constraints
+    [Σ_{(m,σ): e∈σ} x^σ_mr ≥ 1] per requested commodity and
+    [x^σ_mr ≤ y^σ_m].
+
+    Sizes are exponential in [|S|], so construction refuses more than
+    [max_commodities] (default 6) commodities. *)
+
+type built = {
+  problem : Simplex.problem;
+  y_index : int -> Omflp_commodity.Cset.t -> int;
+      (** [y_index m σ] is the column of [y^σ_m] *)
+  x_index : int -> Omflp_commodity.Cset.t -> int -> int;
+      (** [x_index m σ r] is the column of [x^σ_mr] *)
+  configs : Omflp_commodity.Cset.t array;  (** all non-empty σ, indexed *)
+}
+
+(** [build ?max_commodities instance] constructs the LP relaxation. *)
+val build : ?max_commodities:int -> Omflp_instance.Instance.t -> built
+
+(** [lp_lower_bound instance] is the optimum of the relaxation — a
+    certified lower bound on OPT. Raises [Failure] if the LP solver fails
+    (it cannot be infeasible or unbounded on a valid instance). *)
+val lp_lower_bound : ?max_commodities:int -> Omflp_instance.Instance.t -> float
+
+type exact = {
+  objective : float;
+  facilities : (int * Omflp_commodity.Cset.t) list;
+      (** opened (site, configuration) pairs *)
+}
+
+type exact_outcome =
+  | Exact of exact
+  | Truncated of exact option  (** node limit hit; best incumbent if any *)
+
+(** [solve_exact ?max_commodities ?node_limit instance] computes OPT by
+    branch and bound on the integer program. *)
+val solve_exact :
+  ?max_commodities:int ->
+  ?node_limit:int ->
+  Omflp_instance.Instance.t ->
+  exact_outcome

@@ -1,0 +1,240 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+
+type problem = {
+  n_vars : int;
+  objective : float array;
+  constraints : constr list;
+}
+
+type solution =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let tol = 1e-7
+
+(* Full-tableau simplex.
+
+   Layout: [tab] has [m] constraint rows and one cost row (index m); each
+   row has [n_total] variable columns and the RHS in column [n_total].
+   [basis.(i)] names the basic variable of row [i]. The cost row holds
+   reduced costs (for minimization: pivot while some reduced cost is
+   negative); its RHS cell holds the negated objective value. *)
+
+type tableau = {
+  m : int;
+  n_total : int;
+  tab : float array array;
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let piv = t.tab.(row).(col) in
+  let r = t.tab.(row) in
+  for j = 0 to t.n_total do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let factor = t.tab.(i).(col) in
+      if factor <> 0.0 then begin
+        let ri = t.tab.(i) in
+        for j = 0 to t.n_total do
+          ri.(j) <- ri.(j) -. (factor *. r.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = smallest column index with negative reduced
+   cost; leaving = smallest ratio, ties broken by smallest basic index. *)
+let run_phase t ~allowed =
+  let rec loop iter =
+    if iter > 200_000 then
+      failwith "Simplex.run_phase: iteration limit (cycling?)";
+    let cost = t.tab.(t.m) in
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.n_total - 1 do
+         if allowed j && cost.(j) < -.tol then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let a = t.tab.(i).(col) in
+        if a > tol then begin
+          let ratio = t.tab.(i).(t.n_total) /. a in
+          if
+            ratio < !best_ratio -. tol
+            || (Float.abs (ratio -. !best_ratio) <= tol
+               && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve p =
+  let n = p.n_vars in
+  if Array.length p.objective <> n then
+    invalid_arg "Simplex.solve: objective arity mismatch";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> n then
+        invalid_arg "Simplex.solve: constraint arity mismatch")
+    p.constraints;
+  let constraints = Array.of_list p.constraints in
+  let m = Array.length constraints in
+  (* Normalize to non-negative RHS. *)
+  let rows =
+    Array.map
+      (fun c ->
+        if c.rhs < 0.0 then
+          {
+            coeffs = Array.map (fun v -> -.v) c.coeffs;
+            rhs = -.c.rhs;
+            relation =
+              (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          }
+        else c)
+      constraints
+  in
+  (* Column layout: structural 0..n-1, then one slack/surplus per Le/Ge
+     row, then one artificial per Ge/Eq row. *)
+  let n_slack =
+    Array.fold_left
+      (fun acc c -> match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let n_art =
+    Array.fold_left
+      (fun acc c -> match c.relation with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let n_total = n + n_slack + n_art in
+  let tab = Array.make_matrix (m + 1) (n_total + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref n in
+  let art_idx = ref (n + n_slack) in
+  let art_cols = Array.make n_art 0 in
+  let art_count = ref 0 in
+  Array.iteri
+    (fun i c ->
+      Array.blit c.coeffs 0 tab.(i) 0 n;
+      tab.(i).(n_total) <- c.rhs;
+      (match c.relation with
+      | Le ->
+          tab.(i).(!slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          tab.(i).(!slack_idx) <- -1.0;
+          incr slack_idx;
+          tab.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          art_cols.(!art_count) <- !art_idx;
+          incr art_count;
+          incr art_idx
+      | Eq ->
+          tab.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          art_cols.(!art_count) <- !art_idx;
+          incr art_count;
+          incr art_idx))
+    rows;
+  let t = { m; n_total; tab; basis } in
+  let is_artificial j = j >= n + n_slack in
+  (* Phase 1: minimize the sum of artificials. Cost row = Σ (artificial
+     rows), negated, so reduced costs of the initial basis are zero. *)
+  if n_art > 0 then begin
+    let cost = tab.(m) in
+    Array.fill cost 0 (n_total + 1) 0.0;
+    for j = n + n_slack to n_total - 1 do
+      cost.(j) <- 1.0
+    done;
+    (* Zero out reduced costs of basic artificials. *)
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) then
+        for j = 0 to n_total do
+          cost.(j) <- cost.(j) -. tab.(i).(j)
+        done
+    done;
+    match run_phase t ~allowed:(fun _ -> true) with
+    | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
+    | `Optimal ->
+        let phase1_obj = -.tab.(m).(n_total) in
+        if phase1_obj > 1e-6 then raise Exit
+  end;
+  (* Drive remaining artificials out of the basis where possible. *)
+  for i = 0 to m - 1 do
+    if is_artificial t.basis.(i) then begin
+      let found = ref false in
+      let j = ref 0 in
+      while (not !found) && !j < n + n_slack do
+        if Float.abs t.tab.(i).(!j) > tol then begin
+          pivot t ~row:i ~col:!j;
+          found := true
+        end;
+        incr j
+      done
+      (* If no pivot exists the row is redundant; the artificial stays
+         basic at value 0 and is simply never allowed to re-enter. *)
+    end
+  done;
+  (* Phase 2: real objective. *)
+  let cost = tab.(m) in
+  Array.fill cost 0 (n_total + 1) 0.0;
+  Array.blit p.objective 0 cost 0 n;
+  for i = 0 to m - 1 do
+    let b = t.basis.(i) in
+    if b < n && cost.(b) <> 0.0 then begin
+      let factor = cost.(b) in
+      for j = 0 to n_total do
+        cost.(j) <- cost.(j) -. (factor *. tab.(i).(j))
+      done
+    end
+  done;
+  match run_phase t ~allowed:(fun j -> not (is_artificial j)) with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let x = Array.make n 0.0 in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < n then x.(t.basis.(i)) <- t.tab.(i).(n_total)
+      done;
+      let objective =
+        Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> v *. p.objective.(j)) x)
+      in
+      Optimal { x; objective }
+
+let solve p = try solve p with Exit -> Infeasible
+
+let feasible p x =
+  Array.for_all (fun v -> v >= -.tol) x
+  && List.for_all
+       (fun c ->
+         let lhs = ref 0.0 in
+         Array.iteri (fun j v -> lhs := !lhs +. (v *. x.(j))) c.coeffs;
+         match c.relation with
+         | Le -> !lhs <= c.rhs +. (tol *. Float.max 1.0 (Float.abs c.rhs))
+         | Ge -> !lhs >= c.rhs -. (tol *. Float.max 1.0 (Float.abs c.rhs))
+         | Eq -> Float.abs (!lhs -. c.rhs) <= tol *. Float.max 1.0 (Float.abs c.rhs))
+       p.constraints

@@ -1,0 +1,28 @@
+(** Dense two-phase primal simplex with Bland's anti-cycling rule.
+
+    Solves [min cᵀx] subject to [Ax {≤,=,≥} b], [x ≥ 0]. Small and
+    self-contained: the MFLP LP relaxation (Section 1.1) only needs a few
+    hundred variables, so a dense tableau is the simplest robust choice. *)
+
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+
+type problem = {
+  n_vars : int;
+  objective : float array;  (** minimized *)
+  constraints : constr list;
+}
+
+type solution =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+(** [solve p] returns the optimum of the LP. Raises [Invalid_argument] on
+    arity mismatches. Deterministic. *)
+val solve : problem -> solution
+
+(** [feasible p x] checks a point against all constraints and
+    non-negativity with the library tolerance. *)
+val feasible : problem -> float array -> bool

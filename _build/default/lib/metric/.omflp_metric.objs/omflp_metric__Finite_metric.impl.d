@@ -1,0 +1,1 @@
+lib/metric/finite_metric.ml: Array Float Format List Omflp_prelude Printf

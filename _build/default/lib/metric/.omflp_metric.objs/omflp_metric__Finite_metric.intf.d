@@ -1,0 +1,1 @@
+lib/metric/finite_metric.mli: Format

@@ -1,0 +1,1 @@
+lib/metric/graph.ml: Array Finite_metric Fun List Omflp_prelude Pqueue Sampler Splitmix

@@ -1,0 +1,1 @@
+lib/metric/graph.mli: Finite_metric Omflp_prelude

@@ -1,0 +1,1 @@
+lib/metric/metric_gen.ml: Array Finite_metric Graph Omflp_prelude Sampler

@@ -1,0 +1,1 @@
+lib/metric/metric_gen.mli: Finite_metric Omflp_prelude Splitmix

@@ -1,0 +1,1 @@
+lib/metric/tree_metric.ml: Array Finite_metric Float Fun List Numerics Omflp_prelude Queue Sampler Splitmix

@@ -1,0 +1,1 @@
+lib/metric/tree_metric.mli: Finite_metric Omflp_prelude

@@ -1,0 +1,104 @@
+type t = { size : int; dmat : float array array }
+
+let size t = t.size
+
+let dist t a b =
+  if a < 0 || a >= t.size || b < 0 || b >= t.size then
+    invalid_arg
+      (Printf.sprintf "Finite_metric.dist: (%d, %d) outside [0, %d)" a b t.size);
+  t.dmat.(a).(b)
+
+let check_triangle_matrix m =
+  let n = Array.length m in
+  let tol = Omflp_prelude.Numerics.eps in
+  let violation = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to n - 1 do
+         for k = 0 to n - 1 do
+           if m.(i).(j) > m.(i).(k) +. m.(k).(j) +. tol then begin
+             violation := Some (i, j, k);
+             raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  match !violation with None -> Ok () | Some v -> Error v
+
+let validate m =
+  let n = Array.length m in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg "Finite_metric.of_matrix: matrix is not square";
+      Array.iteri
+        (fun j v ->
+          if v < 0.0 then
+            invalid_arg "Finite_metric.of_matrix: negative distance";
+          if Float.abs (v -. m.(j).(i)) > Omflp_prelude.Numerics.eps then
+            invalid_arg "Finite_metric.of_matrix: asymmetric matrix";
+          if i = j && v <> 0.0 then
+            invalid_arg "Finite_metric.of_matrix: non-zero diagonal")
+        row)
+    m;
+  match check_triangle_matrix m with
+  | Ok () -> ()
+  | Error (i, j, k) ->
+      invalid_arg
+        (Printf.sprintf
+           "Finite_metric.of_matrix: triangle inequality violated at (%d, %d, %d)"
+           i j k)
+
+let of_matrix m =
+  validate m;
+  { size = Array.length m; dmat = Array.map Array.copy m }
+
+let of_matrix_unchecked m = { size = Array.length m; dmat = m }
+
+let line positions =
+  let n = Array.length positions in
+  let dmat =
+    Array.init n (fun i ->
+        Array.init n (fun j -> Float.abs (positions.(i) -. positions.(j))))
+  in
+  of_matrix_unchecked dmat
+
+let euclidean points =
+  let n = Array.length points in
+  let d (x1, y1) (x2, y2) =
+    let dx = x1 -. x2 and dy = y1 -. y2 in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  let dmat =
+    Array.init n (fun i -> Array.init n (fun j -> d points.(i) points.(j)))
+  in
+  of_matrix_unchecked dmat
+
+let single_point () = of_matrix_unchecked [| [| 0.0 |] |]
+
+let uniform n ~d =
+  if d < 0.0 then invalid_arg "Finite_metric.uniform: negative distance";
+  let dmat =
+    Array.init n (fun i -> Array.init n (fun j -> if i = j then 0.0 else d))
+  in
+  of_matrix_unchecked dmat
+
+let check_triangle t = check_triangle_matrix t.dmat
+
+let diameter t =
+  let d = ref 0.0 in
+  Array.iter (Array.iter (fun v -> if v > !d then d := v)) t.dmat;
+  !d
+
+let nearest t ~from candidates =
+  List.fold_left
+    (fun best c ->
+      let dc = dist t from c in
+      match best with
+      | Some (_, db) when db <= dc -> best
+      | _ -> Some (c, dc))
+    None candidates
+
+let pp ppf t =
+  Format.fprintf ppf "metric(%d points, diameter %.4g)" t.size (diameter t)

@@ -1,0 +1,54 @@
+(** Finite metric spaces over points [0 .. size - 1].
+
+    Requests arrive at points of the space and facilities may be built at
+    any point, matching the paper's model where both requests and facility
+    locations live in a finite metric space [M]. *)
+
+type t
+
+(** [size t] is the number of points. *)
+val size : t -> int
+
+(** [dist t a b] is the distance between points [a] and [b]. Raises
+    [Invalid_argument] on out-of-range indices. *)
+val dist : t -> int -> int -> float
+
+(** [of_matrix m] builds a metric from an explicit symmetric matrix with a
+    zero diagonal. Raises [Invalid_argument] if the matrix is not square,
+    has negative entries, is asymmetric, has a non-zero diagonal, or
+    violates the triangle inequality (checked exhaustively). *)
+val of_matrix : float array array -> t
+
+(** [of_matrix_unchecked m] trusts the caller; used by generators that
+    construct metrics correct by design (e.g. shortest-path closures). *)
+val of_matrix_unchecked : float array array -> t
+
+(** [line positions] is the 1-D metric induced by coordinates on the real
+    line: [dist i j = |positions.(i) - positions.(j)|]. *)
+val line : float array -> t
+
+(** [euclidean points] is the 2-D Euclidean metric over the given
+    coordinates. *)
+val euclidean : (float * float) array -> t
+
+(** [single_point ()] is the one-point metric used by the Theorem 2
+    adversary. *)
+val single_point : unit -> t
+
+(** [uniform n ~d] is the uniform metric: all distinct points at distance
+    [d]. Raises [Invalid_argument] if [d < 0]. *)
+val uniform : int -> d:float -> t
+
+(** [check_triangle t] re-validates the triangle inequality; [Ok ()] or
+    [Error (i, j, k)] naming a violating triple. *)
+val check_triangle : t -> (unit, int * int * int) result
+
+(** [diameter t] is the largest pairwise distance. *)
+val diameter : t -> float
+
+(** [nearest t ~from candidates] is the candidate point closest to [from]
+    together with its distance; [None] on an empty candidate list. *)
+val nearest : t -> from:int -> int list -> (int * float) option
+
+(** [pp] prints size and diameter. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+open Omflp_prelude
+
+type t = { n : int; adj : (int * float) list array; mutable edges : int }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make n []; edges = 0 }
+
+let n_vertices g = g.n
+let n_edges g = g.edges
+
+let add_edge g u v w =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then
+    invalid_arg "Graph.add_edge: vertex out of range";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if w < 0.0 then invalid_arg "Graph.add_edge: negative weight";
+  g.adj.(u) <- (v, w) :: g.adj.(u);
+  g.adj.(v) <- (u, w) :: g.adj.(v);
+  g.edges <- g.edges + 1
+
+let neighbors g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph.neighbors: vertex out of range";
+  g.adj.(u)
+
+let dijkstra g src =
+  if src < 0 || src >= g.n then invalid_arg "Graph.dijkstra: vertex out of range";
+  let dist = Array.make g.n infinity in
+  let settled = Array.make g.n false in
+  let heap = Pqueue.create () in
+  dist.(src) <- 0.0;
+  Pqueue.push heap 0.0 src;
+  while not (Pqueue.is_empty heap) do
+    let d, u = Pqueue.pop_min heap in
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      List.iter
+        (fun (v, w) ->
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            Pqueue.push heap nd v
+          end)
+        g.adj.(u)
+    end
+  done;
+  dist
+
+let is_connected g =
+  if g.n = 0 then true
+  else
+    let dist = dijkstra g 0 in
+    Array.for_all (fun d -> d < infinity) dist
+
+let shortest_path_metric g =
+  let dmat = Array.init g.n (fun src -> dijkstra g src) in
+  Array.iter
+    (Array.iter (fun d ->
+         if d = infinity then
+           invalid_arg "Graph.shortest_path_metric: graph is disconnected"))
+    dmat;
+  Finite_metric.of_matrix_unchecked dmat
+
+let grid ~rows ~cols ~edge_weight =
+  if rows <= 0 || cols <= 0 then invalid_arg "Graph.grid: empty grid";
+  let g = create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then add_edge g (id r c) (id r (c + 1)) edge_weight;
+      if r + 1 < rows then add_edge g (id r c) (id (r + 1) c) edge_weight
+    done
+  done;
+  g
+
+let ring n ~edge_weight =
+  if n < 3 then invalid_arg "Graph.ring: need at least 3 vertices";
+  let g = create n in
+  for i = 0 to n - 1 do
+    add_edge g i ((i + 1) mod n) edge_weight
+  done;
+  g
+
+let random_connected rng ~n ~extra_edges ~max_weight =
+  if n <= 0 then invalid_arg "Graph.random_connected: empty graph";
+  if max_weight <= 0.0 then
+    invalid_arg "Graph.random_connected: max_weight must be positive";
+  let g = create n in
+  (* Random spanning tree: attach each vertex to a random earlier one. *)
+  let order = Array.init n Fun.id in
+  Sampler.shuffle rng order;
+  for i = 1 to n - 1 do
+    let parent = order.(Splitmix.int rng i) in
+    let w = Sampler.uniform_float rng ~lo:(max_weight /. 100.0) ~hi:max_weight in
+    add_edge g order.(i) parent w
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_edges && !attempts < 100 * (extra_edges + 1) do
+    incr attempts;
+    let u = Splitmix.int rng n and v = Splitmix.int rng n in
+    if u <> v then begin
+      let w =
+        Sampler.uniform_float rng ~lo:(max_weight /. 100.0) ~hi:max_weight
+      in
+      add_edge g u v w;
+      incr added
+    end
+  done;
+  g

@@ -1,0 +1,52 @@
+(** Weighted undirected graphs and their shortest-path metrics.
+
+    The intro's motivating scenario places services in a network; this
+    module provides that substrate: build a network, take its shortest-path
+    closure, and use it as the finite metric the online algorithms run on. *)
+
+type t
+
+(** [create n] is an edgeless graph on vertices [0 .. n-1]. *)
+val create : int -> t
+
+(** [n_vertices g]. *)
+val n_vertices : t -> int
+
+(** [n_edges g]. *)
+val n_edges : t -> int
+
+(** [add_edge g u v w] adds an undirected edge of weight [w >= 0]. Raises
+    [Invalid_argument] on out-of-range vertices, negative weight, or
+    self-loop. Parallel edges are allowed; shortest paths use the minimum. *)
+val add_edge : t -> int -> int -> float -> unit
+
+(** [neighbors g u] lists [(v, w)] pairs. *)
+val neighbors : t -> int -> (int * float) list
+
+(** [dijkstra g src] computes single-source shortest-path distances;
+    unreachable vertices get [infinity]. *)
+val dijkstra : t -> int -> float array
+
+(** [shortest_path_metric g] is the all-pairs shortest-path metric. Raises
+    [Invalid_argument] if the graph is disconnected (the closure would not
+    be a metric). *)
+val shortest_path_metric : t -> Finite_metric.t
+
+(** [is_connected g]. *)
+val is_connected : t -> bool
+
+(** [grid ~rows ~cols ~edge_weight] is a rows×cols grid network. *)
+val grid : rows:int -> cols:int -> edge_weight:float -> t
+
+(** [ring n ~edge_weight] is a cycle on [n >= 3] vertices. *)
+val ring : int -> edge_weight:float -> t
+
+(** [random_connected rng ~n ~extra_edges ~max_weight] builds a random
+    spanning tree plus [extra_edges] random chords, weights uniform in
+    (0, max_weight]. *)
+val random_connected :
+  Omflp_prelude.Splitmix.t ->
+  n:int ->
+  extra_edges:int ->
+  max_weight:float ->
+  t

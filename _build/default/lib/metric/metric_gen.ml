@@ -1,0 +1,48 @@
+open Omflp_prelude
+
+let random_line rng ~n ~length =
+  Finite_metric.line
+    (Array.init n (fun _ -> Sampler.uniform_float rng ~lo:0.0 ~hi:length))
+
+let random_euclidean rng ~n ~side =
+  Finite_metric.euclidean
+    (Array.init n (fun _ ->
+         ( Sampler.uniform_float rng ~lo:0.0 ~hi:side,
+           Sampler.uniform_float rng ~lo:0.0 ~hi:side )))
+
+let clustered_euclidean rng ~clusters ~per_cluster ~side ~spread =
+  if clusters <= 0 || per_cluster <= 0 then
+    invalid_arg "Metric_gen.clustered_euclidean: empty configuration";
+  let centres =
+    Array.init clusters (fun _ ->
+        ( Sampler.uniform_float rng ~lo:0.0 ~hi:side,
+          Sampler.uniform_float rng ~lo:0.0 ~hi:side ))
+  in
+  let points =
+    Array.init (clusters * per_cluster) (fun i ->
+        let cx, cy = centres.(i / per_cluster) in
+        ( cx +. Sampler.gaussian rng ~mean:0.0 ~stddev:spread,
+          cy +. Sampler.gaussian rng ~mean:0.0 ~stddev:spread ))
+  in
+  Finite_metric.euclidean points
+
+let random_graph_metric rng ~n ~extra_edges ~max_weight =
+  Graph.shortest_path_metric
+    (Graph.random_connected rng ~n ~extra_edges ~max_weight)
+
+let perturbed_uniform rng ~n ~base ~jitter =
+  if jitter > base then
+    invalid_arg "Metric_gen.perturbed_uniform: jitter must not exceed base";
+  if base <= 0.0 then
+    invalid_arg "Metric_gen.perturbed_uniform: base must be positive";
+  let dmat = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = base +. Sampler.uniform_float rng ~lo:0.0 ~hi:jitter in
+      dmat.(i).(j) <- d;
+      dmat.(j).(i) <- d
+    done
+  done;
+  (* Any d in [base, 2*base] satisfies the triangle inequality because
+     base + base >= 2*base >= any entry. *)
+  Finite_metric.of_matrix_unchecked dmat

@@ -1,0 +1,33 @@
+(** Random metric-space generators for workloads and property tests. *)
+
+open Omflp_prelude
+
+(** [random_line rng ~n ~length] places [n] points uniformly on
+    [[0, length]]. *)
+val random_line : Splitmix.t -> n:int -> length:float -> Finite_metric.t
+
+(** [random_euclidean rng ~n ~side] places [n] points uniformly in a
+    [side × side] square. *)
+val random_euclidean : Splitmix.t -> n:int -> side:float -> Finite_metric.t
+
+(** [clustered_euclidean rng ~clusters ~per_cluster ~side ~spread] places
+    cluster centres uniformly and points Gaussian around them; the classic
+    facility-location workload where co-locating commodities pays off. *)
+val clustered_euclidean :
+  Splitmix.t ->
+  clusters:int ->
+  per_cluster:int ->
+  side:float ->
+  spread:float ->
+  Finite_metric.t
+
+(** [random_graph_metric rng ~n ~extra_edges ~max_weight] is the
+    shortest-path metric of a random connected network. *)
+val random_graph_metric :
+  Splitmix.t -> n:int -> extra_edges:int -> max_weight:float -> Finite_metric.t
+
+(** [perturbed_uniform rng ~n ~base ~jitter] is a metric with all pairwise
+    distances in [[base, base + jitter]]; always metric when
+    [jitter <= base]. Raises [Invalid_argument] otherwise. *)
+val perturbed_uniform :
+  Splitmix.t -> n:int -> base:float -> jitter:float -> Finite_metric.t

@@ -1,0 +1,218 @@
+open Omflp_prelude
+
+type t = {
+  n : int;
+  adj : (int * float) list array;
+  parent_uf : int array;  (** union-find for cycle rejection *)
+  mutable edges : int;
+  mutable up : int array array;  (** binary lifting: up.(k).(v) *)
+  mutable depth : int array;
+  mutable dist_root : float array;
+  mutable finalized : bool;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Tree_metric.create: need at least one vertex";
+  {
+    n;
+    adj = Array.make n [];
+    parent_uf = Array.init n Fun.id;
+    edges = 0;
+    up = [||];
+    depth = [||];
+    dist_root = [||];
+    finalized = false;
+  }
+
+let rec find uf v = if uf.(v) = v then v else find uf uf.(v)
+
+let add_edge t u v w =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Tree_metric.add_edge: vertex out of range";
+  if w <= 0.0 then invalid_arg "Tree_metric.add_edge: non-positive weight";
+  let ru = find t.parent_uf u and rv = find t.parent_uf v in
+  if ru = rv then invalid_arg "Tree_metric.add_edge: edge closes a cycle";
+  t.parent_uf.(ru) <- rv;
+  t.adj.(u) <- (v, w) :: t.adj.(u);
+  t.adj.(v) <- (u, w) :: t.adj.(v);
+  t.edges <- t.edges + 1
+
+let finalize t =
+  if t.edges <> t.n - 1 then
+    invalid_arg "Tree_metric.finalize: tree is not spanning";
+  let depth = Array.make t.n 0 in
+  let dist_root = Array.make t.n 0.0 in
+  let parent = Array.make t.n (-1) in
+  (* BFS from root 0. *)
+  let visited = Array.make t.n false in
+  let queue = Queue.create () in
+  Queue.push 0 queue;
+  visited.(0) <- true;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun (v, w) ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          parent.(v) <- u;
+          depth.(v) <- depth.(u) + 1;
+          dist_root.(v) <- dist_root.(u) +. w;
+          Queue.push v queue
+        end)
+      t.adj.(u)
+  done;
+  if not (Array.for_all Fun.id visited) then
+    invalid_arg "Tree_metric.finalize: tree is not spanning";
+  (* Binary lifting table. *)
+  let levels = max 1 (int_of_float (ceil (Numerics.log2 (float_of_int (max 2 t.n))))) in
+  let up = Array.make_matrix levels t.n (-1) in
+  for v = 0 to t.n - 1 do
+    up.(0).(v) <- parent.(v)
+  done;
+  for k = 1 to levels - 1 do
+    for v = 0 to t.n - 1 do
+      let mid = up.(k - 1).(v) in
+      up.(k).(v) <- (if mid < 0 then -1 else up.(k - 1).(mid))
+    done
+  done;
+  t.up <- up;
+  t.depth <- depth;
+  t.dist_root <- dist_root;
+  t.finalized <- true
+
+let lca t u v =
+  let levels = Array.length t.up in
+  let u = ref u and v = ref v in
+  if t.depth.(!u) < t.depth.(!v) then begin
+    let tmp = !u in
+    u := !v;
+    v := tmp
+  end;
+  (* Lift u to v's depth. *)
+  let diff = ref (t.depth.(!u) - t.depth.(!v)) in
+  for k = levels - 1 downto 0 do
+    if !diff land (1 lsl k) <> 0 then begin
+      u := t.up.(k).(!u);
+      diff := !diff land lnot (1 lsl k)
+    end
+  done;
+  if !u = !v then !u
+  else begin
+    for k = levels - 1 downto 0 do
+      if t.up.(k).(!u) <> t.up.(k).(!v) then begin
+        u := t.up.(k).(!u);
+        v := t.up.(k).(!v)
+      end
+    done;
+    t.up.(0).(!u)
+  end
+
+let dist t u v =
+  if not t.finalized then failwith "Tree_metric.dist: finalize first";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Tree_metric.dist: vertex out of range";
+  if u = v then 0.0
+  else
+    let a = lca t u v in
+    t.dist_root.(u) +. t.dist_root.(v) -. (2.0 *. t.dist_root.(a))
+
+let to_metric t =
+  let dmat = Array.init t.n (fun u -> Array.init t.n (fun v -> dist t u v)) in
+  Finite_metric.of_matrix_unchecked dmat
+
+let random_tree rng ~n ~max_weight =
+  if max_weight <= 0.0 then
+    invalid_arg "Tree_metric.random_tree: non-positive max weight";
+  let t = create n in
+  for v = 1 to n - 1 do
+    let parent = Splitmix.int rng v in
+    let w = Sampler.uniform_float rng ~lo:(max_weight /. 100.0) ~hi:max_weight in
+    add_edge t v parent w
+  done;
+  finalize t;
+  t
+
+(* FRT-style randomized 2-HST: random permutation + random radius scale;
+   at level l every point joins the first permuted center within
+   radius beta * 2^l, refined inside its level-(l+1) cluster. Leaf
+   distances are read off the first level at which two points separate;
+   edge weights 2^(l+2) make the tree metric dominate the original. *)
+let hst_of_metric rng metric =
+  let n = Finite_metric.size metric in
+  if n = 1 then Finite_metric.single_point ()
+  else begin
+    let diameter = Finite_metric.diameter metric in
+    if diameter = 0.0 then Finite_metric.uniform n ~d:0.0
+    else begin
+      let beta = Sampler.uniform_float rng ~lo:1.0 ~hi:2.0 in
+      let pi = Array.init n Fun.id in
+      Sampler.shuffle rng pi;
+      (* Levels from the top (radius >= diameter) down to separation of
+         the closest distinct pair. *)
+      let dmin =
+        let m = ref infinity in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            let d = Finite_metric.dist metric u v in
+            if d > 0.0 && d < !m then m := d
+          done
+        done;
+        !m
+      in
+      let top = int_of_float (ceil (Numerics.log2 (diameter /. beta))) + 1 in
+      let bottom = int_of_float (floor (Numerics.log2 (dmin /. 2.0))) - 1 in
+      let n_levels = top - bottom + 1 in
+      (* cluster.(li).(v): cluster representative of v at level
+         (top - li); li = 0 is the root level (everything together). *)
+      let cluster = Array.make_matrix n_levels n 0 in
+      for li = 1 to n_levels - 1 do
+        let l = top - li in
+        let radius = beta *. Float.pow 2.0 (float_of_int l) in
+        for v = 0 to n - 1 do
+          (* First permuted center within the radius that shares v's
+             parent cluster (laminarity). *)
+          let rec pick i =
+            if i >= n then v
+            else
+              let c = pi.(i) in
+              if
+                Finite_metric.dist metric c v <= radius
+                && cluster.(li - 1).(c) = cluster.(li - 1).(v)
+              then c
+              else pick (i + 1)
+          in
+          cluster.(li).(v) <- pick 0
+        done
+      done;
+      let dmat = Array.make_matrix n n 0.0 in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          (* Deepest level at which u and v are still clustered together;
+             the tree distance is twice the climb above it. *)
+          let join = ref 0 in
+          (try
+             for li = 1 to n_levels - 1 do
+               if cluster.(li).(u) <> cluster.(li).(v) then raise Exit;
+               join := li
+             done
+           with Exit -> ());
+          let d =
+            if !join = n_levels - 1 then 0.0
+            else begin
+              (* Separated below level (top - join): climb through levels
+                 top-join-1 ... using edge weights 2^(l+2). *)
+              let acc = ref 0.0 in
+              for li = !join + 1 to n_levels - 1 do
+                let l = top - li in
+                acc := !acc +. Float.pow 2.0 (float_of_int (l + 2))
+              done;
+              2.0 *. !acc
+            end
+          in
+          dmat.(u).(v) <- d;
+          dmat.(v).(u) <- d
+        done
+      done;
+      Finite_metric.of_matrix_unchecked dmat
+    end
+  end

@@ -1,0 +1,44 @@
+(** Tree metrics and hierarchically separated trees (HSTs).
+
+    Tree metrics are a classic probabilistic-embedding target for
+    facility-location problems; this module provides weighted trees with
+    O(log n)-preprocessed LCA distance queries and a simple randomized
+    2-HST construction over any finite metric. *)
+
+type t
+
+(** [create n] is an unrooted tree skeleton over vertices [0 .. n-1] with
+    no edges yet; add exactly [n-1] edges with {!add_edge} and then call
+    {!finalize}. *)
+val create : int -> t
+
+(** [add_edge t u v w] adds an edge of positive weight. Raises
+    [Invalid_argument] on out-of-range vertices, non-positive weight, or
+    if the edge would close a cycle. *)
+val add_edge : t -> int -> int -> float -> unit
+
+(** [finalize t] checks the tree is connected (n-1 edges, spanning) and
+    precomputes ancestor tables; distance queries are O(log n) afterwards.
+    Raises [Invalid_argument] if the tree is incomplete. *)
+val finalize : t -> unit
+
+(** [dist t u v] is the unique tree-path distance. Raises [Failure] if
+    called before {!finalize}. *)
+val dist : t -> int -> int -> float
+
+(** [to_metric t] materializes the full distance matrix as a
+    {!Finite_metric.t}. *)
+val to_metric : t -> Finite_metric.t
+
+(** [random_tree rng ~n ~max_weight] is a uniformly-attached random tree,
+    finalized. *)
+val random_tree : Omflp_prelude.Splitmix.t -> n:int -> max_weight:float -> t
+
+(** [hst_of_metric rng metric] builds a random 2-HST that dominates
+    [metric]: a laminar ball-partition hierarchy with geometrically
+    decreasing diameters (Bartal-style, single sample). The leaves are the
+    metric's points; the returned metric satisfies
+    [dist_hst u v >= dist u v] for all pairs. Expected distortion is
+    O(log n) over the randomness. *)
+val hst_of_metric :
+  Omflp_prelude.Splitmix.t -> Finite_metric.t -> Finite_metric.t

@@ -1,0 +1,1 @@
+lib/offline/assignment.ml: Array Bitset Cost_function Cset Finite_metric Hashtbl Instance List Omflp_commodity Omflp_covering Omflp_instance Omflp_metric Omflp_prelude Request

@@ -1,0 +1,1 @@
+lib/offline/assignment.mli: Omflp_commodity Omflp_instance Omflp_metric

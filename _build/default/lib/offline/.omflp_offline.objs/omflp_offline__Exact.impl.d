@@ -1,0 +1,1 @@
+lib/offline/exact.ml: Array Bitset Cost_function Cset Hashtbl Instance List Omflp_commodity Omflp_covering Omflp_instance Omflp_lp Omflp_prelude

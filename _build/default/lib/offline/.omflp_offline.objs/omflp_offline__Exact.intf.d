@@ -1,0 +1,1 @@
+lib/offline/exact.mli: Omflp_instance

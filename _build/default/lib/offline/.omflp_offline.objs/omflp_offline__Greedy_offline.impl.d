@@ -1,0 +1,1 @@
+lib/offline/greedy_offline.ml: Array Assignment Cost_function Cset Finite_metric Float Fun Instance List Omflp_commodity Omflp_instance Omflp_metric Request

@@ -1,0 +1,1 @@
+lib/offline/greedy_offline.mli: Omflp_commodity Omflp_instance

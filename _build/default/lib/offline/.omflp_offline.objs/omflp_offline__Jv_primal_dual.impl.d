@@ -1,0 +1,1 @@
+lib/offline/jv_primal_dual.ml: Array Cost_function Cset Finite_metric Float Instance List Numerics Omflp_commodity Omflp_instance Omflp_metric Omflp_prelude Prune Request

@@ -1,0 +1,1 @@
+lib/offline/jv_primal_dual.mli: Omflp_commodity Omflp_instance

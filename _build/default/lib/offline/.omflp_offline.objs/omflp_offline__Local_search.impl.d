@@ -1,0 +1,1 @@
+lib/offline/local_search.ml: Array Assignment Cset Instance List Omflp_commodity Omflp_instance Request

@@ -1,0 +1,1 @@
+lib/offline/local_search.mli: Omflp_commodity Omflp_instance

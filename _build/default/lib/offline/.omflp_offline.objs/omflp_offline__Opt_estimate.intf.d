@@ -1,0 +1,1 @@
+lib/offline/opt_estimate.mli: Omflp_instance

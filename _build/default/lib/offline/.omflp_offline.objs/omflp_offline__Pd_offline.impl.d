@@ -1,0 +1,1 @@
+lib/offline/pd_offline.ml: Array Instance List Omflp_commodity Omflp_core Omflp_instance Omflp_prelude Prune Sampler Splitmix

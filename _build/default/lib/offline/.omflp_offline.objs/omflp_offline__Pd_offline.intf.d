@@ -1,0 +1,1 @@
+lib/offline/pd_offline.mli: Omflp_commodity Omflp_instance

@@ -1,0 +1,1 @@
+lib/offline/prune.ml: Assignment List

@@ -1,0 +1,1 @@
+lib/offline/prune.mli: Omflp_commodity Omflp_instance

@@ -1,0 +1,61 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type open_facility = { site : int; offered : Cset.t }
+
+let assign_request ~metric ~facilities ~site ~demand =
+  (* Re-index the demanded commodities to a compact universe so the
+     set-cover DP stays small regardless of |S|. *)
+  let demanded = Array.of_list (Cset.elements demand) in
+  let k = Array.length demanded in
+  let compact_of_commodity = Hashtbl.create (2 * k) in
+  Array.iteri (fun i e -> Hashtbl.replace compact_of_commodity e i) demanded;
+  let sets =
+    Array.map
+      (fun f ->
+        let members =
+          Cset.fold
+            (fun e acc ->
+              match Hashtbl.find_opt compact_of_commodity e with
+              | Some i -> Bitset.add acc i
+              | None -> acc)
+            f.offered (Bitset.create k)
+        in
+        {
+          Omflp_covering.Set_cover.weight = Finite_metric.dist metric site f.site;
+          members;
+        })
+      facilities
+  in
+  let solver =
+    if k <= 20 then Omflp_covering.Set_cover.exact
+    else Omflp_covering.Set_cover.greedy
+  in
+  try solver ~universe:k sets
+  with Invalid_argument _ ->
+    invalid_arg "Assignment.assign_request: facilities do not cover the demand"
+
+let assignment_cost (inst : Instance.t) facilities =
+  let facs =
+    Array.of_list
+      (List.map (fun (site, offered) -> { site; offered }) facilities)
+  in
+  Array.fold_left
+    (fun acc (r : Request.t) ->
+      let _, c =
+        assign_request ~metric:inst.metric ~facilities:facs ~site:r.site
+          ~demand:r.demand
+      in
+      acc +. c)
+    0.0 inst.requests
+
+let total_cost (inst : Instance.t) facilities =
+  let construction =
+    List.fold_left
+      (fun acc (site, offered) ->
+        acc +. Cost_function.eval inst.cost site offered)
+      0.0 facilities
+  in
+  construction +. assignment_cost inst facilities

@@ -1,0 +1,28 @@
+(** Optimal request→facility assignment for a {e fixed} facility set.
+
+    Because connection cost is paid once per distinct facility, assigning
+    one request is a weighted set-cover over its demand: facility
+    [(m, σ)] covers [σ ∩ s_r] at weight [d(m, r)]. Exact for demands of at
+    most 20 commodities (bitmask DP after re-indexing), greedy beyond. *)
+
+type open_facility = { site : int; offered : Omflp_commodity.Cset.t }
+
+(** [assign_request ~metric ~facilities ~site ~demand] returns the chosen
+    facility indices (into [facilities]) and the connection cost. Raises
+    [Invalid_argument] if the facilities cannot cover the demand. *)
+val assign_request :
+  metric:Omflp_metric.Finite_metric.t ->
+  facilities:open_facility array ->
+  site:int ->
+  demand:Omflp_commodity.Cset.t ->
+  int list * float
+
+(** [total_cost instance facilities] is the full offline objective of
+    opening exactly [facilities]: construction plus optimal assignment of
+    every request. *)
+val total_cost :
+  Omflp_instance.Instance.t -> (int * Omflp_commodity.Cset.t) list -> float
+
+(** [assignment_cost instance facilities] is the assignment part only. *)
+val assignment_cost :
+  Omflp_instance.Instance.t -> (int * Omflp_commodity.Cset.t) list -> float

@@ -1,0 +1,63 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+
+let single_point_partition ~g ~n_requested =
+  if n_requested < 0 then
+    invalid_arg "Exact.single_point_partition: negative count";
+  let dp = Array.make (n_requested + 1) infinity in
+  dp.(0) <- 0.0;
+  for u = 1 to n_requested do
+    for j = 1 to u do
+      let v = g j +. dp.(u - j) in
+      if v < dp.(u) then dp.(u) <- v
+    done
+  done;
+  dp.(n_requested)
+
+let single_point_opt (inst : Instance.t) =
+  if Instance.n_sites inst <> 1 then
+    invalid_arg "Exact.single_point_opt: instance has more than one site";
+  let requested = Instance.distinct_commodities inst in
+  let n_commodities = Instance.n_commodities inst in
+  if Cset.cardinal requested > 20 then
+    invalid_arg "Exact.single_point_opt: too many distinct commodities";
+  (* On one point every connection is free: OPT is a minimum-weight cover
+     of the requested set by configurations. Candidate configurations:
+     subsets of the requested set, plus the full set S (Condition 1 can
+     make it cheaper than its requested-only restriction). *)
+  let candidates =
+    Cset.full ~n_commodities :: Cset.subsets_of requested
+  in
+  let candidates =
+    List.filter (fun s -> not (Cset.is_empty s)) candidates
+  in
+  (* Compact re-indexing of requested commodities for the DP. *)
+  let demanded = Array.of_list (Cset.elements requested) in
+  let k = Array.length demanded in
+  let compact = Hashtbl.create (2 * k) in
+  Array.iteri (fun i e -> Hashtbl.replace compact e i) demanded;
+  let sets =
+    Array.of_list
+      (List.map
+         (fun sigma ->
+           let members =
+             Cset.fold
+               (fun e acc ->
+                 match Hashtbl.find_opt compact e with
+                 | Some i -> Bitset.add acc i
+                 | None -> acc)
+               sigma (Bitset.create k)
+           in
+           {
+             Omflp_covering.Set_cover.weight = Cost_function.eval inst.cost 0 sigma;
+             members;
+           })
+         candidates)
+  in
+  snd (Omflp_covering.Set_cover.exact ~universe:k sets)
+
+let ilp_opt ?node_limit inst =
+  match Omflp_lp.Mflp_model.solve_exact ?node_limit inst with
+  | Omflp_lp.Mflp_model.Exact { objective; _ } -> Some objective
+  | Omflp_lp.Mflp_model.Truncated _ -> None

@@ -1,0 +1,22 @@
+(** Exact offline optima for the instance shapes where they are
+    tractable. *)
+
+(** [single_point_partition ~g ~n_requested] is the optimum cost of
+    covering [n_requested] distinct commodities on one point when the
+    construction cost depends only on configuration size: the best way to
+    split [n_requested] into facility sizes,
+    [dp u = min_j g j + dp (u - j)]. Exact for any subadditive or not
+    size-based [g]. *)
+val single_point_partition : g:(int -> float) -> n_requested:int -> float
+
+(** [single_point_opt instance] is OPT for a one-site instance with at
+    most 20 commodities: an exact weighted set cover of the union of
+    demands over all configurations (connection cost is zero on a single
+    point). Raises [Invalid_argument] on multi-site instances. *)
+val single_point_opt : Omflp_instance.Instance.t -> float
+
+(** [ilp_opt ?node_limit instance] is OPT via the branch-and-bound ILP —
+    small instances only (≤ 6 commodities by default in
+    {!Omflp_lp.Mflp_model}). Returns [None] if the node limit truncated
+    the search without proving optimality. *)
+val ilp_opt : ?node_limit:int -> Omflp_instance.Instance.t -> float option

@@ -1,0 +1,130 @@
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type solution = { facilities : (int * Cset.t) list; cost : float }
+
+(* A star candidate: open sigma at site m and connect the given requests. *)
+type star = {
+  m : int;
+  sigma : Cset.t;
+  group : int list;  (** request indices *)
+  density : float;
+  pairs : int;
+}
+
+let best_star (inst : Instance.t) ~uncovered =
+  let n_sites = Instance.n_sites inst in
+  let n_req = Instance.n_requests inst in
+  let n_commodities = Instance.n_commodities inst in
+  let best = ref None in
+  let consider star =
+    match !best with
+    | Some b when b.density <= star.density -> ()
+    | _ -> best := Some star
+  in
+  for m = 0 to n_sites - 1 do
+    (* Requests ordered by distance to m. *)
+    let order =
+      List.sort
+        (fun a b ->
+          Float.compare
+            (Finite_metric.dist inst.metric m inst.requests.(a).Request.site)
+            (Finite_metric.dist inst.metric m inst.requests.(b).Request.site))
+        (List.filter
+           (fun r -> not (Cset.is_empty uncovered.(r)))
+           (List.init n_req Fun.id))
+    in
+    (* Prefix stars: sigma = union of uncovered demands of the prefix. *)
+    let sigma = ref (Cset.empty ~n_commodities) in
+    let group = ref [] in
+    let conn = ref 0.0 in
+    List.iter
+      (fun r ->
+        sigma := Cset.union !sigma uncovered.(r);
+        group := r :: !group;
+        conn :=
+          !conn
+          +. Finite_metric.dist inst.metric m inst.requests.(r).Request.site;
+        let pairs =
+          List.fold_left
+            (fun acc r' -> acc + Cset.cardinal (Cset.inter uncovered.(r') !sigma))
+            0 !group
+        in
+        if pairs > 0 then begin
+          let f = Cost_function.eval inst.cost m !sigma in
+          consider
+            {
+              m;
+              sigma = !sigma;
+              group = !group;
+              density = (f +. !conn) /. float_of_int pairs;
+              pairs;
+            };
+          (* Same star with the full configuration: Condition 1 can make
+             S cheaper per pair when most commodities are uncovered. *)
+          let full = Cset.full ~n_commodities in
+          let pairs_full =
+            List.fold_left
+              (fun acc r' -> acc + Cset.cardinal uncovered.(r'))
+              0 !group
+          in
+          consider
+            {
+              m;
+              sigma = full;
+              group = !group;
+              density =
+                (Cost_function.eval inst.cost m full +. !conn)
+                /. float_of_int pairs_full;
+              pairs = pairs_full;
+            }
+        end)
+      order
+  done;
+  !best
+
+let solve (inst : Instance.t) =
+  let n_req = Instance.n_requests inst in
+  let uncovered =
+    Array.map (fun (r : Request.t) -> r.demand) inst.requests
+  in
+  let facilities = ref [] in
+  let remaining = ref (Instance.total_demand_pairs inst) in
+  while !remaining > 0 do
+    match best_star inst ~uncovered with
+    | None -> failwith "Greedy_offline.solve: no star found (impossible)"
+    | Some star ->
+        facilities := (star.m, star.sigma) :: !facilities;
+        List.iter
+          (fun r ->
+            let covered = Cset.inter uncovered.(r) star.sigma in
+            remaining := !remaining - Cset.cardinal covered;
+            uncovered.(r) <- Cset.diff uncovered.(r) star.sigma)
+          star.group
+  done;
+  (* Drop facilities that no longer pay for themselves under optimal
+     assignment. Each candidate drop re-solves the full assignment, so the
+     phase is skipped on large instances where it would dominate. *)
+  let cost_of facs = Assignment.total_cost inst facs in
+  let current = ref !facilities in
+  let current_cost = ref (cost_of !current) in
+  let budget = List.length !facilities * n_req in
+  let improved = ref (budget <= 20_000) in
+  while !improved do
+    improved := false;
+    List.iter
+      (fun fac ->
+        let without = List.filter (fun f -> f != fac) !current in
+        if without <> [] then begin
+          match cost_of without with
+          | c when c < !current_cost -. 1e-9 ->
+              current := without;
+              current_cost := c;
+              improved := true
+          | _ -> ()
+          | exception Invalid_argument _ -> ()
+        end)
+      !current
+  done;
+  { facilities = !current; cost = !current_cost }

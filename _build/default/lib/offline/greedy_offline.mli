@@ -1,0 +1,17 @@
+(** Ravi–Sinha-style greedy offline algorithm (SODA 2004): repeatedly open
+    the facility "star" with the best cost-per-covered-pair density.
+
+    A star is a site [m], a configuration [σ], and a group of requests;
+    its cost is [f^σ_m] plus one connection per request in the group, and
+    it covers every still-uncovered (request, commodity) pair with the
+    commodity in [σ]. Candidate configurations at a site are the unions of
+    uncovered demands of the [k] nearest requests, for every prefix [k] —
+    plus the full set. After the greedy cover, the assignment is recomputed
+    optimally ({!Assignment}) and redundant facilities are dropped. *)
+
+type solution = {
+  facilities : (int * Omflp_commodity.Cset.t) list;
+  cost : float;  (** construction + optimal assignment *)
+}
+
+val solve : Omflp_instance.Instance.t -> solution

@@ -1,0 +1,199 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type solution = {
+  facilities : (int * Cset.t) list;
+  cost : float;
+  events : int;
+}
+
+(* All active duals are equal to the global time τ (they start at zero and
+   grow simultaneously), which keeps every tightness time solvable in
+   closed form:
+
+   - a small facility (m, {e}) has
+     lhs(τ) = Σ_frozen (α_f − d)₊ + Σ_{active, d < τ} (τ − d):
+     piecewise linear with breakpoints at the active pairs' distances;
+   - a large facility at m has per-request contribution
+     (frozen_sum_r + k_r·τ − d(r,m))₊ with k_r = #active commodities of r:
+     a ramp of slope k_r starting at (d − frozen_sum_r)/k_r. *)
+
+(* Earliest τ ≥ now with const + Σ_i slope_i · (τ − start_i)₊ ≥ target.
+   Returns infinity when unreachable. *)
+let solve_piecewise ~now ~const ~ramps ~target =
+  (* Fold ramps already running at [now] into the constant (their accrued
+     part) and restart them at [now]. *)
+  let const, ramps =
+    List.fold_left
+      (fun (c, rs) (start, slope) ->
+        if start < now then (c +. (slope *. (now -. start)), (now, slope) :: rs)
+        else (c, (start, slope) :: rs))
+      (const, []) ramps
+  in
+  if const >= target -. 1e-12 then now
+  else begin
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> Float.compare a b) ramps
+    in
+    (* Between breakpoints the lhs is const + acc_slope·τ − acc_weighted
+       where acc_weighted = Σ slope_i · start_i over started ramps. *)
+    let rec walk acc_slope acc_weighted remaining prev =
+      let candidate =
+        if acc_slope > 0.0 then
+          Some ((target -. const +. acc_weighted) /. acc_slope)
+        else None
+      in
+      match remaining with
+      | [] -> (
+          match candidate with
+          | Some tau when tau >= prev -. 1e-12 -> Float.max tau now
+          | _ -> infinity)
+      | (start, slope) :: rest -> (
+          match candidate with
+          | Some tau when tau >= prev -. 1e-12 && tau <= start +. 1e-12 ->
+              Float.max tau now
+          | _ ->
+              walk (acc_slope +. slope)
+                (acc_weighted +. (slope *. start))
+                rest start)
+    in
+    walk 0.0 0.0 sorted now
+  end
+
+type event = Freeze of int * int | Open_small of int * int | Open_large of int
+
+let solve (inst : Instance.t) =
+  let n_req = Instance.n_requests inst in
+  let n_sites = Instance.n_sites inst in
+  let s = Instance.n_commodities inst in
+  let dist r m = Finite_metric.dist inst.metric inst.requests.(r).Request.site m in
+  (* freeze.(r).(e) = Some freeze-time once the pair is frozen. *)
+  let freeze = Array.make_matrix n_req s None in
+  let demands = Array.map (fun (r : Request.t) -> r.demand) inst.requests in
+  let opened_small = Array.make_matrix s n_sites false in
+  let opened_large = Array.make n_sites false in
+  let facilities = ref [] in
+  let active_pairs = ref (Instance.total_demand_pairs inst) in
+  let tau = ref 0.0 in
+  let events = ref 0 in
+  let offering_sites e =
+    (* Sites of open facilities offering e. *)
+    List.filter_map
+      (fun (site, offered) -> if Cset.mem offered e then Some site else None)
+      !facilities
+  in
+  let active_count r =
+    Cset.fold
+      (fun e acc -> if freeze.(r).(e) = None then acc + 1 else acc)
+      demands.(r) 0
+  in
+  while !active_pairs > 0 do
+    incr events;
+    if !events > (2 * n_req * s) + (s * n_sites) + n_sites + 16 then
+      failwith "Jv_primal_dual.solve: event budget exceeded (bug)";
+    (* Earliest event across freezes and openings. *)
+    let best_t = ref infinity and best_ev = ref None in
+    let consider t ev =
+      if t < !best_t -. 1e-12 then begin
+        best_t := t;
+        best_ev := Some ev
+      end
+    in
+    for r = 0 to n_req - 1 do
+      Cset.iter
+        (fun e ->
+          if freeze.(r).(e) = None then begin
+            let d_open =
+              List.fold_left
+                (fun acc site -> Float.min acc (dist r site))
+                infinity (offering_sites e)
+            in
+            if d_open < infinity then consider (Float.max d_open !tau) (Freeze (r, e))
+          end)
+        demands.(r)
+    done;
+    for e = 0 to s - 1 do
+      for m = 0 to n_sites - 1 do
+        if not opened_small.(e).(m) then begin
+          let const = ref 0.0 and ramps = ref [] in
+          for r = 0 to n_req - 1 do
+            if Cset.mem demands.(r) e then
+              match freeze.(r).(e) with
+              | Some f -> const := !const +. Numerics.pos (f -. dist r m)
+              | None -> ramps := (dist r m, 1.0) :: !ramps
+          done;
+          let t =
+            solve_piecewise ~now:!tau ~const:!const ~ramps:!ramps
+              ~target:(Cost_function.singleton_cost inst.cost m e)
+          in
+          if t < infinity then consider t (Open_small (e, m))
+        end
+      done
+    done;
+    for m = 0 to n_sites - 1 do
+      if not opened_large.(m) then begin
+        let const = ref 0.0 and ramps = ref [] in
+        for r = 0 to n_req - 1 do
+          let k = active_count r in
+          let fsum =
+            Cset.fold
+              (fun e acc ->
+                match freeze.(r).(e) with Some f -> acc +. f | None -> acc)
+              demands.(r) 0.0
+          in
+          if k = 0 then const := !const +. Numerics.pos (fsum -. dist r m)
+          else begin
+            (* contribution = (fsum + k·τ − d)₊ : ramp of slope k starting
+               at τ = (d − fsum)/k. *)
+            let start = (dist r m -. fsum) /. float_of_int k in
+            ramps := (start, float_of_int k) :: !ramps
+          end
+        done;
+        let t =
+          solve_piecewise ~now:!tau ~const:!const ~ramps:!ramps
+            ~target:(Cost_function.full_cost inst.cost m)
+        in
+        if t < infinity then consider t (Open_large m)
+      end
+    done;
+    match !best_ev with
+    | None -> failwith "Jv_primal_dual.solve: no event (bug)"
+    | Some ev -> begin
+        tau := Float.max !tau !best_t;
+        match ev with
+        | Freeze (r, e) ->
+            freeze.(r).(e) <- Some !tau;
+            decr active_pairs
+        | Open_small (e, m) ->
+            opened_small.(e).(m) <- true;
+            facilities := (m, Cset.singleton ~n_commodities:s e) :: !facilities;
+            for r = 0 to n_req - 1 do
+              if
+                Cset.mem demands.(r) e
+                && freeze.(r).(e) = None
+                && dist r m <= !tau +. 1e-12
+              then begin
+                freeze.(r).(e) <- Some !tau;
+                decr active_pairs
+              end
+            done
+        | Open_large m ->
+            opened_large.(m) <- true;
+            facilities := (m, Cset.full ~n_commodities:s) :: !facilities;
+            for r = 0 to n_req - 1 do
+              if dist r m <= !tau +. 1e-12 then
+                Cset.iter
+                  (fun e ->
+                    if freeze.(r).(e) = None then begin
+                      freeze.(r).(e) <- Some !tau;
+                      decr active_pairs
+                    end)
+                  demands.(r)
+            done
+      end
+  done;
+  let deduped = List.sort_uniq compare !facilities in
+  let pruned, cost = Prune.drop_pass inst deduped in
+  { facilities = pruned; cost; events = !events }

@@ -1,0 +1,25 @@
+(** Offline primal–dual in the Jain–Vazirani tradition, adapted to the
+    multi-commodity small/large structure of the paper.
+
+    All (request, commodity) pairs raise their duals simultaneously from
+    zero; a pair freezes when an open facility offering its commodity is
+    within its dual. A small facility [(m, {e})] opens when the positive
+    bids [Σ (α_re − d(r,m))₊] reach [f^{{e}}_m]; a large facility when the
+    pooled per-request bids reach [f^S_m]. Opened facilities are then
+    pruned and the assignment recomputed optimally, exactly as for the
+    other offline heuristics.
+
+    This differs from {!Pd_offline} (which replays the {e online}
+    algorithm): here there is no arrival order at all — the dual growth is
+    simultaneous, as in the offline approximation algorithms the paper
+    builds on ([9], [16]). *)
+
+type solution = {
+  facilities : (int * Omflp_commodity.Cset.t) list;
+  cost : float;  (** construction + optimal assignment after pruning *)
+  events : int;  (** facility openings + pair freezes processed *)
+}
+
+(** [solve instance]. Deterministic. Intended for small/medium instances
+    (every event does O(n·|M|) work). *)
+val solve : Omflp_instance.Instance.t -> solution

@@ -1,0 +1,90 @@
+open Omflp_commodity
+open Omflp_instance
+
+type result = {
+  facilities : (int * Cset.t) list;
+  cost : float;
+  moves : int;
+}
+
+let candidate_configs (inst : Instance.t) =
+  let n_commodities = Instance.n_commodities inst in
+  let singles =
+    List.init n_commodities (fun e -> Cset.singleton ~n_commodities e)
+  in
+  let demands =
+    Array.to_list (Array.map (fun (r : Request.t) -> r.demand) inst.requests)
+  in
+  List.sort_uniq Cset.compare
+    ((Cset.full ~n_commodities :: singles) @ demands)
+
+let improve ?(max_moves = 200) (inst : Instance.t) start =
+  let n_sites = Instance.n_sites inst in
+  let configs = candidate_configs inst in
+  let cost_of facs =
+    try Some (Assignment.total_cost inst facs) with Invalid_argument _ -> None
+  in
+  let current = ref start in
+  let current_cost =
+    ref
+      (match cost_of start with
+      | Some c -> c
+      | None -> invalid_arg "Local_search.improve: infeasible start")
+  in
+  let moves = ref 0 in
+  let try_move facs =
+    match cost_of facs with
+    | Some c when c < !current_cost -. 1e-9 ->
+        current := facs;
+        current_cost := c;
+        incr moves;
+        true
+    | _ -> false
+  in
+  let improved = ref true in
+  while !improved && !moves < max_moves do
+    improved := false;
+    (* Drop moves. *)
+    let rec drop_scan prefix = function
+      | [] -> ()
+      | fac :: rest ->
+          if try_move (List.rev_append prefix rest) then improved := true
+          else drop_scan (fac :: prefix) rest
+    in
+    drop_scan [] !current;
+    (* Add moves. *)
+    if not !improved then begin
+      try
+        for m = 0 to n_sites - 1 do
+          List.iter
+            (fun sigma ->
+              if try_move ((m, sigma) :: !current) then begin
+                improved := true;
+                raise Exit
+              end)
+            configs
+        done
+      with Exit -> ()
+    end;
+    (* Site-swap moves. *)
+    if not !improved then begin
+      try
+        let arr = Array.of_list !current in
+        Array.iteri
+          (fun i (site, sigma) ->
+            for m = 0 to n_sites - 1 do
+              if m <> site then begin
+                let swapped =
+                  Array.to_list (Array.mapi (fun j f -> if i = j then (m, sigma) else f) arr)
+                in
+                if try_move swapped then begin
+                  improved := true;
+                  raise Exit
+                end
+              end
+            done)
+          arr
+      with Exit -> ()
+    end
+  done;
+  { facilities = !current; cost = !current_cost; moves = !moves }

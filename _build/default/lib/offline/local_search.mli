@@ -1,0 +1,20 @@
+(** Local-search improvement of an offline solution.
+
+    Moves: drop a facility, add a candidate facility (singletons, full
+    configuration, or a request's exact demand, at any site), and swap a
+    facility's site. Assignment is recomputed optimally after every
+    tentative move. First-improvement descent with a move budget. *)
+
+type result = {
+  facilities : (int * Omflp_commodity.Cset.t) list;
+  cost : float;
+  moves : int;  (** accepted improving moves *)
+}
+
+(** [improve ?max_moves instance start] descends from [start] (e.g. a
+    {!Greedy_offline} solution). *)
+val improve :
+  ?max_moves:int ->
+  Omflp_instance.Instance.t ->
+  (int * Omflp_commodity.Cset.t) list ->
+  result

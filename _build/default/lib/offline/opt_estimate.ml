@@ -1,0 +1,140 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+
+type bracket = {
+  lower : float;
+  lower_method : string;
+  upper : float;
+  upper_method : string;
+}
+
+let certified b = Numerics.approx_eq ~tol:1e-6 b.lower b.upper
+
+let serve_alone_cost (inst : Instance.t) (r : Request.t) =
+  let s = Instance.n_commodities inst in
+  let n_sites = Instance.n_sites inst in
+  let demanded = Array.of_list (Cset.elements r.demand) in
+  let k = Array.length demanded in
+  let compact = Hashtbl.create (2 * k) in
+  Array.iteri (fun i e -> Hashtbl.replace compact e i) demanded;
+  let compact_of sigma =
+    Cset.fold
+      (fun e acc ->
+        match Hashtbl.find_opt compact e with
+        | Some i -> acc lor (1 lsl i)
+        | None -> acc)
+      sigma 0
+  in
+  (* Candidate configurations: everything when |S| is small (exact
+     superset minimisation), otherwise the demand's subsets plus S. *)
+  let configs, exact =
+    if s <= 12 then (Cset.all_nonempty_subsets ~n_commodities:s, true)
+    else
+      ( Cset.full ~n_commodities:s
+        :: List.filter
+             (fun c -> not (Cset.is_empty c))
+             (Cset.subsets_of r.demand),
+        false )
+  in
+  let sets = ref [] in
+  for m = 0 to n_sites - 1 do
+    (* best_piece.(bits): cheapest f^sigma_m over sigma covering exactly
+       this part of the demand. *)
+    let best_piece = Array.make (1 lsl k) infinity in
+    List.iter
+      (fun sigma ->
+        let bits = compact_of sigma in
+        let f = Cost_function.eval inst.cost m sigma in
+        if f < best_piece.(bits) then best_piece.(bits) <- f)
+      configs;
+    let d = Finite_metric.dist inst.metric r.site m in
+    Array.iteri
+      (fun bits f ->
+        if bits <> 0 && f < infinity then
+          sets :=
+            {
+              Omflp_covering.Set_cover.weight = f +. d;
+              members = Bitset.of_int k bits;
+            }
+            :: !sets)
+      best_piece
+  done;
+  let _, cost =
+    Omflp_covering.Set_cover.exact ~universe:k (Array.of_list !sets)
+  in
+  (cost, exact)
+
+let single_request_lower (inst : Instance.t) =
+  Array.fold_left
+    (fun acc r -> Float.max acc (fst (serve_alone_cost inst r)))
+    0.0 inst.requests
+
+let bracket ?exact ?(local_search = true) (inst : Instance.t) =
+  let s = Instance.n_commodities inst in
+  let n_sites = Instance.n_sites inst in
+  let n_req = Instance.n_requests inst in
+  let want_exact =
+    match exact with
+    | Some b -> b
+    | None -> (s <= 4 && n_sites <= 5 && n_req <= 10) || n_sites = 1
+  in
+  let exact_value =
+    if not want_exact then None
+    else if n_sites = 1 && s <= 20 then Some (Exact.single_point_opt inst, "exact set cover (single point)")
+    else if s <= 6 then
+      Option.map (fun v -> (v, "ILP branch&bound")) (Exact.ilp_opt inst)
+    else None
+  in
+  match exact_value with
+  | Some (v, meth) ->
+      { lower = v; lower_method = meth; upper = v; upper_method = meth }
+  | None ->
+      let greedy = Greedy_offline.solve inst in
+      let greedy_cost, greedy_method =
+        if local_search then begin
+          let ls = Local_search.improve inst greedy.facilities in
+          if ls.cost < greedy.cost then (ls.cost, "greedy + local search")
+          else (greedy.cost, "greedy")
+        end
+        else (greedy.cost, "greedy")
+      in
+      (* Second candidate: the paper's primal-dual process run offline
+         (shuffled restarts + pruning + optimal reassignment). *)
+      let pd = Pd_offline.solve ~restarts:(if local_search then 3 else 2) inst in
+      (* Third candidate: simultaneous-growth (Jain-Vazirani-style)
+         primal-dual; skipped on large instances where its per-event scan
+         would dominate. *)
+      let jv_cost =
+        if n_req * n_sites * s <= 30_000 then
+          Some (Jv_primal_dual.solve inst).Jv_primal_dual.cost
+        else None
+      in
+      let upper, upper_method =
+        List.fold_left
+          (fun (bc, bm) (c, m) -> if c < bc then (c, m) else (bc, bm))
+          (greedy_cost, greedy_method)
+          ([ (pd.Pd_offline.cost, "pd-offline") ]
+          @ match jv_cost with Some c -> [ (c, "jv primal-dual") ] | None -> [])
+      in
+      (* LP lower bound on small models, otherwise the single-request
+         bound. *)
+      let lp_lower =
+        if s <= 5 && n_sites * ((1 lsl s) - 1) * (1 + n_req) <= 4000 then begin
+          try Some (Omflp_lp.Mflp_model.lp_lower_bound inst, "LP relaxation")
+          with _ -> None
+        end
+        else None
+      in
+      let sr_lower = single_request_lower inst in
+      let sr_method =
+        if s <= 12 then "hardest single request"
+        else "hardest single request (restricted configs)"
+      in
+      let lower, lower_method =
+        match lp_lower with
+        | Some (v, m) when v >= sr_lower -> (v, m)
+        | _ -> (sr_lower, sr_method)
+      in
+      { lower; lower_method; upper; upper_method }

@@ -1,0 +1,31 @@
+(** Bracketing the offline optimum for competitive-ratio measurement.
+
+    Every evaluation table divides an online cost by an estimate of OPT;
+    this module makes the estimator explicit. The bracket's [upper] is
+    always the cost of a concrete feasible offline solution (so
+    [cost / upper] under-reports the true ratio); [lower] is a certified
+    bound when available (ILP/exact/LP) and 0 otherwise. *)
+
+type bracket = {
+  lower : float;
+  lower_method : string;
+  upper : float;
+  upper_method : string;
+}
+
+(** [certified b] is true when lower and upper coincide (exact OPT). *)
+val certified : bracket -> bool
+
+(** [bracket ?exact ?local_search instance] computes the estimate.
+    [exact] (default auto) forces/forbids the exact solvers; the automatic
+    rule uses the ILP for ≤ 4 commodities × ≤ 5 sites × ≤ 10 requests and
+    the set-cover solver for single-site instances. [local_search]
+    (default true) polishes the greedy upper bound. *)
+val bracket :
+  ?exact:bool -> ?local_search:bool -> Omflp_instance.Instance.t -> bracket
+
+(** [single_request_lower instance] is the "hardest single request" lower
+    bound: OPT must serve every request, so OPT ≥ max_r (cheapest way to
+    serve r alone). Exact superset minimization for ≤ 12 commodities;
+    valid for any cost function. *)
+val single_request_lower : Omflp_instance.Instance.t -> float

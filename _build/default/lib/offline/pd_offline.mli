@@ -1,0 +1,19 @@
+(** Offline heuristic built from the paper's own machinery: run PD-OMFLP
+    over the (shuffled) request sequence with full hindsight disabled,
+    keep its facility set, reassign optimally, and prune. Several random
+    restarts, best solution kept.
+
+    In the Jain–Vazirani tradition the primal–dual process itself is a
+    good facility-set generator; pruning plus optimal reassignment removes
+    the online overhead. Used by {!Opt_estimate} as a second upper-bound
+    candidate next to the Ravi–Sinha-style greedy. *)
+
+type solution = {
+  facilities : (int * Omflp_commodity.Cset.t) list;
+  cost : float;
+  restarts_used : int;
+}
+
+(** [solve ?restarts ?seed instance]; [restarts] defaults to 3 (the first
+    pass uses the original request order, the rest shuffle). *)
+val solve : ?restarts:int -> ?seed:int -> Omflp_instance.Instance.t -> solution

@@ -1,0 +1,43 @@
+let drop_pass ?(max_evals = 2000) inst facilities =
+  let cost_of facs =
+    try Some (Assignment.total_cost inst facs) with Invalid_argument _ -> None
+  in
+  let current = ref facilities in
+  let current_cost =
+    match cost_of facilities with
+    | Some c -> c
+    | None -> invalid_arg "Prune.drop_pass: infeasible facility set"
+  in
+  let current_cost = ref current_cost in
+  let evals = ref 0 in
+  let improved = ref true in
+  (* Best-improvement passes: evaluate every single-facility drop and take
+     the cheapest, until no drop helps or the evaluation budget runs out. *)
+  while !improved && !evals < max_evals do
+    improved := false;
+    let best = ref None in
+    let rec scan prefix = function
+      | [] -> ()
+      | fac :: rest when !evals < max_evals -> begin
+          incr evals;
+          let without = List.rev_append prefix rest in
+          (match cost_of without with
+          | Some c when c < !current_cost -. 1e-9 -> begin
+              match !best with
+              | Some (_, bc) when bc <= c -> ()
+              | _ -> best := Some (without, c)
+            end
+          | _ -> ());
+          scan (fac :: prefix) rest
+        end
+      | _ -> ()
+    in
+    scan [] !current;
+    match !best with
+    | Some (without, c) ->
+        current := without;
+        current_cost := c;
+        improved := true
+    | None -> ()
+  done;
+  (!current, !current_cost)

@@ -1,0 +1,12 @@
+(** Facility-set pruning: repeatedly drop any facility whose removal
+    lowers the total cost under optimal reassignment. Shared by the
+    offline solvers. *)
+
+(** [drop_pass ?max_evals instance facilities] returns the pruned facility
+    list and its cost. [max_evals] bounds the number of candidate
+    evaluations (each one re-solves the assignment); default 2000. *)
+val drop_pass :
+  ?max_evals:int ->
+  Omflp_instance.Instance.t ->
+  (int * Omflp_commodity.Cset.t) list ->
+  (int * Omflp_commodity.Cset.t) list * float

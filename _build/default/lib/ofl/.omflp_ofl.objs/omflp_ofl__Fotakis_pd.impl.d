@@ -1,0 +1,1 @@
+lib/ofl/fotakis_pd.ml: Array Finite_metric Float List Ofl_types Omflp_metric

@@ -1,0 +1,1 @@
+lib/ofl/fotakis_pd.mli: Ofl_types

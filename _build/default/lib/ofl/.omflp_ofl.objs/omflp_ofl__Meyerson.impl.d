@@ -1,0 +1,1 @@
+lib/ofl/meyerson.ml: Array Finite_metric Float Hashtbl List Numerics Ofl_types Omflp_metric Omflp_prelude Option Splitmix

@@ -1,0 +1,1 @@
+lib/ofl/meyerson.mli: Ofl_types Omflp_metric Omflp_prelude

@@ -1,0 +1,1 @@
+lib/ofl/ofl_types.ml: Omflp_metric

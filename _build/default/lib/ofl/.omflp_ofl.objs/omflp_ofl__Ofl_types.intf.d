@@ -1,0 +1,1 @@
+lib/ofl/ofl_types.mli: Omflp_metric

@@ -1,0 +1,15 @@
+(** Fotakis' deterministic primal–dual Online Facility Location algorithm
+    (J. Discrete Algorithms 2007), O(log n)-competitive.
+
+    Each arriving request raises a dual value until either it can connect
+    to an existing facility at that price, or the accumulated bids of all
+    requests pay for a new facility at some site. PD-OMFLP
+    ({!Omflp_core.Pd_omflp}) generalizes exactly this mechanism to
+    commodities; this module is both the per-commodity baseline and the
+    sanity reference for the generalization. *)
+
+include Ofl_types.ALGORITHM
+
+(** [duals t] lists the frozen dual value of every request so far, in
+    arrival order. *)
+val duals : t -> float list

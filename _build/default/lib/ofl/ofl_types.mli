@@ -1,0 +1,28 @@
+(** Shared interface of single-commodity Online Facility Location
+    algorithms.
+
+    Requests are site indices arriving online; every site is also a
+    potential facility location with an individual opening cost. *)
+
+type run = {
+  facilities : int list;  (** opened sites, in opening order *)
+  construction_cost : float;
+  assignment_cost : float;
+}
+
+val total_cost : run -> float
+
+module type ALGORITHM = sig
+  type t
+
+  (** [create metric ~opening_costs] starts a fresh run;
+      [opening_costs.(m)] is the facility cost at site [m]. Raises
+      [Invalid_argument] on arity mismatch or a negative cost. *)
+  val create : Omflp_metric.Finite_metric.t -> opening_costs:float array -> t
+
+  (** [step t site] serves the next request, possibly opening facilities;
+      returns the request's assignment distance. *)
+  val step : t -> int -> float
+
+  val snapshot : t -> run
+end

@@ -1,0 +1,1 @@
+lib/prelude/sampler.ml: Array Bitset Float Hashtbl Splitmix

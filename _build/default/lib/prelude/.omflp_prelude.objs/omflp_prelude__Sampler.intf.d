@@ -1,0 +1,1 @@
+lib/prelude/sampler.mli: Bitset Splitmix

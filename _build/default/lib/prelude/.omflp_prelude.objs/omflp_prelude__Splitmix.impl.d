@@ -1,0 +1,1 @@
+lib/prelude/splitmix.ml: Int64

@@ -1,0 +1,1 @@
+lib/prelude/texttable.ml: Array Buffer Fun List Option Printf String

@@ -1,0 +1,66 @@
+let eps = 1e-9
+
+let approx_eq ?(tol = eps) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let approx_le ?(tol = eps) a b =
+  a <= b +. (tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)))
+
+let pos a = Float.max a 0.0
+
+let kahan_sum xs =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t)
+    xs;
+  !sum
+
+let euler_mascheroni = 0.5772156649015329
+
+let harmonic n =
+  if n <= 0 then 0.0
+  else if n <= 1_000_000 then begin
+    let acc = ref 0.0 in
+    for k = n downto 1 do
+      acc := !acc +. (1.0 /. float_of_int k)
+    done;
+    !acc
+  end
+  else
+    let x = float_of_int n in
+    log x +. euler_mascheroni +. (1.0 /. (2.0 *. x)) -. (1.0 /. (12.0 *. x *. x))
+
+let log2 x = log x /. log 2.0
+
+let floor_pow2 x =
+  if x <= 0.0 then invalid_arg "Numerics.floor_pow2: non-positive input";
+  Float.pow 2.0 (Float.floor (log2 x))
+
+let log_over_loglog n =
+  if n < 3 then 1.0
+  else
+    let ln = log (float_of_int n) in
+    let lnln = log ln in
+    if lnln <= 0.0 then ln else ln /. lnln
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Numerics.ceil_div: divisor must be positive";
+  (a + b - 1) / b
+
+let isqrt n =
+  if n < 0 then invalid_arg "Numerics.isqrt: negative input";
+  if n = 0 then 0
+  else begin
+    let r = ref (int_of_float (sqrt (float_of_int n))) in
+    while !r * !r > n do
+      decr r
+    done;
+    while (!r + 1) * (!r + 1) <= n do
+      incr r
+    done;
+    !r
+  end

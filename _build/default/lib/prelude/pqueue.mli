@@ -1,0 +1,29 @@
+(** Mutable binary min-heap keyed by floats.
+
+    Used by Dijkstra ({!Omflp_metric.Graph}) and the offline local search.
+    Supports lazy deletion via {!pop_min} returning possibly-stale entries;
+    callers that need decrease-key semantics insert duplicates and skip
+    stale pops. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [is_empty h] is [true] iff the heap holds no entry. *)
+val is_empty : 'a t -> bool
+
+(** [size h] counts entries (including superseded duplicates). *)
+val size : 'a t -> int
+
+(** [push h priority value] inserts an entry. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min h] removes and returns the entry with the smallest priority.
+    Raises [Not_found] if empty. Ties are broken arbitrarily but
+    deterministically. *)
+val pop_min : 'a t -> float * 'a
+
+(** [peek_min h] returns the smallest entry without removing it.
+    Raises [Not_found] if empty. *)
+val peek_min : 'a t -> float * 'a

@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let of_int seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix seed }
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high bits give a uniform dyadic rational in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative in a native 63-bit int;
+     rejection sampling avoids modulo bias. *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let r = v mod bound in
+    if v - r > max_int - bound then draw () else r
+  in
+  draw ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t < p

@@ -1,0 +1,35 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Deterministic, splittable, fast. Used as the single source of randomness
+    in the whole library so that every experiment is reproducible from a
+    seed. The generator state is mutable. *)
+
+type t
+
+(** [create seed] builds a generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on the sign-extended integer. *)
+val of_int : int -> t
+
+(** [next_int64 t] draws 64 uniformly distributed bits. *)
+val next_int64 : t -> int64
+
+(** [split t] derives an independent generator; [t] advances. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state. *)
+val copy : t -> t
+
+(** [float t] is uniform in [[0, 1)]. *)
+val float : t -> float
+
+(** [int t bound] is uniform in [[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [min 1 (max 0 p)]. *)
+val bernoulli : t -> float -> bool

@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = { headers : string list; arity : int; mutable lines : line list }
+
+let create headers = { headers; arity = List.length headers; lines = [] }
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Texttable.add_row: expected %d cells, got %d" t.arity
+         (List.length cells));
+  t.lines <- Row cells :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let is_number s =
+  match float_of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let render t =
+  let rows =
+    List.rev_map (function Row cells -> Some cells | Rule -> None) t.lines
+  in
+  let all_rows = t.headers :: List.filter_map Fun.id rows in
+  let widths = Array.make t.arity 0 in
+  List.iter
+    (fun cells ->
+      List.iteri
+        (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+        cells)
+    all_rows;
+  let aligns =
+    Array.init t.arity (fun i ->
+        let data_cells =
+          List.filter_map
+            (fun cells -> List.nth_opt (Option.value cells ~default:[]) i)
+            (List.map Option.some (List.filter_map Fun.id rows))
+        in
+        if data_cells <> [] && List.for_all is_number data_cells then Right
+        else Left)
+  in
+  let pad i s =
+    let w = widths.(i) in
+    let gap = w - String.length s in
+    if gap <= 0 then s
+    else
+      match aligns.(i) with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * max 0 (t.arity - 1))
+  in
+  let rule () = Buffer.add_string buf (String.make total_width '-' ^ "\n") in
+  emit_row t.headers;
+  rule ();
+  List.iter
+    (function Row cells -> emit_row cells | Rule -> rule ())
+    (List.rev t.lines);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let headers t = t.headers
+
+let rows t =
+  List.rev
+    (List.filter_map (function Row cells -> Some cells | Rule -> None) t.lines)
+
+let cell_f v = Printf.sprintf "%.4g" v
+let cell_i v = string_of_int v

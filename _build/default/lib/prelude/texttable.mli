@@ -1,0 +1,38 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, boxless tables resembling the row layout of a paper's
+    evaluation section. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] starts a table; every row must match the header
+    arity. Column alignment defaults to [Right] for cells that parse as
+    numbers and [Left] otherwise, decided per column from the data. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row. Raises [Invalid_argument] on an arity
+    mismatch. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal rule. *)
+val add_rule : t -> unit
+
+(** [render t] lays out the table as a string ending in a newline. *)
+val render : t -> string
+
+(** [headers t] and [rows t] expose the raw cells (rules omitted), e.g.
+    for CSV export. *)
+val headers : t -> string list
+
+val rows : t -> string list list
+
+(** [print t] renders to stdout. *)
+val print : t -> unit
+
+(** [cell_f v] formats a float with 4 significant digits. *)
+val cell_f : float -> string
+
+(** [cell_i v] formats an int. *)
+val cell_i : int -> string

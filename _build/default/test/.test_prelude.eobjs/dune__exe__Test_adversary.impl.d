@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Greedy_baseline List Omflp_core Omflp_instance Omflp_offline Pd_omflp Registry Run Simulator

@@ -1,0 +1,1 @@
+test/test_commodity.ml: Alcotest Array Cost_classes Cost_function Cset Format List Omflp_commodity Omflp_prelude QCheck QCheck_alcotest Splitmix

@@ -1,0 +1,1 @@
+test/test_covering.ml: Alcotest Array Bitset C_ordered Float Fun List Numerics Omflp_covering Omflp_prelude Printf QCheck QCheck_alcotest Set_cover Splitmix

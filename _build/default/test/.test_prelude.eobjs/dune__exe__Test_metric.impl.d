@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Array Finite_metric Float Graph List Metric_gen Omflp_metric Omflp_prelude Printf QCheck QCheck_alcotest Queue Sampler Splitmix String Tree_metric

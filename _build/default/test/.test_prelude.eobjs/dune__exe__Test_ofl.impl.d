@@ -1,0 +1,1 @@
+test/test_ofl.ml: Alcotest Array Finite_metric Float Fotakis_pd List Meyerson Numerics Ofl_types Omflp_metric Omflp_ofl Omflp_prelude QCheck QCheck_alcotest Sampler Splitmix

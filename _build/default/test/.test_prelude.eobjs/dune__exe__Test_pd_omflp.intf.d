@@ -1,0 +1,1 @@
+test/test_pd_omflp.mli:

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Bitset Float Format Fun List Numerics Omflp_prelude Pqueue Printf QCheck QCheck_alcotest Sampler Splitmix Stats String Texttable

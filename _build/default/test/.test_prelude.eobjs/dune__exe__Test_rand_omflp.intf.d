@@ -1,0 +1,1 @@
+test/test_rand_omflp.mli:

@@ -1,0 +1,82 @@
+open Omflp_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_shape () =
+  let outcome = Adversary.zoom_line ~levels:4 (module Pd_omflp) in
+  let inst = outcome.Adversary.realized in
+  (* batch_base * (2^0 + ... + 2^3) + final batch_base * 2^4 = 2*15 + 32 = 62 *)
+  check_int "request count" 62 (Omflp_instance.Instance.n_requests inst);
+  check_int "dyadic points" 17 (Omflp_instance.Instance.n_sites inst);
+  check_bool "zoom point in range" true
+    (outcome.Adversary.zoom_point >= 0 && outcome.Adversary.zoom_point < 17)
+
+let test_realized_instance_replays () =
+  (* The realized sequence fed back to the same (deterministic) algorithm
+     reproduces the adversarial run exactly. *)
+  let outcome = Adversary.zoom_line ~levels:5 (module Pd_omflp) in
+  let replay = Simulator.run (module Pd_omflp) outcome.Adversary.realized in
+  Alcotest.(check (float 1e-9))
+    "same cost"
+    (Run.total_cost outcome.Adversary.run)
+    (Run.total_cost replay)
+
+let test_run_validates () =
+  List.iter
+    (fun (name, algo) ->
+      let outcome = Adversary.zoom_line ~levels:4 ~seed:3 algo in
+      match Simulator.validate outcome.Adversary.realized outcome.Adversary.run with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    (Registry.extended ())
+
+let test_adversary_hurts_greedy () =
+  (* The zoom construction defeats the non-competitive GREEDY badly. *)
+  let outcome = Adversary.zoom_line ~levels:6 (module Greedy_baseline) in
+  let bracket =
+    Omflp_offline.Opt_estimate.bracket ~exact:false ~local_search:false
+      outcome.Adversary.realized
+  in
+  let ratio =
+    Run.total_cost outcome.Adversary.run
+    /. bracket.Omflp_offline.Opt_estimate.upper
+  in
+  check_bool "ratio blows up" true (ratio > 5.0)
+
+let test_pd_stays_modest () =
+  let outcome = Adversary.zoom_line ~levels:6 (module Pd_omflp) in
+  let bracket =
+    Omflp_offline.Opt_estimate.bracket ~exact:false ~local_search:false
+      outcome.Adversary.realized
+  in
+  let ratio =
+    Run.total_cost outcome.Adversary.run
+    /. bracket.Omflp_offline.Opt_estimate.upper
+  in
+  (* O(log n) with small constants: levels = 6 gives ample headroom. *)
+  check_bool "ratio stays O(log n)" true (ratio < 6.0)
+
+let test_validation () =
+  Alcotest.check_raises "levels range"
+    (Invalid_argument "Adversary.zoom_line: levels must lie in [1, 14]")
+    (fun () -> ignore (Adversary.zoom_line ~levels:0 (module Pd_omflp)));
+  Alcotest.check_raises "cost positive"
+    (Invalid_argument "Adversary.zoom_line: facility cost must be positive")
+    (fun () ->
+      ignore
+        (Adversary.zoom_line ~levels:3 ~facility_cost:0.0 (module Pd_omflp)))
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "zoom_line",
+        [
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "realized replays" `Quick test_realized_instance_replays;
+          Alcotest.test_case "all runs validate" `Quick test_run_validates;
+          Alcotest.test_case "hurts greedy" `Quick test_adversary_hurts_greedy;
+          Alcotest.test_case "pd stays modest" `Quick test_pd_stays_modest;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+open Omflp_prelude
+open Omflp_commodity
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Cset ---------- *)
+
+let test_cset_basics () =
+  let s = Cset.of_list ~n_commodities:6 [ 1; 3; 5 ] in
+  check_int "cardinal" 3 (Cset.cardinal s);
+  check_bool "mem" true (Cset.mem s 3);
+  check_bool "full?" false (Cset.is_full s);
+  check_bool "full" true (Cset.is_full (Cset.full ~n_commodities:6))
+
+let test_cset_all_subsets () =
+  check_int "2^4" 16 (List.length (Cset.all_subsets ~n_commodities:4));
+  check_int "2^4 - 1" 15 (List.length (Cset.all_nonempty_subsets ~n_commodities:4));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Cset.all_subsets: universe too large to enumerate")
+    (fun () -> ignore (Cset.all_subsets ~n_commodities:21))
+
+let test_cset_subsets_of () =
+  let s = Cset.of_list ~n_commodities:10 [ 2; 7 ] in
+  let subs = Cset.subsets_of s in
+  check_int "2^2" 4 (List.length subs);
+  check_bool "all within" true (List.for_all (fun x -> Cset.subset x s) subs)
+
+(* ---------- Cost_function ---------- *)
+
+let cfg es = Cset.of_list ~n_commodities:9 es
+
+let test_power_law_values () =
+  let f = Cost_function.power_law ~n_commodities:9 ~n_sites:2 ~x:1.0 in
+  check_float "singleton" 1.0 (Cost_function.singleton_cost f 0 3);
+  check_float "4 commodities" 2.0 (Cost_function.eval f 1 (cfg [ 0; 1; 2; 3 ]));
+  check_float "full" 3.0 (Cost_function.full_cost f 0);
+  check_float "empty is free" 0.0 (Cost_function.eval f 0 (cfg []))
+
+let test_power_law_extremes () =
+  let f0 = Cost_function.power_law ~n_commodities:9 ~n_sites:1 ~x:0.0 in
+  check_float "x=0 constant" 1.0 (Cost_function.eval f0 0 (cfg [ 1; 2; 3 ]));
+  let f2 = Cost_function.power_law ~n_commodities:9 ~n_sites:1 ~x:2.0 in
+  check_float "x=2 linear" 3.0 (Cost_function.eval f2 0 (cfg [ 1; 2; 3 ]));
+  Alcotest.check_raises "x out of range"
+    (Invalid_argument "Cost_function.power_law: x must lie in [0, 2]")
+    (fun () ->
+      ignore (Cost_function.power_law ~n_commodities:9 ~n_sites:1 ~x:2.5))
+
+let test_theorem2_cost () =
+  let f = Cost_function.theorem2 ~n_commodities:16 ~n_sites:1 in
+  check_float "singleton" 1.0 (Cost_function.singleton_cost f 0 0);
+  check_float "sqrt-size set" 1.0
+    (Cost_function.eval f 0 (Cset.of_list ~n_commodities:16 [ 0; 1; 2; 3 ]));
+  check_float "5 commodities -> 2" 2.0
+    (Cost_function.eval f 0 (Cset.of_list ~n_commodities:16 [ 0; 1; 2; 3; 4 ]));
+  check_float "full" 4.0 (Cost_function.full_cost f 0)
+
+let test_linear_and_constant () =
+  let f = Cost_function.linear ~n_commodities:5 ~n_sites:1 ~per_commodity:2.0 in
+  check_float "linear" 6.0
+    (Cost_function.eval f 0 (Cset.of_list ~n_commodities:5 [ 0; 1; 2 ]));
+  let c = Cost_function.constant ~n_commodities:5 ~n_sites:1 ~cost:7.0 in
+  check_float "constant" 7.0
+    (Cost_function.eval c 0 (Cset.of_list ~n_commodities:5 [ 0 ]))
+
+let test_site_scaled () =
+  let base = Cost_function.linear ~n_commodities:4 ~n_sites:2 ~per_commodity:1.0 in
+  let f = Cost_function.site_scaled base [| 1.0; 3.0 |] in
+  check_float "site 0" 2.0
+    (Cost_function.eval f 0 (Cset.of_list ~n_commodities:4 [ 0; 1 ]));
+  check_float "site 1" 6.0
+    (Cost_function.eval f 1 (Cset.of_list ~n_commodities:4 [ 0; 1 ]));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Cost_function.site_scaled: arity mismatch") (fun () ->
+      ignore (Cost_function.site_scaled base [| 1.0 |]))
+
+let test_of_table () =
+  let table = [| [| 0.0; 1.0; 2.0; 2.5 |] |] in
+  let f = Cost_function.of_table ~n_commodities:2 table in
+  check_float "{0}" 1.0 (Cost_function.eval f 0 (Cset.of_list ~n_commodities:2 [ 0 ]));
+  check_float "{1}" 2.0 (Cost_function.eval f 0 (Cset.of_list ~n_commodities:2 [ 1 ]));
+  check_float "{0,1}" 2.5 (Cost_function.full_cost f 0);
+  Alcotest.check_raises "empty config"
+    (Invalid_argument "Cost_function.of_table: empty configuration must cost 0")
+    (fun () ->
+      ignore (Cost_function.of_table ~n_commodities:1 [| [| 1.0; 1.0 |] |]))
+
+let test_eval_validation () =
+  let f = Cost_function.power_law ~n_commodities:4 ~n_sites:2 ~x:1.0 in
+  Alcotest.check_raises "site range"
+    (Invalid_argument "Cost_function.eval: site 2 outside [0, 2)") (fun () ->
+      ignore (Cost_function.eval f 2 (Cset.full ~n_commodities:4)));
+  Alcotest.check_raises "wrong universe"
+    (Invalid_argument "Cost_function.eval: configuration from wrong universe")
+    (fun () -> ignore (Cost_function.eval f 0 (Cset.full ~n_commodities:5)))
+
+let test_condition1_families () =
+  (* All power-law members satisfy Condition 1. *)
+  List.iter
+    (fun x ->
+      let f = Cost_function.power_law ~n_commodities:8 ~n_sites:2 ~x in
+      match Cost_function.check_condition1 f with
+      | Ok () -> ()
+      | Error (m, sigma) ->
+          Alcotest.failf "x=%.1f violates Condition 1 at site %d, %s" x m
+            (Format.asprintf "%a" Cset.pp sigma))
+    [ 0.0; 0.5; 1.0; 1.5; 2.0 ];
+  match
+    Cost_function.check_condition1
+      (Cost_function.theorem2 ~n_commodities:16 ~n_sites:1)
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "theorem2 cost violates Condition 1"
+
+let test_condition1_detects_violation () =
+  (* Per-commodity cost much cheaper than full set: violates Condition 1. *)
+  let f =
+    Cost_function.make ~name:"bad" ~n_commodities:4 ~n_sites:1 (fun _ sigma ->
+        if Cset.is_full sigma then 100.0 else float_of_int (Cset.cardinal sigma))
+  in
+  match Cost_function.check_condition1 f with
+  | Ok () -> Alcotest.fail "violation not detected"
+  | Error _ -> ()
+
+let test_subadditive_families () =
+  List.iter
+    (fun x ->
+      let f = Cost_function.power_law ~n_commodities:6 ~n_sites:1 ~x in
+      match Cost_function.check_subadditive f with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "x=%.1f not subadditive" x)
+    [ 0.0; 1.0; 2.0 ]
+
+let test_subadditive_detects_violation () =
+  (* Superadditive: f(|sigma|) = |sigma|^2. *)
+  let f =
+    Cost_function.size_based ~name:"square" ~n_commodities:5 ~n_sites:1
+      (fun k -> float_of_int (k * k))
+  in
+  match Cost_function.check_subadditive f with
+  | Ok () -> Alcotest.fail "superadditivity not detected"
+  | Error _ -> ()
+
+let test_condition1_sampled_branch () =
+  (* Universe above the exhaustive limit exercises the sampled path. *)
+  let f = Cost_function.power_law ~n_commodities:40 ~n_sites:2 ~x:1.0 in
+  match
+    Cost_function.check_condition1 ~exhaustive_limit:10 ~samples:500
+      ~rng:(Splitmix.of_int 3) f
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "sampled check false positive"
+
+(* ---------- Cost_classes ---------- *)
+
+let test_round_down_pow2 () =
+  check_float "5 -> 4" 4.0 (Cost_classes.round_down_pow2 5.0);
+  check_float "0 -> 0" 0.0 (Cost_classes.round_down_pow2 0.0);
+  check_float "1 -> 1" 1.0 (Cost_classes.round_down_pow2 1.0)
+
+let test_classes_structure () =
+  (* Sites with costs 1, 3, 5, 8 for singleton {0} round to 1, 2, 4, 8. *)
+  let f =
+    Cost_function.make ~name:"per-site" ~n_commodities:2 ~n_sites:4
+      (fun m sigma ->
+        float_of_int (Cset.cardinal sigma) *. [| 1.0; 3.0; 5.0; 8.0 |].(m))
+  in
+  let t = Cost_classes.build f in
+  let cs = Cost_classes.classes t (Cost_classes.Single 0) in
+  check_int "4 classes" 4 (Array.length cs);
+  check_float "first" 1.0 cs.(0).Cost_classes.cost;
+  check_float "last" 8.0 cs.(3).Cost_classes.cost;
+  (* Strictly increasing. *)
+  for i = 1 to Array.length cs - 1 do
+    check_bool "increasing" true
+      (cs.(i).Cost_classes.cost > cs.(i - 1).Cost_classes.cost)
+  done
+
+let test_classes_grouping () =
+  (* Costs 4 and 5 share the rounded class 4. *)
+  let f =
+    Cost_function.make ~name:"grouped" ~n_commodities:1 ~n_sites:3
+      (fun m _ -> [| 4.0; 5.0; 16.0 |].(m))
+  in
+  let t = Cost_classes.build f in
+  let cs = Cost_classes.classes t (Cost_classes.Single 0) in
+  check_int "2 classes" 2 (Array.length cs);
+  check_int "first class has 2 sites" 2 (Array.length cs.(0).Cost_classes.sites)
+
+let test_cumulative_min_dist () =
+  let f =
+    Cost_function.make ~name:"per-site" ~n_commodities:1 ~n_sites:3
+      (fun m _ -> [| 1.0; 2.0; 4.0 |].(m))
+  in
+  let t = Cost_classes.build f in
+  (* distances to sites 0,1,2 are 5, 1, 3. *)
+  let dist_to = function 0 -> 5.0 | 1 -> 1.0 | _ -> 3.0 in
+  check_float "class 0 only" 5.0
+    (Cost_classes.cumulative_min_dist t (Cost_classes.Single 0) ~dist_to ~upto:0);
+  check_float "classes 0-1" 1.0
+    (Cost_classes.cumulative_min_dist t (Cost_classes.Single 0) ~dist_to ~upto:1);
+  check_float "all" 1.0
+    (Cost_classes.cumulative_min_dist t (Cost_classes.Single 0) ~dist_to ~upto:2)
+
+let test_nearest_site_in_class () =
+  let f =
+    Cost_function.make ~name:"uniform" ~n_commodities:1 ~n_sites:4
+      (fun _ _ -> 2.0)
+  in
+  let t = Cost_classes.build f in
+  let dist_to = function 2 -> 0.5 | m -> float_of_int (m + 1) in
+  let site, d =
+    Cost_classes.nearest_site_in_class t (Cost_classes.Single 0) ~dist_to
+      ~cls_idx:0
+  in
+  check_int "site" 2 site;
+  check_float "dist" 0.5 d
+
+let test_all_key () =
+  let f = Cost_function.power_law ~n_commodities:4 ~n_sites:3 ~x:1.0 in
+  let t = Cost_classes.build f in
+  check_int "single class for uniform cost" 1
+    (Cost_classes.n_classes t Cost_classes.All);
+  check_float "full cost rounded" 2.0
+    (Cost_classes.classes t Cost_classes.All).(0).Cost_classes.cost
+
+(* Property: for any size-based subadditive monotone g, classes are sound:
+   rounded cost within factor 2 below the true cost. *)
+let prop_class_rounding =
+  QCheck.Test.make ~name:"class cost within [f/2, f]" ~count:100
+    QCheck.(pair (int_range 1 10) (int_range 1 5))
+    (fun (s, sites) ->
+      let f = Cost_function.power_law ~n_commodities:s ~n_sites:sites ~x:1.0 in
+      let t = Cost_classes.build f in
+      let ok = ref true in
+      for e = 0 to s - 1 do
+        Array.iter
+          (fun (c : Cost_classes.cls) ->
+            Array.iter
+              (fun m ->
+                let true_cost = Cost_function.singleton_cost f m e in
+                if not (c.cost <= true_cost && true_cost < 2.0 *. c.cost +. 1e-9)
+                then ok := false)
+              c.sites)
+          (Cost_classes.classes t (Cost_classes.Single e))
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "commodity"
+    [
+      ( "cset",
+        [
+          Alcotest.test_case "basics" `Quick test_cset_basics;
+          Alcotest.test_case "all subsets" `Quick test_cset_all_subsets;
+          Alcotest.test_case "subsets_of" `Quick test_cset_subsets_of;
+        ] );
+      ( "cost_function",
+        [
+          Alcotest.test_case "power law values" `Quick test_power_law_values;
+          Alcotest.test_case "power law extremes" `Quick test_power_law_extremes;
+          Alcotest.test_case "theorem2" `Quick test_theorem2_cost;
+          Alcotest.test_case "linear/constant" `Quick test_linear_and_constant;
+          Alcotest.test_case "site scaled" `Quick test_site_scaled;
+          Alcotest.test_case "of_table" `Quick test_of_table;
+          Alcotest.test_case "eval validation" `Quick test_eval_validation;
+          Alcotest.test_case "Condition 1: families" `Quick test_condition1_families;
+          Alcotest.test_case "Condition 1: violation" `Quick
+            test_condition1_detects_violation;
+          Alcotest.test_case "subadditive families" `Quick test_subadditive_families;
+          Alcotest.test_case "superadditive detected" `Quick
+            test_subadditive_detects_violation;
+          Alcotest.test_case "Condition 1: sampled branch" `Quick
+            test_condition1_sampled_branch;
+        ] );
+      ( "cost_classes",
+        [
+          Alcotest.test_case "round_down_pow2" `Quick test_round_down_pow2;
+          Alcotest.test_case "structure" `Quick test_classes_structure;
+          Alcotest.test_case "grouping" `Quick test_classes_grouping;
+          Alcotest.test_case "cumulative min dist" `Quick test_cumulative_min_dist;
+          Alcotest.test_case "nearest in class" `Quick test_nearest_site_in_class;
+          Alcotest.test_case "All key" `Quick test_all_key;
+          QCheck_alcotest.to_alcotest prop_class_rounding;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+open Omflp_prelude
+open Omflp_covering
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+(* ---------- C_ordered (Definition 9, Lemmas 10-12) ---------- *)
+
+let empty_b n = Array.init n (fun _ -> Bitset.create n)
+
+let test_make_validation () =
+  let n = 4 in
+  (* B_1 containing element 2 >= 1 is invalid. *)
+  let bad = empty_b n in
+  bad.(1) <- Bitset.of_list n [ 2 ];
+  Alcotest.check_raises "element too large"
+    (Invalid_argument "C_ordered.make: B_1 contains 2 >= 1") (fun () ->
+      ignore (C_ordered.make ~c:1.0 bad));
+  (* Monotonicity violation: B_2 = {0}, B_3 = {1}. *)
+  let nonmono = empty_b n in
+  nonmono.(2) <- Bitset.of_list n [ 0 ];
+  nonmono.(3) <- Bitset.of_list n [ 1 ];
+  Alcotest.check_raises "monotonicity"
+    (Invalid_argument "C_ordered.make: monotonicity fails at 3") (fun () ->
+      ignore (C_ordered.make ~c:1.0 nonmono));
+  Alcotest.check_raises "non-positive c"
+    (Invalid_argument "C_ordered.make: c must be positive") (fun () ->
+      ignore (C_ordered.make ~c:0.0 (empty_b 2)))
+
+let test_a_set () =
+  let n = 4 in
+  let bs = empty_b n in
+  bs.(3) <- Bitset.of_list n [ 1 ];
+  let t = C_ordered.make ~c:1.0 bs in
+  Alcotest.(check (list int)) "A_3" [ 0; 2 ] (Bitset.elements (C_ordered.a_set t 3));
+  Alcotest.(check (list int)) "A_0" [] (Bitset.elements (C_ordered.a_set t 0))
+
+let test_empty_b_solution () =
+  (* With all B_i empty, element n-1 copes everything: one coping set of
+     weight c covers the whole instance. *)
+  let t = C_ordered.make ~c:5.0 (empty_b 6) in
+  let cover = C_ordered.solve t in
+  check_float "one set of weight c" 5.0 cover.C_ordered.total_weight;
+  check_bool "covers all" true
+    (Bitset.equal (C_ordered.covered_elements t cover) (Bitset.full 6))
+
+let test_full_b_solution () =
+  (* B_i = {0,...,i-1}: coping sets are singletons; cheapest option is the
+     singleton set of weight c/(|B_i|+1), so the total is c*H_n. *)
+  let n = 5 in
+  let bs = Array.init n (fun i -> Bitset.of_list n (List.init i Fun.id)) in
+  let t = C_ordered.make ~c:1.0 bs in
+  let cover = C_ordered.solve t in
+  check_float "harmonic total" (Numerics.harmonic n) cover.C_ordered.total_weight
+
+let test_single_element () =
+  let t = C_ordered.make ~c:3.0 (empty_b 1) in
+  let cover = C_ordered.solve t in
+  check_float "weight" 3.0 cover.C_ordered.total_weight
+
+let test_weight_of_choice () =
+  let n = 3 in
+  let bs = empty_b n in
+  bs.(2) <- Bitset.of_list n [ 0 ];
+  let t = C_ordered.make ~c:4.0 bs in
+  check_float "coping weight" 4.0 (C_ordered.weight_of_choice t (C_ordered.Take_coping 2));
+  check_float "singleton weight" 2.0
+    (C_ordered.weight_of_choice t (C_ordered.Take_singletons [ 2 ]));
+  check_float "singleton weight (empty B)" 4.0
+    (C_ordered.weight_of_choice t (C_ordered.Take_singletons [ 1 ]))
+
+let test_mixed_blocks () =
+  (* Two blocks: B_0 = B_1 = ∅, B_2 = B_3 = {0}. The last block {2,3} has
+     |B| = 1, m = 4: coping covers m − |B| = 3 elements at c/3 each,
+     singletons cost c/2 each — coping wins, removing {3} ∪ A_3 = {1,2,3}.
+     Remaining {0}: one coping set of weight c. Total 2c ≤ 2cH_4. *)
+  let n = 4 in
+  let bs = empty_b n in
+  bs.(2) <- Bitset.of_list n [ 0 ];
+  bs.(3) <- Bitset.of_list n [ 0 ];
+  let t = C_ordered.make ~c:3.0 bs in
+  let cover = C_ordered.solve t in
+  check_float "two coping rounds" 6.0 cover.C_ordered.total_weight;
+  check_bool "covers all" true
+    (Bitset.equal (C_ordered.covered_elements t cover) (Bitset.full n));
+  check_bool "within Lemma 12 bound" true
+    (cover.C_ordered.total_weight <= C_ordered.bound t +. 1e-9)
+
+let instance_gen =
+  QCheck.make
+    ~print:(fun t -> Printf.sprintf "c-ordered instance of size %d" (C_ordered.n t))
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* c = float_range 0.5 10.0 in
+      let* p = float_range 0.0 0.9 in
+      let* seed = int_bound 1_000_000 in
+      return (C_ordered.random (Splitmix.of_int seed) ~n ~c ~growth_p:p))
+
+(* Lemma 12 executable: the produced covering never exceeds 2cH_n. *)
+let prop_lemma12_bound =
+  QCheck.Test.make ~name:"Lemma 12: solve weight <= 2cH_n" ~count:300
+    instance_gen (fun t ->
+      let cover = C_ordered.solve t in
+      cover.C_ordered.total_weight <= C_ordered.bound t +. 1e-9)
+
+let prop_solve_covers =
+  QCheck.Test.make ~name:"solve covers every element" ~count:300 instance_gen
+    (fun t ->
+      Bitset.equal
+        (C_ordered.covered_elements t (C_ordered.solve t))
+        (Bitset.full (C_ordered.n t)))
+
+let prop_weight_consistent =
+  QCheck.Test.make ~name:"reported weight = sum of choice weights" ~count:200
+    instance_gen (fun t ->
+      let cover = C_ordered.solve t in
+      let recomputed =
+        List.fold_left
+          (fun acc ch -> acc +. C_ordered.weight_of_choice t ch)
+          0.0 cover.C_ordered.rounds
+      in
+      Float.abs (recomputed -. cover.C_ordered.total_weight) < 1e-9)
+
+(* ---------- Set_cover ---------- *)
+
+let mk_sets specs =
+  Array.of_list
+    (List.map
+       (fun (w, members) ->
+         { Set_cover.weight = w; members = Bitset.of_list 6 members })
+       specs)
+
+let test_exact_simple () =
+  let sets =
+    mk_sets
+      [ (3.0, [ 0; 1; 2 ]); (3.0, [ 3; 4; 5 ]); (1.5, [ 0; 1; 2; 3; 4; 5 ]) ]
+  in
+  let chosen, w = Set_cover.exact ~universe:6 sets in
+  check_float "picks the cheap superset" 1.5 w;
+  Alcotest.(check (list int)) "chosen" [ 2 ] chosen
+
+let test_exact_needs_combination () =
+  let sets = mk_sets [ (1.0, [ 0; 1 ]); (1.0, [ 2; 3 ]); (1.0, [ 4; 5 ]); (2.5, [ 0; 1; 2; 3; 4; 5 ]) ] in
+  let _, w = Set_cover.exact ~universe:6 sets in
+  check_float "three cheap sets win" 2.5 w
+
+let test_uncoverable () =
+  let sets = mk_sets [ (1.0, [ 0; 1 ]) ] in
+  Alcotest.check_raises "uncoverable"
+    (Invalid_argument "Set_cover: sets do not cover the target") (fun () ->
+      ignore (Set_cover.exact ~universe:6 sets))
+
+let test_greedy_partial () =
+  let sets = mk_sets [ (1.0, [ 0; 1 ]); (1.0, [ 2 ]); (10.0, [ 3 ]) ] in
+  let chosen, w =
+    Set_cover.greedy_partial ~target:(Bitset.of_list 6 [ 0; 2 ]) sets
+  in
+  check_float "covers only target" 2.0 w;
+  Alcotest.(check (list int)) "chosen" [ 0; 1 ] (List.sort compare chosen)
+
+let cover_gen =
+  QCheck.make
+    ~print:(fun (u, sets) ->
+      Printf.sprintf "universe=%d, %d sets" u (List.length sets))
+    QCheck.Gen.(
+      let* u = int_range 1 10 in
+      let* n_sets = int_range 1 12 in
+      let* sets =
+        list_repeat n_sets
+          (let* w = float_range 0.1 10.0 in
+           let* members = list_size (int_range 1 u) (int_bound (u - 1)) in
+           return (w, members))
+      in
+      (* Add a universal set so every instance is coverable. *)
+      return (u, (20.0, List.init u Fun.id) :: sets))
+
+let prop_greedy_vs_exact =
+  QCheck.Test.make ~name:"exact <= greedy <= H_n * exact" ~count:300 cover_gen
+    (fun (u, specs) ->
+      let sets =
+        Array.of_list
+          (List.map
+             (fun (w, members) ->
+               { Set_cover.weight = w; members = Bitset.of_list u members })
+             specs)
+      in
+      let _, exact = Set_cover.exact ~universe:u sets in
+      let _, greedy = Set_cover.greedy ~universe:u sets in
+      exact <= greedy +. 1e-9
+      && greedy <= (Numerics.harmonic u *. exact) +. 1e-9)
+
+let prop_exact_choice_is_cover =
+  QCheck.Test.make ~name:"exact choice covers and matches weight" ~count:300
+    cover_gen (fun (u, specs) ->
+      let sets =
+        Array.of_list
+          (List.map
+             (fun (w, members) ->
+               { Set_cover.weight = w; members = Bitset.of_list u members })
+             specs)
+      in
+      let chosen, w = Set_cover.exact ~universe:u sets in
+      let union =
+        List.fold_left
+          (fun acc i -> Bitset.union acc sets.(i).Set_cover.members)
+          (Bitset.create u) chosen
+      in
+      let weight =
+        List.fold_left (fun acc i -> acc +. sets.(i).Set_cover.weight) 0.0 chosen
+      in
+      Bitset.equal union (Bitset.full u) && Float.abs (weight -. w) < 1e-9)
+
+let () =
+  Alcotest.run "covering"
+    [
+      ( "c_ordered",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "a_set" `Quick test_a_set;
+          Alcotest.test_case "empty B" `Quick test_empty_b_solution;
+          Alcotest.test_case "full B" `Quick test_full_b_solution;
+          Alcotest.test_case "single element" `Quick test_single_element;
+          Alcotest.test_case "choice weights" `Quick test_weight_of_choice;
+          Alcotest.test_case "mixed blocks" `Quick test_mixed_blocks;
+          QCheck_alcotest.to_alcotest prop_lemma12_bound;
+          QCheck_alcotest.to_alcotest prop_solve_covers;
+          QCheck_alcotest.to_alcotest prop_weight_consistent;
+        ] );
+      ( "set_cover",
+        [
+          Alcotest.test_case "exact simple" `Quick test_exact_simple;
+          Alcotest.test_case "exact combination" `Quick test_exact_needs_combination;
+          Alcotest.test_case "uncoverable" `Quick test_uncoverable;
+          Alcotest.test_case "greedy partial" `Quick test_greedy_partial;
+          QCheck_alcotest.to_alcotest prop_greedy_vs_exact;
+          QCheck_alcotest.to_alcotest prop_exact_choice_is_cover;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+open Omflp_prelude
+open Omflp_experiments
+
+let check_float tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    if i + n > String.length haystack then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ---------- E2 closed-form values (Figure 2) ---------- *)
+
+let test_e2_endpoints () =
+  let s = 10_000 in
+  (* x = 0 and x = 2: both factors are 1 (the OFLP regime). *)
+  check_float 1e-9 "upper x=0" 1.0 (Exp_bounds_curve.upper_factor ~n_commodities:s ~x:0.0);
+  check_float 1e-9 "upper x=2" 1.0 (Exp_bounds_curve.upper_factor ~n_commodities:s ~x:2.0);
+  check_float 1e-9 "lower x=0" 1.0 (Exp_bounds_curve.lower_factor ~n_commodities:s ~x:0.0);
+  check_float 1e-9 "lower x=2" 1.0 (Exp_bounds_curve.lower_factor ~n_commodities:s ~x:2.0)
+
+let test_e2_peak () =
+  let s = 10_000 in
+  (* Peak 4th root of |S| = 10 at x = 1, where both curves meet. *)
+  check_float 1e-9 "upper x=1" 10.0 (Exp_bounds_curve.upper_factor ~n_commodities:s ~x:1.0);
+  check_float 1e-9 "lower x=1" 10.0 (Exp_bounds_curve.lower_factor ~n_commodities:s ~x:1.0)
+
+let test_e2_upper_dominates () =
+  let s = 10_000 in
+  for i = 0 to 40 do
+    let x = 2.0 *. float_of_int i /. 40.0 in
+    check_bool
+      (Printf.sprintf "x=%.2f" x)
+      true
+      (Exp_bounds_curve.upper_factor ~n_commodities:s ~x
+       >= Exp_bounds_curve.lower_factor ~n_commodities:s ~x -. 1e-9)
+  done
+
+let test_e2_symmetry () =
+  let s = 10_000 in
+  (* Both curves are symmetric around x = 1. *)
+  List.iter
+    (fun x ->
+      check_float 1e-9 "upper symmetric"
+        (Exp_bounds_curve.upper_factor ~n_commodities:s ~x)
+        (Exp_bounds_curve.upper_factor ~n_commodities:s ~x:(2.0 -. x));
+      check_float 1e-9 "lower symmetric"
+        (Exp_bounds_curve.lower_factor ~n_commodities:s ~x)
+        (Exp_bounds_curve.lower_factor ~n_commodities:s ~x:(2.0 -. x)))
+    [ 0.0; 0.3; 0.7; 1.0 ]
+
+let test_e2_section () =
+  let section = Exp_bounds_curve.run ~n_commodities:10_000 ~steps:10 () in
+  let rendered = Texttable.render section.Exp_common.table in
+  check_bool "has peak row" true (contains rendered "1.00");
+  check_bool "titled" true (contains section.Exp_common.title "Figure 2")
+
+(* ---------- Experiment smoke runs (minimal sizes) ---------- *)
+
+let test_e1_smoke () =
+  let section = Exp_lower_bound.run ~reps:2 ~sizes:[ 16 ] ~seed:1 () in
+  let rendered = Texttable.render section.Exp_common.table in
+  check_bool "mentions PD" true (contains rendered "PD-OMFLP");
+  check_bool "mentions both regimes" true
+    (contains rendered "|S'|=sqrt|S|" && contains rendered "|S'|=|S|")
+
+let test_e3_smoke () =
+  let section =
+    Exp_cost_sweep.run ~reps:2 ~n_commodities:16 ~xs:[ 0.0; 1.0; 2.0 ] ~seed:1 ()
+  in
+  check_bool "has rows" true
+    (contains (Texttable.render section.Exp_common.table) "RAND-OMFLP")
+
+let test_e4_smoke () =
+  let section = Exp_scaling_n.run ~reps:1 ~ns:[ 20; 40 ] ~n_commodities:4 ~seed:1 () in
+  check_bool "has rows" true
+    (contains (Texttable.render section.Exp_common.table) "INDEP")
+
+let test_e5_smoke () =
+  let section = Exp_algorithms_table.run ~reps:1 ~quick:true ~seed:1 () in
+  check_bool "has all families" true
+    (let r = Texttable.render section.Exp_common.table in
+     contains r "line" && contains r "clustered" && contains r "network")
+
+let test_e6_smoke () =
+  let section = Exp_ablation.run ~reps:1 ~seed:1 () in
+  check_bool "has all costs" true
+    (let r = Texttable.render section.Exp_common.table in
+     contains r "linear" && contains r "sqrt" && contains r "constant")
+
+let test_e8_smoke () =
+  let section = Exp_heavy.run ~reps:1 ~surcharges:[ 0.0; 10.0 ] ~seed:1 () in
+  check_bool "has heavy-aware rows" true
+    (contains (Texttable.render section.Exp_common.table) "HEAVY-AWARE")
+
+let test_e9_smoke () =
+  let section = Exp_model_transform.run ~reps:1 ~seed:1 () in
+  check_bool "has inflation column" true
+    (contains (Texttable.render section.Exp_common.table) "PD-OMFLP")
+
+let test_e10_smoke () =
+  let section = Exp_adversarial.run ~levels_list:[ 3 ] ~seed:1 () in
+  check_bool "has rows" true
+    (contains (Texttable.render section.Exp_common.table) "GREEDY")
+
+let test_suite_dispatch () =
+  check_int "nine experiments" 9 (List.length Suite.ids);
+  Alcotest.check_raises "unknown id" (Invalid_argument "unknown experiment id \"e12\"")
+    (fun () -> ignore (Suite.run ~quick:true ~which:"e12"));
+  check_int "single" 1 (List.length (Suite.run ~quick:true ~which:"e2"))
+
+(* ---------- Export ---------- *)
+
+let test_csv_string () =
+  let section = Exp_bounds_curve.run ~n_commodities:100 ~steps:2 () in
+  let csv = Export.csv_string section in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 3 rows" 4 (List.length lines);
+  (* The lower-bound header contains a comma and must be quoted. *)
+  check_bool "quoted header" true (contains (List.hd lines) "\"lower:")
+
+let test_csv_escaping () =
+  let t = Texttable.create [ "a"; "b" ] in
+  Texttable.add_row t [ "plain"; "has,comma" ];
+  Texttable.add_row t [ "has\"quote"; "fine" ];
+  let section = { Exp_common.title = "x"; notes = []; table = t } in
+  let csv = Export.csv_string section in
+  check_bool "comma quoted" true (contains csv "\"has,comma\"");
+  check_bool "quote doubled" true (contains csv "\"has\"\"quote\"")
+
+let test_slug () =
+  Alcotest.(check string)
+    "slug" "e2-figure-2-bound-curves-s-10000"
+    (Export.slug "E2: Figure 2 bound curves (|S| = 10000)");
+  Alcotest.(check string) "empty" "section" (Export.slug "!!!")
+
+let test_write_csv () =
+  let dir = Filename.temp_file "omflp" "" in
+  Sys.remove dir;
+  let section = Exp_bounds_curve.run ~n_commodities:100 ~steps:2 () in
+  let path = Export.write_csv ~dir section in
+  check_bool "file exists" true (Sys.file_exists path);
+  let content = In_channel.with_open_text path In_channel.input_all in
+  check_bool "has data" true (String.length content > 20);
+  Sys.remove path;
+  Sys.rmdir dir
+
+(* ---------- Exp_common.measure ---------- *)
+
+let test_measure_shapes () =
+  let outcome =
+    Exp_common.measure ~reps:2 ~seed:3
+      ~gen:(fun rng -> Omflp_instance.Generators.theorem2 rng ~n_commodities:16)
+      ~algos:(Exp_common.default_algos ())
+      ()
+  in
+  check_int "five measurements" 5 (List.length outcome.Exp_common.measurements);
+  List.iter
+    (fun (m : Exp_common.measurement) ->
+      check_int "reps" 2 (Array.length m.costs);
+      Array.iter (fun c -> check_bool "cost > 0" true (c > 0.0)) m.costs;
+      Array.iter (fun r -> check_bool "ratio >= 1" true (r >= 1.0 -. 1e-6)) m.ratios_vs_upper)
+    outcome.Exp_common.measurements
+
+let test_measure_validates_reps () =
+  Alcotest.check_raises "reps" (Invalid_argument "Exp_common.measure: reps must be positive")
+    (fun () ->
+      ignore
+        (Exp_common.measure ~reps:0 ~seed:1
+           ~gen:(fun rng -> Omflp_instance.Generators.theorem2 rng ~n_commodities:16)
+           ~algos:[] ()))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "figure2",
+        [
+          Alcotest.test_case "endpoints" `Quick test_e2_endpoints;
+          Alcotest.test_case "peak" `Quick test_e2_peak;
+          Alcotest.test_case "upper dominates lower" `Quick test_e2_upper_dominates;
+          Alcotest.test_case "symmetry" `Quick test_e2_symmetry;
+          Alcotest.test_case "section" `Quick test_e2_section;
+        ] );
+      ( "smoke",
+        [
+          Alcotest.test_case "e1" `Slow test_e1_smoke;
+          Alcotest.test_case "e3" `Slow test_e3_smoke;
+          Alcotest.test_case "e4" `Slow test_e4_smoke;
+          Alcotest.test_case "e5" `Slow test_e5_smoke;
+          Alcotest.test_case "e6" `Slow test_e6_smoke;
+          Alcotest.test_case "e8" `Slow test_e8_smoke;
+          Alcotest.test_case "e9" `Slow test_e9_smoke;
+          Alcotest.test_case "e10" `Slow test_e10_smoke;
+          Alcotest.test_case "suite dispatch" `Quick test_suite_dispatch;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "csv string" `Quick test_csv_string;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "slug" `Quick test_slug;
+          Alcotest.test_case "write csv" `Quick test_write_csv;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "shapes" `Quick test_measure_shapes;
+          Alcotest.test_case "validates reps" `Quick test_measure_validates_reps;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+open Omflp_core
+
+let check_float tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let surcharged ~w ~n_commodities ~n_sites =
+  let base = Cost_function.power_law ~n_commodities ~n_sites ~x:1.0 in
+  let surcharges = Array.make n_commodities 0.0 in
+  surcharges.(0) <- w;
+  Cost_function.with_surcharge base ~surcharges
+
+(* ---------- Heavy detection ---------- *)
+
+let test_marginal () =
+  let cost = surcharged ~w:10.0 ~n_commodities:4 ~n_sites:2 in
+  (* Marginal of commodity 0 = sqrt4 - sqrt3 + 10; of others = sqrt4 - sqrt3. *)
+  let base_marginal = 2.0 -. sqrt 3.0 in
+  check_float 1e-9 "heavy marginal" (base_marginal +. 10.0)
+    (Heavy.marginal cost ~commodity:0);
+  check_float 1e-9 "light marginal" base_marginal (Heavy.marginal cost ~commodity:1)
+
+let test_detect_surcharged () =
+  let cost = surcharged ~w:10.0 ~n_commodities:4 ~n_sites:2 in
+  let heavy = Heavy.detect cost in
+  Alcotest.(check (list int)) "only commodity 0" [ 0 ] (Cset.elements heavy)
+
+let test_detect_clean_families () =
+  List.iter
+    (fun x ->
+      let cost = Cost_function.power_law ~n_commodities:8 ~n_sites:3 ~x in
+      check_bool
+        (Printf.sprintf "x=%.1f has no heavy commodities" x)
+        true
+        (Cset.is_empty (Heavy.detect cost)))
+    [ 0.0; 1.0; 2.0 ]
+
+let test_detect_never_everything () =
+  (* Every commodity very heavy: detection must keep one light. *)
+  let base = Cost_function.constant ~n_commodities:3 ~n_sites:1 ~cost:0.001 in
+  let cost = Cost_function.with_surcharge base ~surcharges:[| 5.0; 7.0; 9.0 |] in
+  let heavy = Heavy.detect cost in
+  check_bool "not all heavy" true (Cset.cardinal heavy < 3)
+
+(* ---------- Heavy_aware algorithm ---------- *)
+
+let clustered_instance ~w seed =
+  let rng = Splitmix.of_int seed in
+  Generators.clustered rng ~clusters:2 ~per_cluster:3 ~n_requests:15
+    ~n_commodities:5 ~side:30.0 ~spread:1.0
+    ~cost:(fun ~n_commodities ~n_sites -> surcharged ~w ~n_commodities ~n_sites)
+
+let test_heavy_aware_valid () =
+  for seed = 0 to 10 do
+    let inst = clustered_instance ~w:8.0 seed in
+    let run = Simulator.run ~check:false (module Heavy_aware) inst in
+    match Simulator.validate inst run with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let test_heavy_aware_equals_pd_when_clean () =
+  (* Without heavy commodities the algorithm must coincide with PD. *)
+  for seed = 0 to 5 do
+    let inst = clustered_instance ~w:0.0 seed in
+    let pd = Simulator.run (module Pd_omflp) inst in
+    let ha = Simulator.run (module Heavy_aware) inst in
+    check_float 1e-9
+      (Printf.sprintf "seed %d" seed)
+      (Run.total_cost pd) (Run.total_cost ha)
+  done
+
+let test_heavy_aware_avoids_surcharge_in_large () =
+  let inst = clustered_instance ~w:25.0 3 in
+  let t = Heavy_aware.create inst.Instance.metric inst.Instance.cost in
+  Array.iter (fun r -> ignore (Heavy_aware.step t r)) inst.Instance.requests;
+  Alcotest.(check (list int))
+    "detected commodity 0" [ 0 ]
+    (Cset.elements (Heavy_aware.heavy_set t));
+  (* No opened facility may bundle the heavy commodity with others. *)
+  List.iter
+    (fun (f : Facility.t) ->
+      if Cset.mem f.offered 0 then
+        check_int "heavy commodity only in singletons" 1 (Cset.cardinal f.offered))
+    (Run.of_store ~algorithm:"x" (Heavy_aware.store t)).Run.facilities
+
+let test_heavy_aware_beats_pd_on_heavy () =
+  (* Not a per-instance domination (PD's large facilities can amortize the
+     surcharge when the heavy commodity is demanded by many co-located
+     requests), but in aggregate the fix pays. *)
+  let total algo inst = Run.total_cost (Simulator.run algo inst) in
+  let pd_sum = ref 0.0 and ha_sum = ref 0.0 in
+  let wins = ref 0 in
+  for seed = 0 to 7 do
+    let inst = clustered_instance ~w:25.0 seed in
+    let pd = total (module Pd_omflp) inst in
+    let ha = total (module Heavy_aware) inst in
+    pd_sum := !pd_sum +. pd;
+    ha_sum := !ha_sum +. ha;
+    if ha <= pd +. 1e-9 then incr wins
+  done;
+  check_bool "wins a majority" true (!wins >= 4);
+  check_bool "wins in aggregate" true (!ha_sum < !pd_sum)
+
+let test_explicit_heavy_set () =
+  let inst = clustered_instance ~w:0.0 1 in
+  let heavy = Cset.of_list ~n_commodities:5 [ 2; 4 ] in
+  let t =
+    Heavy_aware.create_with_heavy ~heavy inst.Instance.metric inst.Instance.cost
+  in
+  Array.iter (fun r -> ignore (Heavy_aware.step t r)) inst.Instance.requests;
+  check_bool "uses the given set" true (Cset.equal heavy (Heavy_aware.heavy_set t));
+  (* Commodities 2 and 4 never appear in a multi-commodity facility. *)
+  List.iter
+    (fun (f : Facility.t) ->
+      if Cset.mem f.offered 2 || Cset.mem f.offered 4 then
+        check_int "singleton only" 1 (Cset.cardinal f.offered))
+    (Run.of_store ~algorithm:"x" (Heavy_aware.store t)).Run.facilities
+
+let test_all_heavy_rejected () =
+  let inst = clustered_instance ~w:0.0 1 in
+  Alcotest.check_raises "no light left"
+    (Invalid_argument "Heavy_aware.create_with_heavy: no light commodities left")
+    (fun () ->
+      ignore
+        (Heavy_aware.create_with_heavy
+           ~heavy:(Cset.full ~n_commodities:5)
+           inst.Instance.metric inst.Instance.cost))
+
+(* ---------- Cost_function.project / with_surcharge ---------- *)
+
+let test_project_semantics () =
+  let cost = Cost_function.power_law ~n_commodities:6 ~n_sites:2 ~x:1.0 in
+  let keep = Cset.of_list ~n_commodities:6 [ 1; 3; 4 ] in
+  let projected, map = Cost_function.project cost ~keep in
+  check_int "universe" 3 (Cost_function.n_commodities projected);
+  Alcotest.(check (list int)) "map" [ 1; 3; 4 ] (Array.to_list map);
+  (* f'({0,2}) = f({1,4}) = sqrt 2. *)
+  check_float 1e-9 "projected eval" (sqrt 2.0)
+    (Cost_function.eval projected 0 (Cset.of_list ~n_commodities:3 [ 0; 2 ]));
+  check_float 1e-9 "projected full = f(keep)" (sqrt 3.0)
+    (Cost_function.full_cost projected 1)
+
+let test_project_validation () =
+  let cost = Cost_function.power_law ~n_commodities:4 ~n_sites:1 ~x:1.0 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Cost_function.project: empty sub-universe") (fun () ->
+      ignore (Cost_function.project cost ~keep:(Cset.empty ~n_commodities:4)));
+  Alcotest.check_raises "wrong universe"
+    (Invalid_argument "Cost_function.project: keep from wrong universe")
+    (fun () ->
+      ignore (Cost_function.project cost ~keep:(Cset.full ~n_commodities:5)))
+
+let test_surcharge_semantics () =
+  let cost = surcharged ~w:3.0 ~n_commodities:4 ~n_sites:1 in
+  check_float 1e-9 "without heavy" (sqrt 2.0)
+    (Cost_function.eval cost 0 (Cset.of_list ~n_commodities:4 [ 1; 2 ]));
+  check_float 1e-9 "with heavy" (sqrt 2.0 +. 3.0)
+    (Cost_function.eval cost 0 (Cset.of_list ~n_commodities:4 [ 0; 2 ]));
+  (* Surcharge preserves subadditivity... *)
+  (match Cost_function.check_subadditive cost with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "surcharge broke subadditivity");
+  (* ...but breaks Condition 1 for large surcharges. *)
+  match Cost_function.check_condition1 cost with
+  | Ok () -> Alcotest.fail "expected Condition 1 violation"
+  | Error _ -> ()
+
+let prop_heavy_aware_valid_random =
+  QCheck.Test.make ~name:"heavy-aware validates on random heavy instances"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rng = Splitmix.of_int seed in
+      let w = Sampler.uniform_float rng ~lo:0.0 ~hi:30.0 in
+      let inst = clustered_instance ~w (seed + 500) in
+      let run = Simulator.run ~check:false (module Heavy_aware) inst in
+      match Simulator.validate inst run with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "heavy"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "marginal" `Quick test_marginal;
+          Alcotest.test_case "detect surcharged" `Quick test_detect_surcharged;
+          Alcotest.test_case "clean families" `Quick test_detect_clean_families;
+          Alcotest.test_case "never everything" `Quick test_detect_never_everything;
+        ] );
+      ( "heavy_aware",
+        [
+          Alcotest.test_case "validates" `Quick test_heavy_aware_valid;
+          Alcotest.test_case "equals PD when clean" `Quick
+            test_heavy_aware_equals_pd_when_clean;
+          Alcotest.test_case "keeps heavy out of large" `Quick
+            test_heavy_aware_avoids_surcharge_in_large;
+          Alcotest.test_case "ties-or-beats PD on heavy" `Quick
+            test_heavy_aware_beats_pd_on_heavy;
+          Alcotest.test_case "explicit heavy set" `Quick test_explicit_heavy_set;
+          Alcotest.test_case "all-heavy rejected" `Quick test_all_heavy_rejected;
+          QCheck_alcotest.to_alcotest prop_heavy_aware_valid_random;
+        ] );
+      ( "cost_extensions",
+        [
+          Alcotest.test_case "project semantics" `Quick test_project_semantics;
+          Alcotest.test_case "project validation" `Quick test_project_validation;
+          Alcotest.test_case "surcharge semantics" `Quick test_surcharge_semantics;
+        ] );
+    ]

@@ -1,0 +1,378 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_request_validation () =
+  Alcotest.check_raises "empty demand"
+    (Invalid_argument "Request.make: empty demand") (fun () ->
+      ignore (Request.make ~site:0 ~demand:(Cset.empty ~n_commodities:3)));
+  Alcotest.check_raises "negative site"
+    (Invalid_argument "Request.make: negative site") (fun () ->
+      ignore
+        (Request.make ~site:(-1) ~demand:(Cset.singleton ~n_commodities:3 0)))
+
+let mk_instance () =
+  let metric = Omflp_metric.Finite_metric.line [| 0.0; 1.0; 5.0 |] in
+  let cost = Cost_function.power_law ~n_commodities:4 ~n_sites:3 ~x:1.0 in
+  let requests =
+    [|
+      Request.make ~site:0 ~demand:(Cset.of_list ~n_commodities:4 [ 0; 1 ]);
+      Request.make ~site:2 ~demand:(Cset.of_list ~n_commodities:4 [ 2 ]);
+      Request.make ~site:1 ~demand:(Cset.of_list ~n_commodities:4 [ 1; 2 ]);
+    |]
+  in
+  Instance.make ~name:"test" ~metric ~cost ~requests
+
+let test_instance_accessors () =
+  let inst = mk_instance () in
+  check_int "requests" 3 (Instance.n_requests inst);
+  check_int "sites" 3 (Instance.n_sites inst);
+  check_int "commodities" 4 (Instance.n_commodities inst);
+  check_int "demand pairs" 5 (Instance.total_demand_pairs inst);
+  Alcotest.(check (list int))
+    "distinct commodities" [ 0; 1; 2 ]
+    (Cset.elements (Instance.distinct_commodities inst))
+
+let test_instance_truncate () =
+  let inst = mk_instance () in
+  check_int "truncated" 2 (Instance.n_requests (Instance.truncate inst 2));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Instance.truncate: bad length") (fun () ->
+      ignore (Instance.truncate inst 4))
+
+let test_instance_validation () =
+  let metric = Omflp_metric.Finite_metric.line [| 0.0; 1.0 |] in
+  let cost = Cost_function.power_law ~n_commodities:4 ~n_sites:3 ~x:1.0 in
+  Alcotest.check_raises "site arity"
+    (Invalid_argument
+       "Instance.make: cost function covers 3 sites but metric has 2")
+    (fun () -> ignore (Instance.make ~name:"x" ~metric ~cost ~requests:[||]));
+  let cost2 = Cost_function.power_law ~n_commodities:4 ~n_sites:2 ~x:1.0 in
+  Alcotest.check_raises "request site"
+    (Invalid_argument "Instance.make: request site 5 outside metric") (fun () ->
+      ignore
+        (Instance.make ~name:"x" ~metric ~cost:cost2
+           ~requests:
+             [| Request.make ~site:5 ~demand:(Cset.singleton ~n_commodities:4 0) |]))
+
+(* ---------- Demand models ---------- *)
+
+let demand_models =
+  [
+    ("singletons", Demand.Singletons { zipf_s = 1.0 });
+    ("bernoulli", Demand.Bernoulli { p = 0.3 });
+    ("zipf bundle", Demand.Zipf_bundle { zipf_s = 1.0; max_size = 4 });
+    ( "profile",
+      Demand.Profile
+        {
+          profiles = [| Cset.of_list ~n_commodities:8 [ 0; 2; 4; 6 ] |];
+          keep_p = 0.5;
+        } );
+  ]
+
+let prop_demand_valid =
+  List.map
+    (fun (name, model) ->
+      QCheck.Test.make ~name:(name ^ " yields non-empty in-universe demand")
+        ~count:200 QCheck.small_int (fun seed ->
+          let rng = Splitmix.of_int seed in
+          let d = Demand.sample rng ~n_commodities:8 model in
+          (not (Cset.is_empty d)) && Cset.n_commodities d = 8))
+    demand_models
+
+let test_demand_singleton_size () =
+  let rng = Splitmix.of_int 1 in
+  for _ = 1 to 50 do
+    check_int "singleton" 1
+      (Cset.cardinal
+         (Demand.sample rng ~n_commodities:6 (Demand.Singletons { zipf_s = 1.0 })))
+  done
+
+let test_demand_profile_subset () =
+  let rng = Splitmix.of_int 2 in
+  let profile = Cset.of_list ~n_commodities:8 [ 1; 3; 5 ] in
+  for _ = 1 to 50 do
+    let d =
+      Demand.sample rng ~n_commodities:8
+        (Demand.Profile { profiles = [| profile |]; keep_p = 0.5 })
+    in
+    check_bool "subset of profile" true (Cset.subset d profile)
+  done
+
+let test_demand_validation () =
+  let rng = Splitmix.of_int 3 in
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Demand.sample: Bernoulli p must lie in (0, 1]") (fun () ->
+      ignore (Demand.sample rng ~n_commodities:4 (Demand.Bernoulli { p = 0.0 })));
+  Alcotest.check_raises "empty profiles"
+    (Invalid_argument "Demand.sample: empty profile list") (fun () ->
+      ignore
+        (Demand.sample rng ~n_commodities:4
+           (Demand.Profile { profiles = [||]; keep_p = 0.5 })))
+
+(* ---------- Generators ---------- *)
+
+let generator_cases =
+  [
+    ( "theorem2",
+      fun rng -> Generators.theorem2 rng ~n_commodities:16 );
+    ( "line",
+      fun rng ->
+        Generators.line rng ~n_sites:8 ~n_requests:15 ~n_commodities:5
+          ~length:10.0
+          ~demand:(Demand.Bernoulli { p = 0.4 })
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Cost_function.power_law ~n_commodities ~n_sites ~x:1.0) );
+    ( "clustered",
+      fun rng ->
+        Generators.clustered rng ~clusters:2 ~per_cluster:3 ~n_requests:10
+          ~n_commodities:6 ~side:20.0 ~spread:1.0
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Cost_function.power_law ~n_commodities ~n_sites ~x:1.0) );
+    ( "network",
+      fun rng ->
+        Generators.network rng ~n_sites:8 ~extra_edges:4 ~n_requests:10
+          ~n_commodities:5
+          ~demand:(Demand.Bernoulli { p = 0.4 })
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Cost_function.power_law ~n_commodities ~n_sites ~x:1.0) );
+    ( "uniform",
+      fun rng ->
+        Generators.uniform_metric rng ~n_sites:5 ~d:3.0 ~n_requests:10
+          ~n_commodities:5
+          ~demand:(Demand.Bernoulli { p = 0.4 })
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Cost_function.power_law ~n_commodities ~n_sites ~x:1.0) );
+  ]
+
+(* Instance.make re-validates everything; the property is that generators
+   never trip those validations and produce the advertised shape. *)
+let prop_generators_valid =
+  List.map
+    (fun (name, gen) ->
+      QCheck.Test.make ~name:(name ^ " generates valid instances") ~count:25
+        QCheck.small_int (fun seed ->
+          let inst = gen (Splitmix.of_int seed) in
+          Instance.n_requests inst > 0
+          && Array.for_all
+               (fun (r : Request.t) -> not (Cset.is_empty r.demand))
+               inst.Instance.requests))
+    generator_cases
+
+let test_theorem2_shape () =
+  let rng = Splitmix.of_int 7 in
+  let inst = Generators.theorem2 rng ~n_commodities:64 in
+  check_int "sqrt|S| requests" 8 (Instance.n_requests inst);
+  check_int "single site" 1 (Instance.n_sites inst);
+  (* All demands are distinct singletons. *)
+  Array.iter
+    (fun (r : Request.t) -> check_int "singleton" 1 (Cset.cardinal r.demand))
+    inst.Instance.requests;
+  check_int "distinct" 8
+    (Cset.cardinal (Instance.distinct_commodities inst))
+
+(* ---------- Serialization ---------- *)
+
+let test_serial_round_trip_exact () =
+  let inst = mk_instance () in
+  let inst' = Serial.round_trip inst in
+  check_int "requests" (Instance.n_requests inst) (Instance.n_requests inst');
+  check_int "sites" (Instance.n_sites inst) (Instance.n_sites inst');
+  check_int "commodities" (Instance.n_commodities inst) (Instance.n_commodities inst');
+  (* Metric preserved exactly. *)
+  for u = 0 to Instance.n_sites inst - 1 do
+    for v = 0 to Instance.n_sites inst - 1 do
+      Alcotest.(check (float 0.0))
+        "distance"
+        (Omflp_metric.Finite_metric.dist inst.Instance.metric u v)
+        (Omflp_metric.Finite_metric.dist inst'.Instance.metric u v)
+    done
+  done;
+  (* Size-based cost preserved exactly on every configuration. *)
+  List.iter
+    (fun sigma ->
+      for m = 0 to Instance.n_sites inst - 1 do
+        Alcotest.(check (float 0.0))
+          "cost"
+          (Cost_function.eval inst.Instance.cost m sigma)
+          (Cost_function.eval inst'.Instance.cost m sigma)
+      done)
+    (Cset.all_nonempty_subsets ~n_commodities:4);
+  (* Demands preserved. *)
+  Array.iteri
+    (fun i (r : Request.t) ->
+      check_bool "demand" true
+        (Cset.equal r.demand inst'.Instance.requests.(i).Request.demand);
+      check_int "site" r.site inst'.Instance.requests.(i).Request.site)
+    inst.Instance.requests
+
+let prop_serial_round_trip_runs_identically =
+  (* Algorithms are deterministic functions of (metric, costs, requests):
+     a round-tripped instance must produce the same PD run cost. *)
+  QCheck.Test.make ~name:"PD cost invariant under round trip" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Splitmix.of_int seed in
+      let inst =
+        Generators.line rng ~n_sites:5 ~n_requests:10 ~n_commodities:4
+          ~length:12.0
+          ~demand:(Demand.Bernoulli { p = 0.5 })
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+      in
+      let inst' = Serial.round_trip inst in
+      let cost i =
+        Omflp_core.Run.total_cost
+          (Omflp_core.Simulator.run (module Omflp_core.Pd_omflp) i)
+      in
+      Float.abs (cost inst -. cost inst') < 1e-9)
+
+let test_serial_rejects_garbage () =
+  let tmp = Filename.temp_file "omflp" ".bad" in
+  let oc = open_out tmp in
+  output_string oc "not an instance\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      match Serial.load_file tmp with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+let test_serial_rejects_truncated () =
+  let inst = mk_instance () in
+  let tmp = Filename.temp_file "omflp" ".trunc" in
+  Serial.save_file tmp inst;
+  (* Drop the last line. *)
+  let content = In_channel.with_open_text tmp In_channel.input_all in
+  let lines = String.split_on_char '\n' content in
+  let truncated =
+    String.concat "\n" (List.filteri (fun i _ -> i < List.length lines - 2) lines)
+  in
+  Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc truncated);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      match Serial.load_file tmp with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "truncated file accepted")
+
+let prop_serial_fuzz_never_crashes =
+  (* Randomly corrupting a serialized instance must produce Failure (the
+     documented error) or a valid instance — never any other exception. *)
+  QCheck.Test.make ~name:"loader survives random corruption" ~count:80
+    QCheck.small_int (fun seed ->
+      let rng = Splitmix.of_int seed in
+      let inst = mk_instance () in
+      let tmp = Filename.temp_file "omflp" ".fuzz" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          Serial.save_file tmp inst;
+          let content = In_channel.with_open_text tmp In_channel.input_all in
+          (* Corrupt: delete a random line, or mangle a random byte. *)
+          let corrupted =
+            if Splitmix.bool rng then begin
+              let lines = String.split_on_char '\n' content in
+              let drop = Splitmix.int rng (List.length lines) in
+              String.concat "\n" (List.filteri (fun i _ -> i <> drop) lines)
+            end
+            else begin
+              let b = Bytes.of_string content in
+              let pos = Splitmix.int rng (Bytes.length b) in
+              Bytes.set b pos
+                (Char.chr (32 + Splitmix.int rng 90));
+              Bytes.to_string b
+            end
+          in
+          Out_channel.with_open_text tmp (fun oc ->
+              Out_channel.output_string oc corrupted);
+          match Serial.load_file tmp with
+          | _ -> true
+          | exception Failure _ -> true
+          | exception Invalid_argument _ ->
+              (* Corrupted numbers can surface as metric/instance
+                 validation errors; also documented. *)
+              true
+          | exception _ -> false))
+
+(* ---------- split_per_commodity ---------- *)
+
+let test_split_per_commodity () =
+  let inst = mk_instance () in
+  let split = Instance.split_per_commodity inst in
+  check_int "one request per pair" (Instance.total_demand_pairs inst)
+    (Instance.n_requests split);
+  Array.iter
+    (fun (r : Request.t) -> check_int "singleton" 1 (Cset.cardinal r.demand))
+    split.Instance.requests;
+  (* Same multiset of (site, commodity) pairs. *)
+  let pairs_of i =
+    List.sort compare
+      (Array.to_list i.Instance.requests
+      |> List.concat_map (fun (r : Request.t) ->
+             List.map (fun e -> (r.site, e)) (Cset.elements r.demand)))
+  in
+  check_bool "same pairs" true (pairs_of inst = pairs_of split)
+
+(* ---------- Instance_stats ---------- *)
+
+let test_stats_basic () =
+  let inst = mk_instance () in
+  let s = Instance_stats.compute inst in
+  check_int "requests" 3 s.Instance_stats.n_requests;
+  check_int "distinct" 3 s.Instance_stats.distinct_requested;
+  Alcotest.(check (float 1e-9)) "mean size" (5.0 /. 3.0) s.Instance_stats.mean_demand_size;
+  check_int "max size" 2 s.Instance_stats.max_demand_size;
+  Alcotest.(check (list int))
+    "popularity" [ 1; 2; 2; 0 ]
+    (Array.to_list s.Instance_stats.popularity)
+
+let test_stats_overlap () =
+  (* Two identical demands: Jaccard overlap 1. *)
+  let metric = Omflp_metric.Finite_metric.single_point () in
+  let cost = Cost_function.power_law ~n_commodities:3 ~n_sites:1 ~x:1.0 in
+  let r = Request.make ~site:0 ~demand:(Cset.of_list ~n_commodities:3 [ 0; 1 ]) in
+  let inst = Instance.make ~name:"same" ~metric ~cost ~requests:[| r; r |] in
+  let s = Instance_stats.compute inst in
+  Alcotest.(check (float 1e-9)) "overlap" 1.0 s.Instance_stats.mean_pairwise_overlap;
+  Alcotest.(check (float 1e-9)) "spread" 0.0 s.Instance_stats.mean_request_spread
+
+let () =
+  Alcotest.run "instance"
+    [
+      ( "request",
+        [ Alcotest.test_case "validation" `Quick test_request_validation ] );
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "truncate" `Quick test_instance_truncate;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+        ] );
+      ( "demand",
+        [
+          Alcotest.test_case "singleton size" `Quick test_demand_singleton_size;
+          Alcotest.test_case "profile subset" `Quick test_demand_profile_subset;
+          Alcotest.test_case "validation" `Quick test_demand_validation;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest prop_demand_valid );
+      ( "generators",
+        Alcotest.test_case "theorem2 shape" `Quick test_theorem2_shape
+        :: List.map QCheck_alcotest.to_alcotest prop_generators_valid );
+      ( "serial",
+        [
+          Alcotest.test_case "round trip exact" `Quick test_serial_round_trip_exact;
+          Alcotest.test_case "rejects garbage" `Quick test_serial_rejects_garbage;
+          Alcotest.test_case "rejects truncated" `Quick test_serial_rejects_truncated;
+          Alcotest.test_case "split per commodity" `Quick test_split_per_commodity;
+          QCheck_alcotest.to_alcotest prop_serial_round_trip_runs_identically;
+          QCheck_alcotest.to_alcotest prop_serial_fuzz_never_crashes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "overlap" `Quick test_stats_overlap;
+        ] );
+    ]

@@ -1,0 +1,373 @@
+open Omflp_prelude
+open Omflp_lp
+
+let check_float tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+
+let lp n_vars objective constraints =
+  { Simplex.n_vars; objective; constraints }
+
+let le coeffs rhs = { Simplex.coeffs; relation = Simplex.Le; rhs }
+let ge coeffs rhs = { Simplex.coeffs; relation = Simplex.Ge; rhs }
+let eq coeffs rhs = { Simplex.coeffs; relation = Simplex.Eq; rhs }
+
+let expect_optimal = function
+  | Simplex.Optimal { x; objective } -> (x, objective)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected Infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected Unbounded"
+
+(* ---------- Simplex unit tests ---------- *)
+
+let test_simplex_basic_min () =
+  (* min x + y st x + y >= 2, x <= 5, y <= 5 -> 2 *)
+  let p =
+    lp 2 [| 1.0; 1.0 |]
+      [ ge [| 1.0; 1.0 |] 2.0; le [| 1.0; 0.0 |] 5.0; le [| 0.0; 1.0 |] 5.0 ]
+  in
+  let _, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" 2.0 obj
+
+let test_simplex_max_via_min () =
+  (* max 3x + 2y st x + y <= 4, x <= 2  ==  min -3x - 2y; optimum x=2, y=2: 10 *)
+  let p =
+    lp 2 [| -3.0; -2.0 |] [ le [| 1.0; 1.0 |] 4.0; le [| 1.0; 0.0 |] 2.0 ]
+  in
+  let x, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" (-10.0) obj;
+  check_float 1e-7 "x" 2.0 x.(0);
+  check_float 1e-7 "y" 2.0 x.(1)
+
+let test_simplex_equality () =
+  (* min x + 2y st x + y = 3, x <= 1 -> x=1, y=2, obj=5 *)
+  let p = lp 2 [| 1.0; 2.0 |] [ eq [| 1.0; 1.0 |] 3.0; le [| 1.0; 0.0 |] 1.0 ] in
+  let x, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" 5.0 obj;
+  check_float 1e-7 "x" 1.0 x.(0)
+
+let test_simplex_infeasible () =
+  let p = lp 1 [| 1.0 |] [ ge [| 1.0 |] 5.0; le [| 1.0 |] 2.0 ] in
+  match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let test_simplex_unbounded () =
+  (* min -x st x >= 0 (no upper bound) *)
+  let p = lp 1 [| -1.0 |] [ ge [| 1.0 |] 0.0 ] in
+  match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_simplex_negative_rhs () =
+  (* min x st -x <= -3 (i.e. x >= 3) *)
+  let p = lp 1 [| 1.0 |] [ le [| -1.0 |] (-3.0) ] in
+  let x, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" 3.0 obj;
+  check_float 1e-7 "x" 3.0 x.(0)
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex: several constraints meet at the optimum. *)
+  let p =
+    lp 2 [| 1.0; 1.0 |]
+      [
+        ge [| 1.0; 0.0 |] 1.0;
+        ge [| 0.0; 1.0 |] 1.0;
+        ge [| 1.0; 1.0 |] 2.0;
+        le [| 1.0; 1.0 |] 2.0;
+      ]
+  in
+  let _, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" 2.0 obj
+
+let test_simplex_redundant_equalities () =
+  (* Duplicate equality rows leave an artificial basic at zero after
+     phase 1; the solver must still reach the optimum. *)
+  let p =
+    lp 2 [| 1.0; 1.0 |]
+      [
+        eq [| 1.0; 1.0 |] 3.0;
+        eq [| 1.0; 1.0 |] 3.0;
+        eq [| 2.0; 2.0 |] 6.0;
+        ge [| 1.0; 0.0 |] 1.0;
+      ]
+  in
+  let x, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" 3.0 obj;
+  check_bool "x >= 1" true (x.(0) >= 1.0 -. 1e-7)
+
+let test_simplex_zero_rhs_degenerate () =
+  (* All constraints pass through the origin except the box. *)
+  let p =
+    lp 2 [| -1.0; -2.0 |]
+      [
+        ge [| 1.0; -1.0 |] 0.0;
+        le [| 1.0; 0.0 |] 4.0;
+        le [| 0.0; 1.0 |] 4.0;
+      ]
+  in
+  (* max x + 2y with y <= x <= 4: optimum x = y = 4, objective -12. *)
+  let _, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" (-12.0) obj
+
+let test_simplex_single_variable_eq () =
+  let p = lp 1 [| 5.0 |] [ eq [| 2.0 |] 7.0 ] in
+  let x, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "x" 3.5 x.(0);
+  check_float 1e-7 "objective" 17.5 obj
+
+let test_simplex_all_zero_objective () =
+  (* Pure feasibility problem: objective 0, any feasible point works. *)
+  let p = lp 2 [| 0.0; 0.0 |] [ ge [| 1.0; 1.0 |] 2.0; le [| 1.0; 1.0 |] 5.0 ] in
+  let x, obj = expect_optimal (Simplex.solve p) in
+  check_float 1e-7 "objective" 0.0 obj;
+  check_bool "feasible point" true (Simplex.feasible p x)
+
+let test_feasible_check () =
+  let p = lp 2 [| 1.0; 1.0 |] [ ge [| 1.0; 1.0 |] 2.0 ] in
+  check_bool "feasible" true (Simplex.feasible p [| 1.0; 1.0 |]);
+  check_bool "violates" false (Simplex.feasible p [| 0.5; 0.5 |]);
+  check_bool "negative var" false (Simplex.feasible p [| -1.0; 4.0 |])
+
+(* ---------- Simplex property test vs brute force on 2-var LPs ----------
+   min c.x st A x >= b, x >= 0 and box x <= 10: the optimum lies at an
+   intersection of two active constraints (including the axes/box). *)
+
+let brute_force_2d objective constraints =
+  (* Enumerate intersections of all constraint boundary pairs. *)
+  let lines =
+    constraints
+    @ [
+        ge [| 1.0; 0.0 |] 0.0;
+        ge [| 0.0; 1.0 |] 0.0;
+        le [| 1.0; 0.0 |] 10.0;
+        le [| 0.0; 1.0 |] 10.0;
+      ]
+  in
+  let feasible pt =
+    pt.(0) >= -1e-7
+    && pt.(1) >= -1e-7
+    && List.for_all
+         (fun (c : Simplex.constr) ->
+           let lhs = (c.coeffs.(0) *. pt.(0)) +. (c.coeffs.(1) *. pt.(1)) in
+           match c.relation with
+           | Simplex.Le -> lhs <= c.rhs +. 1e-6
+           | Simplex.Ge -> lhs >= c.rhs -. 1e-6
+           | Simplex.Eq -> Float.abs (lhs -. c.rhs) <= 1e-6)
+         lines
+  in
+  let best = ref None in
+  let consider pt =
+    if feasible pt then begin
+      let v = (objective.(0) *. pt.(0)) +. (objective.(1) *. pt.(1)) in
+      match !best with
+      | Some b when b <= v -> ()
+      | _ -> best := Some v
+    end
+  in
+  List.iteri
+    (fun i (ci : Simplex.constr) ->
+      List.iteri
+        (fun j (cj : Simplex.constr) ->
+          if i < j then begin
+            let a11 = ci.coeffs.(0) and a12 = ci.coeffs.(1) in
+            let a21 = cj.coeffs.(0) and a22 = cj.coeffs.(1) in
+            let det = (a11 *. a22) -. (a12 *. a21) in
+            if Float.abs det > 1e-9 then begin
+              let x = ((ci.rhs *. a22) -. (a12 *. cj.rhs)) /. det in
+              let y = ((a11 *. cj.rhs) -. (ci.rhs *. a21)) /. det in
+              consider [| x; y |]
+            end
+          end)
+        lines)
+    lines;
+  !best
+
+let lp2_gen =
+  QCheck.make
+    ~print:(fun (obj, cs) ->
+      Printf.sprintf "min %gx+%gy, %d constraints" obj.(0) obj.(1)
+        (List.length cs))
+    QCheck.Gen.(
+      let coeff = float_range (-4.0) 4.0 in
+      let* o1 = float_range 0.1 4.0 in
+      let* o2 = float_range 0.1 4.0 in
+      let* n = int_range 1 5 in
+      let* cs =
+        list_repeat n
+          (let* a = coeff in
+           let* b = coeff in
+           let* rhs = float_range (-3.0) 6.0 in
+           let* rel = oneofl [ `Le; `Ge ] in
+           return
+             (match rel with
+             | `Le -> le [| a; b |] rhs
+             | `Ge -> ge [| a; b |] rhs))
+      in
+      return ([| o1; o2 |], cs))
+
+let prop_simplex_vs_brute =
+  QCheck.Test.make ~name:"simplex matches 2-var brute force" ~count:300 lp2_gen
+    (fun (objective, cs) ->
+      (* Box constraints keep everything bounded. *)
+      let cs_box =
+        cs @ [ le [| 1.0; 0.0 |] 10.0; le [| 0.0; 1.0 |] 10.0 ]
+      in
+      let p = lp 2 objective cs_box in
+      match (Simplex.solve p, brute_force_2d objective cs) with
+      | Simplex.Optimal { objective = v; x }, Some bf ->
+          Float.abs (v -. bf) < 1e-4 && Simplex.feasible p x
+      | Simplex.Infeasible, None -> true
+      | Simplex.Optimal _, None -> false
+      | Simplex.Infeasible, Some _ -> false
+      | Simplex.Unbounded, _ -> false (* box forbids unboundedness *))
+
+(* ---------- Branch and bound ---------- *)
+
+let test_bb_integer_knapsack () =
+  (* min -(3x + 4y) st 2x + 3y <= 7, x,y in {0..} -> x=2, y=1 -> -10 *)
+  let p =
+    lp 2 [| -3.0; -4.0 |]
+      [ le [| 2.0; 3.0 |] 7.0; le [| 1.0; 0.0 |] 10.0; le [| 0.0; 1.0 |] 10.0 ]
+  in
+  match Branch_bound.solve { lp = p; integer_vars = [ 0; 1 ] } with
+  | Branch_bound.Mip_optimal { x; objective } ->
+      check_float 1e-6 "objective" (-10.0) objective;
+      check_float 1e-6 "x" 2.0 x.(0);
+      check_float 1e-6 "y" 1.0 x.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bb_relaxation_fractional () =
+  (* LP optimum fractional, integer optimum strictly worse:
+     min -(x + y) st 2x + 2y <= 3 -> LP: 1.5, IP: 1. *)
+  let p = lp 2 [| -1.0; -1.0 |] [ le [| 2.0; 2.0 |] 3.0 ] in
+  (match Simplex.solve p with
+  | Simplex.Optimal { objective; _ } -> check_float 1e-6 "lp" (-1.5) objective
+  | _ -> Alcotest.fail "lp should be optimal");
+  match Branch_bound.solve { lp = p; integer_vars = [ 0; 1 ] } with
+  | Branch_bound.Mip_optimal { objective; _ } ->
+      check_float 1e-6 "ip" (-1.0) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bb_infeasible () =
+  let p = lp 1 [| 1.0 |] [ ge [| 2.0 |] 1.0; le [| 2.0 |] 1.0 ] in
+  (* x = 0.5 is the only feasible point; integrality makes it infeasible. *)
+  match Branch_bound.solve { lp = p; integer_vars = [ 0 ] } with
+  | Branch_bound.Mip_infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_bb_node_limit () =
+  let p =
+    lp 2 [| -1.0; -1.0 |] [ le [| 2.0; 2.0 |] 3.0 ]
+  in
+  match Branch_bound.solve ~node_limit:1 { lp = p; integer_vars = [ 0; 1 ] } with
+  | Branch_bound.Mip_node_limit _ -> ()
+  | _ -> Alcotest.fail "expected truncation"
+
+(* ---------- MFLP model ---------- *)
+
+let tiny_instance () =
+  let metric = Omflp_metric.Finite_metric.line [| 0.0; 10.0 |] in
+  let cost =
+    Omflp_commodity.Cost_function.power_law ~n_commodities:2 ~n_sites:2 ~x:1.0
+  in
+  let requests =
+    [|
+      Omflp_instance.Request.make ~site:0
+        ~demand:(Omflp_commodity.Cset.of_list ~n_commodities:2 [ 0; 1 ]);
+      Omflp_instance.Request.make ~site:1
+        ~demand:(Omflp_commodity.Cset.of_list ~n_commodities:2 [ 0 ]);
+    |]
+  in
+  Omflp_instance.Instance.make ~name:"tiny" ~metric ~cost ~requests
+
+let test_mflp_exact_tiny () =
+  (* Best: a large facility at each site? Cost sqrt(2) + 1 = 2.414...
+     vs large at 0 (sqrt 2) + connect r1 at distance 10: too far.
+     Facility {0,1} at site 0 costs sqrt 2, facility {0} at site 1 costs 1;
+     total = 2.414, zero assignment. *)
+  match Mflp_model.solve_exact (tiny_instance ()) with
+  | Mflp_model.Exact { objective; facilities } ->
+      check_float 1e-5 "opt" (sqrt 2.0 +. 1.0) objective;
+      Alcotest.(check int) "two facilities" 2 (List.length facilities)
+  | Mflp_model.Truncated _ -> Alcotest.fail "should not truncate"
+
+let test_mflp_lp_lower_bound () =
+  let inst = tiny_instance () in
+  let lb = Mflp_model.lp_lower_bound inst in
+  match Mflp_model.solve_exact inst with
+  | Mflp_model.Exact { objective; _ } ->
+      check_bool "lp <= ilp" true (lb <= objective +. 1e-6)
+  | _ -> Alcotest.fail "exact failed"
+
+let test_mflp_size_guard () =
+  let metric = Omflp_metric.Finite_metric.single_point () in
+  let cost =
+    Omflp_commodity.Cost_function.power_law ~n_commodities:8 ~n_sites:1 ~x:1.0
+  in
+  let inst =
+    Omflp_instance.Instance.make ~name:"big-S" ~metric ~cost
+      ~requests:
+        [|
+          Omflp_instance.Request.make ~site:0
+            ~demand:(Omflp_commodity.Cset.singleton ~n_commodities:8 0);
+        |]
+  in
+  Alcotest.check_raises "guard"
+    (Invalid_argument
+       "Mflp_model.build: 8 commodities exceed the exact-solver limit 6")
+    (fun () -> ignore (Mflp_model.build inst))
+
+let test_mflp_single_point_matches_partition () =
+  (* On a single point with ceil-cost, ILP must agree with the partition DP. *)
+  let rng = Splitmix.of_int 5 in
+  let inst =
+    Omflp_instance.Generators.single_point_adversary rng ~n_commodities:4
+      ~cost:Omflp_commodity.Cost_function.theorem2 ~n_requested:4
+  in
+  match Mflp_model.solve_exact inst with
+  | Mflp_model.Exact { objective; _ } ->
+      let dp =
+        Omflp_offline.Exact.single_point_partition
+          ~g:(fun k -> float_of_int (Numerics.ceil_div k 2))
+          ~n_requested:4
+      in
+      check_float 1e-6 "agree" dp objective
+  | _ -> Alcotest.fail "exact failed"
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic min" `Quick test_simplex_basic_min;
+          Alcotest.test_case "max via min" `Quick test_simplex_max_via_min;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick
+            test_simplex_redundant_equalities;
+          Alcotest.test_case "zero-rhs degenerate" `Quick
+            test_simplex_zero_rhs_degenerate;
+          Alcotest.test_case "single variable eq" `Quick
+            test_simplex_single_variable_eq;
+          Alcotest.test_case "zero objective" `Quick test_simplex_all_zero_objective;
+          Alcotest.test_case "feasible check" `Quick test_feasible_check;
+          QCheck_alcotest.to_alcotest prop_simplex_vs_brute;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bb_integer_knapsack;
+          Alcotest.test_case "fractional relaxation" `Quick test_bb_relaxation_fractional;
+          Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
+          Alcotest.test_case "node limit" `Quick test_bb_node_limit;
+        ] );
+      ( "mflp_model",
+        [
+          Alcotest.test_case "exact tiny" `Quick test_mflp_exact_tiny;
+          Alcotest.test_case "lp lower bound" `Quick test_mflp_lp_lower_bound;
+          Alcotest.test_case "size guard" `Quick test_mflp_size_guard;
+          Alcotest.test_case "matches partition DP" `Quick
+            test_mflp_single_point_matches_partition;
+        ] );
+    ]

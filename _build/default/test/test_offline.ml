@@ -1,0 +1,392 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_metric
+open Omflp_instance
+open Omflp_offline
+
+let check_float tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Assignment ---------- *)
+
+let test_assignment_simple () =
+  let metric = Finite_metric.line [| 0.0; 1.0; 10.0 |] in
+  let facilities =
+    [|
+      { Assignment.site = 1; offered = Cset.of_list ~n_commodities:3 [ 0 ] };
+      { Assignment.site = 2; offered = Cset.of_list ~n_commodities:3 [ 1; 2 ] };
+    |]
+  in
+  let chosen, cost =
+    Assignment.assign_request ~metric ~facilities ~site:0
+      ~demand:(Cset.of_list ~n_commodities:3 [ 0; 1 ])
+  in
+  check_float 1e-9 "cost" 11.0 cost;
+  check_int "two facilities" 2 (List.length chosen)
+
+let test_assignment_prefers_shared () =
+  (* One facility covering both commodities nearby vs two further apart. *)
+  let metric = Finite_metric.line [| 0.0; 3.0; 1.0; 1.0 |] in
+  let facilities =
+    [|
+      { Assignment.site = 1; offered = Cset.of_list ~n_commodities:2 [ 0; 1 ] };
+      { Assignment.site = 2; offered = Cset.of_list ~n_commodities:2 [ 0 ] };
+      { Assignment.site = 3; offered = Cset.of_list ~n_commodities:2 [ 1 ] };
+    |]
+  in
+  let chosen, cost =
+    Assignment.assign_request ~metric ~facilities ~site:0
+      ~demand:(Cset.full ~n_commodities:2)
+  in
+  (* Shared facility costs 3; the pair costs 1 + 1 = 2: pair wins. *)
+  check_float 1e-9 "pair wins" 2.0 cost;
+  check_int "two" 2 (List.length chosen);
+  (* Move the shared one closer and it wins. *)
+  let metric2 = Finite_metric.line [| 0.0; 1.5; 1.0; 1.0 |] in
+  let _, cost2 =
+    Assignment.assign_request ~metric:metric2 ~facilities ~site:0
+      ~demand:(Cset.full ~n_commodities:2)
+  in
+  check_float 1e-9 "shared wins" 1.5 cost2
+
+let test_assignment_uncoverable () =
+  let metric = Finite_metric.single_point () in
+  let facilities =
+    [| { Assignment.site = 0; offered = Cset.of_list ~n_commodities:2 [ 0 ] } |]
+  in
+  Alcotest.check_raises "uncoverable"
+    (Invalid_argument "Assignment.assign_request: facilities do not cover the demand")
+    (fun () ->
+      ignore
+        (Assignment.assign_request ~metric ~facilities ~site:0
+           ~demand:(Cset.full ~n_commodities:2)))
+
+(* Brute force: enumerate all facility subsets for one request. *)
+let brute_assign ~metric ~facilities ~site ~demand =
+  let n = Array.length facilities in
+  let best = ref infinity in
+  for mask = 1 to (1 lsl n) - 1 do
+    let covered = ref (Cset.empty ~n_commodities:(Cset.n_commodities demand)) in
+    let cost = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        covered := Cset.union !covered facilities.(i).Assignment.offered;
+        cost := !cost +. Finite_metric.dist metric site facilities.(i).Assignment.site
+      end
+    done;
+    if Cset.subset demand !covered && !cost < !best then best := !cost
+  done;
+  !best
+
+let prop_assignment_matches_brute_force =
+  QCheck.Test.make ~name:"assignment DP = brute force" ~count:150
+    QCheck.small_int (fun seed ->
+      let rng = Splitmix.of_int seed in
+      let n_commodities = 1 + Splitmix.int rng 5 in
+      let n_sites = 2 + Splitmix.int rng 4 in
+      let metric =
+        Finite_metric.line
+          (Array.init n_sites (fun _ -> Sampler.uniform_float rng ~lo:0.0 ~hi:10.0))
+      in
+      let facilities =
+        Array.init
+          (1 + Splitmix.int rng 5)
+          (fun _ ->
+            {
+              Assignment.site = Splitmix.int rng n_sites;
+              offered =
+                Demand.sample rng ~n_commodities (Demand.Bernoulli { p = 0.5 });
+            })
+      in
+      let demand = Demand.sample rng ~n_commodities (Demand.Bernoulli { p = 0.5 }) in
+      let coverable =
+        Cset.subset demand
+          (Array.fold_left
+             (fun acc f -> Cset.union acc f.Assignment.offered)
+             (Cset.empty ~n_commodities) facilities)
+      in
+      if not coverable then true
+      else begin
+        let _, dp = Assignment.assign_request ~metric ~facilities ~site:0 ~demand in
+        let bf = brute_assign ~metric ~facilities ~site:0 ~demand in
+        Float.abs (dp -. bf) < 1e-9
+      end)
+
+(* ---------- Exact ---------- *)
+
+let test_partition_dp () =
+  (* g(k) = ceil(k/4): covering 16 commodities costs 4 with any split into
+     4-blocks; dp must find it. *)
+  let g k = float_of_int (Numerics.ceil_div k 4) in
+  check_float 1e-9 "16 commodities" 4.0
+    (Exact.single_point_partition ~g ~n_requested:16);
+  check_float 1e-9 "0 commodities" 0.0 (Exact.single_point_partition ~g ~n_requested:0);
+  (* Linear g: no splitting advantage. *)
+  let lin k = 2.0 *. float_of_int k in
+  check_float 1e-9 "linear" 10.0 (Exact.single_point_partition ~g:lin ~n_requested:5);
+  (* Concave g: one big facility wins. *)
+  let sqrt_g k = sqrt (float_of_int k) in
+  check_float 1e-9 "concave" 3.0 (Exact.single_point_partition ~g:sqrt_g ~n_requested:9)
+
+let test_single_point_opt () =
+  let rng = Splitmix.of_int 3 in
+  let inst =
+    Generators.single_point_adversary rng ~n_commodities:16
+      ~cost:Cost_function.theorem2 ~n_requested:4
+  in
+  check_float 1e-9 "theorem2 regime a" 1.0 (Exact.single_point_opt inst)
+
+let test_single_point_opt_full_candidate () =
+  (* Cost where the full set is cheaper than the exact demand: Condition 1
+     violated on purpose; the solver must consider sigma = S. *)
+  let cost =
+    Cost_function.make ~name:"full-cheap" ~n_commodities:4 ~n_sites:1
+      (fun _ sigma -> if Cset.is_full sigma then 1.0 else 10.0)
+  in
+  let metric = Finite_metric.single_point () in
+  let inst =
+    Instance.make ~name:"fc" ~metric ~cost
+      ~requests:
+        [| Request.make ~site:0 ~demand:(Cset.of_list ~n_commodities:4 [ 0; 1 ]) |]
+  in
+  check_float 1e-9 "uses full config" 1.0 (Exact.single_point_opt inst)
+
+let test_single_point_opt_multi_site_rejected () =
+  let metric = Finite_metric.line [| 0.0; 1.0 |] in
+  let cost = Cost_function.power_law ~n_commodities:2 ~n_sites:2 ~x:1.0 in
+  let inst =
+    Instance.make ~name:"multi" ~metric ~cost
+      ~requests:[| Request.make ~site:0 ~demand:(Cset.singleton ~n_commodities:2 0) |]
+  in
+  Alcotest.check_raises "multi-site"
+    (Invalid_argument "Exact.single_point_opt: instance has more than one site")
+    (fun () -> ignore (Exact.single_point_opt inst))
+
+(* ---------- Greedy + local search vs exact ---------- *)
+
+let tiny_gen seed =
+  let rng = Splitmix.of_int seed in
+  Generators.line rng ~n_sites:3 ~n_requests:5 ~n_commodities:3 ~length:8.0
+    ~demand:(Demand.Bernoulli { p = 0.6 })
+    ~cost:(fun ~n_commodities ~n_sites ->
+      Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+
+let prop_greedy_feasible_and_above_opt =
+  QCheck.Test.make ~name:"greedy >= exact OPT, and is feasible" ~count:20
+    QCheck.small_int (fun seed ->
+      let inst = tiny_gen seed in
+      let greedy = Greedy_offline.solve inst in
+      let recomputed = Assignment.total_cost inst greedy.Greedy_offline.facilities in
+      match Exact.ilp_opt inst with
+      | Some opt ->
+          greedy.Greedy_offline.cost >= opt -. 1e-6
+          && Float.abs (recomputed -. greedy.Greedy_offline.cost) < 1e-6
+      | None -> true)
+
+let prop_local_search_improves =
+  QCheck.Test.make ~name:"local search never increases cost" ~count:20
+    QCheck.small_int (fun seed ->
+      let inst = tiny_gen seed in
+      let greedy = Greedy_offline.solve inst in
+      let ls = Local_search.improve inst greedy.Greedy_offline.facilities in
+      ls.Local_search.cost <= greedy.Greedy_offline.cost +. 1e-9)
+
+let prop_greedy_quality =
+  (* Ravi-Sinha greedy is O(log |S|)-approximate; on these tiny instances
+     greedy + local search should stay within 3x of OPT. *)
+  QCheck.Test.make ~name:"greedy + LS within 3x of OPT" ~count:15
+    QCheck.small_int (fun seed ->
+      let inst = tiny_gen seed in
+      let greedy = Greedy_offline.solve inst in
+      let ls = Local_search.improve inst greedy.Greedy_offline.facilities in
+      match Exact.ilp_opt inst with
+      | Some opt -> ls.Local_search.cost <= (3.0 *. opt) +. 1e-6
+      | None -> true)
+
+(* ---------- Prune / Pd_offline ---------- *)
+
+let test_prune_drops_redundant () =
+  let metric = Finite_metric.single_point () in
+  let cost = Cost_function.power_law ~n_commodities:3 ~n_sites:1 ~x:1.0 in
+  let inst =
+    Instance.make ~name:"p" ~metric ~cost
+      ~requests:
+        [| Request.make ~site:0 ~demand:(Cset.of_list ~n_commodities:3 [ 0; 1 ]) |]
+  in
+  (* A redundant full facility next to the exact-demand one. *)
+  let facilities =
+    [
+      (0, Cset.of_list ~n_commodities:3 [ 0; 1 ]);
+      (0, Cset.full ~n_commodities:3);
+    ]
+  in
+  let pruned, cost' = Prune.drop_pass inst facilities in
+  check_int "one facility left" 1 (List.length pruned);
+  check_float 1e-9 "cost" (sqrt 2.0) cost'
+
+let test_prune_infeasible_start () =
+  let inst = tiny_gen 1 in
+  Alcotest.check_raises "infeasible"
+    (Invalid_argument "Prune.drop_pass: infeasible facility set") (fun () ->
+      ignore (Prune.drop_pass inst []))
+
+let prop_pd_offline_feasible_and_above_opt =
+  QCheck.Test.make ~name:"pd-offline feasible, >= OPT, <= online PD" ~count:20
+    QCheck.small_int (fun seed ->
+      let inst = tiny_gen seed in
+      let sol = Pd_offline.solve inst in
+      let recomputed = Assignment.total_cost inst sol.Pd_offline.facilities in
+      let online =
+        Omflp_core.Run.total_cost
+          (Omflp_core.Simulator.run (module Omflp_core.Pd_omflp) inst)
+      in
+      let above_opt =
+        match Exact.ilp_opt inst with
+        | Some opt -> sol.Pd_offline.cost >= opt -. 1e-6
+        | None -> true
+      in
+      Float.abs (recomputed -. sol.Pd_offline.cost) < 1e-6
+      && sol.Pd_offline.cost <= online +. 1e-6
+      && above_opt)
+
+let prop_jv_feasible_and_above_opt =
+  QCheck.Test.make ~name:"jv primal-dual feasible and >= OPT" ~count:20
+    QCheck.small_int (fun seed ->
+      let inst = tiny_gen seed in
+      let sol = Jv_primal_dual.solve inst in
+      let recomputed =
+        Assignment.total_cost inst sol.Jv_primal_dual.facilities
+      in
+      let above_opt =
+        match Exact.ilp_opt inst with
+        | Some opt -> sol.Jv_primal_dual.cost >= opt -. 1e-6
+        | None -> true
+      in
+      Float.abs (recomputed -. sol.Jv_primal_dual.cost) < 1e-6 && above_opt)
+
+let prop_jv_quality =
+  (* JV-style primal-dual with pruning is a constant-factor heuristic in
+     practice; assert a loose 4x bound against exact OPT. *)
+  QCheck.Test.make ~name:"jv primal-dual within 4x of OPT" ~count:15
+    QCheck.small_int (fun seed ->
+      let inst = tiny_gen (seed + 900) in
+      let sol = Jv_primal_dual.solve inst in
+      match Exact.ilp_opt inst with
+      | Some opt -> sol.Jv_primal_dual.cost <= (4.0 *. opt) +. 1e-6
+      | None -> true)
+
+let test_jv_single_point () =
+  (* One point, all commodities demanded, concave cost: JV should find the
+     single-large-facility optimum after pruning. *)
+  let metric = Finite_metric.single_point () in
+  let cost = Cost_function.constant ~n_commodities:4 ~n_sites:1 ~cost:2.0 in
+  let inst =
+    Instance.make ~name:"jv1" ~metric ~cost
+      ~requests:
+        [|
+          Request.make ~site:0 ~demand:(Cset.of_list ~n_commodities:4 [ 0; 1 ]);
+          Request.make ~site:0 ~demand:(Cset.of_list ~n_commodities:4 [ 2; 3 ]);
+        |]
+  in
+  let sol = Jv_primal_dual.solve inst in
+  check_float 1e-9 "optimal" 2.0 sol.Jv_primal_dual.cost;
+  check_int "one facility" 1 (List.length sol.Jv_primal_dual.facilities)
+
+let test_jv_deterministic () =
+  let inst = tiny_gen 5 in
+  let a = (Jv_primal_dual.solve inst).Jv_primal_dual.cost in
+  let b = (Jv_primal_dual.solve inst).Jv_primal_dual.cost in
+  check_float 1e-12 "deterministic" a b
+
+let test_pd_offline_empty () =
+  let metric = Finite_metric.single_point () in
+  let cost = Cost_function.power_law ~n_commodities:2 ~n_sites:1 ~x:1.0 in
+  let inst = Instance.make ~name:"empty" ~metric ~cost ~requests:[||] in
+  let sol = Pd_offline.solve inst in
+  check_float 1e-9 "zero cost" 0.0 sol.Pd_offline.cost
+
+(* ---------- Opt_estimate ---------- *)
+
+let test_bracket_exact_on_tiny () =
+  let inst = tiny_gen 1 in
+  let b = Opt_estimate.bracket inst in
+  check_bool "certified" true (Opt_estimate.certified b);
+  match Exact.ilp_opt inst with
+  | Some opt -> check_float 1e-6 "equals ILP" opt b.Opt_estimate.upper
+  | None -> Alcotest.fail "ilp failed"
+
+let test_bracket_single_point () =
+  let rng = Splitmix.of_int 5 in
+  let inst = Generators.theorem2 rng ~n_commodities:16 in
+  let b = Opt_estimate.bracket inst in
+  check_bool "certified" true (Opt_estimate.certified b);
+  check_float 1e-9 "OPT = 1" 1.0 b.Opt_estimate.upper
+
+let test_bracket_order () =
+  let rng = Splitmix.of_int 6 in
+  let inst =
+    Generators.line rng ~n_sites:8 ~n_requests:25 ~n_commodities:6 ~length:30.0
+      ~demand:(Demand.Bernoulli { p = 0.4 })
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+  in
+  let b = Opt_estimate.bracket inst in
+  check_bool "lower <= upper" true (b.Opt_estimate.lower <= b.Opt_estimate.upper +. 1e-9);
+  check_bool "lower positive" true (b.Opt_estimate.lower > 0.0)
+
+let test_single_request_lower_bound_valid () =
+  for seed = 0 to 10 do
+    let inst = tiny_gen (seed + 200) in
+    let lower = Opt_estimate.single_request_lower inst in
+    match Exact.ilp_opt inst with
+    | Some opt ->
+        check_bool (Printf.sprintf "seed %d" seed) true (lower <= opt +. 1e-6)
+    | None -> ()
+  done
+
+let () =
+  Alcotest.run "offline"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "simple" `Quick test_assignment_simple;
+          Alcotest.test_case "shared vs pair" `Quick test_assignment_prefers_shared;
+          Alcotest.test_case "uncoverable" `Quick test_assignment_uncoverable;
+          QCheck_alcotest.to_alcotest prop_assignment_matches_brute_force;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "partition DP" `Quick test_partition_dp;
+          Alcotest.test_case "single point opt" `Quick test_single_point_opt;
+          Alcotest.test_case "full-config candidate" `Quick
+            test_single_point_opt_full_candidate;
+          Alcotest.test_case "multi-site rejected" `Quick
+            test_single_point_opt_multi_site_rejected;
+        ] );
+      ( "greedy+ls",
+        [
+          QCheck_alcotest.to_alcotest prop_greedy_feasible_and_above_opt;
+          QCheck_alcotest.to_alcotest prop_local_search_improves;
+          QCheck_alcotest.to_alcotest prop_greedy_quality;
+        ] );
+      ( "prune+pd_offline",
+        [
+          Alcotest.test_case "prune drops redundant" `Quick test_prune_drops_redundant;
+          Alcotest.test_case "prune infeasible start" `Quick test_prune_infeasible_start;
+          Alcotest.test_case "pd-offline empty" `Quick test_pd_offline_empty;
+          QCheck_alcotest.to_alcotest prop_pd_offline_feasible_and_above_opt;
+          Alcotest.test_case "jv single point" `Quick test_jv_single_point;
+          Alcotest.test_case "jv deterministic" `Quick test_jv_deterministic;
+          QCheck_alcotest.to_alcotest prop_jv_feasible_and_above_opt;
+          QCheck_alcotest.to_alcotest prop_jv_quality;
+        ] );
+      ( "opt_estimate",
+        [
+          Alcotest.test_case "certified on tiny" `Quick test_bracket_exact_on_tiny;
+          Alcotest.test_case "single point" `Quick test_bracket_single_point;
+          Alcotest.test_case "bracket order" `Quick test_bracket_order;
+          Alcotest.test_case "single-request lower bound" `Quick
+            test_single_request_lower_bound_valid;
+        ] );
+    ]

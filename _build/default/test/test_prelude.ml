@@ -1,0 +1,476 @@
+open Omflp_prelude
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset_empty () =
+  let b = Bitset.create 10 in
+  check_bool "empty" true (Bitset.is_empty b);
+  check_int "cardinal" 0 (Bitset.cardinal b);
+  check_int "universe" 10 (Bitset.universe b)
+
+let test_bitset_add_mem () =
+  let b = Bitset.add (Bitset.add (Bitset.create 10) 3) 7 in
+  check_bool "mem 3" true (Bitset.mem b 3);
+  check_bool "mem 7" true (Bitset.mem b 7);
+  check_bool "mem 4" false (Bitset.mem b 4);
+  check_int "cardinal" 2 (Bitset.cardinal b)
+
+let test_bitset_remove () =
+  let b = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.remove b 2 in
+  Alcotest.(check (list int)) "elements" [ 1; 3 ] (Bitset.elements b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 5 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index -1 outside universe 5")
+    (fun () -> ignore (Bitset.mem b (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index 5 outside universe 5")
+    (fun () -> ignore (Bitset.add b 5))
+
+let test_bitset_universe_mismatch () =
+  let a = Bitset.create 5 and b = Bitset.create 6 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bitset: universes differ (5 vs 6)") (fun () ->
+      ignore (Bitset.union a b))
+
+let test_bitset_large_universe () =
+  (* Crosses the 62-bit word boundary. *)
+  let b = Bitset.of_list 200 [ 0; 61; 62; 63; 123; 124; 199 ] in
+  check_int "cardinal" 7 (Bitset.cardinal b);
+  List.iter
+    (fun i -> check_bool (Printf.sprintf "mem %d" i) true (Bitset.mem b i))
+    [ 0; 61; 62; 63; 123; 124; 199 ];
+  check_bool "not mem 100" false (Bitset.mem b 100);
+  let c = Bitset.complement b in
+  check_int "complement cardinal" 193 (Bitset.cardinal c);
+  check_bool "disjoint" true (Bitset.is_empty (Bitset.inter b c));
+  check_bool "full union" true
+    (Bitset.equal (Bitset.union b c) (Bitset.full 200))
+
+let test_bitset_full () =
+  let f = Bitset.full 65 in
+  check_int "cardinal" 65 (Bitset.cardinal f);
+  check_bool "complement empty" true (Bitset.is_empty (Bitset.complement f))
+
+let test_bitset_to_int () =
+  let b = Bitset.of_list 10 [ 0; 3; 9 ] in
+  check_int "to_int" (1 lor 8 lor 512) (Bitset.to_int b);
+  check_bool "round trip" true (Bitset.equal b (Bitset.of_int 10 (Bitset.to_int b)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Bitset.to_int: universe exceeds 62") (fun () ->
+      ignore (Bitset.to_int (Bitset.create 63)))
+
+let test_bitset_choose () =
+  check_int "choose" 4 (Bitset.choose (Bitset.of_list 9 [ 7; 4; 8 ]));
+  Alcotest.check_raises "empty" Not_found (fun () ->
+      ignore (Bitset.choose (Bitset.create 4)))
+
+let bitset_gen =
+  QCheck.make
+    ~print:(fun b -> Format.asprintf "%a" Bitset.pp b)
+    QCheck.Gen.(
+      let* universe = int_range 1 150 in
+      let* elems = list_size (int_bound 20) (int_bound (universe - 1)) in
+      return (Bitset.of_list universe elems))
+
+let pair_gen =
+  QCheck.make
+    ~print:(fun (a, b) -> Format.asprintf "%a / %a" Bitset.pp a Bitset.pp b)
+    QCheck.Gen.(
+      let* universe = int_range 1 150 in
+      let* e1 = list_size (int_bound 20) (int_bound (universe - 1)) in
+      let* e2 = list_size (int_bound 20) (int_bound (universe - 1)) in
+      return (Bitset.of_list universe e1, Bitset.of_list universe e2))
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"union contains both operands" ~count:200 pair_gen
+    (fun (a, b) ->
+      let u = Bitset.union a b in
+      Bitset.subset a u && Bitset.subset b u)
+
+let prop_inter_subset =
+  QCheck.Test.make ~name:"inter is a subset of both" ~count:200 pair_gen
+    (fun (a, b) ->
+      let i = Bitset.inter a b in
+      Bitset.subset i a && Bitset.subset i b)
+
+let prop_diff_disjoint =
+  QCheck.Test.make ~name:"diff disjoint from subtrahend" ~count:200 pair_gen
+    (fun (a, b) -> Bitset.is_empty (Bitset.inter (Bitset.diff a b) b))
+
+let prop_cardinal_inclusion_exclusion =
+  QCheck.Test.make ~name:"|a|+|b| = |a∪b|+|a∩b|" ~count:200 pair_gen
+    (fun (a, b) ->
+      Bitset.cardinal a + Bitset.cardinal b
+      = Bitset.cardinal (Bitset.union a b) + Bitset.cardinal (Bitset.inter a b))
+
+let prop_complement_involution =
+  QCheck.Test.make ~name:"complement is an involution" ~count:200 bitset_gen
+    (fun b -> Bitset.equal b (Bitset.complement (Bitset.complement b)))
+
+let prop_elements_sorted =
+  QCheck.Test.make ~name:"elements sorted and unique" ~count:200 bitset_gen
+    (fun b ->
+      let es = Bitset.elements b in
+      es = List.sort_uniq compare es)
+
+(* ---------- Splitmix ---------- *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.of_int 123 and b = Splitmix.of_int 123 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Splitmix.next_int64 a)
+      (Splitmix.next_int64 b)
+  done
+
+let test_splitmix_copy () =
+  let a = Splitmix.of_int 7 in
+  ignore (Splitmix.next_int64 a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues" (Splitmix.next_int64 a)
+    (Splitmix.next_int64 b)
+
+let test_splitmix_split_independent () =
+  let a = Splitmix.of_int 9 in
+  let b = Splitmix.split a in
+  check_bool "different streams"
+    (Splitmix.next_int64 a <> Splitmix.next_int64 b)
+    true
+
+let test_splitmix_int_bounds () =
+  let rng = Splitmix.of_int 5 in
+  for _ = 1 to 2000 do
+    let v = Splitmix.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Splitmix.int: bound must be positive") (fun () ->
+      ignore (Splitmix.int rng 0))
+
+let test_splitmix_float_range () =
+  let rng = Splitmix.of_int 5 in
+  for _ = 1 to 2000 do
+    let v = Splitmix.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "out of range"
+  done
+
+let test_splitmix_int_covers () =
+  (* All residues of a small bound appear. *)
+  let rng = Splitmix.of_int 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Splitmix.int rng 5) <- true
+  done;
+  check_bool "all residues" true (Array.for_all Fun.id seen)
+
+(* ---------- Sampler ---------- *)
+
+let test_sample_without_replacement () =
+  let rng = Splitmix.of_int 3 in
+  for _ = 1 to 100 do
+    let picks = Sampler.sample_without_replacement rng ~n:30 ~k:10 in
+    let sorted = List.sort_uniq compare (Array.to_list picks) in
+    check_int "distinct" 10 (List.length sorted);
+    List.iter
+      (fun v -> if v < 0 || v >= 30 then Alcotest.fail "out of range")
+      sorted
+  done
+
+let test_sample_without_replacement_all () =
+  let rng = Splitmix.of_int 3 in
+  let picks = Sampler.sample_without_replacement rng ~n:8 ~k:8 in
+  Alcotest.(check (list int)) "permutation" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare (Array.to_list picks))
+
+let test_hypergeometric_bounds () =
+  let rng = Splitmix.of_int 4 in
+  for _ = 1 to 500 do
+    let h = Sampler.hypergeometric rng ~population:50 ~successes:20 ~draws:10 in
+    if h < 0 || h > 10 then Alcotest.fail "outside [0, draws]"
+  done
+
+let test_hypergeometric_exhaustive () =
+  let rng = Splitmix.of_int 4 in
+  check_int "all draws"
+    20
+    (Sampler.hypergeometric rng ~population:20 ~successes:20 ~draws:20)
+
+let test_hypergeometric_mean () =
+  (* E[Y] = draws * successes / population; matches Equation 3's setup. *)
+  let rng = Splitmix.of_int 4 in
+  let reps = 3000 in
+  let total = ref 0 in
+  for _ = 1 to reps do
+    total :=
+      !total + Sampler.hypergeometric rng ~population:100 ~successes:30 ~draws:20
+  done;
+  let mean = float_of_int !total /. float_of_int reps in
+  check_bool "mean close to 6" true (Float.abs (mean -. 6.0) < 0.3)
+
+let test_zipf_range () =
+  let rng = Splitmix.of_int 5 in
+  let table = Sampler.zipf_table ~n:20 ~s:1.0 in
+  for _ = 1 to 1000 do
+    let v = Sampler.zipf_draw rng table in
+    if v < 0 || v >= 20 then Alcotest.fail "zipf out of range"
+  done
+
+let test_zipf_skew () =
+  (* Rank 0 must dominate under strong skew. *)
+  let rng = Splitmix.of_int 6 in
+  let table = Sampler.zipf_table ~n:10 ~s:2.0 in
+  let count0 = ref 0 in
+  let reps = 2000 in
+  for _ = 1 to reps do
+    if Sampler.zipf_draw rng table = 0 then incr count0
+  done;
+  check_bool "rank 0 majority" true (!count0 > reps / 3)
+
+let test_categorical () =
+  let rng = Splitmix.of_int 7 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Sampler.categorical rng [| 1.0; 0.0; 3.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_int "never draws zero-weight" 0 counts.(1);
+  check_bool "weighting respected" true (counts.(2) > counts.(0))
+
+let test_random_subset_of_size () =
+  let rng = Splitmix.of_int 8 in
+  for k = 0 to 10 do
+    let s = Sampler.random_subset_of_size rng ~universe:10 ~k in
+    check_int (Printf.sprintf "size %d" k) k (Bitset.cardinal s)
+  done
+
+let test_gaussian_moments () =
+  let rng = Splitmix.of_int 9 in
+  let xs = Array.init 5000 (fun _ -> Sampler.gaussian rng ~mean:2.0 ~stddev:0.5) in
+  let m = Stats.mean xs in
+  check_bool "mean" true (Float.abs (m -. 2.0) < 0.05);
+  check_bool "stddev" true (Float.abs (Stats.stddev xs -. 0.5) < 0.05)
+
+(* ---------- Pqueue ---------- *)
+
+let test_pqueue_sorts () =
+  let rng = Splitmix.of_int 10 in
+  let h = Pqueue.create () in
+  let values = Array.init 500 (fun _ -> Splitmix.float rng) in
+  Array.iter (fun v -> Pqueue.push h v v) values;
+  Alcotest.(check int) "size" 500 (Pqueue.size h);
+  let prev = ref neg_infinity in
+  while not (Pqueue.is_empty h) do
+    let p, _ = Pqueue.pop_min h in
+    if p < !prev then Alcotest.fail "not sorted";
+    prev := p
+  done
+
+let test_pqueue_empty () =
+  let h = Pqueue.create () in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Pqueue.pop_min h));
+  Alcotest.check_raises "peek empty" Not_found (fun () ->
+      ignore (Pqueue.peek_min h))
+
+let test_pqueue_peek () =
+  let h = Pqueue.create () in
+  Pqueue.push h 3.0 "c";
+  Pqueue.push h 1.0 "a";
+  Pqueue.push h 2.0 "b";
+  Alcotest.(check (pair (float 0.0) string)) "peek" (1.0, "a") (Pqueue.peek_min h);
+  Alcotest.(check int) "size unchanged" 3 (Pqueue.size h)
+
+(* ---------- Numerics ---------- *)
+
+let test_harmonic () =
+  check_float "H_1" 1.0 (Numerics.harmonic 1);
+  check_float "H_4" (1.0 +. 0.5 +. (1.0 /. 3.0) +. 0.25) (Numerics.harmonic 4);
+  check_float "H_0" 0.0 (Numerics.harmonic 0);
+  (* Asymptotic branch close to ln n + gamma. *)
+  let h = Numerics.harmonic 2_000_000 in
+  check_bool "asymptotic" true (Float.abs (h -. (log 2e6 +. 0.5772156649)) < 1e-6)
+
+let test_isqrt () =
+  List.iter
+    (fun (n, r) -> check_int (Printf.sprintf "isqrt %d" n) r (Numerics.isqrt n))
+    [ (0, 0); (1, 1); (3, 1); (4, 2); (15, 3); (16, 4); (1024, 32); (1023, 31) ]
+
+let test_floor_pow2 () =
+  check_float "5 -> 4" 4.0 (Numerics.floor_pow2 5.0);
+  check_float "8 -> 8" 8.0 (Numerics.floor_pow2 8.0);
+  check_float "0.7 -> 0.5" 0.5 (Numerics.floor_pow2 0.7);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Numerics.floor_pow2: non-positive input") (fun () ->
+      ignore (Numerics.floor_pow2 0.0))
+
+let test_ceil_div () =
+  check_int "7/2" 4 (Numerics.ceil_div 7 2);
+  check_int "8/2" 4 (Numerics.ceil_div 8 2);
+  check_int "0/3" 0 (Numerics.ceil_div 0 3)
+
+let test_pos () =
+  check_float "positive" 3.0 (Numerics.pos 3.0);
+  check_float "negative" 0.0 (Numerics.pos (-2.0))
+
+let test_kahan () =
+  (* Summing many tiny values against one big one. *)
+  let xs = Array.make 10_001 1e-10 in
+  xs.(0) <- 1.0;
+  check_bool "kahan accurate" true
+    (Float.abs (Numerics.kahan_sum xs -. (1.0 +. 1e-6)) < 1e-12)
+
+let test_log_over_loglog () =
+  check_float "small n" 1.0 (Numerics.log_over_loglog 2);
+  let v = Numerics.log_over_loglog 1000 in
+  check_bool "n=1000" true (Float.abs (v -. (log 1000.0 /. log (log 1000.0))) < 1e-9)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "mean" 3.0 s.Stats.mean;
+  check_float "median" 3.0 s.Stats.median;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 5.0 s.Stats.max;
+  check_int "n" 5 s.Stats.n
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 40.0 (Stats.percentile xs 100.0);
+  check_float "p50" 25.0 (Stats.percentile xs 50.0)
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [| 2.0; 2.0; 2.0 |]);
+  check_float "simple" (sqrt 2.0) (Stats.stddev [| 1.0; 3.0 |])
+
+let test_geometric_mean () =
+  check_float "gm" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive entry") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean [||]))
+
+(* ---------- Texttable ---------- *)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    if i + n > String.length haystack then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_table_render () =
+  let t = Texttable.create [ "name"; "value" ] in
+  Texttable.add_row t [ "alpha"; "1.5" ];
+  Texttable.add_row t [ "b"; "22" ];
+  let out = Texttable.render t in
+  check_bool "has header" true (contains out "name");
+  check_bool "mentions alpha" true (contains out "alpha");
+  check_bool "numeric column right-aligned" true (contains out " 22")
+
+let test_table_arity () =
+  let t = Texttable.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Texttable.add_row: expected 2 cells, got 1") (fun () ->
+      Texttable.add_row t [ "only" ])
+
+let test_table_rows_accessor () =
+  let t = Texttable.create [ "a"; "b" ] in
+  Texttable.add_row t [ "1"; "2" ];
+  Texttable.add_rule t;
+  Texttable.add_row t [ "3"; "4" ];
+  Alcotest.(check (list string)) "headers" [ "a"; "b" ] (Texttable.headers t);
+  Alcotest.(check (list (list string)))
+    "rows skip rules"
+    [ [ "1"; "2" ]; [ "3"; "4" ] ]
+    (Texttable.rows t)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_union_contains;
+      prop_inter_subset;
+      prop_diff_disjoint;
+      prop_cardinal_inclusion_exclusion;
+      prop_complement_involution;
+      prop_elements_sorted;
+    ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_bitset_empty;
+          Alcotest.test_case "add/mem" `Quick test_bitset_add_mem;
+          Alcotest.test_case "remove" `Quick test_bitset_remove;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "universe mismatch" `Quick test_bitset_universe_mismatch;
+          Alcotest.test_case "large universe" `Quick test_bitset_large_universe;
+          Alcotest.test_case "full" `Quick test_bitset_full;
+          Alcotest.test_case "to_int" `Quick test_bitset_to_int;
+          Alcotest.test_case "choose" `Quick test_bitset_choose;
+        ] );
+      ("bitset-props", qcheck_tests);
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy;
+          Alcotest.test_case "split" `Quick test_splitmix_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_splitmix_int_bounds;
+          Alcotest.test_case "float range" `Quick test_splitmix_float_range;
+          Alcotest.test_case "int covers residues" `Quick test_splitmix_int_covers;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "without replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "full permutation" `Quick test_sample_without_replacement_all;
+          Alcotest.test_case "hypergeometric bounds" `Quick test_hypergeometric_bounds;
+          Alcotest.test_case "hypergeometric exhaustive" `Quick test_hypergeometric_exhaustive;
+          Alcotest.test_case "hypergeometric mean" `Quick test_hypergeometric_mean;
+          Alcotest.test_case "zipf range" `Quick test_zipf_range;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+          Alcotest.test_case "subset of size" `Quick test_random_subset_of_size;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "sorts" `Quick test_pqueue_sorts;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek;
+        ] );
+      ( "numerics",
+        [
+          Alcotest.test_case "harmonic" `Quick test_harmonic;
+          Alcotest.test_case "isqrt" `Quick test_isqrt;
+          Alcotest.test_case "floor_pow2" `Quick test_floor_pow2;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "pos" `Quick test_pos;
+          Alcotest.test_case "kahan" `Quick test_kahan;
+          Alcotest.test_case "log/loglog" `Quick test_log_over_loglog;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "rows accessor" `Quick test_table_rows_accessor;
+        ] );
+    ]
