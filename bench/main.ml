@@ -1,17 +1,46 @@
 (* Benchmark harness: regenerates every table/figure of the reproduction
    (experiments E1-E6, see DESIGN.md) and then times the algorithms with
-   Bechamel (experiment E7, the Section 4 efficiency claim).
+   Bechamel (experiment E7, the Section 4 efficiency claim) and reports
+   lib/obs work counters for seeded runs.
 
    Pass --quick to shrink experiment sizes; pass --tables-only or
-   --bench-only to run one half. *)
+   --bench-only to run one half (they conflict with each other). *)
 
 open Bechamel
 open Omflp_prelude
 open Omflp_instance
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
-let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
-let bench_only = Array.exists (( = ) "--bench-only") Sys.argv
+let usage =
+  "usage: main.exe [--quick] [--tables-only | --bench-only]\n\
+  \  --quick        smaller experiment sizes and shorter bechamel quotas\n\
+  \  --tables-only  only regenerate the experiment tables (E1-E6, E8-E10)\n\
+  \  --bench-only   only run the microbenchmarks and work counters (E7)\n"
+
+let quick, tables_only, bench_only =
+  let quick = ref false and tables = ref false and bench = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | "--tables-only" -> tables := true
+        | "--bench-only" -> bench := true
+        | "--help" | "-help" ->
+            print_string usage;
+            exit 0
+        | other when String.length other >= 2 && String.sub other 0 2 = "--" ->
+            Printf.eprintf "main.exe: unknown option %s\n%s" other usage;
+            exit 2
+        | _ -> ())
+    Sys.argv;
+  if !tables && !bench then begin
+    Printf.eprintf
+      "main.exe: --tables-only and --bench-only conflict (together they \
+       would run nothing)\n%s"
+      usage;
+    exit 2
+  end;
+  (!quick, !tables, !bench)
 
 (* ---------- Part 1: experiment tables (one per paper artifact) ---------- *)
 
@@ -190,25 +219,68 @@ let run_benchmarks () =
     @ site_sweep_benches @ offline_benches
   in
   let table = Texttable.create [ "benchmark"; "ns/run"; "ms/run" ] in
+  (* Collect every OLS estimate first and sort by benchmark name:
+     [Hashtbl.iter] order is unspecified, so printing rows straight out
+     of it made the table row order vary between runs. *)
+  let rows = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some (est :: _) ->
-              Texttable.add_row table
-                [
-                  name;
-                  Printf.sprintf "%.0f" est;
-                  Printf.sprintf "%.3f" (est /. 1e6);
-                ]
-          | _ -> Texttable.add_row table [ name; "n/a"; "n/a" ])
-        results)
+      Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results)
     tests;
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) ->
+          Texttable.add_row table
+            [
+              name;
+              Printf.sprintf "%.0f" est;
+              Printf.sprintf "%.3f" (est /. 1e6);
+            ]
+      | _ -> Texttable.add_row table [ name; "n/a"; "n/a" ])
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
+  Texttable.print table
+
+(* Work counters (lib/obs): deterministic seeded full runs, reported as
+   counted work — event-loop iterations, events by kind, cache updates,
+   coin flips, facility openings — so perf claims can be cross-checked
+   against what the algorithms actually did, not just ns/run. *)
+let run_work_counters () =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " E7b: work counters (seeded full runs, lib/obs)";
+  print_endline "====================================================";
+  let n_requests = if quick then 25 else 100 in
+  Printf.printf "workload: clustered, |M|=12, n=%d, |S|=8, seed fixed\n"
+    n_requests;
+  let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
+  let table = Texttable.create [ "algorithm"; "counter"; "value" ] in
+  let was_enabled = Omflp_obs.Metrics.enabled () in
+  Omflp_obs.Metrics.set_enabled true;
+  List.iter
+    (fun (name, algo) ->
+      Omflp_obs.Metrics.reset ();
+      ignore (full_run algo inst ());
+      let snap = Omflp_obs.Metrics.snapshot () in
+      List.iter
+        (fun (c : Omflp_obs.Metrics.counter_view) ->
+          if c.c_value > 0 then
+            Texttable.add_row table [ name; c.c_name; string_of_int c.c_value ])
+        snap.Omflp_obs.Metrics.counters)
+    [
+      (Omflp_core.Pd_omflp.name, (module Omflp_core.Pd_omflp : Omflp_core.Algo_intf.ALGO));
+      (Omflp_core.Pd_omflp_fast.name, (module Omflp_core.Pd_omflp_fast));
+      (Omflp_core.Rand_omflp.name, (module Omflp_core.Rand_omflp));
+    ];
+  Omflp_obs.Metrics.reset ();
+  Omflp_obs.Metrics.set_enabled was_enabled;
   Texttable.print table
 
 let () =
   if not bench_only then run_tables ();
-  if not tables_only then run_benchmarks ()
+  if not tables_only then begin
+    run_benchmarks ();
+    run_work_counters ()
+  end

@@ -76,6 +76,50 @@ let cost_arg =
     & info [ "cost" ]
         ~doc:"Construction cost: linear | constant | theorem2 | x=<v> (power law).")
 
+(* Observability (lib/obs): --metrics prints the work-counter/timer
+   report after the command; --trace streams one JSON line per request. *)
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable lib/obs instrumentation and print counters, timers, and \
+           latency histograms after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines trace (one record per request: site, demand \
+           size, service shape, latency) to $(docv).")
+
+let with_obs ~metrics ~trace f =
+  Omflp_obs.Metrics.set_enabled metrics;
+  let sink =
+    Option.map
+      (fun file ->
+        try Omflp_obs.Trace_sink.open_file file
+        with Sys_error msg ->
+          Printf.eprintf "omflp: cannot open trace file: %s\n" msg;
+          exit 2)
+      trace
+  in
+  Option.iter Omflp_obs.Trace_sink.install sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun s ->
+          Omflp_obs.Trace_sink.uninstall ();
+          Omflp_obs.Trace_sink.close s)
+        sink)
+    (fun () ->
+      let result = f () in
+      if metrics then Omflp_obs.Report.print ~title:"metrics (lib/obs)" ();
+      Option.iter (fun file -> Printf.printf "wrote trace to %s\n" file) trace;
+      result)
+
 (* omflp run *)
 let run_cmd =
   let algo_arg =
@@ -84,34 +128,36 @@ let run_cmd =
       & opt string "all"
       & info [ "algo" ] ~doc:"Algorithm name or 'all'.")
   in
-  let action algo family seed n_sites n_requests n_commodities cost_kind =
+  let action algo family seed n_sites n_requests n_commodities cost_kind
+      metrics trace =
     let inst =
       make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities ~cost_kind
     in
     Format.printf "%a@." Instance.pp inst;
-    let runs =
-      if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
-      else
-        match Omflp_core.Registry.find algo with
-        | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
-        | None ->
-            invalid_arg
-              (Printf.sprintf "unknown algorithm %S (available: %s)" algo
-                 (String.concat ", " (Omflp_core.Registry.names ())))
-    in
-    let bracket = Omflp_offline.Opt_estimate.bracket inst in
-    Printf.printf "offline bracket: [%.4g, %.4g] (%s / %s)\n" bracket.lower
-      bracket.upper bracket.lower_method bracket.upper_method;
-    List.iter
-      (fun (_, run) ->
-        Format.printf "%a  ratio<=%.3f@." Omflp_core.Run.pp run
-          (Omflp_core.Run.total_cost run /. bracket.upper))
-      runs
+    with_obs ~metrics ~trace (fun () ->
+        let runs =
+          if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
+          else
+            match Omflp_core.Registry.find algo with
+            | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "unknown algorithm %S (available: %s)" algo
+                     (String.concat ", " (Omflp_core.Registry.names ())))
+        in
+        let bracket = Omflp_offline.Opt_estimate.bracket inst in
+        Printf.printf "offline bracket: [%.4g, %.4g] (%s / %s)\n" bracket.lower
+          bracket.upper bracket.lower_method bracket.upper_method;
+        List.iter
+          (fun (_, run) ->
+            Format.printf "%a  ratio<=%.3f@." Omflp_core.Run.pp run
+              (Omflp_core.Run.total_cost run /. bracket.upper))
+          runs)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run online algorithm(s) on a generated instance.")
     Term.(
       const action $ algo_arg $ family_arg $ seed_arg $ sites_arg
-      $ requests_arg $ commodities_arg $ cost_arg)
+      $ requests_arg $ commodities_arg $ cost_arg $ metrics_arg $ trace_arg)
 
 (* omflp solve *)
 let solve_cmd =
@@ -167,21 +213,22 @@ let replay_cmd =
   let algo_arg =
     Arg.(value & opt string "all" & info [ "algo" ] ~doc:"Algorithm name or 'all'.")
   in
-  let action file algo seed =
+  let action file algo seed metrics trace =
     let inst = Serial.load_file file in
     Format.printf "%a@." Instance.pp inst;
-    let runs =
-      if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
-      else
-        match Omflp_core.Registry.find algo with
-        | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
-        | None -> invalid_arg (Printf.sprintf "unknown algorithm %S" algo)
-    in
-    List.iter (fun (_, run) -> Format.printf "%a@." Omflp_core.Run.pp run) runs
+    with_obs ~metrics ~trace (fun () ->
+        let runs =
+          if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
+          else
+            match Omflp_core.Registry.find algo with
+            | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
+            | None -> invalid_arg (Printf.sprintf "unknown algorithm %S" algo)
+        in
+        List.iter (fun (_, run) -> Format.printf "%a@." Omflp_core.Run.pp run) runs)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Load a saved instance and run algorithm(s) on it.")
-    Term.(const action $ file_arg $ algo_arg $ seed_arg)
+    Term.(const action $ file_arg $ algo_arg $ seed_arg $ metrics_arg $ trace_arg)
 
 (* omflp stats *)
 let stats_cmd =

@@ -2,6 +2,30 @@ open Omflp_prelude
 open Omflp_commodity
 open Omflp_metric
 open Omflp_instance
+open Omflp_obs
+
+(* Work counters (lib/obs): shared by the recomputing and incremental
+   modes (PD-OMFLP and PD-OMFLP-FAST run the identical event loop).
+   [pd.loop_iters] counts event-loop iterations, which fire exactly one
+   tightness event each, so it always equals the sum of the four
+   [pd.event.*] counters; [pd.facilities_opened] counts confirmed
+   openings only (trace [Opened_small] events of a request that ended in
+   a large facility are discarded tentatives). *)
+let m_requests = Metrics.counter "pd.requests"
+
+let m_loop_iters = Metrics.counter "pd.loop_iters"
+
+let m_connect_small = Metrics.counter "pd.event.connect_small"
+
+let m_open_small = Metrics.counter "pd.event.open_small"
+
+let m_connect_large = Metrics.counter "pd.event.connect_large"
+
+let m_open_large = Metrics.counter "pd.event.open_large"
+
+let m_facilities_opened = Metrics.counter "pd.facilities_opened"
+
+let m_cache_updates = Metrics.counter "pd.cache_updates"
 
 type dual_record = {
   site : int;
@@ -111,6 +135,7 @@ let note_facility_opened t ~fs ~offered =
                 row.(m) <-
                   row.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
               done;
+              Metrics.add m_cache_updates n_sites;
               p.p_caps.(e) <- d_jf
             end)
           p.p_demand;
@@ -121,6 +146,7 @@ let note_facility_opened t ~fs ~offered =
             t.b4_cache.(m) <-
               t.b4_cache.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
           done;
+          Metrics.add m_cache_updates n_sites;
           p.p_cap4 <- d_jf
         end)
       t.past_rev
@@ -137,6 +163,7 @@ let open_facility t ~site ~kind =
     Facility_store.open_facility t.store ~site ~kind ~cost
       ~opened_at:t.n_requests
   in
+  Metrics.incr m_facilities_opened;
   note_facility_opened t ~fs:site ~offered:fac.Facility.offered;
   fac
 
@@ -194,15 +221,28 @@ let step t (r : Request.t) =
   let large_result = ref None in
   let fired_rev = ref [] in
   let finished = ref false in
+  (* Indices into [es] still unserved, in ascending order — compacted in
+     place after every event instead of rebuilt as a fresh list per loop
+     iteration (the loop body only serves commodities, so compaction
+     preserves the iteration order the recomputing/incremental parity
+     depends on). *)
+  let unserved = Array.init k_total Fun.id in
+  let n_unserved = ref k_total in
   while not !finished do
-    let unserved =
-      List.filter
-        (fun i -> serving.(es.(i)) = Unserved)
-        (List.init k_total Fun.id)
-    in
-    if unserved = [] then finished := true
+    let w = ref 0 in
+    for u = 0 to !n_unserved - 1 do
+      let i = unserved.(u) in
+      match serving.(es.(i)) with
+      | Unserved ->
+          unserved.(!w) <- i;
+          Stdlib.incr w
+      | By_existing _ | By_temp _ -> ()
+    done;
+    n_unserved := !w;
+    if !n_unserved = 0 then finished := true
     else begin
-      let k = float_of_int (List.length unserved) in
+      Metrics.incr m_loop_iters;
+      let k = float_of_int !n_unserved in
       (* Collect the earliest event; ties resolved by event rank, then by
          commodity index, then by site. Deltas within a relative 1e-9 of
          each other count as tied, so tie-breaking is stable under the
@@ -225,22 +265,22 @@ let step t (r : Request.t) =
                  near-ties cannot drift. *)
               best := Some ((Float.min delta bd, event_rank ev, i, m), ev)
       in
-      List.iter
-        (fun i ->
-          let e = es.(i) in
-          let d_fe = Facility_store.dist_offering t.store ~commodity:e ~from:r.site in
-          if d_fe < infinity then
-            consider (d_fe -. a.(e)) (E1_connect_small i) i 0;
-          for m = 0 to n_sites - 1 do
-            (* Tight when (a_re - d(m,r))+ + B3 = f: the own bid must be
-               active, i.e. a_re reaches d(m,r) + (f - B3)+. Waiting until
-               then never violates the constraint because B3 <= f holds at
-               every arrival. *)
-            let f = Cost_function.singleton_cost t.cost m e in
-            let target = d_rm.(m) +. Numerics.pos (f -. get_b3 i m) in
-            consider (target -. a.(e)) (E3_open_small (i, m)) i m
-          done)
-        unserved;
+      for u = 0 to !n_unserved - 1 do
+        let i = unserved.(u) in
+        let e = es.(i) in
+        let d_fe = Facility_store.dist_offering t.store ~commodity:e ~from:r.site in
+        if d_fe < infinity then
+          consider (d_fe -. a.(e)) (E1_connect_small i) i 0;
+        for m = 0 to n_sites - 1 do
+          (* Tight when (a_re - d(m,r))+ + B3 = f: the own bid must be
+             active, i.e. a_re reaches d(m,r) + (f - B3)+. Waiting until
+             then never violates the constraint because B3 <= f holds at
+             every arrival. *)
+          let f = Cost_function.singleton_cost t.cost m e in
+          let target = d_rm.(m) +. Numerics.pos (f -. get_b3 i m) in
+          consider (target -. a.(e)) (E3_open_small (i, m)) i m
+        done
+      done;
       let d_large = Facility_store.dist_large t.store ~from:r.site in
       if d_large < infinity then
         consider ((d_large -. !sum_a) /. k) E2_connect_large 0 0;
@@ -252,7 +292,10 @@ let step t (r : Request.t) =
       match !best with
       | None -> assert false (* E3 events always exist *)
       | Some ((delta, _, _, _), ev) ->
-          List.iter (fun i -> a.(es.(i)) <- a.(es.(i)) +. delta) unserved;
+          for u = 0 to !n_unserved - 1 do
+            let i = unserved.(u) in
+            a.(es.(i)) <- a.(es.(i)) +. delta
+          done;
           sum_a := !sum_a +. (k *. delta);
           (match ev with
           | E1_connect_small i ->
@@ -263,12 +306,14 @@ let step t (r : Request.t) =
                      ~from:r.site)
               in
               serving.(e) <- By_existing fac.Facility.id;
+              Metrics.incr m_connect_small;
               fired_rev :=
                 Connected_small
                   { commodity = e; facility = fac.Facility.id; dual = a.(e) }
                 :: !fired_rev
           | E3_open_small (i, m) ->
               serving.(es.(i)) <- By_temp m;
+              Metrics.incr m_open_small;
               fired_rev :=
                 Opened_small { commodity = es.(i); site = m; dual = a.(es.(i)) }
                 :: !fired_rev
@@ -277,12 +322,14 @@ let step t (r : Request.t) =
                 Option.get (Facility_store.nearest_large t.store ~from:r.site)
               in
               large_result := Some (`Existing fac.Facility.id);
+              Metrics.incr m_connect_large;
               fired_rev :=
                 Connected_large { facility = fac.Facility.id; dual_sum = !sum_a }
                 :: !fired_rev;
               finished := true
           | E4_open_large m ->
               large_result := Some (`New m);
+              Metrics.incr m_open_large;
               fired_rev :=
                 Opened_large { site = m; dual_sum = !sum_a } :: !fired_rev;
               finished := true)
@@ -346,17 +393,20 @@ let step t (r : Request.t) =
           row.(m) <-
             row.(m)
             +. Numerics.pos (caps.(e) -. Finite_metric.dist t.metric r.site m)
-        done)
+        done;
+        Metrics.add m_cache_updates n_sites)
       r.demand;
     for m = 0 to n_sites - 1 do
       t.b4_cache.(m) <-
         t.b4_cache.(m)
         +. Numerics.pos (cap4 -. Finite_metric.dist t.metric r.site m)
-    done
+    done;
+    Metrics.add m_cache_updates n_sites
   end;
   t.past_rev <- p :: t.past_rev;
   t.trace_rev <- List.rev !fired_rev :: t.trace_rev;
   t.n_requests <- t.n_requests + 1;
+  Metrics.incr m_requests;
   service
 
 let run_so_far t = Run.of_store ~algorithm:name t.store

@@ -2,6 +2,18 @@ open Omflp_prelude
 open Omflp_commodity
 open Omflp_metric
 open Omflp_instance
+open Omflp_obs
+
+(* Work counters (lib/obs); [rand.coin_flips] counts Bernoulli draws
+   actually performed (p > 0), [rand.service_fallbacks] the deterministic
+   openings forced by the service guarantee. *)
+let m_requests = Metrics.counter "rand.requests"
+
+let m_coin_flips = Metrics.counter "rand.coin_flips"
+
+let m_facilities_opened = Metrics.counter "rand.facilities_opened"
+
+let m_service_fallbacks = Metrics.counter "rand.service_fallbacks"
 
 type t = {
   metric : Finite_metric.t;
@@ -90,6 +102,7 @@ let step t (r : Request.t) =
           let improvement = Numerics.pos (d_prev -. cum.(ci)) in
           let build () =
             let site, _ = nearest.(ci) in
+            Metrics.incr m_facilities_opened;
             ignore
               (Facility_store.open_facility t.store ~site ~kind:(Facility.Small e)
                  ~cost:(Cost_function.singleton_cost t.cost site e)
@@ -105,7 +118,10 @@ let step t (r : Request.t) =
           end
           else begin
             let p = Float.min 1.0 (improvement /. cls.cost *. share) in
-            if p > 0.0 && Splitmix.bernoulli t.rng p then build ()
+            if p > 0.0 then begin
+              Metrics.incr m_coin_flips;
+              if Splitmix.bernoulli t.rng p then build ()
+            end
           end)
         cs)
     es;
@@ -116,6 +132,7 @@ let step t (r : Request.t) =
       let improvement = Numerics.pos (d_prev -. all_cum.(ci)) in
       let build () =
         let site, _ = all_nearest.(ci) in
+        Metrics.incr m_facilities_opened;
         ignore
           (Facility_store.open_facility t.store ~site ~kind:Facility.Large
              ~cost:(Cost_function.full_cost t.cost site)
@@ -127,7 +144,10 @@ let step t (r : Request.t) =
       end
       else begin
         let p = Float.min 1.0 (improvement /. cls.cost) in
-        if p > 0.0 && Splitmix.bernoulli t.rng p then build ()
+        if p > 0.0 then begin
+          Metrics.incr m_coin_flips;
+          if Splitmix.bernoulli t.rng p then build ()
+        end
       end)
     all_cs;
   (* Service guarantee: any commodity with no reachable facility gets the
@@ -149,6 +169,8 @@ let step t (r : Request.t) =
             end)
           cs;
         let site, _ = nearest.(!best) in
+        Metrics.incr m_service_fallbacks;
+        Metrics.incr m_facilities_opened;
         ignore
           (Facility_store.open_facility t.store ~site ~kind:(Facility.Small e)
              ~cost:(Cost_function.singleton_cost t.cost site e)
@@ -182,6 +204,7 @@ let step t (r : Request.t) =
   in
   Facility_store.record_service t.store ~request_site:r.site service;
   t.n_requests <- t.n_requests + 1;
+  Metrics.incr m_requests;
   service
 
 let run_so_far t = Run.of_store ~algorithm:name t.store

@@ -4,6 +4,7 @@ type t = {
   services : Service.t list;
   construction_cost : float;
   assignment_cost : float;
+  step_seconds : float array;
 }
 
 let total_cost t = t.construction_cost +. t.assignment_cost
@@ -15,6 +16,7 @@ let of_store ~algorithm store =
     services = Facility_store.services store;
     construction_cost = Facility_store.construction_cost store;
     assignment_cost = Facility_store.assignment_cost store;
+    step_seconds = [||];
   }
 
 let n_small t =

@@ -6,6 +6,10 @@ type t = {
   services : Service.t list;  (** one per processed request, in order *)
   construction_cost : float;
   assignment_cost : float;
+  step_seconds : float array;
+      (** per-request wall-clock service latency, one cell per request in
+          arrival order; [[||]] unless the run was observed (the
+          simulator fills it when metrics or tracing are on) *)
 }
 
 val total_cost : t -> float

@@ -1,4 +1,14 @@
 open Omflp_instance
+open Omflp_obs
+
+(* Per-request service latency, recorded only while observation is on
+   (metrics enabled or a trace sink installed) so unobserved runs keep
+   the bare [A.step] call in the loop. *)
+let m_requests = Metrics.counter "sim.requests"
+
+let m_step_timer = Metrics.timer "sim.step"
+
+let m_step_hist = Metrics.histogram "sim.step_seconds"
 
 let validate (inst : Instance.t) (run : Run.t) =
   let facility_tbl = Hashtbl.create 64 in
@@ -79,8 +89,44 @@ let validate (inst : Instance.t) (run : Run.t) =
 let run ?seed ?(check = true) (module A : Algo_intf.ALGO)
     (inst : Instance.t) =
   let t = A.create ?seed inst.metric inst.cost in
-  Array.iter (fun r -> ignore (A.step t r)) inst.requests;
-  let result = A.run_so_far t in
+  let observing = Metrics.enabled () || Trace_sink.installed () in
+  let result =
+    if not observing then begin
+      Array.iter (fun r -> ignore (A.step t r)) inst.requests;
+      A.run_so_far t
+    end
+    else begin
+      let latencies = Array.make (Array.length inst.requests) 0.0 in
+      Array.iteri
+        (fun i r ->
+          let t0 = Metrics.now () in
+          let service = A.step t r in
+          let dt = Metrics.now () -. t0 in
+          latencies.(i) <- dt;
+          Metrics.incr m_requests;
+          Metrics.record_span m_step_timer dt;
+          Metrics.observe m_step_hist dt;
+          Trace_sink.emit_current ~kind:"request"
+            [
+              ("algorithm", Trace_sink.String A.name);
+              ("index", Trace_sink.Int i);
+              ("site", Trace_sink.Int r.Request.site);
+              ( "demand",
+                Trace_sink.Int (Omflp_commodity.Cset.cardinal r.Request.demand)
+              );
+              ( "service",
+                Trace_sink.String
+                  (match service with
+                  | Service.To_single _ -> "single"
+                  | Service.Per_commodity _ -> "per_commodity") );
+              ( "facilities",
+                Trace_sink.Int (List.length (Service.facility_ids service)) );
+              ("latency_s", Trace_sink.Float dt);
+            ])
+        inst.requests;
+      { (A.run_so_far t) with Run.step_seconds = latencies }
+    end
+  in
   if check then begin
     match validate inst result with
     | Ok () -> ()

@@ -1,0 +1,239 @@
+(* Flat-array registry. Each instrument kind keeps a parallel (names,
+   state) pair of growable arrays plus a name -> index table; the handle
+   handed to callers is the bare index, so the hot-path operations touch
+   no heap beyond the preallocated arrays. *)
+
+let on = ref false
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+(* ---------- counters ---------- *)
+
+type counter = int
+
+let c_index : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let c_names = ref (Array.make 16 "")
+
+let c_values = ref (Array.make 16 0)
+
+let c_count = ref 0
+
+let grow_s a =
+  let b = Array.make (2 * Array.length !a) "" in
+  Array.blit !a 0 b 0 (Array.length !a);
+  a := b
+
+let counter name =
+  match Hashtbl.find_opt c_index name with
+  | Some i -> i
+  | None ->
+      if !c_count = Array.length !c_names then begin
+        grow_s c_names;
+        let b = Array.make (2 * Array.length !c_values) 0 in
+        Array.blit !c_values 0 b 0 !c_count;
+        c_values := b
+      end;
+      let i = !c_count in
+      !c_names.(i) <- name;
+      !c_values.(i) <- 0;
+      incr c_count;
+      Hashtbl.add c_index name i;
+      i
+
+let incr c = if !on then !c_values.(c) <- !c_values.(c) + 1
+
+let add c n = if !on then !c_values.(c) <- !c_values.(c) + n
+
+let value c = !c_values.(c)
+
+(* ---------- timers ---------- *)
+
+type timer = int
+
+let t_index : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let t_names = ref (Array.make 8 "")
+
+let t_events = ref (Array.make 8 0)
+
+let t_totals = ref (Array.make 8 0.0)
+
+let t_count = ref 0
+
+let timer name =
+  match Hashtbl.find_opt t_index name with
+  | Some i -> i
+  | None ->
+      if !t_count = Array.length !t_names then begin
+        grow_s t_names;
+        let b = Array.make (2 * Array.length !t_events) 0 in
+        Array.blit !t_events 0 b 0 !t_count;
+        t_events := b;
+        let b = Array.make (2 * Array.length !t_totals) 0.0 in
+        Array.blit !t_totals 0 b 0 !t_count;
+        t_totals := b
+      end;
+      let i = !t_count in
+      !t_names.(i) <- name;
+      Stdlib.incr t_count;
+      Hashtbl.add t_index name i;
+      i
+
+let now () = Unix.gettimeofday ()
+
+let record_span t s =
+  if !on then begin
+    !t_events.(t) <- !t_events.(t) + 1;
+    !t_totals.(t) <- !t_totals.(t) +. s
+  end
+
+let time t f =
+  if !on then begin
+    let t0 = now () in
+    let r = f () in
+    record_span t (now () -. t0);
+    r
+  end
+  else f ()
+
+(* ---------- histograms ---------- *)
+
+(* Bucket i covers [2^(i-34), 2^(i-33)); bucket 0 additionally absorbs
+   everything below, the last bucket everything above. *)
+let n_buckets = 64
+
+let bucket_of v =
+  if v < Float.ldexp 1.0 (-34) then 0
+  else
+    let e = snd (Float.frexp v) - 1 in
+    (* v in [2^e, 2^(e+1)) *)
+    Stdlib.min (n_buckets - 1) (Stdlib.max 0 (e + 34))
+
+type histogram = int
+
+let h_index : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let h_names = ref (Array.make 8 "")
+
+let h_buckets = ref (Array.make 8 [||])
+
+let h_sums = ref (Array.make 8 0.0)
+
+let h_count = ref 0
+
+let histogram name =
+  match Hashtbl.find_opt h_index name with
+  | Some i -> i
+  | None ->
+      if !h_count = Array.length !h_names then begin
+        grow_s h_names;
+        let b = Array.make (2 * Array.length !h_buckets) [||] in
+        Array.blit !h_buckets 0 b 0 !h_count;
+        h_buckets := b;
+        let b = Array.make (2 * Array.length !h_sums) 0.0 in
+        Array.blit !h_sums 0 b 0 !h_count;
+        h_sums := b
+      end;
+      let i = !h_count in
+      !h_names.(i) <- name;
+      !h_buckets.(i) <- Array.make n_buckets 0;
+      Stdlib.incr h_count;
+      Hashtbl.add h_index name i;
+      i
+
+let observe h v =
+  if !on then begin
+    let b = !h_buckets.(h) in
+    let i = bucket_of v in
+    b.(i) <- b.(i) + 1;
+    !h_sums.(h) <- !h_sums.(h) +. v
+  end
+
+(* ---------- snapshots ---------- *)
+
+type counter_view = { c_name : string; c_value : int }
+
+type timer_view = { t_name : string; t_events : int; t_total_s : float }
+
+type bucket = { b_lo : float; b_hi : float; b_count : int }
+
+type histogram_view = {
+  h_name : string;
+  h_events : int;
+  h_sum : float;
+  h_buckets : bucket list;
+}
+
+type snapshot = {
+  counters : counter_view list;
+  timers : timer_view list;
+  histograms : histogram_view list;
+}
+
+let bucket_bounds i = (Float.ldexp 1.0 (i - 34), Float.ldexp 1.0 (i - 33))
+
+let snapshot () =
+  let counters =
+    List.init !c_count (fun i ->
+        { c_name = !c_names.(i); c_value = !c_values.(i) })
+    |> List.sort (fun a b -> String.compare a.c_name b.c_name)
+  in
+  let timers =
+    List.init !t_count (fun i ->
+        { t_name = !t_names.(i); t_events = !t_events.(i); t_total_s = !t_totals.(i) })
+    |> List.sort (fun a b -> String.compare a.t_name b.t_name)
+  in
+  let histograms =
+    List.init !h_count (fun i ->
+        let cells = !h_buckets.(i) in
+        let buckets = ref [] in
+        let events = ref 0 in
+        for b = n_buckets - 1 downto 0 do
+          if cells.(b) > 0 then begin
+            let lo, hi = bucket_bounds b in
+            buckets := { b_lo = lo; b_hi = hi; b_count = cells.(b) } :: !buckets;
+            events := !events + cells.(b)
+          end
+        done;
+        {
+          h_name = !h_names.(i);
+          h_events = !events;
+          h_sum = !h_sums.(i);
+          h_buckets = !buckets;
+        })
+    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+  in
+  { counters; timers; histograms }
+
+let approx_quantile view q =
+  if view.h_events = 0 then Float.nan
+  else begin
+    let target =
+      Float.max 1.0 (Float.round (q *. float_of_int view.h_events))
+    in
+    let rec go acc = function
+      | [] -> Float.nan
+      | [ b ] -> ignore acc; sqrt (b.b_lo *. b.b_hi)
+      | b :: rest ->
+          let acc = acc + b.b_count in
+          if float_of_int acc >= target then sqrt (b.b_lo *. b.b_hi)
+          else go acc rest
+    in
+    go 0 view.h_buckets
+  end
+
+let reset () =
+  for i = 0 to !c_count - 1 do
+    !c_values.(i) <- 0
+  done;
+  for i = 0 to !t_count - 1 do
+    !t_events.(i) <- 0;
+    !t_totals.(i) <- 0.0
+  done;
+  for i = 0 to !h_count - 1 do
+    Array.fill !h_buckets.(i) 0 n_buckets 0;
+    !h_sums.(i) <- 0.0
+  done

@@ -1,0 +1,61 @@
+open Omflp_prelude
+
+let render (s : Metrics.snapshot) =
+  let buf = Buffer.create 512 in
+  if s.counters <> [] then begin
+    let t = Texttable.create [ "counter"; "value" ] in
+    List.iter
+      (fun (c : Metrics.counter_view) ->
+        Texttable.add_row t [ c.c_name; string_of_int c.c_value ])
+      s.counters;
+    Buffer.add_string buf (Texttable.render t)
+  end;
+  if s.timers <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let t = Texttable.create [ "timer"; "events"; "total ms"; "mean us" ] in
+    List.iter
+      (fun (tm : Metrics.timer_view) ->
+        let mean_us =
+          if tm.t_events = 0 then 0.0
+          else tm.t_total_s /. float_of_int tm.t_events *. 1e6
+        in
+        Texttable.add_row t
+          [
+            tm.t_name;
+            string_of_int tm.t_events;
+            Printf.sprintf "%.3f" (tm.t_total_s *. 1e3);
+            Printf.sprintf "%.2f" mean_us;
+          ])
+      s.timers;
+    Buffer.add_string buf (Texttable.render t)
+  end;
+  if s.histograms <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let t =
+      Texttable.create [ "histogram"; "events"; "mean"; "~p50"; "~p99"; "max <" ]
+    in
+    List.iter
+      (fun (h : Metrics.histogram_view) ->
+        let mean =
+          if h.h_events = 0 then 0.0 else h.h_sum /. float_of_int h.h_events
+        in
+        let hi =
+          List.fold_left (fun _ (b : Metrics.bucket) -> b.b_hi) Float.nan
+            h.h_buckets
+        in
+        Texttable.add_row t
+          [
+            h.h_name;
+            string_of_int h.h_events;
+            Printf.sprintf "%.3g" mean;
+            Printf.sprintf "%.3g" (Metrics.approx_quantile h 0.5);
+            Printf.sprintf "%.3g" (Metrics.approx_quantile h 0.99);
+            Printf.sprintf "%.3g" hi;
+          ])
+      s.histograms;
+    Buffer.add_string buf (Texttable.render t)
+  end;
+  Buffer.contents buf
+
+let print ?(title = "metrics") () =
+  Printf.printf "---- %s ----\n%s%!" title (render (Metrics.snapshot ()))

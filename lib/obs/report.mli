@@ -1,0 +1,14 @@
+(** Render a {!Metrics.snapshot} as aligned text tables (via
+    {!Omflp_prelude.Texttable}): one table per instrument kind, rows
+    sorted by name — deterministic output for a deterministic run. *)
+
+(** [render snapshot] lays out up to three tables (counters; timers;
+    histograms), skipping empty sections. Timer totals are reported in
+    ms with a derived mean in µs; histogram quantiles are approximate
+    (log-bucket midpoints). *)
+val render : Metrics.snapshot -> string
+
+(** [print ?title ()] snapshots the current registry and prints it,
+    preceded by [title] (default ["metrics"]) — the one-call form for
+    CLI [--metrics] style consumers. *)
+val print : ?title:string -> unit -> unit

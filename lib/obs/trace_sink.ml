@@ -1,0 +1,70 @@
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type t = {
+  oc : out_channel;
+  owns_channel : bool;  (* close the fd on [close], not just flush *)
+  mutable seq : int;
+}
+
+let to_channel oc = { oc; owns_channel = false; seq = 0 }
+
+let open_file path = { oc = open_out path; owns_channel = true; seq = 0 }
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+      else Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | String s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+
+let emit t ~kind fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"kind\":";
+  add_value buf (String kind);
+  Buffer.add_string buf ",\"seq\":";
+  Buffer.add_string buf (string_of_int t.seq);
+  t.seq <- t.seq + 1;
+  List.iter
+    (fun (key, v) ->
+      Buffer.add_string buf ",\"";
+      escape_into buf key;
+      Buffer.add_string buf "\":";
+      add_value buf v)
+    fields;
+  Buffer.add_string buf "}\n";
+  Buffer.output_buffer t.oc buf
+
+let close t =
+  flush t.oc;
+  if t.owns_channel then close_out t.oc
+
+(* ---------- global current sink ---------- *)
+
+let current : t option ref = ref None
+
+let install t = current := Some t
+
+let uninstall () = current := None
+
+let installed () = Option.is_some !current
+
+let emit_current ~kind fields =
+  match !current with None -> () | Some t -> emit t ~kind fields

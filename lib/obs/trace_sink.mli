@@ -1,0 +1,42 @@
+(** Structured per-request trace sink: one JSON object per line.
+
+    A sink wraps an output channel; records are flat string-keyed field
+    lists, written in the order given with a [kind] discriminator first
+    and a per-sink monotonically increasing [seq] second. Producers
+    (simulator, algorithms) emit through the process-global {e current}
+    sink via {!emit_current}, which is a no-op while no sink is
+    installed — so tracing, like metrics, costs one check when off. *)
+
+type t
+
+type value =
+  | Int of int
+  | Float of float  (** non-finite values are written as [null] *)
+  | String of string
+  | Bool of bool
+
+(** [to_channel oc] wraps an existing channel; {!close} flushes but does
+    not close it. *)
+val to_channel : out_channel -> t
+
+(** [open_file path] truncates/creates [path]; {!close} closes it. *)
+val open_file : string -> t
+
+(** [emit t ~kind fields] writes one line:
+    [{"kind":<kind>,"seq":<n>,<fields...>}]. *)
+val emit : t -> kind:string -> (string * value) list -> unit
+
+val close : t -> unit
+
+(** {1 The process-global current sink} *)
+
+val install : t -> unit
+
+(** [uninstall ()] detaches the current sink without closing it. *)
+val uninstall : unit -> unit
+
+val installed : unit -> bool
+
+(** [emit_current ~kind fields] emits through the installed sink, if
+    any. *)
+val emit_current : kind:string -> (string * value) list -> unit

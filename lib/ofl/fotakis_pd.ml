@@ -1,4 +1,15 @@
 open Omflp_metric
+open Omflp_obs
+
+(* Same work-counter substrate as the multi-commodity algorithms
+   (lib/obs). [ofl.fotakis.bid_evals] counts past-request bid
+   evaluations — the quadratic-in-history work the incremental PD modes
+   avoid. *)
+let m_steps = Metrics.counter "ofl.fotakis.steps"
+
+let m_bid_evals = Metrics.counter "ofl.fotakis.bid_evals"
+
+let m_facilities_opened = Metrics.counter "ofl.fotakis.facilities_opened"
 
 type past = { site : int; dual : float }
 
@@ -31,6 +42,7 @@ let create metric ~opening_costs =
   }
 
 let open_facility t m =
+  Metrics.incr m_facilities_opened;
   t.facility_sites <- m :: t.facility_sites;
   t.construction <- t.construction +. t.opening_costs.(m);
   for p = 0 to Array.length t.dist_to_f - 1 do
@@ -45,6 +57,7 @@ let past_bid t m (p : past) =
   Float.max 0.0 (Float.min p.dual t.dist_to_f.(p.site) -. Finite_metric.dist t.metric p.site m)
 
 let step t site =
+  Metrics.incr m_steps;
   let n = Finite_metric.size t.metric in
   (* The dual a_r rises until connect (a_r = d(F, r)) or some site's
      facility is fully paid: (a_r - d(m,r))+ + Σ past bids = f_m, i.e.
@@ -54,7 +67,11 @@ let step t site =
   let best_open_at = ref infinity in
   for m = 0 to n - 1 do
     let b = ref 0.0 in
-    List.iter (fun p -> b := !b +. past_bid t m p) t.past;
+    List.iter
+      (fun p ->
+        Metrics.incr m_bid_evals;
+        b := !b +. past_bid t m p)
+      t.past;
     (* Tight when the request's own bid is active: a_r reaches
        d(m, r) + (f_m - B)+, keeping the assignment bounded by the dual. *)
     let open_at =

@@ -1,5 +1,15 @@
 open Omflp_prelude
 open Omflp_metric
+open Omflp_obs
+
+(* Same work-counter substrate as the multi-commodity algorithms
+   (lib/obs), so OFL baselines and PD/RAND comparisons read off one
+   measurement surface. *)
+let m_steps = Metrics.counter "ofl.meyerson.steps"
+
+let m_coin_flips = Metrics.counter "ofl.meyerson.coin_flips"
+
+let m_facilities_opened = Metrics.counter "ofl.meyerson.facilities_opened"
 
 type cls = { cost : float; sites : int array }
 
@@ -51,6 +61,7 @@ let create metric ~opening_costs =
   create_seeded metric ~opening_costs ~rng:(Splitmix.of_int 0x6d65)
 
 let open_facility t m =
+  Metrics.incr m_facilities_opened;
   t.facility_sites <- m :: t.facility_sites;
   t.construction <- t.construction +. t.opening_costs.(m);
   for p = 0 to Array.length t.dist_to_f - 1 do
@@ -72,6 +83,7 @@ let nearest_in_class t site cls =
   (!best_site, !best)
 
 let step t site =
+  Metrics.incr m_steps;
   let k = Array.length t.classes in
   (* Cumulative-minimum distance to classes 0..i. *)
   let cum = Array.make k infinity in
@@ -107,8 +119,11 @@ let step t site =
       end
       else begin
         let p = Float.min 1.0 (improvement /. cls.cost) in
-        if p > 0.0 && Splitmix.bernoulli t.rng p then
-          open_facility t (fst (nearest_in_class t site cls))
+        if p > 0.0 then begin
+          Metrics.incr m_coin_flips;
+          if Splitmix.bernoulli t.rng p then
+            open_facility t (fst (nearest_in_class t site cls))
+        end
       end)
     t.classes;
   (* Service guarantee: if nothing is open yet, deterministically realise

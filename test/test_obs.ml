@@ -1,0 +1,279 @@
+(* lib/obs unit tests (counters / timers / histograms / trace sink /
+   report) plus the instrumentation parity checks of the acceptance
+   criteria: with metrics enabled, a seeded PD-OMFLP run's counters must
+   exactly match its event trace, and the incremental bid caches must
+   stay exact while metrics are on.
+
+   The registry is process-global, so every test that reads counter
+   values resets the registry first and leaves metrics disabled. *)
+
+open Omflp_prelude
+open Omflp_instance
+open Omflp_core
+open Omflp_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float tol = Alcotest.(check (float tol))
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+(* ---------- counters ---------- *)
+
+let test_counter_basics () =
+  let c = Metrics.counter "test.obs.counter_basics" in
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  Metrics.incr c;
+  Metrics.add c 5;
+  check_int "disabled: no-op" 0 (Metrics.value c);
+  with_metrics (fun () ->
+      Metrics.incr c;
+      Metrics.incr c;
+      Metrics.add c 40;
+      check_int "enabled: counts" 42 (Metrics.value c));
+  check_int "survives disable" 42 (Metrics.value c);
+  Metrics.reset ();
+  check_int "reset zeroes" 0 (Metrics.value c)
+
+let test_counter_registration_idempotent () =
+  let a = Metrics.counter "test.obs.same_name" in
+  let b = Metrics.counter "test.obs.same_name" in
+  with_metrics (fun () ->
+      Metrics.incr a;
+      Metrics.incr b;
+      check_int "same instrument" 2 (Metrics.value a))
+
+let test_many_counters () =
+  (* Force the registry past its initial capacity. *)
+  let cs =
+    List.init 100 (fun i ->
+        Metrics.counter (Printf.sprintf "test.obs.many.%03d" i))
+  in
+  with_metrics (fun () ->
+      List.iteri (fun i c -> Metrics.add c i) cs;
+      List.iteri
+        (fun i c -> check_int (Printf.sprintf "counter %d" i) i (Metrics.value c))
+        cs)
+
+let test_timer () =
+  let t = Metrics.timer "test.obs.timer" in
+  with_metrics (fun () ->
+      Metrics.record_span t 0.25;
+      Metrics.record_span t 0.75;
+      let x = Metrics.time t (fun () -> 7) in
+      check_int "time returns" 7 x;
+      let snap = Metrics.snapshot () in
+      let view =
+        List.find
+          (fun (v : Metrics.timer_view) -> v.t_name = "test.obs.timer")
+          snap.timers
+      in
+      check_int "events" 3 view.t_events;
+      check_bool "total >= recorded spans" true (view.t_total_s >= 1.0))
+
+let test_histogram () =
+  let h = Metrics.histogram "test.obs.hist" in
+  with_metrics (fun () ->
+      List.iter (Metrics.observe h) [ 1.0; 1.5; 2.0; 4.0; 1024.0; 0.0; -3.0 ];
+      let snap = Metrics.snapshot () in
+      let view =
+        List.find
+          (fun (v : Metrics.histogram_view) -> v.h_name = "test.obs.hist")
+          snap.histograms
+      in
+      check_int "events" 7 view.h_events;
+      check_float 1e-9 "sum" 1029.5 view.h_sum;
+      (* 1.0 and 1.5 share the [1,2) bucket; 0 and -3 the bottom one. *)
+      let bucket_with lo =
+        List.find_opt (fun (b : Metrics.bucket) -> b.b_lo = lo) view.h_buckets
+      in
+      (match bucket_with 1.0 with
+      | Some b -> check_int "[1,2) holds 2" 2 b.b_count
+      | None -> Alcotest.fail "no [1,2) bucket");
+      (match bucket_with 2.0 with
+      | Some b -> check_int "[2,4) holds 1" 1 b.b_count
+      | None -> Alcotest.fail "no [2,4) bucket");
+      let q50 = Metrics.approx_quantile view 0.5 in
+      check_bool "p50 within data range" true (q50 > 0.0 && q50 < 16.0);
+      let q100 = Metrics.approx_quantile view 1.0 in
+      check_bool "p100 in top bucket" true (q100 > 512.0 && q100 < 2048.0))
+
+let test_snapshot_sorted () =
+  ignore (Metrics.counter "test.obs.zzz");
+  ignore (Metrics.counter "test.obs.aaa");
+  let snap = Metrics.snapshot () in
+  let names = List.map (fun (c : Metrics.counter_view) -> c.c_name) snap.counters in
+  check_bool "sorted by name" true
+    (List.sort String.compare names = names)
+
+(* ---------- trace sink ---------- *)
+
+let test_trace_sink_json_lines () =
+  let path = Filename.temp_file "omflp_trace" ".jsonl" in
+  let sink = Trace_sink.open_file path in
+  Trace_sink.install sink;
+  check_bool "installed" true (Trace_sink.installed ());
+  Trace_sink.emit_current ~kind:"request"
+    [
+      ("index", Trace_sink.Int 0);
+      ("latency_s", Trace_sink.Float 1.5);
+      ("name", Trace_sink.String "a\"b\\c");
+      ("ok", Trace_sink.Bool true);
+      ("bad", Trace_sink.Float Float.nan);
+    ];
+  Trace_sink.emit_current ~kind:"request" [ ("index", Trace_sink.Int 1) ];
+  Trace_sink.uninstall ();
+  Trace_sink.close sink;
+  check_bool "uninstalled" false (Trace_sink.installed ());
+  Trace_sink.emit_current ~kind:"dropped" [];
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  let eof = try ignore (input_line ic); false with End_of_file -> true in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string)
+    "first record"
+    "{\"kind\":\"request\",\"seq\":0,\"index\":0,\"latency_s\":1.5,\"name\":\"a\\\"b\\\\c\",\"ok\":true,\"bad\":null}"
+    l1;
+  Alcotest.(check string)
+    "second record" "{\"kind\":\"request\",\"seq\":1,\"index\":1}" l2;
+  check_bool "exactly two lines" true eof
+
+(* ---------- report ---------- *)
+
+let test_report_renders () =
+  let c = Metrics.counter "test.obs.report_counter" in
+  let t = Metrics.timer "test.obs.report_timer" in
+  let h = Metrics.histogram "test.obs.report_hist" in
+  with_metrics (fun () ->
+      Metrics.add c 3;
+      Metrics.record_span t 0.001;
+      Metrics.observe h 2.5;
+      let s = Report.render (Metrics.snapshot ()) in
+      let contains sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "mentions counter" true (contains "test.obs.report_counter");
+      check_bool "mentions timer" true (contains "test.obs.report_timer");
+      check_bool "mentions histogram" true (contains "test.obs.report_hist"))
+
+(* ---------- instrumentation parity (acceptance criteria) ---------- *)
+
+let clustered_instance ~seed ~n_requests =
+  let rng = Splitmix.of_int seed in
+  Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests
+    ~n_commodities:8 ~side:100.0 ~spread:2.0
+    ~cost:(fun ~n_commodities ~n_sites ->
+      Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+
+(* [create] is either [Pd_omflp.create] or [Pd_omflp.create_incremental]:
+   both modes run the same instrumented event loop. *)
+let counters_vs_trace create =
+  let inst = clustered_instance ~seed:0xbe9c4 ~n_requests:40 in
+  with_metrics (fun () ->
+      let t = create inst.Instance.metric inst.Instance.cost in
+      Array.iter (fun r -> ignore (Pd_omflp.step t r)) inst.Instance.requests;
+      let trace = List.concat (Pd_omflp.trace t) in
+      let count pred = List.length (List.filter pred trace) in
+      check_int "connect_small = trace"
+        (count (function Pd_omflp.Connected_small _ -> true | _ -> false))
+        (Metrics.value (Metrics.counter "pd.event.connect_small"));
+      check_int "open_small = trace"
+        (count (function Pd_omflp.Opened_small _ -> true | _ -> false))
+        (Metrics.value (Metrics.counter "pd.event.open_small"));
+      check_int "connect_large = trace"
+        (count (function Pd_omflp.Connected_large _ -> true | _ -> false))
+        (Metrics.value (Metrics.counter "pd.event.connect_large"));
+      check_int "open_large = trace"
+        (count (function Pd_omflp.Opened_large _ -> true | _ -> false))
+        (Metrics.value (Metrics.counter "pd.event.open_large"));
+      (* Every event-loop iteration fires exactly one event. *)
+      check_int "loop_iters = total events" (List.length trace)
+        (Metrics.value (Metrics.counter "pd.loop_iters"));
+      check_int "requests counted"
+        (Array.length inst.Instance.requests)
+        (Metrics.value (Metrics.counter "pd.requests"));
+      (* Openings counted = confirmed facilities (tentative small
+         facilities discarded by a large opening are trace-only). *)
+      let run = Pd_omflp.run_so_far t in
+      check_int "facilities_opened = store"
+        (List.length run.Run.facilities)
+        (Metrics.value (Metrics.counter "pd.facilities_opened")))
+
+let test_pd_counters_match_trace () = counters_vs_trace Pd_omflp.create
+
+let test_pd_fast_counters_match_trace () =
+  counters_vs_trace Pd_omflp.create_incremental
+
+let test_cache_exact_under_metrics () =
+  (* Incremental caches stay exact while the instrumentation layer is
+     enabled (the counters must not perturb the algorithm). *)
+  let inst = clustered_instance ~seed:0xca5e ~n_requests:50 in
+  with_metrics (fun () ->
+      let t =
+        Pd_omflp.create_incremental inst.Instance.metric inst.Instance.cost
+      in
+      Array.iter
+        (fun r ->
+          ignore (Pd_omflp.step t r);
+          check_bool "drift below 1e-6" true (Pd_omflp.cache_drift t < 1e-6))
+        inst.Instance.requests;
+      check_bool "cache updates counted" true
+        (Metrics.value (Metrics.counter "pd.cache_updates") > 0))
+
+let test_disabled_runs_unchanged () =
+  (* Instrumentation off: the run is identical to an instrumented one
+     (counters never feed back into decisions). *)
+  let inst = clustered_instance ~seed:42 ~n_requests:30 in
+  Metrics.set_enabled false;
+  let plain = Simulator.run (module Pd_omflp) inst in
+  let observed =
+    with_metrics (fun () -> Simulator.run (module Pd_omflp) inst)
+  in
+  check_float 1e-12 "same total cost" (Run.total_cost plain)
+    (Run.total_cost observed);
+  check_int "same facilities"
+    (List.length plain.Run.facilities)
+    (List.length observed.Run.facilities);
+  (* The observed run carries per-request latencies, the plain one not. *)
+  check_int "plain: no latencies" 0 (Array.length plain.Run.step_seconds);
+  check_int "observed: one latency per request"
+    (Array.length inst.Instance.requests)
+    (Array.length observed.Run.step_seconds)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "registration idempotent" `Quick
+            test_counter_registration_idempotent;
+          Alcotest.test_case "registry growth" `Quick test_many_counters;
+          Alcotest.test_case "timer" `Quick test_timer;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "json lines" `Quick test_trace_sink_json_lines ] );
+      ( "report",
+        [ Alcotest.test_case "render" `Quick test_report_renders ] );
+      ( "parity",
+        [
+          Alcotest.test_case "PD counters = trace" `Quick
+            test_pd_counters_match_trace;
+          Alcotest.test_case "PD-FAST counters = trace" `Quick
+            test_pd_fast_counters_match_trace;
+          Alcotest.test_case "cache exact under metrics" `Quick
+            test_cache_exact_under_metrics;
+          Alcotest.test_case "disabled run unchanged" `Quick
+            test_disabled_runs_unchanged;
+        ] );
+    ]
