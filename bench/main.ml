@@ -11,28 +11,71 @@ open Omflp_prelude
 open Omflp_instance
 
 let usage =
-  "usage: main.exe [--quick] [--tables-only | --bench-only]\n\
+  "usage: main.exe [--quick] [--tables-only | --bench-only] [--jobs N] \
+   [--json FILE]\n\
   \  --quick        smaller experiment sizes and shorter bechamel quotas\n\
   \  --tables-only  only regenerate the experiment tables (E1-E6, E8-E10)\n\
-  \  --bench-only   only run the microbenchmarks and work counters (E7)\n"
+  \  --bench-only   only run the microbenchmarks and work counters (E7)\n\
+  \  --jobs N       run experiment repetitions on N domains (default 1;\n\
+  \                 env OMFLP_JOBS); tables are byte-identical for any N\n\
+  \  --json FILE    also write machine-readable results (ns/run + E7b\n\
+  \                 work counters) to FILE\n"
 
-let quick, tables_only, bench_only =
+let quick, tables_only, bench_only, jobs, json_path =
   let quick = ref false and tables = ref false and bench = ref false in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "--tables-only" -> tables := true
-        | "--bench-only" -> bench := true
-        | "--help" | "-help" ->
-            print_string usage;
-            exit 0
-        | other when String.length other >= 2 && String.sub other 0 2 = "--" ->
-            Printf.eprintf "main.exe: unknown option %s\n%s" other usage;
-            exit 2
-        | _ -> ())
-    Sys.argv;
+  let jobs =
+    ref
+      (match Sys.getenv_opt "OMFLP_JOBS" with
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some n -> n
+          | None ->
+              Printf.eprintf "main.exe: OMFLP_JOBS must be an integer, got %S\n"
+                s;
+              exit 2)
+      | None -> 1)
+  in
+  let json = ref None in
+  let int_value flag = function
+    | Some s when int_of_string_opt s <> None -> Option.get (int_of_string_opt s)
+    | _ ->
+        Printf.eprintf "main.exe: %s needs an integer argument\n%s" flag usage;
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--tables-only" :: rest ->
+        tables := true;
+        parse rest
+    | "--bench-only" :: rest ->
+        bench := true;
+        parse rest
+    | "--jobs" :: rest ->
+        let v, rest =
+          match rest with v :: r -> (Some v, r) | [] -> (None, [])
+        in
+        jobs := int_value "--jobs" v;
+        parse rest
+    | "--json" :: rest -> (
+        match rest with
+        | v :: r ->
+            json := Some v;
+            parse r
+        | [] ->
+            Printf.eprintf "main.exe: --json needs a file argument\n%s" usage;
+            exit 2)
+    | ("--help" | "-help") :: _ ->
+        print_string usage;
+        exit 0
+    | other :: _ when String.length other >= 2 && String.sub other 0 2 = "--" ->
+        Printf.eprintf "main.exe: unknown option %s\n%s" other usage;
+        exit 2
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   if !tables && !bench then begin
     Printf.eprintf
       "main.exe: --tables-only and --bench-only conflict (together they \
@@ -40,7 +83,13 @@ let quick, tables_only, bench_only =
       usage;
     exit 2
   end;
-  (!quick, !tables, !bench)
+  if !jobs < 1 then begin
+    Printf.eprintf "main.exe: --jobs must be >= 1 (got %d)\n%s" !jobs usage;
+    exit 2
+  end;
+  (!quick, !tables, !bench, !jobs, !json)
+
+let () = Pool.set_default_jobs jobs
 
 (* ---------- Part 1: experiment tables (one per paper artifact) ---------- *)
 
@@ -50,7 +99,7 @@ let run_tables () =
   print_endline " paper: Castenow et al., SPAA 2020 (arXiv:2005.08391)";
   print_endline "====================================================";
   List.iter Omflp_experiments.Exp_common.print_section
-    (Omflp_experiments.Suite.run ~quick ~which:"all")
+    (Omflp_experiments.Suite.run ~quick ~which:"all" ())
 
 (* ---------- Part 2: Bechamel microbenchmarks ---------- *)
 
@@ -200,6 +249,8 @@ let offline_benches =
       (Staged.stage (fun () -> (Omflp_offline.Greedy_offline.solve inst).cost));
   ]
 
+(* Runs the bechamel suite and returns [(name, ns_per_run option)] rows
+   sorted by benchmark name, for both the printed table and BENCH.json. *)
 let run_benchmarks () =
   print_endline "";
   print_endline "====================================================";
@@ -229,19 +280,28 @@ let run_benchmarks () =
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
       Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results)
     tests;
+  let rows =
+    List.map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) -> (name, Some est)
+        | _ -> (name, None))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+  in
   List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some (est :: _) ->
+    (fun (name, est) ->
+      match est with
+      | Some est ->
           Texttable.add_row table
             [
               name;
               Printf.sprintf "%.0f" est;
               Printf.sprintf "%.3f" (est /. 1e6);
             ]
-      | _ -> Texttable.add_row table [ name; "n/a"; "n/a" ])
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
-  Texttable.print table
+      | None -> Texttable.add_row table [ name; "n/a"; "n/a" ])
+    rows;
+  Texttable.print table;
+  rows
 
 (* Work counters (lib/obs): deterministic seeded full runs, reported as
    counted work — event-loop iterations, events by kind, cache updates,
@@ -257,6 +317,7 @@ let run_work_counters () =
     n_requests;
   let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
   let table = Texttable.create [ "algorithm"; "counter"; "value" ] in
+  let rows = ref [] in
   let was_enabled = Omflp_obs.Metrics.enabled () in
   Omflp_obs.Metrics.set_enabled true;
   List.iter
@@ -266,8 +327,10 @@ let run_work_counters () =
       let snap = Omflp_obs.Metrics.snapshot () in
       List.iter
         (fun (c : Omflp_obs.Metrics.counter_view) ->
-          if c.c_value > 0 then
-            Texttable.add_row table [ name; c.c_name; string_of_int c.c_value ])
+          if c.c_value > 0 then begin
+            Texttable.add_row table [ name; c.c_name; string_of_int c.c_value ];
+            rows := (name, c.c_name, c.c_value) :: !rows
+          end)
         snap.Omflp_obs.Metrics.counters)
     [
       (Omflp_core.Pd_omflp.name, (module Omflp_core.Pd_omflp : Omflp_core.Algo_intf.ALGO));
@@ -276,11 +339,65 @@ let run_work_counters () =
     ];
   Omflp_obs.Metrics.reset ();
   Omflp_obs.Metrics.set_enabled was_enabled;
-  Texttable.print table
+  Texttable.print table;
+  List.rev !rows
+
+(* ---------- BENCH.json: the perf trajectory across PRs ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~bench_rows ~counter_rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"omflp.bench.v1\",\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (match est with
+        | Some v when Float.is_finite v -> Printf.sprintf "%.6g" v
+        | _ -> "null")
+        (if i = List.length bench_rows - 1 then "" else ","))
+    bench_rows;
+  out "  ],\n";
+  out "  \"work_counters\": [\n";
+  List.iteri
+    (fun i (algo, counter, v) ->
+      out "    {\"algorithm\": \"%s\", \"counter\": \"%s\", \"value\": %d}%s\n"
+        (json_escape algo) (json_escape counter) v
+        (if i = List.length counter_rows - 1 then "" else ","))
+    counter_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   if not bench_only then run_tables ();
   if not tables_only then begin
-    run_benchmarks ();
-    run_work_counters ()
+    let bench_rows = run_benchmarks () in
+    let counter_rows = run_work_counters () in
+    Option.iter
+      (fun path -> write_json path ~bench_rows ~counter_rows)
+      json_path
   end
+  else
+    Option.iter
+      (fun path -> write_json path ~bench_rows:[] ~counter_rows:[])
+      json_path

@@ -266,7 +266,7 @@ let exp_cmd =
     Arg.(
       value
       & opt string "all"
-      & info [ "id" ]
+      & info [ "id"; "which" ]
           ~doc:"Experiment id: e1 | e2 | e3 | e4 | e5 | e6 | e8 | e9 | e10 | all.")
   in
   let quick_arg =
@@ -279,8 +279,25 @@ let exp_cmd =
       & info [ "csv-dir" ]
           ~doc:"Also write each table as CSV into this directory.")
   in
-  let action which quick csv_dir =
-    let sections = Omflp_experiments.Suite.run ~quick ~which in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~env:(Cmd.Env.info "OMFLP_JOBS")
+          ~docv:"N"
+          ~doc:
+            "Run independent repetitions/experiments on $(docv) domains. \
+             Repetition seeds are index-derived, so the tables are \
+             byte-identical for every value of $(docv); 1 (the default) \
+             stays fully serial.")
+  in
+  let action which quick csv_dir jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "omflp: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
+    Pool.set_default_jobs jobs;
+    let sections = Omflp_experiments.Suite.run ~quick ~which () in
     List.iter Omflp_experiments.Exp_common.print_section sections;
     match csv_dir with
     | None -> ()
@@ -293,7 +310,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's experiment tables/figures.")
-    Term.(const action $ which_arg $ quick_arg $ csv_arg)
+    Term.(const action $ which_arg $ quick_arg $ csv_arg $ jobs_arg)
 
 (* omflp selfcheck *)
 let selfcheck_cmd =

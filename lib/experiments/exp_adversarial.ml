@@ -5,34 +5,47 @@ let run ?(levels_list = [ 4; 6; 8 ]) ?(seed = 49) () =
     Texttable.create
       [ "levels"; "n"; "algorithm"; "cost"; "OPT<="; "ratio>="; "facilities" ]
   in
-  List.iter
-    (fun levels ->
-      List.iter
-        (fun (name, algo) ->
-          let outcome = Omflp_core.Adversary.zoom_line ~seed ~levels algo in
-          let bracket =
-            Omflp_offline.Opt_estimate.bracket ~exact:false ~local_search:false
-              outcome.Omflp_core.Adversary.realized
-          in
-          let cost = Omflp_core.Run.total_cost outcome.Omflp_core.Adversary.run in
-          Texttable.add_row table
-            [
-              Texttable.cell_i levels;
-              Texttable.cell_i
-                (Omflp_instance.Instance.n_requests
-                   outcome.Omflp_core.Adversary.realized);
-              name;
-              Texttable.cell_f cost;
-              Texttable.cell_f bracket.Omflp_offline.Opt_estimate.upper;
-              Texttable.cell_f (cost /. bracket.Omflp_offline.Opt_estimate.upper);
-              Texttable.cell_f
-                (float_of_int
-                   (List.length
-                      outcome.Omflp_core.Adversary.run.Omflp_core.Run.facilities));
-            ])
-        (Exp_common.default_algos ());
-      Texttable.add_rule table)
-    levels_list;
+  (* Every (levels, algorithm) attack is independent and seeded, so the
+     whole grid fans out; rows are added back in grid order. *)
+  let algos = Exp_common.default_algos () in
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun levels -> List.map (fun a -> (levels, a)) algos)
+         levels_list)
+  in
+  let rows =
+    Pool.map (Pool.default ())
+      (fun (levels, (name, algo)) ->
+        let outcome = Omflp_core.Adversary.zoom_line ~seed ~levels algo in
+        let bracket =
+          Omflp_offline.Opt_estimate.bracket ~exact:false ~local_search:false
+            outcome.Omflp_core.Adversary.realized
+        in
+        let cost = Omflp_core.Run.total_cost outcome.Omflp_core.Adversary.run in
+        ( levels,
+          [
+            Texttable.cell_i levels;
+            Texttable.cell_i
+              (Omflp_instance.Instance.n_requests
+                 outcome.Omflp_core.Adversary.realized);
+            name;
+            Texttable.cell_f cost;
+            Texttable.cell_f bracket.Omflp_offline.Opt_estimate.upper;
+            Texttable.cell_f (cost /. bracket.Omflp_offline.Opt_estimate.upper);
+            Texttable.cell_f
+              (float_of_int
+                 (List.length
+                    outcome.Omflp_core.Adversary.run.Omflp_core.Run.facilities));
+          ] ))
+      grid
+  in
+  Array.iteri
+    (fun i (levels, row) ->
+      Texttable.add_row table row;
+      if i = Array.length rows - 1 || fst rows.(i + 1) <> levels then
+        Texttable.add_rule table)
+    rows;
   {
     Exp_common.title =
       "E10: adaptive zoom-in adversary on the dyadic line (log n pressure)";

@@ -15,50 +15,84 @@ type outcome = {
   upper_method : string;
 }
 
-let measure ?exact ?local_search ~reps ~seed ~gen ~algos () =
+(* One repetition's worth of results; built entirely from the rep's own
+   seed-derived RNGs so repetitions can run on any domain in any order. *)
+type rep = {
+  rep_upper : float;
+  rep_lower : float;
+  rep_lower_method : string;
+  rep_upper_method : string;
+  rep_costs : float array;  (* indexed by algorithm *)
+  rep_ratios : float array;
+  rep_n_fac : float array;
+}
+
+let method_label methods =
+  (* Distinct methods in first-repetition order; a mixed-estimator batch
+     is reported as such instead of silently keeping the last rep's. *)
+  let distinct =
+    Array.fold_left
+      (fun acc m -> if List.mem m acc then acc else m :: acc)
+      [] methods
+    |> List.rev
+  in
+  match distinct with
+  | [] -> ""
+  | [ m ] -> m
+  | ms -> Printf.sprintf "mixed(%s)" (String.concat "|" ms)
+
+let pool_or_default = function Some p -> p | None -> Pool.default ()
+
+let measure ?exact ?local_search ?pool ~reps ~seed ~gen ~algos () =
   if reps <= 0 then invalid_arg "Exp_common.measure: reps must be positive";
-  let uppers = Array.make reps 0.0 in
-  let lowers = Array.make reps 0.0 in
-  let lower_method = ref "" in
-  let upper_method = ref "" in
-  let costs = Array.make_matrix (List.length algos) reps 0.0 in
-  let ratios = Array.make_matrix (List.length algos) reps 0.0 in
-  let n_fac = Array.make_matrix (List.length algos) reps 0.0 in
-  for rep = 0 to reps - 1 do
+  let algos_a = Array.of_list algos in
+  let n_algos = Array.length algos_a in
+  let one rep =
     let rng = Splitmix.of_int (seed + (1009 * rep)) in
     let inst = gen rng in
     let bracket = Omflp_offline.Opt_estimate.bracket ?exact ?local_search inst in
-    uppers.(rep) <- bracket.upper;
-    lowers.(rep) <- bracket.lower;
-    lower_method := bracket.lower_method;
-    upper_method := bracket.upper_method;
-    List.iteri
+    let rep_costs = Array.make n_algos 0.0 in
+    let rep_ratios = Array.make n_algos 0.0 in
+    let rep_n_fac = Array.make n_algos 0.0 in
+    Array.iteri
       (fun ai (_, algo) ->
         let run =
           Omflp_core.Simulator.run ~seed:(seed + (31 * rep)) algo inst
         in
         let c = Omflp_core.Run.total_cost run in
-        costs.(ai).(rep) <- c;
-        ratios.(ai).(rep) <- (if bracket.upper > 0.0 then c /. bracket.upper else 1.0);
-        n_fac.(ai).(rep) <-
+        rep_costs.(ai) <- c;
+        rep_ratios.(ai) <- (if bracket.upper > 0.0 then c /. bracket.upper else 1.0);
+        rep_n_fac.(ai) <-
           float_of_int (List.length run.Omflp_core.Run.facilities))
-      algos
-  done;
+      algos_a;
+    {
+      rep_upper = bracket.upper;
+      rep_lower = bracket.lower;
+      rep_lower_method = bracket.lower_method;
+      rep_upper_method = bracket.upper_method;
+      rep_costs;
+      rep_ratios;
+      rep_n_fac;
+    }
+  in
+  let results =
+    Pool.map (pool_or_default pool) one (Array.init reps Fun.id)
+  in
   {
     measurements =
       List.mapi
         (fun ai (name, _) ->
           {
             algorithm = name;
-            costs = costs.(ai);
-            ratios_vs_upper = ratios.(ai);
-            n_facilities = n_fac.(ai);
+            costs = Array.map (fun r -> r.rep_costs.(ai)) results;
+            ratios_vs_upper = Array.map (fun r -> r.rep_ratios.(ai)) results;
+            n_facilities = Array.map (fun r -> r.rep_n_fac.(ai)) results;
           })
         algos;
-    opt_uppers = uppers;
-    opt_lowers = lowers;
-    lower_method = !lower_method;
-    upper_method = !upper_method;
+    opt_uppers = Array.map (fun r -> r.rep_upper) results;
+    opt_lowers = Array.map (fun r -> r.rep_lower) results;
+    lower_method = method_label (Array.map (fun r -> r.rep_lower_method) results);
+    upper_method = method_label (Array.map (fun r -> r.rep_upper_method) results);
   }
 
 let mean = Stats.mean

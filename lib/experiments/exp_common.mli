@@ -17,21 +17,34 @@ type outcome = {
   opt_uppers : float array;
   opt_lowers : float array;
   lower_method : string;
-  upper_method : string;
+      (** the estimator used on every repetition, or ["mixed(a|b)"] when
+          repetitions disagree (distinct methods, first-rep order) *)
+  upper_method : string;  (** same convention as [lower_method] *)
 }
 
 (** [measure ~reps ~seed ~gen ~algos ()] generates [reps] seeded instances,
     brackets OPT on each, and runs every algorithm. [exact]/[local_search]
-    are forwarded to {!Omflp_offline.Opt_estimate.bracket}. *)
+    are forwarded to {!Omflp_offline.Opt_estimate.bracket}.
+
+    Repetitions are independent — each derives its own RNGs from [seed]
+    and the repetition index — and run through [pool] (default:
+    {!Pool.default}). The outcome is byte-identical for any pool size. *)
 val measure :
   ?exact:bool ->
   ?local_search:bool ->
+  ?pool:Pool.t ->
   reps:int ->
   seed:int ->
   gen:(Splitmix.t -> Omflp_instance.Instance.t) ->
   algos:(string * (module Omflp_core.Algo_intf.ALGO)) list ->
   unit ->
   outcome
+
+(** [method_label methods] collapses per-repetition estimator names into
+    one label: the common name when all repetitions agree, or
+    ["mixed(a|b)"] (distinct names, first-occurrence order) when they
+    don't. *)
+val method_label : string array -> string
 
 (** [mean xs], [ci xs] — re-exports for report code. *)
 val mean : float array -> float

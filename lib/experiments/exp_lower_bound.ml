@@ -23,6 +23,8 @@ let run ?(reps = 5) ?(sizes = [ 16; 64; 256; 1024 ]) ?(seed = 42) () =
       ]
   in
   let algos = Exp_common.default_algos () in
+  let algos_a = Array.of_list algos in
+  let pool = Pool.default () in
   List.iter
     (fun s ->
       let root = Numerics.isqrt s in
@@ -33,24 +35,34 @@ let run ?(reps = 5) ?(sizes = [ 16; 64; 256; 1024 ]) ?(seed = 42) () =
       List.iter
         (fun (regime, n_requested) ->
           let opt = exact_opt ~n_commodities:s ~n_requested in
-          let ratios = Array.make_matrix (List.length algos) reps 0.0 in
-          let n_fac = Array.make_matrix (List.length algos) reps 0.0 in
-          for rep = 0 to reps - 1 do
-            let rng = Splitmix.of_int (seed + (1009 * rep) + s) in
-            let inst =
-              Omflp_instance.Generators.single_point_adversary rng
-                ~n_commodities:s ~cost:Cost_function.theorem2 ~n_requested
-            in
-            List.iteri
-              (fun ai (_, algo) ->
-                let run =
-                  Omflp_core.Simulator.run ~seed:(seed + (31 * rep)) algo inst
+          let per_rep =
+            Pool.map pool
+              (fun rep ->
+                let rng = Splitmix.of_int (seed + (1009 * rep) + s) in
+                let inst =
+                  Omflp_instance.Generators.single_point_adversary rng
+                    ~n_commodities:s ~cost:Cost_function.theorem2 ~n_requested
                 in
-                ratios.(ai).(rep) <- Omflp_core.Run.total_cost run /. opt;
-                n_fac.(ai).(rep) <-
-                  float_of_int (List.length run.Omflp_core.Run.facilities))
-              algos
-          done;
+                Array.map
+                  (fun (_, algo) ->
+                    let run =
+                      Omflp_core.Simulator.run ~seed:(seed + (31 * rep)) algo
+                        inst
+                    in
+                    ( Omflp_core.Run.total_cost run /. opt,
+                      float_of_int
+                        (List.length run.Omflp_core.Run.facilities) ))
+                  algos_a)
+              (Array.init reps Fun.id)
+          in
+          let ratios =
+            Array.init (Array.length algos_a) (fun ai ->
+                Array.map (fun r -> fst r.(ai)) per_rep)
+          in
+          let n_fac =
+            Array.init (Array.length algos_a) (fun ai ->
+                Array.map (fun r -> snd r.(ai)) per_rep)
+          in
           List.iteri
             (fun ai (name, _) ->
               Texttable.add_row table

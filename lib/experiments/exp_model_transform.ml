@@ -19,25 +19,38 @@ let run ?(reps = 5) ?(seed = 48) () =
         "requests joint/split";
       ]
   in
-  let joint = Array.make_matrix (List.length algos) reps 0.0 in
-  let split = Array.make_matrix (List.length algos) reps 0.0 in
-  let n_joint = ref 0 and n_split = ref 0 in
-  for rep = 0 to reps - 1 do
-    let rng = Splitmix.of_int (seed + (1009 * rep)) in
-    let inst = gen rng in
-    let inst_split = Instance.split_per_commodity inst in
-    n_joint := Instance.n_requests inst;
-    n_split := Instance.n_requests inst_split;
-    List.iteri
-      (fun ai (_, algo) ->
-        joint.(ai).(rep) <-
-          Omflp_core.Run.total_cost
-            (Omflp_core.Simulator.run ~seed:(seed + rep) algo inst);
-        split.(ai).(rep) <-
-          Omflp_core.Run.total_cost
-            (Omflp_core.Simulator.run ~seed:(seed + rep) algo inst_split))
-      algos
-  done;
+  let algos_a = Array.of_list algos in
+  let per_rep =
+    Pool.map (Pool.default ())
+      (fun rep ->
+        let rng = Splitmix.of_int (seed + (1009 * rep)) in
+        let inst = gen rng in
+        let inst_split = Instance.split_per_commodity inst in
+        let costs =
+          Array.map
+            (fun (_, algo) ->
+              ( Omflp_core.Run.total_cost
+                  (Omflp_core.Simulator.run ~seed:(seed + rep) algo inst),
+                Omflp_core.Run.total_cost
+                  (Omflp_core.Simulator.run ~seed:(seed + rep) algo inst_split)
+              ))
+            algos_a
+        in
+        (costs, Instance.n_requests inst, Instance.n_requests inst_split))
+      (Array.init reps Fun.id)
+  in
+  let joint =
+    Array.init (Array.length algos_a) (fun ai ->
+        Array.map (fun (c, _, _) -> fst c.(ai)) per_rep)
+  in
+  let split =
+    Array.init (Array.length algos_a) (fun ai ->
+        Array.map (fun (c, _, _) -> snd c.(ai)) per_rep)
+  in
+  (* The generator draws a fixed-length sequence, so the request counts
+     are the same on every repetition; report the first. *)
+  let _, n0_joint, n0_split = per_rep.(0) in
+  let n_joint = ref n0_joint and n_split = ref n0_split in
   List.iteri
     (fun ai (name, _) ->
       let j = Exp_common.mean joint.(ai) and s = Exp_common.mean split.(ai) in

@@ -26,7 +26,20 @@ let run_one ~quick = function
       else Exp_adversarial.run ()
   | other -> invalid_arg (Printf.sprintf "unknown experiment id %S" other)
 
-let run ~quick ~which =
+let run ?pool ~quick ~which () =
   let which = String.lowercase_ascii which in
-  if which = "all" then List.map (fun id -> run_one ~quick id) ids
+  let pool =
+    match pool with Some p -> p | None -> Omflp_prelude.Pool.default ()
+  in
+  if which = "all" then
+    (* Whole experiments fan out across the pool; sections come back in
+       [ids] order (Pool.map preserves input order), so the printed
+       output is independent of scheduling. An experiment running inside
+       a pool task executes its own per-rep fan-out inline (nested maps
+       are sequential); a single-experiment run parallelizes its reps
+       instead. *)
+    Array.to_list
+      (Omflp_prelude.Pool.map pool
+         (fun id -> run_one ~quick id)
+         (Array.of_list ids))
   else [ run_one ~quick which ]

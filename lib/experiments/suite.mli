@@ -3,7 +3,16 @@
 (** [run ~quick ~which] executes experiments. [which] is an id
     ("e1" … "e6", "e8"; "e7" is the Bechamel half of [bench/main.exe]) or
     "all". [quick] shrinks sizes/repetitions for smoke runs. Raises
-    [Invalid_argument] on an unknown id. *)
-val run : quick:bool -> which:string -> Exp_common.section list
+    [Invalid_argument] on an unknown id.
+
+    With ["all"], experiments are dispatched across [pool] (default:
+    {!Omflp_prelude.Pool.default}); the returned sections are always in
+    {!ids} order and byte-identical for any pool size. *)
+val run :
+  ?pool:Omflp_prelude.Pool.t ->
+  quick:bool ->
+  which:string ->
+  unit ->
+  Exp_common.section list
 
 val ids : string list

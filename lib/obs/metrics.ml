@@ -1,7 +1,14 @@
-(* Flat-array registry. Each instrument kind keeps a parallel (names,
-   state) pair of growable arrays plus a name -> index table; the handle
-   handed to callers is the bare index, so the hot-path operations touch
-   no heap beyond the preallocated arrays. *)
+(* Sharded flat-array registry. Registration (name -> index) is global
+   and mutex-guarded; the handle handed to callers is the bare index.
+   Instrument *state* lives in per-domain shards reached through
+   [Domain.DLS], so hot-path recording from pool workers is lock-free
+   and race-free: each domain writes only its own arrays. Readers
+   ([value] / [snapshot] / [reset]) merge every shard ever created, in
+   domain-id order so float accumulation is deterministic; integer
+   counters merge exactly regardless of which domain did the work, which
+   is what keeps the E7b work-counter tables byte-identical across
+   [--jobs] values. Shards of terminated domains are kept (their
+   contributions happened), so a merge never loses work. *)
 
 let on = ref false
 
@@ -9,85 +16,173 @@ let set_enabled b = on := b
 
 let enabled () = !on
 
-(* ---------- counters ---------- *)
+(* ---------- registration (global, mutex-guarded) ---------- *)
 
-type counter = int
+let reg_mutex = Mutex.create ()
 
 let c_index : (string, int) Hashtbl.t = Hashtbl.create 64
 
 let c_names = ref (Array.make 16 "")
 
-let c_values = ref (Array.make 16 0)
-
 let c_count = ref 0
+
+let t_index : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let t_names = ref (Array.make 8 "")
+
+let t_count = ref 0
+
+let h_index : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let h_names = ref (Array.make 8 "")
+
+let h_count = ref 0
 
 let grow_s a =
   let b = Array.make (2 * Array.length !a) "" in
   Array.blit !a 0 b 0 (Array.length !a);
   a := b
 
-let counter name =
-  match Hashtbl.find_opt c_index name with
-  | Some i -> i
-  | None ->
-      if !c_count = Array.length !c_names then begin
-        grow_s c_names;
-        let b = Array.make (2 * Array.length !c_values) 0 in
-        Array.blit !c_values 0 b 0 !c_count;
-        c_values := b
-      end;
-      let i = !c_count in
-      !c_names.(i) <- name;
-      !c_values.(i) <- 0;
-      incr c_count;
-      Hashtbl.add c_index name i;
-      i
+let register index names count name =
+  Mutex.lock reg_mutex;
+  let i =
+    match Hashtbl.find_opt index name with
+    | Some i -> i
+    | None ->
+        if !count = Array.length !names then grow_s names;
+        let i = !count in
+        !names.(i) <- name;
+        incr count;
+        Hashtbl.add index name i;
+        i
+  in
+  Mutex.unlock reg_mutex;
+  i
 
-let incr c = if !on then !c_values.(c) <- !c_values.(c) + 1
+type counter = int
 
-let add c n = if !on then !c_values.(c) <- !c_values.(c) + n
-
-let value c = !c_values.(c)
-
-(* ---------- timers ---------- *)
+let counter name = register c_index c_names c_count name
 
 type timer = int
 
-let t_index : (string, int) Hashtbl.t = Hashtbl.create 16
+let timer name = register t_index t_names t_count name
 
-let t_names = ref (Array.make 8 "")
+(* Bucket i covers [2^(i-34), 2^(i-33)); bucket 0 additionally absorbs
+   everything below, the last bucket everything above. *)
+let n_buckets = 64
 
-let t_events = ref (Array.make 8 0)
+type histogram = int
 
-let t_totals = ref (Array.make 8 0.0)
+let histogram name = register h_index h_names h_count name
 
-let t_count = ref 0
+(* ---------- per-domain shards ---------- *)
 
-let timer name =
-  match Hashtbl.find_opt t_index name with
-  | Some i -> i
-  | None ->
-      if !t_count = Array.length !t_names then begin
-        grow_s t_names;
-        let b = Array.make (2 * Array.length !t_events) 0 in
-        Array.blit !t_events 0 b 0 !t_count;
-        t_events := b;
-        let b = Array.make (2 * Array.length !t_totals) 0.0 in
-        Array.blit !t_totals 0 b 0 !t_count;
-        t_totals := b
-      end;
-      let i = !t_count in
-      !t_names.(i) <- name;
-      Stdlib.incr t_count;
-      Hashtbl.add t_index name i;
-      i
+type shard = {
+  sh_domain : int;  (* merge order key; domain ids are never reused *)
+  mutable sh_c : int array;
+  mutable sh_t_events : int array;
+  mutable sh_t_totals : float array;
+  mutable sh_h_cells : int array array;
+  mutable sh_h_sums : float array;
+}
+
+let shards_mutex = Mutex.create ()
+
+let shards : shard list ref = ref []
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          sh_domain = (Domain.self () :> int);
+          sh_c = Array.make (max 16 !c_count) 0;
+          sh_t_events = Array.make (max 8 !t_count) 0;
+          sh_t_totals = Array.make (max 8 !t_count) 0.0;
+          sh_h_cells = Array.init (max 8 !h_count) (fun _ -> Array.make n_buckets 0);
+          sh_h_sums = Array.make (max 8 !h_count) 0.0;
+        }
+      in
+      Mutex.lock shards_mutex;
+      shards := s :: !shards;
+      Mutex.unlock shards_mutex;
+      s)
+
+let shard () = Domain.DLS.get shard_key
+
+(* Instruments can be registered after a shard was created (another
+   domain, or post-spawn registration), so every accessor widens the
+   shard arrays on demand. *)
+let grown_i a n =
+  let b = Array.make (max n (2 * Array.length a)) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grown_f a n =
+  let b = Array.make (max n (2 * Array.length a)) 0.0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let counter_cells s c =
+  if c >= Array.length s.sh_c then s.sh_c <- grown_i s.sh_c (c + 1);
+  s.sh_c
+
+let timer_cells s t =
+  if t >= Array.length s.sh_t_events then begin
+    s.sh_t_events <- grown_i s.sh_t_events (t + 1);
+    s.sh_t_totals <- grown_f s.sh_t_totals (t + 1)
+  end
+
+let hist_cells s h =
+  if h >= Array.length s.sh_h_cells then begin
+    let b =
+      Array.init
+        (max (h + 1) (2 * Array.length s.sh_h_cells))
+        (fun i ->
+          if i < Array.length s.sh_h_cells then s.sh_h_cells.(i)
+          else Array.make n_buckets 0)
+    in
+    s.sh_h_cells <- b;
+    s.sh_h_sums <- grown_f s.sh_h_sums (h + 1)
+  end;
+  s.sh_h_cells.(h)
+
+(* Snapshot under the shards mutex, oldest (lowest domain id) first, so
+   float merges accumulate in a deterministic order. *)
+let sorted_shards () =
+  Mutex.lock shards_mutex;
+  let l = !shards in
+  Mutex.unlock shards_mutex;
+  List.sort (fun a b -> compare a.sh_domain b.sh_domain) l
+
+(* ---------- counters ---------- *)
+
+let incr c =
+  if !on then begin
+    let a = counter_cells (shard ()) c in
+    a.(c) <- a.(c) + 1
+  end
+
+let add c n =
+  if !on then begin
+    let a = counter_cells (shard ()) c in
+    a.(c) <- a.(c) + n
+  end
+
+let value c =
+  List.fold_left
+    (fun acc s -> if c < Array.length s.sh_c then acc + s.sh_c.(c) else acc)
+    0 (sorted_shards ())
+
+(* ---------- timers ---------- *)
 
 let now () = Unix.gettimeofday ()
 
-let record_span t s =
+let record_span t span =
   if !on then begin
-    !t_events.(t) <- !t_events.(t) + 1;
-    !t_totals.(t) <- !t_totals.(t) +. s
+    let s = shard () in
+    timer_cells s t;
+    s.sh_t_events.(t) <- s.sh_t_events.(t) + 1;
+    s.sh_t_totals.(t) <- s.sh_t_totals.(t) +. span
   end
 
 let time t f =
@@ -101,10 +196,6 @@ let time t f =
 
 (* ---------- histograms ---------- *)
 
-(* Bucket i covers [2^(i-34), 2^(i-33)); bucket 0 additionally absorbs
-   everything below, the last bucket everything above. *)
-let n_buckets = 64
-
 let bucket_of v =
   if v < Float.ldexp 1.0 (-34) then 0
   else
@@ -112,44 +203,13 @@ let bucket_of v =
     (* v in [2^e, 2^(e+1)) *)
     Stdlib.min (n_buckets - 1) (Stdlib.max 0 (e + 34))
 
-type histogram = int
-
-let h_index : (string, int) Hashtbl.t = Hashtbl.create 16
-
-let h_names = ref (Array.make 8 "")
-
-let h_buckets = ref (Array.make 8 [||])
-
-let h_sums = ref (Array.make 8 0.0)
-
-let h_count = ref 0
-
-let histogram name =
-  match Hashtbl.find_opt h_index name with
-  | Some i -> i
-  | None ->
-      if !h_count = Array.length !h_names then begin
-        grow_s h_names;
-        let b = Array.make (2 * Array.length !h_buckets) [||] in
-        Array.blit !h_buckets 0 b 0 !h_count;
-        h_buckets := b;
-        let b = Array.make (2 * Array.length !h_sums) 0.0 in
-        Array.blit !h_sums 0 b 0 !h_count;
-        h_sums := b
-      end;
-      let i = !h_count in
-      !h_names.(i) <- name;
-      !h_buckets.(i) <- Array.make n_buckets 0;
-      Stdlib.incr h_count;
-      Hashtbl.add h_index name i;
-      i
-
 let observe h v =
   if !on then begin
-    let b = !h_buckets.(h) in
+    let s = shard () in
+    let cells = hist_cells s h in
     let i = bucket_of v in
-    b.(i) <- b.(i) + 1;
-    !h_sums.(h) <- !h_sums.(h) +. v
+    cells.(i) <- cells.(i) + 1;
+    s.sh_h_sums.(h) <- s.sh_h_sums.(h) +. v
   end
 
 (* ---------- snapshots ---------- *)
@@ -176,19 +236,46 @@ type snapshot = {
 let bucket_bounds i = (Float.ldexp 1.0 (i - 34), Float.ldexp 1.0 (i - 33))
 
 let snapshot () =
+  let all = sorted_shards () in
   let counters =
     List.init !c_count (fun i ->
-        { c_name = !c_names.(i); c_value = !c_values.(i) })
+        let v =
+          List.fold_left
+            (fun acc s -> if i < Array.length s.sh_c then acc + s.sh_c.(i) else acc)
+            0 all
+        in
+        { c_name = !c_names.(i); c_value = v })
     |> List.sort (fun a b -> String.compare a.c_name b.c_name)
   in
   let timers =
     List.init !t_count (fun i ->
-        { t_name = !t_names.(i); t_events = !t_events.(i); t_total_s = !t_totals.(i) })
+        let events, total =
+          List.fold_left
+            (fun (e, tt) s ->
+              if i < Array.length s.sh_t_events then
+                (e + s.sh_t_events.(i), tt +. s.sh_t_totals.(i))
+              else (e, tt))
+            (0, 0.0) all
+        in
+        { t_name = !t_names.(i); t_events = events; t_total_s = total })
     |> List.sort (fun a b -> String.compare a.t_name b.t_name)
   in
   let histograms =
     List.init !h_count (fun i ->
-        let cells = !h_buckets.(i) in
+        let cells = Array.make n_buckets 0 in
+        let sum =
+          List.fold_left
+            (fun acc s ->
+              if i < Array.length s.sh_h_cells then begin
+                let sc = s.sh_h_cells.(i) in
+                for b = 0 to n_buckets - 1 do
+                  cells.(b) <- cells.(b) + sc.(b)
+                done;
+                acc +. s.sh_h_sums.(i)
+              end
+              else acc)
+            0.0 all
+        in
         let buckets = ref [] in
         let events = ref 0 in
         for b = n_buckets - 1 downto 0 do
@@ -201,7 +288,7 @@ let snapshot () =
         {
           h_name = !h_names.(i);
           h_events = !events;
-          h_sum = !h_sums.(i);
+          h_sum = sum;
           h_buckets = !buckets;
         })
     |> List.sort (fun a b -> String.compare a.h_name b.h_name)
@@ -226,14 +313,11 @@ let approx_quantile view q =
   end
 
 let reset () =
-  for i = 0 to !c_count - 1 do
-    !c_values.(i) <- 0
-  done;
-  for i = 0 to !t_count - 1 do
-    !t_events.(i) <- 0;
-    !t_totals.(i) <- 0.0
-  done;
-  for i = 0 to !h_count - 1 do
-    Array.fill !h_buckets.(i) 0 n_buckets 0;
-    !h_sums.(i) <- 0.0
-  done
+  List.iter
+    (fun s ->
+      Array.fill s.sh_c 0 (Array.length s.sh_c) 0;
+      Array.fill s.sh_t_events 0 (Array.length s.sh_t_events) 0;
+      Array.fill s.sh_t_totals 0 (Array.length s.sh_t_totals) 0.0;
+      Array.iter (fun cells -> Array.fill cells 0 n_buckets 0) s.sh_h_cells;
+      Array.fill s.sh_h_sums 0 (Array.length s.sh_h_sums) 0.0)
+    (sorted_shards ())

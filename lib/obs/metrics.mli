@@ -8,6 +8,16 @@
     callers that need per-run numbers snapshot before and after, or
     {!reset} between runs.
 
+    Recording is {e domain-safe}: instrument state is sharded per domain
+    (each domain writes only its own flat arrays, reached through
+    [Domain.DLS], so pool workers never contend or race), and readers
+    ({!value}, {!snapshot}, {!reset}) merge every shard in domain-id
+    order. Integer counters therefore merge exactly — the same workload
+    yields the same counts whether it ran on 1 domain or N — while float
+    accumulators (timer totals, histogram sums) merge in a deterministic
+    order. Merging is intended for join points: call {!snapshot} or
+    {!value} only while no task is concurrently recording.
+
     Recording is gated by {!set_enabled} and starts disabled, so
     unobserved runs pay only the flag check. *)
 

@@ -111,8 +111,8 @@ let test_e10_smoke () =
 let test_suite_dispatch () =
   check_int "nine experiments" 9 (List.length Suite.ids);
   Alcotest.check_raises "unknown id" (Invalid_argument "unknown experiment id \"e12\"")
-    (fun () -> ignore (Suite.run ~quick:true ~which:"e12"));
-  check_int "single" 1 (List.length (Suite.run ~quick:true ~which:"e2"))
+    (fun () -> ignore (Suite.run ~quick:true ~which:"e12" ()));
+  check_int "single" 1 (List.length (Suite.run ~quick:true ~which:"e2" ()))
 
 (* ---------- Export ---------- *)
 
@@ -167,6 +167,52 @@ let test_measure_shapes () =
       Array.iter (fun r -> check_bool "ratio >= 1" true (r >= 1.0 -. 1e-6)) m.ratios_vs_upper)
     outcome.Exp_common.measurements
 
+let test_method_label () =
+  Alcotest.(check string) "empty" "" (Exp_common.method_label [||]);
+  Alcotest.(check string) "unanimous" "greedy" (Exp_common.method_label [| "greedy"; "greedy" |]);
+  Alcotest.(check string)
+    "mixed, first-occurrence order" "mixed(ilp|greedy)"
+    (Exp_common.method_label [| "ilp"; "greedy"; "ilp"; "greedy" |])
+
+(* ---------- determinism contract: jobs=1 == jobs=N ---------- *)
+
+(* The tentpole guarantee: every repetition derives its RNGs from
+   (seed, rep), so fanning reps/experiments across domains must yield
+   bit-for-bit the numbers — and byte-for-byte the rendered tables —
+   that the serial path yields. *)
+
+let with_jobs jobs f =
+  let pool = Omflp_prelude.Pool.create ~jobs in
+  Fun.protect
+    ~finally:(fun () -> Omflp_prelude.Pool.shutdown pool)
+    (fun () -> f pool)
+
+let test_measure_jobs_determinism () =
+  let run pool =
+    Exp_common.measure ~pool ~reps:4 ~seed:7
+      ~gen:(fun rng ->
+        Omflp_instance.Generators.clustered rng ~clusters:2 ~per_cluster:3
+          ~n_requests:12 ~n_commodities:5 ~side:50.0 ~spread:2.0
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+              ~x:1.0))
+      ~algos:(Exp_common.default_algos ())
+      ()
+  in
+  let serial = with_jobs 1 run in
+  let parallel = with_jobs 4 run in
+  check_bool "outcome bit-identical across jobs" true (serial = parallel)
+
+let render_section (s : Exp_common.section) =
+  String.concat "\n" (s.Exp_common.title :: s.Exp_common.notes)
+  ^ "\n" ^ Texttable.render s.Exp_common.table
+
+let test_suite_jobs_determinism () =
+  let run pool = Suite.run ~pool ~quick:true ~which:"all" () in
+  let serial = List.map render_section (with_jobs 1 run) in
+  let parallel = List.map render_section (with_jobs 4 run) in
+  Alcotest.(check (list string)) "rendered sections byte-identical" serial parallel
+
 let test_measure_validates_reps () =
   Alcotest.check_raises "reps" (Invalid_argument "Exp_common.measure: reps must be positive")
     (fun () ->
@@ -209,5 +255,13 @@ let () =
         [
           Alcotest.test_case "shapes" `Quick test_measure_shapes;
           Alcotest.test_case "validates reps" `Quick test_measure_validates_reps;
+          Alcotest.test_case "method label" `Quick test_method_label;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "measure: jobs=1 = jobs=4" `Quick
+            test_measure_jobs_determinism;
+          Alcotest.test_case "suite: jobs=1 = jobs=4" `Slow
+            test_suite_jobs_determinism;
         ] );
     ]

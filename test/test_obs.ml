@@ -110,6 +110,77 @@ let test_snapshot_sorted () =
   check_bool "sorted by name" true
     (List.sort String.compare names = names)
 
+(* ---------- per-domain shards (parallel recording) ---------- *)
+
+let with_pool ~jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_parallel_counters_merge_exact () =
+  (* Work recorded from pool workers lands in per-domain shards; the
+     merged value must equal the serial total exactly. *)
+  let c = Metrics.counter "test.obs.shard_counter" in
+  with_metrics (fun () ->
+      with_pool ~jobs:4 (fun pool ->
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 Metrics.add c (i + 1);
+                 Metrics.incr c)
+               (Array.init 32 Fun.id)));
+      (* sum 1..32 plus one incr per task *)
+      check_int "merged total" ((32 * 33 / 2) + 32) (Metrics.value c))
+
+let test_parallel_timers_histograms_merge () =
+  let t = Metrics.timer "test.obs.shard_timer" in
+  let h = Metrics.histogram "test.obs.shard_hist" in
+  let n = 24 in
+  with_metrics (fun () ->
+      with_pool ~jobs:3 (fun pool ->
+          ignore
+            (Pool.map pool
+               (fun _ ->
+                 Metrics.record_span t 1.0;
+                 Metrics.observe h 2.0)
+               (Array.init n Fun.id)));
+      let snap = Metrics.snapshot () in
+      let tv =
+        List.find (fun (v : Metrics.timer_view) -> v.t_name = "test.obs.shard_timer")
+          snap.timers
+      in
+      check_int "timer events" n tv.t_events;
+      (* 1.0-spans sum exactly in any association order. *)
+      check_float 0.0 "timer total" (float_of_int n) tv.t_total_s;
+      let hv =
+        List.find
+          (fun (v : Metrics.histogram_view) -> v.h_name = "test.obs.shard_hist")
+          snap.histograms
+      in
+      check_int "histogram events" n hv.h_events;
+      check_float 0.0 "histogram sum" (float_of_int (2 * n)) hv.h_sum;
+      match hv.h_buckets with
+      | [ b ] -> check_int "all in [2,4)" n b.b_count
+      | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs))
+
+let prop_shards_equal_serial =
+  (* The satellite qcheck property: for any workload of counter
+     increments, the parallel merged value equals the serial value. *)
+  QCheck.Test.make ~name:"merged shards = serial counters" ~count:30
+    QCheck.(list_of_size Gen.(int_range 0 40) small_nat)
+    (fun ks ->
+      let c = Metrics.counter "test.obs.shard_prop" in
+      let arr = Array.of_list ks in
+      Metrics.reset ();
+      Metrics.set_enabled true;
+      Fun.protect ~finally:(fun () -> Metrics.set_enabled false) (fun () ->
+          List.iter (Metrics.add c) ks;
+          let serial = Metrics.value c in
+          Metrics.reset ();
+          with_pool ~jobs:3 (fun pool ->
+              ignore (Pool.map pool (fun k -> Metrics.add c k) arr));
+          let parallel = Metrics.value c in
+          serial = parallel && serial = List.fold_left ( + ) 0 ks))
+
 (* ---------- trace sink ---------- *)
 
 let test_trace_sink_json_lines () =
@@ -260,6 +331,14 @@ let () =
           Alcotest.test_case "timer" `Quick test_timer;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "parallel counters merge exact" `Quick
+            test_parallel_counters_merge_exact;
+          Alcotest.test_case "parallel timers/histograms merge" `Quick
+            test_parallel_timers_histograms_merge;
+          QCheck_alcotest.to_alcotest prop_shards_equal_serial;
         ] );
       ( "trace",
         [ Alcotest.test_case "json lines" `Quick test_trace_sink_json_lines ] );

@@ -1,0 +1,173 @@
+(* Pool (lib/prelude/pool.ml) unit tests: order preservation across
+   domains, deterministic exception propagation, the nested-map inline
+   fallback, the jobs=1 no-domain path, and the default-pool
+   configuration surface. Workloads are kept tiny — correctness of the
+   queue/join machinery is what is under test, not throughput. *)
+
+open Omflp_prelude
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_pool ~jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* ---------- order preservation ---------- *)
+
+let test_map_preserves_order () =
+  with_pool ~jobs:4 (fun p ->
+      let input = Array.init 100 Fun.id in
+      let expected = Array.map (fun i -> i * i) input in
+      let got = Pool.map p (fun i -> i * i) input in
+      Alcotest.(check (array int)) "squares in order" expected got)
+
+let test_map_matches_serial_map () =
+  (* The determinism contract at the pool level: same elements, same
+     order, for any job count. *)
+  let input = Array.init 57 (fun i -> (i * 37) mod 19) in
+  let f x = Printf.sprintf "%d->%d" x (x + 1) in
+  let serial = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun p ->
+          Alcotest.(check (array string))
+            (Printf.sprintf "jobs=%d" jobs)
+            serial (Pool.map p f input)))
+    [ 1; 2; 3; 4 ]
+
+let test_map_empty_and_singleton () =
+  with_pool ~jobs:3 (fun p ->
+      check_int "empty" 0 (Array.length (Pool.map p (fun x -> x) [||]));
+      Alcotest.(check (array int)) "singleton" [| 9 |] (Pool.map p (fun x -> x * x) [| 3 |]))
+
+let test_pool_reuse () =
+  (* Workers are spawned once and must survive many map calls. *)
+  with_pool ~jobs:2 (fun p ->
+      for round = 1 to 20 do
+        let got = Pool.map p (fun i -> i + round) (Array.init 8 Fun.id) in
+        check_int (Printf.sprintf "round %d" round) (7 + round) got.(7)
+      done)
+
+(* ---------- exception propagation ---------- *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  with_pool ~jobs:4 (fun p ->
+      Alcotest.check_raises "worker exception reaches caller" (Boom 5)
+        (fun () ->
+          ignore
+            (Pool.map p
+               (fun i -> if i = 5 then raise (Boom i) else i)
+               (Array.init 16 Fun.id))))
+
+let test_exception_lowest_index_wins () =
+  (* Several tasks fail; the propagated exception must be the
+     lowest-index one regardless of completion order. *)
+  with_pool ~jobs:4 (fun p ->
+      Alcotest.check_raises "lowest index" (Boom 3) (fun () ->
+          ignore
+            (Pool.map p
+               (fun i -> if i >= 3 then raise (Boom i) else i)
+               (Array.init 12 Fun.id))))
+
+let test_pool_survives_exception () =
+  with_pool ~jobs:2 (fun p ->
+      (try ignore (Pool.map p (fun _ -> failwith "x") [| 0; 1; 2 |])
+       with Failure _ -> ());
+      let got = Pool.map p (fun i -> i * 2) (Array.init 6 Fun.id) in
+      check_int "usable after failure" 10 got.(5))
+
+(* ---------- nested map: safe inline fallback ---------- *)
+
+let test_nested_map_runs_inline () =
+  with_pool ~jobs:3 (fun p ->
+      let got =
+        Pool.map p
+          (fun i ->
+            (* A nested map on the same pool must not deadlock; it runs
+               inline inside this task. *)
+            Array.fold_left ( + ) 0
+              (Pool.map p (fun j -> (10 * i) + j) (Array.init 4 Fun.id)))
+          (Array.init 6 Fun.id)
+      in
+      let expected =
+        Array.init 6 (fun i ->
+            Array.fold_left ( + ) 0 (Array.init 4 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int)) "nested totals" expected got)
+
+(* ---------- jobs = 1: the no-domain path ---------- *)
+
+let test_jobs_one_inline () =
+  with_pool ~jobs:1 (fun p ->
+      check_int "jobs" 1 (Pool.jobs p);
+      (* Inline execution stays on the calling domain. *)
+      let self = (Domain.self () :> int) in
+      let domains =
+        Pool.map p (fun _ -> (Domain.self () :> int)) (Array.init 8 Fun.id)
+      in
+      Array.iter (fun d -> check_int "ran on caller's domain" self d) domains)
+
+let test_create_rejects_nonpositive () =
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0))
+
+(* ---------- shutdown ---------- *)
+
+let test_shutdown_idempotent_and_closes () =
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map p (fun x -> x) [| 1; 2 |]))
+
+(* ---------- default pool ---------- *)
+
+let test_default_pool_configuration () =
+  Alcotest.check_raises "set_default_jobs 0"
+    (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
+      Pool.set_default_jobs 0);
+  Pool.set_default_jobs 2;
+  check_int "setting stored" 2 (Pool.default_jobs ());
+  let p = Pool.default () in
+  check_int "pool matches setting" 2 (Pool.jobs p);
+  check_bool "default is cached" true (p == Pool.default ());
+  let got = Pool.map p (fun i -> i + 1) (Array.init 5 Fun.id) in
+  check_int "default pool works" 5 got.(4);
+  (* Restore serial default for the rest of the binary. *)
+  Pool.set_default_jobs 1;
+  check_int "restored" 1 (Pool.jobs (Pool.default ()))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "matches serial map" `Quick test_map_matches_serial_map;
+          Alcotest.test_case "empty and singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "lowest index wins" `Quick
+            test_exception_lowest_index_wins;
+          Alcotest.test_case "pool survives" `Quick test_pool_survives_exception;
+        ] );
+      ( "nesting",
+        [ Alcotest.test_case "inline fallback" `Quick test_nested_map_runs_inline ] );
+      ( "serial",
+        [
+          Alcotest.test_case "jobs=1 inline" `Quick test_jobs_one_inline;
+          Alcotest.test_case "rejects jobs<1" `Quick test_create_rejects_nonpositive;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_closes;
+          Alcotest.test_case "default pool" `Quick test_default_pool_configuration;
+        ] );
+    ]
