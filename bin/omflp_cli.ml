@@ -312,6 +312,118 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Regenerate the paper's experiment tables/figures.")
     Term.(const action $ which_arg $ quick_arg $ csv_arg $ jobs_arg)
 
+(* omflp check — differential oracle fuzzing (lib/check) *)
+let check_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Number of fresh random scenarios to generate and check.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt string Omflp_check.Corpus.default_dir
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Replay corpus directory: failing instances found earlier are \
+             re-checked first, and new (shrunk) failures are saved here.")
+  in
+  let no_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "no-replay" ] ~doc:"Skip the initial corpus replay pass.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Save failing instances as generated, without minimization.")
+  in
+  let det_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "determinism-sample" ] ~docv:"K"
+          ~doc:
+            "Re-run the first $(docv) scenarios under a pool with a \
+             different job count and require byte-identical run digests; 0 \
+             disables the cross-check.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~env:(Cmd.Env.info "OMFLP_JOBS")
+          ~docv:"N"
+          ~doc:
+            "Check scenarios on $(docv) domains. Scenario generation is \
+             index-derived, so findings are identical for every value of \
+             $(docv).")
+  in
+  let action budget seed corpus no_replay no_shrink det_sample jobs metrics
+      trace =
+    if jobs < 1 then begin
+      Printf.eprintf "omflp: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
+    if budget < 0 then begin
+      Printf.eprintf "omflp: --budget must be >= 0 (got %d)\n" budget;
+      exit 2
+    end;
+    Pool.set_default_jobs jobs;
+    let report =
+      with_obs ~metrics ~trace (fun () ->
+          Omflp_check.Check_engine.run ~corpus_dir:(Some corpus)
+            ~replay:(not no_replay) ~shrink:(not no_shrink)
+            ~determinism_sample:det_sample ~budget ~seed ())
+    in
+    Printf.printf
+      "checked %d scenario(s), replayed %d corpus case(s), determinism x%d: \
+       %d violation(s)\n"
+      report.scenarios report.replays report.determinism_checked
+      (List.length report.findings);
+    if report.findings <> [] then begin
+      let table =
+        Texttable.create
+          [ "check"; "algorithm"; "sites"; "reqs"; "comm"; "shrink"; "replay" ]
+      in
+      List.iter
+        (fun (f : Omflp_check.Check_engine.finding) ->
+          let dims g = Option.fold ~none:"-" ~some:(fun i -> string_of_int (g i))
+              f.instance
+          in
+          Texttable.add_row table
+            [
+              f.violation.check;
+              f.violation.algo;
+              dims Instance.n_sites;
+              dims Instance.n_requests;
+              dims Instance.n_commodities;
+              Texttable.cell_i f.shrink_steps;
+              Option.value f.replay_path ~default:"-";
+            ])
+        report.findings;
+      Texttable.print table;
+      print_newline ();
+      List.iter
+        (fun (f : Omflp_check.Check_engine.finding) ->
+          Printf.printf "%s [%s] %s\n  scenario: %s\n" f.violation.check
+            f.violation.algo f.violation.detail f.scenario;
+          Option.iter (Printf.printf "  replay: omflp replay %s\n")
+            f.replay_path)
+        report.findings;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Fuzz every registered algorithm against the offline/dual oracles \
+          (randomized conformance checking with shrinking and replay).")
+    Term.(
+      const action $ budget_arg $ seed_arg $ corpus_arg $ no_replay_arg
+      $ no_shrink_arg $ det_arg $ jobs_arg $ metrics_arg $ trace_arg)
+
 (* omflp selfcheck *)
 let selfcheck_cmd =
   let action seed =
@@ -364,5 +476,6 @@ let () =
             replay_cmd;
             stats_cmd;
             exp_cmd;
+            check_cmd;
             selfcheck_cmd;
           ]))

@@ -1,0 +1,178 @@
+open Omflp_prelude
+open Omflp_instance
+open Omflp_obs
+
+type finding = {
+  scenario : string;
+  violation : Oracle.violation;
+  instance : Instance.t option;
+  shrink_steps : int;
+  replay_path : string option;
+}
+
+type report = {
+  scenarios : int;
+  replays : int;
+  determinism_checked : int;
+  findings : finding list;
+}
+
+let m_scenarios = Metrics.counter "check.scenarios"
+
+let m_replays = Metrics.counter "check.replays"
+
+let m_findings = Metrics.counter "check.findings"
+
+let replay_pass ~algos ~seed entries =
+  List.concat_map
+    (fun (path, entry) ->
+      Metrics.incr m_replays;
+      match entry with
+      | Error msg ->
+          [
+            {
+              scenario = path;
+              violation =
+                { Oracle.check = "corpus-load"; algo = "(corpus)"; detail = msg };
+              instance = None;
+              shrink_steps = 0;
+              replay_path = Some path;
+            };
+          ]
+      | Ok inst ->
+          List.map
+            (fun v ->
+              {
+                scenario = inst.Instance.name;
+                violation = v;
+                instance = Some inst;
+                shrink_steps = 0;
+                replay_path = Some path;
+              })
+            (Oracle.check_instance ~algos ~seed inst))
+    entries
+
+let run ?pool ?(algos = Oracle.default_algos ())
+    ?(corpus_dir = Some Corpus.default_dir) ?(replay = true) ?(shrink = true)
+    ?(determinism_sample = 4) ~budget ~seed () =
+  if budget < 0 then invalid_arg "Check_engine.run: negative budget";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  (* 1. Replay the corpus (serial: corpora are small and findings should
+     print in a stable order). *)
+  let corpus_entries =
+    match corpus_dir with
+    | Some dir when replay -> Corpus.load_all ~dir
+    | _ -> []
+  in
+  let replay_findings = replay_pass ~algos ~seed corpus_entries in
+  (* 2. Fresh scenarios, fanned out over the pool. Each task is a pure
+     function of (seed, index); metrics shards are domain-safe. *)
+  let results =
+    Pool.map pool
+      (fun index ->
+        Metrics.incr m_scenarios;
+        let sc = Scenario.generate ~master_seed:seed ~index in
+        (sc, Oracle.check_instance ~algos ~seed:sc.Scenario.algo_seed
+               sc.Scenario.instance))
+      (Array.init budget Fun.id)
+  in
+  (* 3. Shrink and persist fresh failures (serial: shrinking re-runs the
+     oracle many times and writes to the corpus). *)
+  let fresh_findings =
+    List.concat_map
+      (fun ((sc : Scenario.t), vs) ->
+        List.map
+          (fun (v : Oracle.violation) ->
+            Metrics.incr m_findings;
+            let shrunk, steps =
+              if not shrink then (sc.instance, 0)
+              else
+                Shrink.shrink
+                  ~still_failing:(fun cand ->
+                    List.exists
+                      (fun (v' : Oracle.violation) ->
+                        v'.check = v.check && v'.algo = v.algo)
+                      (Oracle.check_instance ~algos ~seed:sc.algo_seed cand))
+                  sc.instance
+            in
+            let replay_path =
+              Option.map
+                (fun dir ->
+                  Corpus.save ~dir
+                    ~slug:
+                      (Printf.sprintf "case-%s-%s-s%d-i%d" v.check v.algo seed
+                         sc.index)
+                    shrunk)
+                corpus_dir
+            in
+            {
+              scenario = sc.label;
+              violation = v;
+              instance = Some shrunk;
+              shrink_steps = steps;
+              replay_path;
+            })
+          vs)
+      (Array.to_list results)
+  in
+  (* 4. Pool-determinism cross-check: recompute the run digests of a
+     sample of scenarios under a pool with a different job count; the
+     stack's determinism contract says they must match byte-for-byte. *)
+  let det_n = min determinism_sample budget in
+  let det_findings =
+    if det_n <= 0 then []
+    else begin
+      let digest_of index =
+        let sc = Scenario.generate ~master_seed:seed ~index in
+        String.concat "\n"
+          (List.map
+             (fun (name, algo) ->
+               match
+                 Omflp_core.Simulator.run ~seed:sc.Scenario.algo_seed
+                   ~check:false algo sc.Scenario.instance
+               with
+               | run -> Oracle.run_digest run
+               | exception e -> name ^ " raised " ^ Printexc.to_string e)
+             algos)
+      in
+      let indices = Array.init det_n Fun.id in
+      let base = Pool.map pool digest_of indices in
+      let alt_jobs = if Pool.jobs pool = 1 then 2 else 1 in
+      let alt_pool = Pool.create ~jobs:alt_jobs in
+      let alt =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown alt_pool)
+          (fun () -> Pool.map alt_pool digest_of indices)
+      in
+      List.filter_map
+        (fun index ->
+          if base.(index) = alt.(index) then None
+          else begin
+            Metrics.incr m_findings;
+            let sc = Scenario.generate ~master_seed:seed ~index in
+            Some
+              {
+                scenario = sc.Scenario.label;
+                violation =
+                  {
+                    Oracle.check = "pool-determinism";
+                    algo = "(all)";
+                    detail =
+                      Printf.sprintf
+                        "run digests differ between jobs=%d and jobs=%d"
+                        (Pool.jobs pool) alt_jobs;
+                  };
+                instance = Some sc.Scenario.instance;
+                shrink_steps = 0;
+                replay_path = None;
+              }
+          end)
+        (List.init det_n Fun.id)
+    end
+  in
+  {
+    scenarios = budget;
+    replays = List.length corpus_entries;
+    determinism_checked = det_n;
+    findings = replay_findings @ fresh_findings @ det_findings;
+  }

@@ -1,0 +1,61 @@
+(** Budgeted conformance-fuzzing engine: replay the corpus, fan a budget
+    of fresh scenarios out across the domain pool, shrink and persist
+    every failure, and cross-check pool determinism.
+
+    One invocation performs, in order:
+
+    + {b replay}: every instance in the corpus directory is re-checked
+      first — previously found bugs stay visible until fixed;
+    + {b fuzz}: [budget] scenarios ({!Scenario.generate}, index-derived
+      from [seed]) are checked through {!Oracle.check_instance}, fanned
+      out with {!Omflp_prelude.Pool.map} over the given pool;
+    + {b shrink & persist}: each fresh failure is minimized with
+      {!Shrink.shrink} (re-running the oracle as the failure predicate)
+      and serialized into the corpus;
+    + {b pool determinism}: the first [determinism_sample] scenarios are
+      re-run under a pool with a {e different} job count and the run
+      digests compared byte-for-byte — the [--jobs 1] vs [N] contract of
+      the whole stack, checked end to end.
+
+    Progress is counted through [Omflp_obs] ([check.scenarios],
+    [check.replays], [check.findings], plus the {!Oracle} and {!Shrink}
+    counters). *)
+
+type finding = {
+  scenario : string;  (** scenario label or corpus path *)
+  violation : Oracle.violation;
+  instance : Omflp_instance.Instance.t option;
+      (** the (shrunk) counterexample; [None] only for corpus files that
+          failed to parse *)
+  shrink_steps : int;
+  replay_path : string option;  (** corpus file to reproduce with *)
+}
+
+type report = {
+  scenarios : int;  (** fresh scenarios checked *)
+  replays : int;  (** corpus entries re-checked *)
+  determinism_checked : int;
+  findings : finding list;  (** replay findings first, then fresh *)
+}
+
+(** [run ?pool ?algos ?corpus_dir ?replay ?shrink ?determinism_sample
+    ~budget ~seed ()] executes the pipeline above.
+
+    [pool] defaults to {!Omflp_prelude.Pool.default}. [algos] defaults to
+    {!Oracle.default_algos} — tests inject mutants here. [corpus_dir]
+    (default {!Corpus.default_dir}) is where failures are loaded from and
+    saved to; [None] disables the corpus entirely. [replay] (default
+    [true]) controls the initial corpus pass. [shrink] (default [true])
+    controls minimization. [determinism_sample] (default 4) bounds the
+    alternate-pool cross-check; [0] disables it. *)
+val run :
+  ?pool:Omflp_prelude.Pool.t ->
+  ?algos:(string * Omflp_core.Algo_intf.packed) list ->
+  ?corpus_dir:string option ->
+  ?replay:bool ->
+  ?shrink:bool ->
+  ?determinism_sample:int ->
+  budget:int ->
+  seed:int ->
+  unit ->
+  report

@@ -1,0 +1,33 @@
+open Omflp_instance
+
+let default_dir = "check-corpus"
+
+let sanitize slug =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    slug
+
+let save ~dir ~slug inst =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let path = Filename.concat dir (sanitize slug ^ ".inst") in
+  Serial.save_file path inst;
+  path
+
+let load_all ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".inst")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           let entry =
+             match Serial.load_file path with
+             | inst -> Ok inst
+             | exception Failure msg -> Error msg
+             | exception e -> Error (Printexc.to_string e)
+           in
+           (path, entry))

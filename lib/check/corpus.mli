@@ -1,0 +1,23 @@
+(** Replay corpus: failing instances serialized to disk and re-checked
+    first on later invocations, so a bug found by one fuzz run becomes a
+    permanent regression test until fixed.
+
+    Instances are stored in the plain-text {!Omflp_instance.Serial}
+    format — exact for every size-based cost family the scenario
+    generator produces — one file per finding, named after the failed
+    check, the algorithm, and the originating (seed, index). *)
+
+(** [default_dir] is ["check-corpus"]. *)
+val default_dir : string
+
+(** [save ~dir ~slug inst] writes [inst] to [dir/<sanitized slug>.inst]
+    (creating [dir] if needed, overwriting an existing file of the same
+    slug — saving is deterministic) and returns the path. *)
+val save : dir:string -> slug:string -> Omflp_instance.Instance.t -> string
+
+(** [load_all ~dir] reads every [*.inst] file of [dir] in filename order;
+    a file that fails to parse is returned as [Error message] so the
+    caller can surface corpus corruption instead of crashing. An absent
+    directory is an empty corpus. *)
+val load_all :
+  dir:string -> (string * (Omflp_instance.Instance.t, string) result) list

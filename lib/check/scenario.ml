@@ -1,0 +1,128 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+
+type t = {
+  index : int;
+  label : string;
+  instance : Instance.t;
+  algo_seed : int;
+}
+
+(* Index-derived seeding: the RNG of scenario [i] is a pure function of
+   (master_seed, i) — the golden-ratio increment is SplitMix64's own
+   gamma, so consecutive indices land on well-separated streams. *)
+let scenario_rng ~master_seed ~index =
+  Splitmix.create
+    (Int64.add
+       (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L)
+       (Int64.of_int master_seed))
+
+let pick rng arr = arr.(Splitmix.int rng (Array.length arr))
+
+(* Construction-cost families. Each entry is (label, builder); builders
+   that need randomness capture their own split so a family choice stays
+   a deterministic function of the scenario RNG. *)
+let cost_family rng =
+  match Splitmix.int rng 7 with
+  | 0 | 1 | 2 | 3 ->
+      let x = pick rng [| 0.5; 1.0; 1.5; 2.0 |] in
+      ( Printf.sprintf "x=%.1f" x,
+        fun ~n_commodities ~n_sites ->
+          Cost_function.power_law ~n_commodities ~n_sites ~x )
+  | 4 ->
+      let c = pick rng [| 0.5; 1.0; 4.0 |] in
+      ( Printf.sprintf "const=%.1f" c,
+        fun ~n_commodities ~n_sites ->
+          Cost_function.constant ~n_commodities ~n_sites ~cost:c )
+  | 5 -> ("theorem2", Cost_function.theorem2)
+  | _ ->
+      let r = Splitmix.split rng in
+      ( "site-scaled(x=1)",
+        fun ~n_commodities ~n_sites ->
+          let multipliers =
+            Array.init n_sites (fun _ ->
+                Sampler.uniform_float r ~lo:0.5 ~hi:4.0)
+          in
+          Cost_function.site_scaled
+            (Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+            multipliers )
+
+let demand_model rng ~n_commodities =
+  match Splitmix.int rng 3 with
+  | 0 -> Demand.Bernoulli { p = pick rng [| 0.3; 0.5; 0.7 |] }
+  | 1 -> Demand.Singletons { zipf_s = 1.0 }
+  | _ -> Demand.Zipf_bundle { zipf_s = 1.0; max_size = min 3 n_commodities }
+
+(* Request-order treatment: the generators emit a "natural" order; half
+   the scenarios shuffle it, a quarter reverse it, a quarter keep it. *)
+let reorder rng requests =
+  let requests = Array.copy requests in
+  match Splitmix.int rng 4 with
+  | 0 | 1 ->
+      Sampler.shuffle rng requests;
+      ("shuffled", requests)
+  | 2 ->
+      let n = Array.length requests in
+      ("reversed", Array.init n (fun i -> requests.(n - 1 - i)))
+  | _ -> ("in-order", requests)
+
+let generate ~master_seed ~index =
+  let rng = scenario_rng ~master_seed ~index in
+  let cost_label, cost = cost_family rng in
+  (* Multi-site universes stop at 4 commodities: the oracle's certified
+     lower bound solves an LP with n_sites * (2^|S| - 1) * (n_req + 1)
+     columns — |S| = 5 already costs tens of seconds per instance. Larger
+     universes are still fuzzed via the single-point adversary family,
+     where the exact set-cover solver replaces the LP. *)
+  let n_commodities = 2 + Splitmix.int rng 3 in
+  let n_sites = 2 + Splitmix.int rng 6 in
+  let n_requests = 4 + Splitmix.int rng 8 in
+  let family, cost_label, inst =
+    match Splitmix.int rng 6 with
+    | 0 ->
+        (* The Theorem 2 adversary fixes its own cost function and needs
+           a larger universe to bite. *)
+        let s = pick rng [| 4; 9; 16 |] in
+        ("adversary", "theorem2", Generators.theorem2 rng ~n_commodities:s)
+    | 1 ->
+        ( "single-point",
+          cost_label,
+          Generators.single_point_adversary rng ~n_commodities ~cost
+            ~n_requested:(1 + Splitmix.int rng n_commodities) )
+    | 2 ->
+        ( "line",
+          cost_label,
+          Generators.line rng ~n_sites ~n_requests ~n_commodities
+            ~length:(pick rng [| 10.0; 100.0 |])
+            ~demand:(demand_model rng ~n_commodities) ~cost )
+    | 3 ->
+        ( "clustered",
+          cost_label,
+          Generators.clustered rng ~clusters:(max 2 (n_sites / 2))
+            ~per_cluster:2 ~n_requests ~n_commodities ~side:50.0 ~spread:2.0
+            ~cost )
+    | 4 ->
+        ( "network",
+          cost_label,
+          Generators.network rng ~n_sites ~extra_edges:(n_sites / 2)
+            ~n_requests ~n_commodities ~demand:(demand_model rng ~n_commodities) ~cost )
+    | _ ->
+        ( "uniform",
+          cost_label,
+          Generators.uniform_metric rng ~n_sites
+            ~d:(pick rng [| 1.0; 10.0 |])
+            ~n_requests ~n_commodities ~demand:(demand_model rng ~n_commodities) ~cost )
+  in
+  let order, requests = reorder rng inst.Instance.requests in
+  let label =
+    Printf.sprintf "chk s%d i%d: %s cost=%s order=%s (%d sites, %d reqs, %d comm)"
+      master_seed index family cost_label order
+      (Instance.n_sites inst) (Array.length requests)
+      (Instance.n_commodities inst)
+  in
+  let instance =
+    Instance.make ~name:label ~metric:inst.Instance.metric
+      ~cost:inst.Instance.cost ~requests
+  in
+  { index; label; instance; algo_seed = Splitmix.int rng 1_000_000 }

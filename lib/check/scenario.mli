@@ -1,0 +1,27 @@
+(** Seeded random scenario generation for the conformance oracle.
+
+    A scenario is a complete OMFLP instance drawn from the cross product
+    of metric generators ({!Omflp_metric.Metric_gen}), workload families
+    ({!Omflp_instance.Generators}), construction-cost families
+    ({!Omflp_commodity.Cost_function}), and a request-order treatment
+    (shuffled / reversed / as generated) — online algorithms fail on
+    adversarial {e orderings} as much as on adversarial point sets, so the
+    ordering is part of the sampled space.
+
+    Generation is index-derived: scenario [i] of master seed [s] depends
+    on [(s, i)] alone, never on any other scenario, so scenarios can be
+    produced on any domain in any order ({!Omflp_prelude.Pool.map}) and
+    reproduced one by one from a report. *)
+
+type t = {
+  index : int;  (** position in the budgeted sweep *)
+  label : string;  (** human-readable description (also the instance name) *)
+  instance : Omflp_instance.Instance.t;
+  algo_seed : int;  (** seed handed to every algorithm run on this instance *)
+}
+
+(** [generate ~master_seed ~index] draws scenario [index] of the stream
+    identified by [master_seed]. Instances are deliberately small (≤ 8
+    sites, ≤ 12 requests, ≤ 16 commodities) so that the oracle's exact
+    offline brackets and subset enumerations stay affordable. *)
+val generate : master_seed:int -> index:int -> t

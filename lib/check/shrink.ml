@@ -1,0 +1,124 @@
+open Omflp_commodity
+open Omflp_instance
+open Omflp_obs
+
+let m_shrink_steps = Metrics.counter "check.shrink_steps"
+
+(* Remove requests [lo, lo + len); None when nothing would remain. *)
+let drop_slice (inst : Instance.t) lo len =
+  let n = Array.length inst.requests in
+  let kept =
+    Array.of_seq
+      (Seq.filter_map
+         (fun i -> if i >= lo && i < lo + len then None else Some inst.requests.(i))
+         (Seq.init n Fun.id))
+  in
+  if Array.length kept = 0 || Array.length kept = n then None
+  else
+    Some
+      (Instance.make ~name:inst.name ~metric:inst.metric ~cost:inst.cost
+         ~requests:kept)
+
+(* Project the commodity universe down to the demanded commodities. *)
+let project_commodities (inst : Instance.t) =
+  let used = Instance.distinct_commodities inst in
+  if Cset.is_full used then None
+  else
+    let cost, new_to_old = Cost_function.project inst.cost ~keep:used in
+    let k' = Array.length new_to_old in
+    let old_to_new = Array.make (Cset.n_commodities used) (-1) in
+    Array.iteri (fun nw old -> old_to_new.(old) <- nw) new_to_old;
+    let requests =
+      Array.map
+        (fun (r : Request.t) ->
+          Request.make ~site:r.site
+            ~demand:
+              (Cset.of_list ~n_commodities:k'
+                 (List.map
+                    (fun e -> old_to_new.(e))
+                    (Cset.elements r.demand))))
+        inst.requests
+    in
+    Some (Instance.make ~name:inst.name ~metric:inst.metric ~cost ~requests)
+
+(* Restrict the metric to the sites requests arrive at. *)
+let restrict_sites (inst : Instance.t) =
+  let n_sites = Instance.n_sites inst in
+  let used =
+    List.sort_uniq compare
+      (Array.to_list (Array.map (fun (r : Request.t) -> r.Request.site) inst.requests))
+  in
+  if List.length used = n_sites then None
+  else
+    let used = Array.of_list used in
+    let n' = Array.length used in
+    let old_to_new = Array.make n_sites (-1) in
+    Array.iteri (fun nw old -> old_to_new.(old) <- nw) used;
+    let metric =
+      Omflp_metric.Finite_metric.of_matrix_unchecked
+        (Array.init n' (fun i ->
+             Array.init n' (fun j ->
+                 Omflp_metric.Finite_metric.dist inst.metric used.(i) used.(j))))
+    in
+    let cost =
+      Cost_function.make
+        ~name:(Cost_function.name inst.cost ^ "/sites")
+        ~n_commodities:(Cost_function.n_commodities inst.cost)
+        ~n_sites:n'
+        (fun m sigma -> Cost_function.eval inst.cost used.(m) sigma)
+    in
+    let requests =
+      Array.map
+        (fun (r : Request.t) ->
+          Request.make ~site:old_to_new.(r.Request.site) ~demand:r.demand)
+        inst.requests
+    in
+    Some (Instance.make ~name:inst.name ~metric ~cost ~requests)
+
+let shrink ?(max_evals = 400) ~still_failing inst0 =
+  let evals = ref 0 in
+  let steps = ref 0 in
+  let ok cand =
+    !evals < max_evals
+    &&
+    (incr evals;
+     still_failing cand)
+  in
+  let accept current cand =
+    incr steps;
+    Metrics.incr m_shrink_steps;
+    current := cand
+  in
+  let current = ref inst0 in
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    (* Pass 1: ddmin-style slice removal, halving chunk sizes. *)
+    let chunk = ref (max 1 (Instance.n_requests !current / 2)) in
+    while !chunk >= 1 && !evals < max_evals do
+      let lo = ref 0 in
+      while !lo < Instance.n_requests !current && !evals < max_evals do
+        match drop_slice !current !lo !chunk with
+        | Some cand when ok cand ->
+            accept current cand;
+            progress := true
+            (* keep [lo]: the slice that moved into this position is
+               tried next *)
+        | _ -> lo := !lo + !chunk
+      done;
+      chunk := (if !chunk = 1 then 0 else !chunk / 2)
+    done;
+    (* Pass 2: shrink the commodity universe. *)
+    (match project_commodities !current with
+    | Some cand when ok cand ->
+        accept current cand;
+        progress := true
+    | _ -> ());
+    (* Pass 3: shrink the metric. *)
+    match restrict_sites !current with
+    | Some cand when ok cand ->
+        accept current cand;
+        progress := true
+    | _ -> ()
+  done;
+  (!current, !steps)

@@ -1,0 +1,31 @@
+(** Greedy minimization of a failing instance.
+
+    Given an instance on which some oracle check fails, [shrink] looks
+    for a smaller instance on which the {e same} check still fails, so
+    the replay corpus stores counterexamples a human can read. Three
+    reductions are tried to a fixpoint, each candidate re-validated
+    against [still_failing]:
+
+    + dropping contiguous request slices (halves down to single
+      requests, ddmin-style);
+    + projecting the commodity universe down to the commodities actually
+      demanded ({!Omflp_commodity.Cost_function.project});
+    + restricting the metric to the sites requests actually arrive at
+      (facilities may then only open at request sites — a semantic
+      restriction, which is sound because the candidate is only kept if
+      the failure reproduces on it).
+
+    Accepted steps are counted through [Omflp_obs]
+    ([check.shrink_steps]). *)
+
+(** [shrink ?max_evals ~still_failing inst] returns the shrunk instance
+    and the number of accepted reduction steps. [still_failing] must
+    return [true] when the candidate still exhibits the original
+    failure; it is called at most [max_evals] times (default 400 — each
+    call typically re-runs the full oracle). [still_failing inst] is
+    assumed true; the result equals [inst] when nothing smaller fails. *)
+val shrink :
+  ?max_evals:int ->
+  still_failing:(Omflp_instance.Instance.t -> bool) ->
+  Omflp_instance.Instance.t ->
+  Omflp_instance.Instance.t * int

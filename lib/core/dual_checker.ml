@@ -17,8 +17,10 @@ let corollary8 t =
       (Printf.sprintf "Corollary 8 violated: cost %.9g > 3 * duals %.9g" cost
          (3.0 *. duals))
 
+let exhaustive_limit = 10
+
 let default_configs ~n_commodities =
-  if n_commodities <= 10 then
+  if n_commodities <= exhaustive_limit then
     Cset.all_nonempty_subsets ~n_commodities
   else
     Cset.full ~n_commodities

@@ -12,12 +12,27 @@ val gamma : n_commodities:int -> n_requests:int -> float
 (** [corollary8 t] checks total cost ≤ 3 Σ_r Σ_e a_re (with tolerance). *)
 val corollary8 : Pd_omflp.t -> (unit, string) result
 
+(** [exhaustive_limit] is the commodity-universe size (10) up to which
+    {!default_configs} enumerates every non-empty subset — at most
+    [2^10 − 1 = 1023] configurations per site. Above it the enumeration
+    would blow up exponentially, so only the structurally relevant
+    configurations are kept. *)
+val exhaustive_limit : int
+
+(** [default_configs ~n_commodities] is the configuration list
+    {!scaled_dual_feasible} checks when [?configs] is omitted: every
+    non-empty subset when [n_commodities ≤ exhaustive_limit]
+    ([2^k − 1] sets, bit-pattern order), otherwise the full set [S]
+    followed by the [k] singletons [{0}, …, {k−1}] — the only
+    configurations the online algorithms ever open. *)
+val default_configs : n_commodities:int -> Omflp_commodity.Cset.t list
+
 (** [scaled_dual_feasible ?configs ?scale metric cost records] checks the
     simplified dual constraint
     [Σ_r (Σ_{e ∈ s_r ∩ σ} scale·a_re − d(m,r))₊ ≤ f^σ_m]
-    for every site [m] and every configuration in [configs] (default: all
-    singletons, the full set, and — when [|S| ≤ 10] — every subset).
-    [scale] defaults to {!gamma}. Returns the first violation. *)
+    for every site [m] and every configuration in [configs] (default:
+    {!default_configs}). [scale] defaults to {!gamma}. Returns the first
+    violation. *)
 val scaled_dual_feasible :
   ?configs:Omflp_commodity.Cset.t list ->
   ?scale:float ->

@@ -102,8 +102,12 @@ let default_algos () = Omflp_core.Registry.all ()
 
 type section = { title : string; notes : string list; table : Texttable.t }
 
-let print_section s =
-  Printf.printf "\n== %s ==\n" s.title;
-  List.iter (fun n -> Printf.printf "   %s\n" n) s.notes;
-  print_newline ();
-  Texttable.print s.table
+let section_to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" s.title);
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "   %s\n" n)) s.notes;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Texttable.render s.table);
+  Buffer.contents buf
+
+let print_section s = print_string (section_to_string s)

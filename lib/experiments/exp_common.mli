@@ -57,4 +57,9 @@ val default_algos : unit -> (string * (module Omflp_core.Algo_intf.ALGO)) list
 (** A titled table, the unit every experiment produces. *)
 type section = { title : string; notes : string list; table : Texttable.t }
 
+(** [section_to_string s] renders the section exactly as
+    {!print_section} emits it — title banner, indented notes, blank line,
+    table — so tests can pin the printed output byte-for-byte. *)
+val section_to_string : section -> string
+
 val print_section : section -> unit

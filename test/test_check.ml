@@ -1,0 +1,151 @@
+(* Mutation smoke test for the conformance oracle: a deliberately broken
+   algorithm is injected through [Check_engine.run ~algos] and the
+   harness must (1) report the planted bug, (2) shrink the counterexample,
+   (3) persist a corpus file whose replay still reproduces the bug. *)
+
+open Omflp_prelude
+open Omflp_instance
+open Omflp_core
+open Omflp_check
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The mutant: behaves exactly like INDEP but under-reports its
+   construction cost by half. [Simulator.validate] recomputes costs from
+   the decisions, so every instance with a positive cost exposes it. *)
+module Broken_cost : Algo_intf.ALGO = struct
+  type t = Indep_baseline.t
+
+  let name = "BROKEN-COST"
+  let create = Indep_baseline.create
+  let step = Indep_baseline.step
+
+  let run_so_far t =
+    let run = Indep_baseline.run_so_far t in
+    {
+      run with
+      Run.algorithm = name;
+      construction_cost = run.Run.construction_cost *. 0.5;
+    }
+end
+
+let mutant = [ ("BROKEN-COST", (module Broken_cost : Algo_intf.ALGO)) ]
+
+let with_pool f =
+  let pool = Pool.create ~jobs:2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* Scenario 0 of this seed must have a positive construction cost for the
+   mutant to be caught there; any seed works because INDEP always opens a
+   facility for the first request and all generated costs are positive. *)
+let seed = 2024
+
+let test_honest_algorithms_pass () =
+  with_pool @@ fun pool ->
+  let report =
+    Check_engine.run ~pool ~corpus_dir:None ~determinism_sample:2 ~budget:5
+      ~seed ()
+  in
+  check_int "scenarios" 5 report.Check_engine.scenarios;
+  check_int "no replays without a corpus" 0 report.Check_engine.replays;
+  check_int "honest algorithms produce no findings" 0
+    (List.length report.Check_engine.findings)
+
+let with_temp_corpus f =
+  (* A corpus directory outside the source tree, removed afterwards even
+     when the test runs from the repo root via [dune exec]. *)
+  let dir = Filename.temp_file "omflp-mutant" ".corpus" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_mutant_is_caught () =
+  with_temp_corpus @@ fun dir ->
+  with_pool @@ fun pool ->
+  let report =
+    Check_engine.run ~pool ~algos:mutant ~corpus_dir:(Some dir)
+      ~determinism_sample:0 ~budget:2 ~seed ()
+  in
+  check_bool "planted bug reported" true
+    (report.Check_engine.findings <> []);
+  let f =
+    List.find
+      (fun (f : Check_engine.finding) ->
+        f.violation.Oracle.algo = "BROKEN-COST"
+        && f.violation.Oracle.check = "feasible")
+      report.Check_engine.findings
+  in
+  (* The counterexample was shrunk to something minimal: INDEP's cost is
+     already positive after one request, so one request suffices. *)
+  let shrunk = Option.get f.instance in
+  check_bool "shrinking made progress" true (f.shrink_steps > 0);
+  check_int "shrunk to a single request" 1
+    (Array.length shrunk.Instance.requests);
+  (* The corpus file replays: loading it back and re-running the oracle
+     reproduces the same violation. *)
+  let path = Option.get f.replay_path in
+  let reloaded = Serial.load_file path in
+  let violations = Oracle.check_instance ~algos:mutant ~seed:0 reloaded in
+  check_bool "replayed corpus file reproduces the bug" true
+    (List.exists
+       (fun (v : Oracle.violation) ->
+         v.Oracle.algo = "BROKEN-COST" && v.Oracle.check = "feasible")
+       violations);
+  (* A later engine invocation replays the corpus first and reports the
+     persisted failure even with a zero fuzzing budget. *)
+  let replayed =
+    Check_engine.run ~pool ~algos:mutant ~corpus_dir:(Some dir)
+      ~determinism_sample:0 ~budget:0 ~seed ()
+  in
+  check_bool "corpus replay re-reports the bug" true
+    (List.exists
+       (fun (f : Check_engine.finding) ->
+         f.replay_path <> None
+         && f.violation.Oracle.algo = "BROKEN-COST"
+         && f.violation.Oracle.check = "feasible")
+       replayed.Check_engine.findings)
+
+let test_oracle_reports_instead_of_raising () =
+  (* An algorithm that raises mid-run must surface as a ["run"] violation,
+     not as an exception out of the checker. *)
+  let module Crasher : Algo_intf.ALGO = struct
+    type t = unit
+
+    let name = "CRASHER"
+    let create ?seed:_ _ _ = ()
+    let step () _ = failwith "boom"
+    let run_so_far () = Alcotest.fail "unreachable"
+  end in
+  let sc = Scenario.generate ~master_seed:seed ~index:0 in
+  let violations =
+    Oracle.check_instance
+      ~algos:[ ("CRASHER", (module Crasher : Algo_intf.ALGO)) ]
+      ~seed:0 sc.Scenario.instance
+  in
+  check_bool "exception became a run violation" true
+    (List.exists
+       (fun (v : Oracle.violation) ->
+         v.Oracle.check = "run" && v.Oracle.algo = "CRASHER")
+       violations)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "mutation",
+        [
+          Alcotest.test_case "honest algorithms pass" `Quick
+            test_honest_algorithms_pass;
+          Alcotest.test_case "planted bug is caught, shrunk, replayable"
+            `Quick test_mutant_is_caught;
+          Alcotest.test_case "algorithm exception becomes a finding" `Quick
+            test_oracle_reports_instead_of_raising;
+        ] );
+    ]

@@ -213,6 +213,30 @@ let test_suite_jobs_determinism () =
   let parallel = List.map render_section (with_jobs 4 run) in
   Alcotest.(check (list string)) "rendered sections byte-identical" serial parallel
 
+(* ---------- golden files: printed tables are pinned byte-for-byte ---------- *)
+
+(* The suite's stdout is part of the repo's contract (tables are quoted
+   in the paper write-up); these goldens pin the serial [--jobs 1]
+   rendering exactly. Regenerate deliberately with
+   [omflp exp --quick --which e1 -j 1 > test/golden/e1_quick.txt] (and
+   analogously for e2) after an intentional output change. *)
+let golden_check ~golden ~quick ~which () =
+  let sections = with_jobs 1 (fun pool -> Suite.run ~pool ~quick ~which ()) in
+  let rendered =
+    String.concat "" (List.map Exp_common.section_to_string sections)
+  in
+  (* [dune runtest] runs in test/, [dune exec test/...] in the root. *)
+  let path =
+    if Sys.file_exists golden then golden else Filename.concat "test" golden
+  in
+  let expected = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check string) (golden ^ " matches") expected rendered
+
+let test_golden_e1_quick =
+  golden_check ~golden:"golden/e1_quick.txt" ~quick:true ~which:"e1"
+
+let test_golden_e2 = golden_check ~golden:"golden/e2.txt" ~quick:false ~which:"e2"
+
 let test_measure_validates_reps () =
   Alcotest.check_raises "reps" (Invalid_argument "Exp_common.measure: reps must be positive")
     (fun () ->
@@ -263,5 +287,10 @@ let () =
             test_measure_jobs_determinism;
           Alcotest.test_case "suite: jobs=1 = jobs=4" `Slow
             test_suite_jobs_determinism;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "e1 quick table pinned" `Quick test_golden_e1_quick;
+          Alcotest.test_case "e2 table pinned" `Quick test_golden_e2;
         ] );
     ]

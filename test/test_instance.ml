@@ -209,6 +209,77 @@ let test_serial_round_trip_exact () =
       check_int "site" r.site inst'.Instance.requests.(i).Request.site)
     inst.Instance.requests
 
+let prop_serial_round_trip_structural =
+  (* Round trip preserves the whole instance bit-for-bit — distances and
+     size-based costs print as [%.17g], so equality is exact, not
+     approximate — across every generator family x cost family the check
+     corpus can contain. *)
+  QCheck.Test.make ~name:"round trip is structurally exact across families"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Splitmix.of_int (seed + 101) in
+      let cost =
+        match Splitmix.int rng 4 with
+        | 0 ->
+            fun ~n_commodities ~n_sites ->
+              Cost_function.power_law ~n_commodities ~n_sites ~x:1.5
+        | 1 ->
+            fun ~n_commodities ~n_sites ->
+              Cost_function.constant ~n_commodities ~n_sites ~cost:2.5
+        | 2 -> Cost_function.theorem2
+        | _ ->
+            fun ~n_commodities ~n_sites ->
+              Cost_function.site_scaled
+                (Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+                (Array.init n_sites (fun m -> 0.7 +. (0.31 *. float_of_int m)))
+      in
+      let _, gen =
+        List.nth generator_cases (Splitmix.int rng (List.length generator_cases))
+      in
+      let inst =
+        match gen (Splitmix.of_int seed) with
+        | inst when Instance.n_sites inst > 1 ->
+            (* Re-cost multi-site instances with the drawn family. *)
+            Instance.make ~name:inst.Instance.name ~metric:inst.Instance.metric
+              ~cost:
+                (cost
+                   ~n_commodities:(Instance.n_commodities inst)
+                   ~n_sites:(Instance.n_sites inst))
+              ~requests:inst.Instance.requests
+        | inst -> inst
+      in
+      let inst' = Serial.round_trip inst in
+      let n_sites = Instance.n_sites inst in
+      let n_commodities = Instance.n_commodities inst in
+      Instance.n_sites inst' = n_sites
+      && Instance.n_commodities inst' = n_commodities
+      && Instance.n_requests inst' = Instance.n_requests inst
+      && (let exact = ref true in
+          for u = 0 to n_sites - 1 do
+            for v = 0 to n_sites - 1 do
+              if
+                Omflp_metric.Finite_metric.dist inst.Instance.metric u v
+                <> Omflp_metric.Finite_metric.dist inst'.Instance.metric u v
+              then exact := false
+            done
+          done;
+          for m = 0 to n_sites - 1 do
+            if
+              Cost_function.full_cost inst.Instance.cost m
+              <> Cost_function.full_cost inst'.Instance.cost m
+            then exact := false;
+            for e = 0 to n_commodities - 1 do
+              if
+                Cost_function.singleton_cost inst.Instance.cost m e
+                <> Cost_function.singleton_cost inst'.Instance.cost m e
+              then exact := false
+            done
+          done;
+          !exact)
+      && Array.for_all2
+           (fun (r : Request.t) (r' : Request.t) ->
+             r.site = r'.site && Cset.equal r.demand r'.demand)
+           inst.Instance.requests inst'.Instance.requests)
+
 let prop_serial_round_trip_runs_identically =
   (* Algorithms are deterministic functions of (metric, costs, requests):
      a round-tripped instance must produce the same PD run cost. *)
@@ -367,6 +438,7 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_serial_rejects_garbage;
           Alcotest.test_case "rejects truncated" `Quick test_serial_rejects_truncated;
           Alcotest.test_case "split per commodity" `Quick test_split_per_commodity;
+          QCheck_alcotest.to_alcotest prop_serial_round_trip_structural;
           QCheck_alcotest.to_alcotest prop_serial_round_trip_runs_identically;
           QCheck_alcotest.to_alcotest prop_serial_fuzz_never_crashes;
         ] );

@@ -293,6 +293,32 @@ let test_gamma_value () =
   check_float 1e-12 "gamma" (1.0 /. (5.0 *. 4.0 *. Numerics.harmonic 10))
     (Dual_checker.gamma ~n_commodities:16 ~n_requests:10)
 
+let test_default_configs_cutoff () =
+  (* The exhaustive-enumeration cutoff is explicit: at the limit every
+     non-empty subset is checked (2^|S| - 1 of them), one commodity above
+     it only S and the singletons (|S| + 1). *)
+  check_int "limit is 10" 10 Dual_checker.exhaustive_limit;
+  let at = Dual_checker.exhaustive_limit in
+  check_int "at cutoff: all subsets"
+    ((1 lsl at) - 1)
+    (List.length (Dual_checker.default_configs ~n_commodities:at));
+  let above = at + 1 in
+  let configs = Dual_checker.default_configs ~n_commodities:above in
+  check_int "above cutoff: S + singletons" (above + 1) (List.length configs);
+  (match configs with
+  | full :: singles ->
+      check_bool "first is S" true (Cset.is_full full);
+      List.iteri
+        (fun e c ->
+          check_bool "singleton" true
+            (Cset.equal c (Cset.singleton ~n_commodities:above e)))
+        singles
+  | [] -> Alcotest.fail "empty config list");
+  (* Below the cutoff the enumeration is still exhaustive. *)
+  check_int "below cutoff: all subsets"
+    ((1 lsl (at - 1)) - 1)
+    (List.length (Dual_checker.default_configs ~n_commodities:(at - 1)))
+
 let () =
   Alcotest.run "pd_omflp"
     [
@@ -310,6 +336,8 @@ let () =
           Alcotest.test_case "trace: theorem2" `Quick test_trace_theorem2;
           Alcotest.test_case "trace: connections" `Quick test_trace_connection_events;
           Alcotest.test_case "gamma" `Quick test_gamma_value;
+          Alcotest.test_case "default configs cutoff" `Quick
+            test_default_configs_cutoff;
         ] );
       ( "theory",
         [

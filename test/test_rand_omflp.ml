@@ -129,6 +129,49 @@ let test_lemma20_balance_fresh_state () =
     true
     (mean >= 2.0 && mean <= 12.0)
 
+(* Distributional checks of the coin-flip law. On the one-point metric
+   with constant construction cost [c], a fresh request with demand S has
+   X(r,e) = c for each e in S, X(r) = c|S|, Z(r) = c, estimate = c; the
+   single small class of commodity e flips with probability
+   min(1, improvement / cls.cost * share) = min(1, (c/c) * (1/|S|)) =
+   1/|S|, and the single large class flips with probability c/c = 1 — the
+   large facility is always built, and the number of small facilities is
+   Binomial(|S|, 1/|S|). *)
+let small_flip_frequency ~n_commodities ~reps =
+  let metric = Finite_metric.single_point () in
+  let cost = Cost_function.constant ~n_commodities ~n_sites:1 ~cost:4.0 in
+  let demand =
+    Cset.of_list ~n_commodities (List.init n_commodities Fun.id)
+  in
+  let r = Request.make ~site:0 ~demand in
+  let smalls = ref 0 in
+  for seed = 0 to reps - 1 do
+    let t = Rand_omflp.create ~seed metric cost in
+    ignore (Rand_omflp.step t r);
+    let run = Rand_omflp.run_so_far t in
+    Alcotest.(check int) "large facility always built" 1 (Run.n_large run);
+    smalls := !smalls + Run.n_small run
+  done;
+  float_of_int !smalls /. float_of_int (reps * n_commodities)
+
+let test_small_flip_frequency_half () =
+  (* |S| = 2: per-commodity flip probability 1/2. 2000 trials x 2 flips;
+     [0.46, 0.54] is a +-5 sigma band around the mean. *)
+  let freq = small_flip_frequency ~n_commodities:2 ~reps:2000 in
+  check_bool
+    (Printf.sprintf "frequency %.4f within [0.46, 0.54]" freq)
+    true
+    (freq >= 0.46 && freq <= 0.54)
+
+let test_small_flip_frequency_quarter () =
+  (* |S| = 4: the share split X(r,e)/X(r) = 1/4 scales the probability
+     down. 2000 trials x 4 flips; [0.22, 0.28] is a +-6 sigma band. *)
+  let freq = small_flip_frequency ~n_commodities:4 ~reps:2000 in
+  check_bool
+    (Printf.sprintf "frequency %.4f within [0.22, 0.28]" freq)
+    true
+    (freq >= 0.22 && freq <= 0.28)
+
 let test_rounding_factor_bound () =
   (* Rounding costs down to powers of two loses at most a factor 2: any
      facility's paid cost is at least its class cost and below twice it. *)
@@ -216,6 +259,10 @@ let () =
             test_expected_competitiveness_theorem2;
           Alcotest.test_case "Lemma 20 balance (statistical)" `Slow
             test_lemma20_balance_fresh_state;
+          Alcotest.test_case "small-flip frequency 1/2 (statistical)" `Slow
+            test_small_flip_frequency_half;
+          Alcotest.test_case "small-flip frequency 1/4 (statistical)" `Slow
+            test_small_flip_frequency_quarter;
           Alcotest.test_case "class rounding factor 2" `Quick
             test_rounding_factor_bound;
         ] );
