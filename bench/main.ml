@@ -1,72 +1,96 @@
-(* Benchmark harness: regenerates every table/figure of the reproduction
-   (experiments E1-E6, see DESIGN.md) and then times the algorithms with
-   Bechamel (experiment E7, the Section 4 efficiency claim) and reports
-   lib/obs work counters for seeded runs.
-
-   Pass --quick to shrink experiment sizes; pass --tables-only or
-   --bench-only to run one half (they conflict with each other). *)
-
-open Bechamel
-open Omflp_prelude
-open Omflp_instance
+(* Thin front end over lib/benchkit: parses argv into a
+   [Benchkit.config] and exits with [Benchkit.run]'s status. The
+   cmdliner-flavoured twin lives at [omflp bench]. *)
 
 let usage =
   "usage: main.exe [--quick] [--tables-only | --bench-only] [--jobs N] \
-   [--json FILE]\n\
-  \  --quick        smaller experiment sizes and shorter bechamel quotas\n\
-  \  --tables-only  only regenerate the experiment tables (E1-E6, E8-E10)\n\
-  \  --bench-only   only run the microbenchmarks and work counters (E7)\n\
-  \  --jobs N       run experiment repetitions on N domains (default 1;\n\
-  \                 env OMFLP_JOBS); tables are byte-identical for any N\n\
-  \  --json FILE    also write machine-readable results (ns/run + E7b\n\
-  \                 work counters) to FILE\n"
+   [--json FILE] [--baseline FILE] [--max-regression PCT]\n\
+  \  --quick               smaller experiment sizes and shorter bechamel \
+   quotas\n\
+  \  --tables-only         only regenerate the experiment tables (E1-E6, \
+   E8-E10)\n\
+  \  --bench-only          only run the microbenchmarks and work counters \
+   (E7)\n\
+  \  --jobs N              run experiment repetitions on N domains (default \
+   1;\n\
+  \                        env OMFLP_JOBS); tables are byte-identical for \
+   any N\n\
+  \  --json FILE           also write machine-readable results (ns/run + \
+   E7b\n\
+  \                        work counters) to FILE\n\
+  \  --baseline FILE       diff ns/run rows against this omflp.bench.v1 \
+   file\n\
+  \                        (e.g. BENCH_BASELINE.json) and fail on \
+   regression\n\
+  \  --max-regression PCT  allowed slowdown per row in percent (default \
+   25)\n"
 
-let quick, tables_only, bench_only, jobs, json_path =
-  let quick = ref false and tables = ref false and bench = ref false in
-  let jobs =
+let config =
+  let open Omflp_benchkit.Benchkit in
+  let cfg =
     ref
-      (match Sys.getenv_opt "OMFLP_JOBS" with
-      | Some s -> (
-          match int_of_string_opt s with
-          | Some n -> n
-          | None ->
-              Printf.eprintf "main.exe: OMFLP_JOBS must be an integer, got %S\n"
-                s;
-              exit 2)
-      | None -> 1)
+      {
+        default_config with
+        jobs =
+          (match Sys.getenv_opt "OMFLP_JOBS" with
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some n -> n
+              | None ->
+                  Printf.eprintf
+                    "main.exe: OMFLP_JOBS must be an integer, got %S\n" s;
+                  exit 2)
+          | None -> 1);
+      }
   in
-  let json = ref None in
   let int_value flag = function
     | Some s when int_of_string_opt s <> None -> Option.get (int_of_string_opt s)
     | _ ->
         Printf.eprintf "main.exe: %s needs an integer argument\n%s" flag usage;
         exit 2
   in
+  let str_value flag = function
+    | Some s -> s
+    | None ->
+        Printf.eprintf "main.exe: %s needs a file argument\n%s" flag usage;
+        exit 2
+  in
+  let float_value flag = function
+    | Some s when float_of_string_opt s <> None ->
+        Option.get (float_of_string_opt s)
+    | _ ->
+        Printf.eprintf "main.exe: %s needs a numeric argument\n%s" flag usage;
+        exit 2
+  in
+  let pop = function v :: r -> (Some v, r) | [] -> (None, []) in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
-        quick := true;
+        cfg := { !cfg with quick = true };
         parse rest
     | "--tables-only" :: rest ->
-        tables := true;
+        cfg := { !cfg with tables_only = true };
         parse rest
     | "--bench-only" :: rest ->
-        bench := true;
+        cfg := { !cfg with bench_only = true };
         parse rest
     | "--jobs" :: rest ->
-        let v, rest =
-          match rest with v :: r -> (Some v, r) | [] -> (None, [])
-        in
-        jobs := int_value "--jobs" v;
+        let v, rest = pop rest in
+        cfg := { !cfg with jobs = int_value "--jobs" v };
         parse rest
-    | "--json" :: rest -> (
-        match rest with
-        | v :: r ->
-            json := Some v;
-            parse r
-        | [] ->
-            Printf.eprintf "main.exe: --json needs a file argument\n%s" usage;
-            exit 2)
+    | "--json" :: rest ->
+        let v, rest = pop rest in
+        cfg := { !cfg with json_path = Some (str_value "--json" v) };
+        parse rest
+    | "--baseline" :: rest ->
+        let v, rest = pop rest in
+        cfg := { !cfg with baseline_path = Some (str_value "--baseline" v) };
+        parse rest
+    | "--max-regression" :: rest ->
+        let v, rest = pop rest in
+        cfg :=
+          { !cfg with max_regression = float_value "--max-regression" v /. 100.0 };
+        parse rest
     | ("--help" | "-help") :: _ ->
         print_string usage;
         exit 0
@@ -76,328 +100,21 @@ let quick, tables_only, bench_only, jobs, json_path =
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !tables && !bench then begin
+  if !cfg.tables_only && !cfg.bench_only then begin
     Printf.eprintf
       "main.exe: --tables-only and --bench-only conflict (together they \
        would run nothing)\n%s"
       usage;
     exit 2
   end;
-  if !jobs < 1 then begin
-    Printf.eprintf "main.exe: --jobs must be >= 1 (got %d)\n%s" !jobs usage;
+  if !cfg.jobs < 1 then begin
+    Printf.eprintf "main.exe: --jobs must be >= 1 (got %d)\n%s" !cfg.jobs usage;
     exit 2
   end;
-  (!quick, !tables, !bench, !jobs, !json)
+  if !cfg.max_regression < 0.0 then begin
+    Printf.eprintf "main.exe: --max-regression must be >= 0\n%s" usage;
+    exit 2
+  end;
+  !cfg
 
-let () = Pool.set_default_jobs jobs
-
-(* ---------- Part 1: experiment tables (one per paper artifact) ---------- *)
-
-let run_tables () =
-  print_endline "====================================================";
-  print_endline " OMFLP reproduction: experiment tables (E1-E6, E8-E10)";
-  print_endline " paper: Castenow et al., SPAA 2020 (arXiv:2005.08391)";
-  print_endline "====================================================";
-  List.iter Omflp_experiments.Exp_common.print_section
-    (Omflp_experiments.Suite.run ~quick ~which:"all" ())
-
-(* ---------- Part 2: Bechamel microbenchmarks ---------- *)
-
-(* Workload shared by the per-algorithm benches: a clustered instance with
-   a sqrt construction cost. *)
-let bench_instance ~n_sites ~n_requests ~n_commodities =
-  let rng = Splitmix.of_int 0xbe9c4 in
-  Generators.clustered rng ~clusters:(max 2 (n_sites / 4)) ~per_cluster:4
-    ~n_requests ~n_commodities ~side:100.0 ~spread:2.0
-    ~cost:(fun ~n_commodities ~n_sites ->
-      Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
-
-let full_run (module A : Omflp_core.Algo_intf.ALGO) inst () =
-  let t = A.create ~seed:17 inst.Instance.metric inst.Instance.cost in
-  Array.iter (fun r -> ignore (A.step t r)) inst.Instance.requests;
-  Omflp_core.Run.total_cost (A.run_so_far t)
-
-(* One Test.make per table/figure artifact: the computational kernel that
-   regenerates it. *)
-let table_kernels =
-  let t2_instance =
-    let rng = Splitmix.of_int 0xe1 in
-    Generators.theorem2 rng ~n_commodities:256
-  in
-  let sweep_instance =
-    let rng = Splitmix.of_int 0xe3 in
-    Generators.single_point_adversary rng ~n_commodities:64
-      ~cost:(fun ~n_commodities ~n_sites ->
-        Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
-      ~n_requested:8
-  in
-  let line_instance =
-    let rng = Splitmix.of_int 0xe4 in
-    Generators.line rng ~n_sites:10 ~n_requests:100 ~n_commodities:8
-      ~length:100.0
-      ~demand:(Demand.Zipf_bundle { zipf_s = 1.0; max_size = 4 })
-      ~cost:(fun ~n_commodities ~n_sites ->
-        Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
-  in
-  let clustered_instance = bench_instance ~n_sites:12 ~n_requests:50 ~n_commodities:8 in
-  let linear_instance =
-    let rng = Splitmix.of_int 0xe6 in
-    Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:30
-      ~n_commodities:8 ~side:100.0 ~spread:2.0
-      ~cost:(fun ~n_commodities ~n_sites ->
-        Omflp_commodity.Cost_function.linear ~n_commodities ~n_sites
-          ~per_commodity:1.0)
-  in
-  [
-    Test.make ~name:"E1/theorem2-adversary |S|=256 (PD)"
-      (Staged.stage (full_run (module Omflp_core.Pd_omflp) t2_instance));
-    Test.make ~name:"E2/figure2-curves"
-      (Staged.stage (fun () ->
-           let acc = ref 0.0 in
-           for i = 0 to 200 do
-             let x = 2.0 *. float_of_int i /. 200.0 in
-             acc :=
-               !acc
-               +. Omflp_experiments.Exp_bounds_curve.upper_factor
-                    ~n_commodities:10_000 ~x
-               +. Omflp_experiments.Exp_bounds_curve.lower_factor
-                    ~n_commodities:10_000 ~x
-           done;
-           !acc));
-    Test.make ~name:"E3/cost-sweep g_1 |S|=64 (PD)"
-      (Staged.stage (full_run (module Omflp_core.Pd_omflp) sweep_instance));
-    Test.make ~name:"E4/line n=100 (PD)"
-      (Staged.stage (full_run (module Omflp_core.Pd_omflp) line_instance));
-    Test.make ~name:"E5/clustered n=50 (PD)"
-      (Staged.stage (full_run (module Omflp_core.Pd_omflp) clustered_instance));
-    Test.make ~name:"E6/linear-cost ablation (PD)"
-      (Staged.stage (full_run (module Omflp_core.Pd_omflp) linear_instance));
-    (let heavy_instance =
-       let rng = Splitmix.of_int 0xe8 in
-       Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:30
-         ~n_commodities:6 ~side:100.0 ~spread:2.0
-         ~cost:(fun ~n_commodities ~n_sites ->
-           let base =
-             Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
-               ~x:1.0
-           in
-           let surcharges = Array.make n_commodities 0.0 in
-           surcharges.(0) <- 10.0;
-           Omflp_commodity.Cost_function.with_surcharge base ~surcharges)
-     in
-     Test.make ~name:"E8/heavy-commodity (HEAVY-AWARE)"
-       (Staged.stage (full_run (module Omflp_core.Heavy_aware) heavy_instance)));
-  ]
-
-(* E7: per-request efficiency, PD vs RAND vs baselines — the paper's
-   Section 4 claim that the randomized algorithm is much cheaper to run. *)
-let algo_benches =
-  let inst = bench_instance ~n_sites:16 ~n_requests:60 ~n_commodities:8 in
-  List.map
-    (fun (name, algo) ->
-      Test.make ~name:(Printf.sprintf "E7/full-run %s (n=60)" name)
-        (Staged.stage (full_run algo inst)))
-    (Omflp_core.Registry.all ()
-    @ [ (Omflp_core.Heavy_aware.name, (module Omflp_core.Heavy_aware : Omflp_core.Algo_intf.ALGO)) ])
-
-let scaling_benches =
-  (* PD and RAND as n grows: the deterministic event loop is quadratic in
-     past requests, the randomized one near-linear. *)
-  List.concat_map
-    (fun n_requests ->
-      let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
-      [
-        Test.make ~name:(Printf.sprintf "E7/scaling PD n=%d" n_requests)
-          (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst));
-        Test.make ~name:(Printf.sprintf "E7/scaling PD-FAST n=%d" n_requests)
-          (Staged.stage (full_run (module Omflp_core.Pd_omflp_fast) inst));
-        Test.make ~name:(Printf.sprintf "E7/scaling RAND n=%d" n_requests)
-          (Staged.stage (full_run (module Omflp_core.Rand_omflp) inst));
-      ])
-    (if quick then [ 25; 50 ] else [ 25; 50; 100; 200 ])
-
-let commodity_sweep_benches =
-  (* PD and RAND as |S| grows on the single-point adversary. *)
-  List.concat_map
-    (fun s ->
-      let inst =
-        let rng = Splitmix.of_int (0x5e + s) in
-        Generators.theorem2 rng ~n_commodities:s
-      in
-      [
-        Test.make ~name:(Printf.sprintf "E7/sweep-|S| PD |S|=%d" s)
-          (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst));
-        Test.make ~name:(Printf.sprintf "E7/sweep-|S| RAND |S|=%d" s)
-          (Staged.stage (full_run (module Omflp_core.Rand_omflp) inst));
-      ])
-    (if quick then [ 64; 256 ] else [ 64; 256; 1024 ])
-
-let site_sweep_benches =
-  (* PD as the number of candidate sites grows (the event loop scans every
-     site). *)
-  List.map
-    (fun n_sites ->
-      let inst = bench_instance ~n_sites ~n_requests:40 ~n_commodities:6 in
-      Test.make ~name:(Printf.sprintf "E7/sweep-|M| PD |M|=%d" n_sites)
-        (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst)))
-    (if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ])
-
-let offline_benches =
-  let inst = bench_instance ~n_sites:12 ~n_requests:30 ~n_commodities:6 in
-  [
-    Test.make ~name:"offline/greedy n=30"
-      (Staged.stage (fun () -> (Omflp_offline.Greedy_offline.solve inst).cost));
-  ]
-
-(* Runs the bechamel suite and returns [(name, ns_per_run option)] rows
-   sorted by benchmark name, for both the printed table and BENCH.json. *)
-let run_benchmarks () =
-  print_endline "";
-  print_endline "====================================================";
-  print_endline " E7: Bechamel microbenchmarks (ns per full run)";
-  print_endline "====================================================";
-  let cfg =
-    Benchmark.cfg ~limit:300
-      ~quota:(Time.second (if quick then 0.2 else 0.5))
-      ~kde:None ()
-  in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-  in
-  let tests =
-    table_kernels @ algo_benches @ scaling_benches @ commodity_sweep_benches
-    @ site_sweep_benches @ offline_benches
-  in
-  let table = Texttable.create [ "benchmark"; "ns/run"; "ms/run" ] in
-  (* Collect every OLS estimate first and sort by benchmark name:
-     [Hashtbl.iter] order is unspecified, so printing rows straight out
-     of it made the table row order vary between runs. *)
-  let rows = ref [] in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results)
-    tests;
-  let rows =
-    List.map
-      (fun (name, result) ->
-        match Analyze.OLS.estimates result with
-        | Some (est :: _) -> (name, Some est)
-        | _ -> (name, None))
-      (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
-  in
-  List.iter
-    (fun (name, est) ->
-      match est with
-      | Some est ->
-          Texttable.add_row table
-            [
-              name;
-              Printf.sprintf "%.0f" est;
-              Printf.sprintf "%.3f" (est /. 1e6);
-            ]
-      | None -> Texttable.add_row table [ name; "n/a"; "n/a" ])
-    rows;
-  Texttable.print table;
-  rows
-
-(* Work counters (lib/obs): deterministic seeded full runs, reported as
-   counted work — event-loop iterations, events by kind, cache updates,
-   coin flips, facility openings — so perf claims can be cross-checked
-   against what the algorithms actually did, not just ns/run. *)
-let run_work_counters () =
-  print_endline "";
-  print_endline "====================================================";
-  print_endline " E7b: work counters (seeded full runs, lib/obs)";
-  print_endline "====================================================";
-  let n_requests = if quick then 25 else 100 in
-  Printf.printf "workload: clustered, |M|=12, n=%d, |S|=8, seed fixed\n"
-    n_requests;
-  let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
-  let table = Texttable.create [ "algorithm"; "counter"; "value" ] in
-  let rows = ref [] in
-  let was_enabled = Omflp_obs.Metrics.enabled () in
-  Omflp_obs.Metrics.set_enabled true;
-  List.iter
-    (fun (name, algo) ->
-      Omflp_obs.Metrics.reset ();
-      ignore (full_run algo inst ());
-      let snap = Omflp_obs.Metrics.snapshot () in
-      List.iter
-        (fun (c : Omflp_obs.Metrics.counter_view) ->
-          if c.c_value > 0 then begin
-            Texttable.add_row table [ name; c.c_name; string_of_int c.c_value ];
-            rows := (name, c.c_name, c.c_value) :: !rows
-          end)
-        snap.Omflp_obs.Metrics.counters)
-    [
-      (Omflp_core.Pd_omflp.name, (module Omflp_core.Pd_omflp : Omflp_core.Algo_intf.ALGO));
-      (Omflp_core.Pd_omflp_fast.name, (module Omflp_core.Pd_omflp_fast));
-      (Omflp_core.Rand_omflp.name, (module Omflp_core.Rand_omflp));
-    ];
-  Omflp_obs.Metrics.reset ();
-  Omflp_obs.Metrics.set_enabled was_enabled;
-  Texttable.print table;
-  List.rev !rows
-
-(* ---------- BENCH.json: the perf trajectory across PRs ---------- *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let write_json path ~bench_rows ~counter_rows =
-  let oc = open_out path in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n";
-  out "  \"schema\": \"omflp.bench.v1\",\n";
-  out "  \"quick\": %b,\n" quick;
-  out "  \"jobs\": %d,\n" jobs;
-  out "  \"benchmarks\": [\n";
-  List.iteri
-    (fun i (name, est) ->
-      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
-        (match est with
-        | Some v when Float.is_finite v -> Printf.sprintf "%.6g" v
-        | _ -> "null")
-        (if i = List.length bench_rows - 1 then "" else ","))
-    bench_rows;
-  out "  ],\n";
-  out "  \"work_counters\": [\n";
-  List.iteri
-    (fun i (algo, counter, v) ->
-      out "    {\"algorithm\": \"%s\", \"counter\": \"%s\", \"value\": %d}%s\n"
-        (json_escape algo) (json_escape counter) v
-        (if i = List.length counter_rows - 1 then "" else ","))
-    counter_rows;
-  out "  ]\n";
-  out "}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
-
-let () =
-  if not bench_only then run_tables ();
-  if not tables_only then begin
-    let bench_rows = run_benchmarks () in
-    let counter_rows = run_work_counters () in
-    Option.iter
-      (fun path -> write_json path ~bench_rows ~counter_rows)
-      json_path
-  end
-  else
-    Option.iter
-      (fun path -> write_json path ~bench_rows:[] ~counter_rows:[])
-      json_path
+let () = exit (Omflp_benchkit.Benchkit.run config)

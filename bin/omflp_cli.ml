@@ -49,9 +49,17 @@ let make_instance ~family ~seed ~n_sites ~n_requests ~n_commodities ~cost_kind =
            "unknown family %S (adversary | line | clustered | network | uniform)"
            other)
 
-(* Shared argument definitions. *)
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+(* Shared argument definitions. The cross-command flags — --seed,
+   --jobs, --metrics, --trace — live in lib/cli (Cli_flags) so every
+   subcommand parses and errors identically; instance-shape flags stay
+   here. *)
+module Cli_flags = Omflp_cli_support.Cli_flags
+
+let seed_arg = Cli_flags.seed_arg
+let jobs_arg = Cli_flags.jobs_arg
+let metrics_arg = Cli_flags.metrics_arg
+let trace_arg = Cli_flags.trace_arg
+let with_obs = Cli_flags.with_obs
 
 let family_arg =
   Arg.(
@@ -75,50 +83,6 @@ let cost_arg =
     & opt string "x=1"
     & info [ "cost" ]
         ~doc:"Construction cost: linear | constant | theorem2 | x=<v> (power law).")
-
-(* Observability (lib/obs): --metrics prints the work-counter/timer
-   report after the command; --trace streams one JSON line per request. *)
-let metrics_arg =
-  Arg.(
-    value & flag
-    & info [ "metrics" ]
-        ~doc:
-          "Enable lib/obs instrumentation and print counters, timers, and \
-           latency histograms after the run.")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Write a JSON-lines trace (one record per request: site, demand \
-           size, service shape, latency) to $(docv).")
-
-let with_obs ~metrics ~trace f =
-  Omflp_obs.Metrics.set_enabled metrics;
-  let sink =
-    Option.map
-      (fun file ->
-        try Omflp_obs.Trace_sink.open_file file
-        with Sys_error msg ->
-          Printf.eprintf "omflp: cannot open trace file: %s\n" msg;
-          exit 2)
-      trace
-  in
-  Option.iter Omflp_obs.Trace_sink.install sink;
-  Fun.protect
-    ~finally:(fun () ->
-      Option.iter
-        (fun s ->
-          Omflp_obs.Trace_sink.uninstall ();
-          Omflp_obs.Trace_sink.close s)
-        sink)
-    (fun () ->
-      let result = f () in
-      if metrics then Omflp_obs.Report.print ~title:"metrics (lib/obs)" ();
-      Option.iter (fun file -> Printf.printf "wrote trace to %s\n" file) trace;
-      result)
 
 (* omflp run *)
 let run_cmd =
@@ -279,24 +243,8 @@ let exp_cmd =
       & info [ "csv-dir" ]
           ~doc:"Also write each table as CSV into this directory.")
   in
-  let jobs_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "jobs"; "j" ]
-          ~env:(Cmd.Env.info "OMFLP_JOBS")
-          ~docv:"N"
-          ~doc:
-            "Run independent repetitions/experiments on $(docv) domains. \
-             Repetition seeds are index-derived, so the tables are \
-             byte-identical for every value of $(docv); 1 (the default) \
-             stays fully serial.")
-  in
   let action which quick csv_dir jobs =
-    if jobs < 1 then begin
-      Printf.eprintf "omflp: --jobs must be >= 1 (got %d)\n" jobs;
-      exit 2
-    end;
-    Pool.set_default_jobs jobs;
+    Cli_flags.apply_jobs jobs;
     let sections = Omflp_experiments.Suite.run ~quick ~which () in
     List.iter Omflp_experiments.Exp_common.print_section sections;
     match csv_dir with
@@ -349,28 +297,10 @@ let check_cmd =
              different job count and require byte-identical run digests; 0 \
              disables the cross-check.")
   in
-  let jobs_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "jobs"; "j" ]
-          ~env:(Cmd.Env.info "OMFLP_JOBS")
-          ~docv:"N"
-          ~doc:
-            "Check scenarios on $(docv) domains. Scenario generation is \
-             index-derived, so findings are identical for every value of \
-             $(docv).")
-  in
   let action budget seed corpus no_replay no_shrink det_sample jobs metrics
       trace =
-    if jobs < 1 then begin
-      Printf.eprintf "omflp: --jobs must be >= 1 (got %d)\n" jobs;
-      exit 2
-    end;
-    if budget < 0 then begin
-      Printf.eprintf "omflp: --budget must be >= 0 (got %d)\n" budget;
-      exit 2
-    end;
-    Pool.set_default_jobs jobs;
+    Cli_flags.apply_jobs jobs;
+    Cli_flags.or_die (Cli_flags.validate_nonneg ~flag:"--budget" budget);
     let report =
       with_obs ~metrics ~trace (fun () ->
           Omflp_check.Check_engine.run ~corpus_dir:(Some corpus)
@@ -424,6 +354,79 @@ let check_cmd =
       const action $ budget_arg $ seed_arg $ corpus_arg $ no_replay_arg
       $ no_shrink_arg $ det_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
+(* omflp bench — the lib/benchkit harness (tables + E7 + regression gate) *)
+let bench_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Smaller experiment sizes and shorter bechamel quotas.")
+  in
+  let tables_only_arg =
+    Arg.(
+      value & flag
+      & info [ "tables-only" ]
+          ~doc:"Only regenerate the experiment tables (E1-E6, E8-E10).")
+  in
+  let bench_only_arg =
+    Arg.(
+      value & flag
+      & info [ "bench-only" ]
+          ~doc:"Only run the microbenchmarks and work counters (E7).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write machine-readable results (schema omflp.bench.v1: \
+             ns/run rows + E7b work counters) to $(docv).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Diff ns/run rows against this omflp.bench.v1 file (e.g. the \
+             committed BENCH_BASELINE.json) and exit 1 if any shared row \
+             regressed past --max-regression.")
+  in
+  let max_regression_arg =
+    Arg.(
+      value
+      & opt float (100.0 *. Omflp_benchkit.Benchkit.default_max_regression)
+      & info [ "max-regression" ] ~docv:"PCT"
+          ~doc:"Allowed slowdown per benchmark row, in percent.")
+  in
+  let action quick tables_only bench_only jobs json baseline max_regression =
+    Cli_flags.or_die (Cli_flags.validate_jobs jobs);
+    if tables_only && bench_only then
+      Cli_flags.die (Cli_flags.conflict_error "--tables-only" "--bench-only");
+    if max_regression < 0.0 then
+      Cli_flags.die "omflp: --max-regression must be >= 0";
+    exit
+      (Omflp_benchkit.Benchkit.run
+         {
+           quick;
+           tables_only;
+           bench_only;
+           jobs;
+           json_path = json;
+           baseline_path = baseline;
+           max_regression = max_regression /. 100.0;
+         })
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the benchmark harness: experiment tables, E7 microbenchmarks, \
+          work counters, and (with --baseline) the perf regression gate.")
+    Term.(
+      const action $ quick_arg $ tables_only_arg $ bench_only_arg $ jobs_arg
+      $ json_arg $ baseline_arg $ max_regression_arg)
+
 (* omflp selfcheck *)
 let selfcheck_cmd =
   let action seed =
@@ -476,6 +479,7 @@ let () =
             replay_cmd;
             stats_cmd;
             exp_cmd;
+            bench_cmd;
             check_cmd;
             selfcheck_cmd;
           ]))

@@ -1,0 +1,468 @@
+(* Benchmark harness: regenerates every table/figure of the reproduction
+   (experiments E1-E6, E8-E10, see DESIGN.md), times the algorithms with
+   Bechamel (experiment E7, the Section 4 efficiency claim), reports
+   lib/obs work counters for seeded runs, and optionally gates the
+   ns/run rows against a committed baseline (BENCH_BASELINE.json).
+
+   Both front ends — [bench/main.exe] and [omflp bench] — parse flags
+   into a {!config} and call {!run}. *)
+
+open Bechamel
+open Omflp_prelude
+open Omflp_instance
+
+type config = {
+  quick : bool;
+  tables_only : bool;
+  bench_only : bool;
+  jobs : int;
+  json_path : string option;
+  baseline_path : string option;
+  max_regression : float;
+}
+
+let default_max_regression = 0.25
+
+let default_config =
+  {
+    quick = false;
+    tables_only = false;
+    bench_only = false;
+    jobs = 1;
+    json_path = None;
+    baseline_path = None;
+    max_regression = default_max_regression;
+  }
+
+(* ---------- Part 1: experiment tables (one per paper artifact) ---------- *)
+
+let run_tables ~quick () =
+  print_endline "====================================================";
+  print_endline " OMFLP reproduction: experiment tables (E1-E6, E8-E10)";
+  print_endline " paper: Castenow et al., SPAA 2020 (arXiv:2005.08391)";
+  print_endline "====================================================";
+  List.iter Omflp_experiments.Exp_common.print_section
+    (Omflp_experiments.Suite.run ~quick ~which:"all" ())
+
+(* ---------- Part 2: Bechamel microbenchmarks ---------- *)
+
+(* Workload shared by the per-algorithm benches: a clustered instance with
+   a sqrt construction cost. *)
+let bench_instance ~n_sites ~n_requests ~n_commodities =
+  let rng = Splitmix.of_int 0xbe9c4 in
+  Generators.clustered rng ~clusters:(max 2 (n_sites / 4)) ~per_cluster:4
+    ~n_requests ~n_commodities ~side:100.0 ~spread:2.0
+    ~cost:(fun ~n_commodities ~n_sites ->
+      Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+
+let full_run (module A : Omflp_core.Algo_intf.ALGO) inst () =
+  let t = A.create ~seed:17 inst.Instance.metric inst.Instance.cost in
+  Array.iter (fun r -> ignore (A.step t r)) inst.Instance.requests;
+  Omflp_core.Run.total_cost (A.run_so_far t)
+
+(* One Test.make per table/figure artifact: the computational kernel that
+   regenerates it. *)
+let table_kernels () =
+  let t2_instance =
+    let rng = Splitmix.of_int 0xe1 in
+    Generators.theorem2 rng ~n_commodities:256
+  in
+  let sweep_instance =
+    let rng = Splitmix.of_int 0xe3 in
+    Generators.single_point_adversary rng ~n_commodities:64
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+      ~n_requested:8
+  in
+  let line_instance =
+    let rng = Splitmix.of_int 0xe4 in
+    Generators.line rng ~n_sites:10 ~n_requests:100 ~n_commodities:8
+      ~length:100.0
+      ~demand:(Demand.Zipf_bundle { zipf_s = 1.0; max_size = 4 })
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
+  in
+  let clustered_instance =
+    bench_instance ~n_sites:12 ~n_requests:50 ~n_commodities:8
+  in
+  let linear_instance =
+    let rng = Splitmix.of_int 0xe6 in
+    Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:30
+      ~n_commodities:8 ~side:100.0 ~spread:2.0
+      ~cost:(fun ~n_commodities ~n_sites ->
+        Omflp_commodity.Cost_function.linear ~n_commodities ~n_sites
+          ~per_commodity:1.0)
+  in
+  [
+    Test.make ~name:"E1/theorem2-adversary |S|=256 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) t2_instance));
+    Test.make ~name:"E2/figure2-curves"
+      (Staged.stage (fun () ->
+           let acc = ref 0.0 in
+           for i = 0 to 200 do
+             let x = 2.0 *. float_of_int i /. 200.0 in
+             acc :=
+               !acc
+               +. Omflp_experiments.Exp_bounds_curve.upper_factor
+                    ~n_commodities:10_000 ~x
+               +. Omflp_experiments.Exp_bounds_curve.lower_factor
+                    ~n_commodities:10_000 ~x
+           done;
+           !acc));
+    Test.make ~name:"E3/cost-sweep g_1 |S|=64 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) sweep_instance));
+    Test.make ~name:"E4/line n=100 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) line_instance));
+    Test.make ~name:"E5/clustered n=50 (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) clustered_instance));
+    Test.make ~name:"E6/linear-cost ablation (PD)"
+      (Staged.stage (full_run (module Omflp_core.Pd_omflp) linear_instance));
+    (let heavy_instance =
+       let rng = Splitmix.of_int 0xe8 in
+       Generators.clustered rng ~clusters:3 ~per_cluster:4 ~n_requests:30
+         ~n_commodities:6 ~side:100.0 ~spread:2.0
+         ~cost:(fun ~n_commodities ~n_sites ->
+           let base =
+             Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites
+               ~x:1.0
+           in
+           let surcharges = Array.make n_commodities 0.0 in
+           surcharges.(0) <- 10.0;
+           Omflp_commodity.Cost_function.with_surcharge base ~surcharges)
+     in
+     Test.make ~name:"E8/heavy-commodity (HEAVY-AWARE)"
+       (Staged.stage (full_run (module Omflp_core.Heavy_aware) heavy_instance)));
+  ]
+
+(* E7: per-request efficiency, PD vs RAND vs baselines — the paper's
+   Section 4 claim that the randomized algorithm is much cheaper to run. *)
+let algo_benches () =
+  let inst = bench_instance ~n_sites:16 ~n_requests:60 ~n_commodities:8 in
+  List.map
+    (fun (name, algo) ->
+      Test.make ~name:(Printf.sprintf "E7/full-run %s (n=60)" name)
+        (Staged.stage (full_run algo inst)))
+    (Omflp_core.Registry.all ()
+    @ [
+        ( Omflp_core.Heavy_aware.name,
+          (module Omflp_core.Heavy_aware : Omflp_core.Algo_intf.ALGO) );
+      ])
+
+let scaling_benches ~quick () =
+  (* PD and RAND as n grows: the deterministic event loop is quadratic in
+     past requests, the randomized one near-linear. *)
+  List.concat_map
+    (fun n_requests ->
+      let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
+      [
+        Test.make ~name:(Printf.sprintf "E7/scaling PD n=%d" n_requests)
+          (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst));
+        Test.make ~name:(Printf.sprintf "E7/scaling PD-FAST n=%d" n_requests)
+          (Staged.stage (full_run (module Omflp_core.Pd_omflp_fast) inst));
+        Test.make ~name:(Printf.sprintf "E7/scaling RAND n=%d" n_requests)
+          (Staged.stage (full_run (module Omflp_core.Rand_omflp) inst));
+      ])
+    (if quick then [ 25; 50 ] else [ 25; 50; 100; 200 ])
+
+let commodity_sweep_benches ~quick () =
+  (* PD and RAND as |S| grows on the single-point adversary. *)
+  List.concat_map
+    (fun s ->
+      let inst =
+        let rng = Splitmix.of_int (0x5e + s) in
+        Generators.theorem2 rng ~n_commodities:s
+      in
+      [
+        Test.make ~name:(Printf.sprintf "E7/sweep-|S| PD |S|=%d" s)
+          (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst));
+        Test.make ~name:(Printf.sprintf "E7/sweep-|S| RAND |S|=%d" s)
+          (Staged.stage (full_run (module Omflp_core.Rand_omflp) inst));
+      ])
+    (if quick then [ 64; 256 ] else [ 64; 256; 1024 ])
+
+let site_sweep_benches ~quick () =
+  (* PD as the number of candidate sites grows (the event loop scans every
+     site). *)
+  List.map
+    (fun n_sites ->
+      let inst = bench_instance ~n_sites ~n_requests:40 ~n_commodities:6 in
+      Test.make ~name:(Printf.sprintf "E7/sweep-|M| PD |M|=%d" n_sites)
+        (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst)))
+    (if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ])
+
+let offline_benches () =
+  let inst = bench_instance ~n_sites:12 ~n_requests:30 ~n_commodities:6 in
+  [
+    Test.make ~name:"offline/greedy n=30"
+      (Staged.stage (fun () -> (Omflp_offline.Greedy_offline.solve inst).cost));
+  ]
+
+(* Runs the bechamel suite and returns [(name, ns_per_run option)] rows
+   sorted by benchmark name, for both the printed table and BENCH.json. *)
+let run_benchmarks ~quick () =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " E7: Bechamel microbenchmarks (ns per full run)";
+  print_endline "====================================================";
+  let cfg =
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if quick then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let tests =
+    table_kernels () @ algo_benches ()
+    @ scaling_benches ~quick ()
+    @ commodity_sweep_benches ~quick ()
+    @ site_sweep_benches ~quick ()
+    @ offline_benches ()
+  in
+  let table = Texttable.create [ "benchmark"; "ns/run"; "ms/run" ] in
+  (* Collect every OLS estimate first and sort by benchmark name:
+     [Hashtbl.iter] order is unspecified, so printing rows straight out
+     of it made the table row order vary between runs. *)
+  let rows = ref [] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results)
+    tests;
+  let rows =
+    List.map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) -> (name, Some est)
+        | _ -> (name, None))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est ->
+          Texttable.add_row table
+            [
+              name;
+              Printf.sprintf "%.0f" est;
+              Printf.sprintf "%.3f" (est /. 1e6);
+            ]
+      | None -> Texttable.add_row table [ name; "n/a"; "n/a" ])
+    rows;
+  Texttable.print table;
+  rows
+
+(* Work counters (lib/obs): deterministic seeded full runs, reported as
+   counted work — event-loop iterations, events by kind, cache updates,
+   coin flips, facility openings — so perf claims can be cross-checked
+   against what the algorithms actually did, not just ns/run. *)
+let run_work_counters ~quick () =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " E7b: work counters (seeded full runs, lib/obs)";
+  print_endline "====================================================";
+  let n_requests = if quick then 25 else 100 in
+  Printf.printf "workload: clustered, |M|=12, n=%d, |S|=8, seed fixed\n"
+    n_requests;
+  let inst = bench_instance ~n_sites:12 ~n_requests ~n_commodities:8 in
+  let table = Texttable.create [ "algorithm"; "counter"; "value" ] in
+  let rows = ref [] in
+  let was_enabled = Omflp_obs.Metrics.enabled () in
+  Omflp_obs.Metrics.set_enabled true;
+  List.iter
+    (fun (name, algo) ->
+      Omflp_obs.Metrics.reset ();
+      ignore (full_run algo inst ());
+      let snap = Omflp_obs.Metrics.snapshot () in
+      List.iter
+        (fun (c : Omflp_obs.Metrics.counter_view) ->
+          if c.c_value > 0 then begin
+            Texttable.add_row table [ name; c.c_name; string_of_int c.c_value ];
+            rows := (name, c.c_name, c.c_value) :: !rows
+          end)
+        snap.Omflp_obs.Metrics.counters)
+    [
+      ( Omflp_core.Pd_omflp.name,
+        (module Omflp_core.Pd_omflp : Omflp_core.Algo_intf.ALGO) );
+      (Omflp_core.Pd_omflp_fast.name, (module Omflp_core.Pd_omflp_fast));
+      (Omflp_core.Rand_omflp.name, (module Omflp_core.Rand_omflp));
+    ];
+  Omflp_obs.Metrics.reset ();
+  Omflp_obs.Metrics.set_enabled was_enabled;
+  Texttable.print table;
+  List.rev !rows
+
+(* ---------- BENCH.json: the perf trajectory across PRs ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~quick ~jobs path ~bench_rows ~counter_rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"omflp.bench.v1\",\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (match est with
+        | Some v when Float.is_finite v -> Printf.sprintf "%.6g" v
+        | _ -> "null")
+        (if i = List.length bench_rows - 1 then "" else ","))
+    bench_rows;
+  out "  ],\n";
+  out "  \"work_counters\": [\n";
+  List.iteri
+    (fun i (algo, counter, v) ->
+      out "    {\"algorithm\": \"%s\", \"counter\": \"%s\", \"value\": %d}%s\n"
+        (json_escape algo) (json_escape counter) v
+        (if i = List.length counter_rows - 1 then "" else ","))
+    counter_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* ---------- Regression gate vs a committed baseline ---------- *)
+
+type regression = {
+  reg_name : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;
+}
+
+type gate_report = {
+  compared : int;
+  skipped : int;  (** current rows with no (numeric) baseline row *)
+  regressions : regression list;
+}
+
+(* Reads the [benchmarks] rows of an [omflp.bench.v1] file into
+   [(name, ns_per_run)] pairs, dropping [null] estimates. *)
+let read_baseline path =
+  match Minijson.of_file path with
+  | exception Sys_error msg -> Error ("cannot read baseline: " ^ msg)
+  | exception Minijson.Parse_error msg ->
+      Error (Printf.sprintf "cannot parse baseline %s: %s" path msg)
+  | json -> (
+      match Option.bind (Minijson.member "benchmarks" json) Minijson.to_list with
+      | None ->
+          Error
+            (Printf.sprintf "baseline %s has no \"benchmarks\" array" path)
+      | Some rows ->
+          Ok
+            (List.filter_map
+               (fun row ->
+                 match
+                   ( Option.bind (Minijson.member "name" row) Minijson.to_string,
+                     Option.bind (Minijson.member "ns_per_run" row)
+                       Minijson.to_float )
+                 with
+                 | Some name, Some ns -> Some (name, ns)
+                 | _ -> None)
+               rows))
+
+(* Compares by benchmark NAME over the intersection of the two row sets,
+   so a quick run (fewer scaling points) still gates against a full
+   baseline and newly-added benchmarks don't fail the gate. *)
+let compare_baseline ~baseline_path ~max_regression bench_rows =
+  Result.map
+    (fun baseline ->
+      let compared = ref 0 and skipped = ref 0 and regs = ref [] in
+      List.iter
+        (fun (name, est) ->
+          match (est, List.assoc_opt name baseline) with
+          | Some current_ns, Some baseline_ns when baseline_ns > 0.0 ->
+              incr compared;
+              let ratio = current_ns /. baseline_ns in
+              if ratio > 1.0 +. max_regression then
+                regs :=
+                  { reg_name = name; baseline_ns; current_ns; ratio } :: !regs
+          | _ -> incr skipped)
+        bench_rows;
+      { compared = !compared; skipped = !skipped; regressions = List.rev !regs })
+    (read_baseline baseline_path)
+
+let run_gate ~baseline_path ~max_regression bench_rows =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " bench regression gate";
+  print_endline "====================================================";
+  match compare_baseline ~baseline_path ~max_regression bench_rows with
+  | Error msg ->
+      Printf.printf "GATE ERROR: %s\n" msg;
+      2
+  | Ok report ->
+      Printf.printf
+        "baseline %s: %d row(s) compared, %d skipped, threshold +%.0f%%\n"
+        baseline_path report.compared report.skipped (100.0 *. max_regression);
+      if report.regressions = [] then begin
+        print_endline "gate: OK (no row regressed past the threshold)";
+        0
+      end
+      else begin
+        let table =
+          Texttable.create [ "benchmark"; "baseline ns"; "current ns"; "ratio" ]
+        in
+        List.iter
+          (fun r ->
+            Texttable.add_row table
+              [
+                r.reg_name;
+                Printf.sprintf "%.0f" r.baseline_ns;
+                Printf.sprintf "%.0f" r.current_ns;
+                Printf.sprintf "%.2fx" r.ratio;
+              ])
+          report.regressions;
+        Texttable.print table;
+        Printf.printf "gate: FAIL (%d row(s) regressed > +%.0f%%)\n"
+          (List.length report.regressions)
+          (100.0 *. max_regression);
+        1
+      end
+
+(* ---------- Entry point shared by bench/main.exe and [omflp bench] ---------- *)
+
+let run config =
+  Pool.set_default_jobs config.jobs;
+  if not config.bench_only then run_tables ~quick:config.quick ();
+  if config.tables_only then begin
+    Option.iter
+      (fun path ->
+        write_json ~quick:config.quick ~jobs:config.jobs path ~bench_rows:[]
+          ~counter_rows:[])
+      config.json_path;
+    0
+  end
+  else begin
+    let bench_rows = run_benchmarks ~quick:config.quick () in
+    let counter_rows = run_work_counters ~quick:config.quick () in
+    Option.iter
+      (fun path ->
+        write_json ~quick:config.quick ~jobs:config.jobs path ~bench_rows
+          ~counter_rows)
+      config.json_path;
+    match config.baseline_path with
+    | None -> 0
+    | Some baseline_path ->
+        run_gate ~baseline_path ~max_regression:config.max_regression
+          bench_rows
+  end

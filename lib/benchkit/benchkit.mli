@@ -1,0 +1,71 @@
+(** The benchmark harness behind [bench/main.exe] and [omflp bench]:
+    experiment tables, Bechamel E7 microbenchmarks, lib/obs work
+    counters, BENCH.json emission, and the regression gate against a
+    committed baseline. *)
+
+type config = {
+  quick : bool;  (** smaller sizes, shorter bechamel quotas *)
+  tables_only : bool;
+  bench_only : bool;
+  jobs : int;  (** pool size for the experiment tables *)
+  json_path : string option;  (** write [omflp.bench.v1] here *)
+  baseline_path : string option;
+      (** gate ns/run rows against this [omflp.bench.v1] file *)
+  max_regression : float;
+      (** allowed slowdown per row as a fraction (0.25 = +25%) *)
+}
+
+val default_max_regression : float
+
+(** Full-size run, no JSON, no gate. *)
+val default_config : config
+
+(** [run config] executes the configured parts and returns the process
+    exit code: 0 on success, 1 when the gate found a regression, 2 when
+    the baseline file is unreadable. *)
+val run : config -> int
+
+(** {2 Pieces, exposed for tests and custom drivers} *)
+
+val run_tables : quick:bool -> unit -> unit
+
+(** [(name, ns_per_run)] rows sorted by name; [None] when Bechamel
+    produced no estimate. *)
+val run_benchmarks : quick:bool -> unit -> (string * float option) list
+
+val run_work_counters : quick:bool -> unit -> (string * string * int) list
+
+val write_json :
+  quick:bool ->
+  jobs:int ->
+  string ->
+  bench_rows:(string * float option) list ->
+  counter_rows:(string * string * int) list ->
+  unit
+
+type regression = {
+  reg_name : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;
+}
+
+type gate_report = {
+  compared : int;
+  skipped : int;  (** current rows with no (numeric) baseline row *)
+  regressions : regression list;
+}
+
+(** [read_baseline path] loads the [benchmarks] rows of an
+    [omflp.bench.v1] file, dropping [null] estimates. *)
+val read_baseline : string -> ((string * float) list, string) result
+
+(** [compare_baseline ~baseline_path ~max_regression rows] diffs the
+    current rows against the baseline by benchmark name (intersection
+    only: rows missing on either side are counted as [skipped], never
+    failed). A row regresses when [current > baseline * (1 + max_regression)]. *)
+val compare_baseline :
+  baseline_path:string ->
+  max_regression:float ->
+  (string * float option) list ->
+  (gate_report, string) result

@@ -1,0 +1,80 @@
+open Cmdliner
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~env:(Cmd.Env.info "OMFLP_JOBS")
+        ~docv:"N"
+        ~doc:
+          "Run independent units of work (repetitions, experiments, \
+           scenarios) on $(docv) domains. Seeds are index-derived, so the \
+           output is byte-identical for every value of $(docv); 1 (the \
+           default) stays fully serial.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable lib/obs instrumentation and print counters, timers, and \
+           latency histograms after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines trace (one record per request: site, demand \
+           size, service shape, latency) to $(docv).")
+
+let jobs_error n = Printf.sprintf "omflp: --jobs must be >= 1 (got %d)" n
+
+let validate_jobs n = if n >= 1 then Ok () else Error (jobs_error n)
+
+let nonneg_error ~flag n =
+  Printf.sprintf "omflp: %s must be >= 0 (got %d)" flag n
+
+let validate_nonneg ~flag n =
+  if n >= 0 then Ok () else Error (nonneg_error ~flag n)
+
+let conflict_error a b =
+  Printf.sprintf
+    "omflp: %s and %s conflict (together they would run nothing)" a b
+
+let die msg =
+  Printf.eprintf "%s\n" msg;
+  exit 2
+
+let or_die = function Ok () -> () | Error msg -> die msg
+
+let apply_jobs n =
+  or_die (validate_jobs n);
+  Omflp_prelude.Pool.set_default_jobs n
+
+let with_obs ~metrics ~trace f =
+  Omflp_obs.Metrics.set_enabled metrics;
+  let sink =
+    Option.map
+      (fun file ->
+        try Omflp_obs.Trace_sink.open_file file
+        with Sys_error msg ->
+          die (Printf.sprintf "omflp: cannot open trace file: %s" msg))
+      trace
+  in
+  Option.iter Omflp_obs.Trace_sink.install sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun s ->
+          Omflp_obs.Trace_sink.uninstall ();
+          Omflp_obs.Trace_sink.close s)
+        sink)
+    (fun () ->
+      let result = f () in
+      if metrics then Omflp_obs.Report.print ~title:"metrics (lib/obs)" ();
+      Option.iter (fun file -> Printf.printf "wrote trace to %s\n" file) trace;
+      result)

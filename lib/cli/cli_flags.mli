@@ -1,0 +1,49 @@
+(** Shared command-line plumbing for every [omflp] subcommand.
+
+    Each flag has ONE definition and one documented behaviour; commands
+    compose these terms instead of redeclaring them, so [--jobs],
+    [--seed], [--metrics], and [--trace] parse and error identically
+    everywhere. The error strings are part of the CLI contract and are
+    pinned by [test/test_cli.ml]. *)
+
+(** [--seed N] (default 42). *)
+val seed_arg : int Cmdliner.Term.t
+
+(** [--jobs N] / [-j N] (default 1; env [OMFLP_JOBS]). Parsing only —
+    validate with {!validate_jobs} or {!apply_jobs}. *)
+val jobs_arg : int Cmdliner.Term.t
+
+(** [--metrics]: enable lib/obs and print the report after the run. *)
+val metrics_arg : bool Cmdliner.Term.t
+
+(** [--trace FILE]: stream a JSON-lines trace to [FILE]. *)
+val trace_arg : string option Cmdliner.Term.t
+
+(** The uniform error strings (pure, for tests and callers). *)
+
+val jobs_error : int -> string
+
+val validate_jobs : int -> (unit, string) result
+
+val nonneg_error : flag:string -> int -> string
+
+val validate_nonneg : flag:string -> int -> (unit, string) result
+
+(** [conflict_error "--a" "--b"] — two mutually-exclusive flags were both
+    given. *)
+val conflict_error : string -> string -> string
+
+(** [die msg] prints [msg] to stderr and exits with status 2 (the CLI's
+    usage-error status). *)
+val die : string -> 'a
+
+val or_die : (unit, string) result -> unit
+
+(** [apply_jobs n] validates [n] ({!die}s on error) and installs it as
+    the default pool size. *)
+val apply_jobs : int -> unit
+
+(** [with_obs ~metrics ~trace f] runs [f] with lib/obs configured per the
+    shared flags: metrics report printed afterwards when [metrics], trace
+    sink installed for the duration when [trace] is given. *)
+val with_obs : metrics:bool -> trace:string option -> (unit -> 'a) -> 'a

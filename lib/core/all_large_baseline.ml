@@ -9,6 +9,12 @@ type t = {
   metric : Finite_metric.t;
   cost : Cost_function.t;
   store : Facility_store.t;
+  (* f4.(m) = full opening cost at m; bids is per-step scratch. Both the
+     table and the outer-past/inner-site bid accumulation below add the
+     same float terms in the same per-cell order as the historical
+     per-site fold, so decisions are bit-identical. *)
+  f4 : float array;
+  bids : float array;
   mutable past : past list;
   mutable n_requests : int;
 }
@@ -16,12 +22,15 @@ type t = {
 let name = "ALL-LARGE"
 
 let create ?seed:_ metric cost =
+  let n_sites = Finite_metric.size metric in
   {
     metric;
     cost;
     store =
       Facility_store.create metric
         ~n_commodities:(Cost_function.n_commodities cost);
+    f4 = Array.init n_sites (fun m -> Cost_function.full_cost cost m);
+    bids = Array.make n_sites 0.0;
     past = [];
     n_requests = 0;
   }
@@ -29,22 +38,23 @@ let create ?seed:_ metric cost =
 let step t (r : Request.t) =
   let n_sites = Finite_metric.size t.metric in
   let connect_at = Facility_store.dist_large t.store ~from:r.site in
+  let bids = t.bids in
+  Array.fill bids 0 n_sites 0.0;
+  List.iter
+    (fun p ->
+      let cap =
+        Float.min p.dual (Facility_store.dist_large t.store ~from:p.site)
+      in
+      let row_p = Finite_metric.row t.metric p.site in
+      for m = 0 to n_sites - 1 do
+        bids.(m) <- bids.(m) +. Numerics.pos (cap -. row_p.(m))
+      done)
+    t.past;
+  let row_r = Finite_metric.row t.metric r.site in
   let best_site = ref (-1) in
   let best_open = ref infinity in
   for m = 0 to n_sites - 1 do
-    let bids =
-      List.fold_left
-        (fun acc p ->
-          let cap =
-            Float.min p.dual (Facility_store.dist_large t.store ~from:p.site)
-          in
-          acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.site m))
-        0.0 t.past
-    in
-    let open_at =
-      Finite_metric.dist t.metric r.site m
-      +. Numerics.pos (Cost_function.full_cost t.cost m -. bids)
-    in
+    let open_at = row_r.(m) +. Numerics.pos (t.f4.(m) -. bids.(m)) in
     if open_at < !best_open then begin
       best_open := open_at;
       best_site := m
@@ -54,8 +64,7 @@ let step t (r : Request.t) =
   if !best_open < connect_at then
     ignore
       (Facility_store.open_facility t.store ~site:!best_site ~kind:Facility.Large
-         ~cost:(Cost_function.full_cost t.cost !best_site)
-         ~opened_at:t.n_requests);
+         ~cost:t.f4.(!best_site) ~opened_at:t.n_requests);
   t.past <- { site = r.site; dual } :: t.past;
   let fac, _ = Option.get (Facility_store.nearest_large t.store ~from:r.site) in
   let service = Service.To_single fac.Facility.id in

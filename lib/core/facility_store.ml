@@ -1,4 +1,3 @@
-open Omflp_commodity
 open Omflp_metric
 
 type t = {
@@ -7,10 +6,7 @@ type t = {
   mutable facilities_rev : Facility.t list;
   mutable count : int;
   by_id : (int, Facility.t) Hashtbl.t;
-  (* nearest.(e).(p): (distance, facility id) of the nearest facility
-     offering commodity e, seen from site p. *)
-  nearest : (float * int) array array;
-  nearest_large : (float * int) array;
+  index : Nearest_index.t;
   mutable services_rev : Service.t list;
   mutable construction : float;
   mutable assignment : float;
@@ -24,9 +20,7 @@ let create metric ~n_commodities =
     facilities_rev = [];
     count = 0;
     by_id = Hashtbl.create 64;
-    nearest =
-      Array.init n_commodities (fun _ -> Array.make n_sites (infinity, -1));
-    nearest_large = Array.make n_sites (infinity, -1);
+    index = Nearest_index.create ~n_commodities ~n_sites;
     services_rev = [];
     construction = 0.0;
     assignment = 0.0;
@@ -34,6 +28,7 @@ let create metric ~n_commodities =
 
 let metric t = t.metric
 let n_commodities t = t.n_commodities
+let index t = t.index
 
 let open_facility t ~site ~kind ~cost ~opened_at =
   if cost < 0.0 then invalid_arg "Facility_store.open_facility: negative cost";
@@ -45,19 +40,7 @@ let open_facility t ~site ~kind ~cost ~opened_at =
   t.facilities_rev <- fac :: t.facilities_rev;
   Hashtbl.replace t.by_id fac.id fac;
   t.construction <- t.construction +. cost;
-  let n_sites = Finite_metric.size t.metric in
-  for p = 0 to n_sites - 1 do
-    let d = Finite_metric.dist t.metric p site in
-    Cset.iter
-      (fun e ->
-        let cur, _ = t.nearest.(e).(p) in
-        if d < cur then t.nearest.(e).(p) <- (d, fac.id))
-      offered;
-    if Cset.is_full offered then begin
-      let cur, _ = t.nearest_large.(p) in
-      if d < cur then t.nearest_large.(p) <- (d, fac.id)
-    end
-  done;
+  Nearest_index.note_opened t.index t.metric ~site ~offered ~id:fac.id;
   fac
 
 let facilities t = List.rev t.facilities_rev
@@ -65,17 +48,20 @@ let n_facilities t = t.count
 
 let facility t id = Hashtbl.find t.by_id id
 
-let dist_offering t ~commodity ~from = fst t.nearest.(commodity).(from)
+let dist_offering t ~commodity ~from =
+  Nearest_index.dist t.index ~commodity ~site:from
 
 let nearest_offering t ~commodity ~from =
-  let d, id = t.nearest.(commodity).(from) in
-  if id < 0 then None else Some (facility t id, d)
+  let id = Nearest_index.id t.index ~commodity ~site:from in
+  if id < 0 then None
+  else Some (facility t id, Nearest_index.dist t.index ~commodity ~site:from)
 
-let dist_large t ~from = fst t.nearest_large.(from)
+let dist_large t ~from = Nearest_index.dist_large t.index ~site:from
 
 let nearest_large t ~from =
-  let d, id = t.nearest_large.(from) in
-  if id < 0 then None else Some (facility t id, d)
+  let id = Nearest_index.id_large t.index ~site:from in
+  if id < 0 then None
+  else Some (facility t id, Nearest_index.dist_large t.index ~site:from)
 
 let record_service t ~request_site service =
   let facility_site id = (facility t id).Facility.site in

@@ -2,8 +2,9 @@
     facilities, nearest-facility distance tables, and cost accounting.
 
     Distance tables are maintained per commodity and for large facilities
-    ([F(e)] and [F̂] of the paper) so that algorithms query nearest
-    facilities in O(1) and pay O(|σ| · |M|) once per opening. *)
+    ([F(e)] and [F̂] of the paper) by an incremental {!Nearest_index}, so
+    algorithms query nearest facilities in O(1) and pay O(|σ| · |M|) once
+    per opening. *)
 
 type t
 
@@ -12,6 +13,10 @@ val create : Omflp_metric.Finite_metric.t -> n_commodities:int -> t
 
 val metric : t -> Omflp_metric.Finite_metric.t
 val n_commodities : t -> int
+
+(** [index t] is the store's nearest-open-facility index. Hot loops may
+    read its rows directly; all updates go through {!open_facility}. *)
+val index : t -> Nearest_index.t
 
 (** [open_facility t ~site ~kind ~cost ~opened_at] registers a facility,
     pays its construction cost, updates the distance tables, and returns

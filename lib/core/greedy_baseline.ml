@@ -6,18 +6,27 @@ type t = {
   metric : Finite_metric.t;
   cost : Cost_function.t;
   store : Facility_store.t;
+  (* singleton.(e).(site): opening cost of {e} at [site], precomputed so
+     the per-request option-A scan is an array read instead of a
+     commodity-set allocation per probe (same float values — the cost
+     function is pure). *)
+  singleton : float array array;
   mutable n_requests : int;
 }
 
 let name = "GREEDY"
 
 let create ?seed:_ metric cost =
+  let n_commodities = Cost_function.n_commodities cost in
+  let n_sites = Finite_metric.size metric in
   {
     metric;
     cost;
-    store =
-      Facility_store.create metric
-        ~n_commodities:(Cost_function.n_commodities cost);
+    store = Facility_store.create metric ~n_commodities;
+    singleton =
+      Array.init n_commodities (fun e ->
+          Array.init n_sites (fun site ->
+              Cost_function.singleton_cost cost site e));
     n_requests = 0;
   }
 
@@ -30,7 +39,7 @@ let step t (r : Request.t) =
         let connect =
           Facility_store.dist_offering t.store ~commodity:e ~from:r.site
         in
-        let build = Cost_function.singleton_cost t.cost r.site e in
+        let build = t.singleton.(e).(r.site) in
         acc +. Float.min connect build)
       r.demand 0.0
   in
@@ -60,7 +69,7 @@ let step t (r : Request.t) =
             let connect =
               Facility_store.dist_offering t.store ~commodity:e ~from:r.site
             in
-            let build = Cost_function.singleton_cost t.cost r.site e in
+            let build = t.singleton.(e).(r.site) in
             let fac =
               if build < connect then
                 Facility_store.open_facility t.store ~site:r.site

@@ -10,6 +10,13 @@ type t = {
   cost : Cost_function.t;
   store : Facility_store.t;
   past : past list array;  (** per commodity, newest first *)
+  (* f3.(e).(m) = opening cost of {e} at m, built lazily per commodity on
+     first demand; bids is per-serve scratch. The outer-past/inner-site
+     accumulation below adds the same float terms per cell in the same
+     order as the historical per-site fold — decisions are
+     bit-identical. *)
+  f3 : float array option array;
+  bids : float array;
   mutable n_requests : int;
 }
 
@@ -22,8 +29,21 @@ let create ?seed:_ metric cost =
     cost;
     store = Facility_store.create metric ~n_commodities;
     past = Array.make n_commodities [];
+    f3 = Array.make n_commodities None;
+    bids = Array.make (Finite_metric.size metric) 0.0;
     n_requests = 0;
   }
+
+let f3_row t e =
+  match t.f3.(e) with
+  | Some row -> row
+  | None ->
+      let row =
+        Array.init (Finite_metric.size t.metric) (fun m ->
+            Cost_function.singleton_cost t.cost m e)
+      in
+      t.f3.(e) <- Some row;
+      row
 
 (* One Fotakis primal–dual step for a single commodity: the request either
    connects at the nearest facility's distance or its bid completes the
@@ -31,23 +51,25 @@ let create ?seed:_ metric cost =
 let serve_commodity t ~site e =
   let n_sites = Finite_metric.size t.metric in
   let connect_at = Facility_store.dist_offering t.store ~commodity:e ~from:site in
+  let bids = t.bids in
+  Array.fill bids 0 n_sites 0.0;
+  List.iter
+    (fun p ->
+      let cap =
+        Float.min p.dual
+          (Facility_store.dist_offering t.store ~commodity:e ~from:p.site)
+      in
+      let row_p = Finite_metric.row t.metric p.site in
+      for m = 0 to n_sites - 1 do
+        bids.(m) <- bids.(m) +. Numerics.pos (cap -. row_p.(m))
+      done)
+    t.past.(e);
+  let f3e = f3_row t e in
+  let row_r = Finite_metric.row t.metric site in
   let best_site = ref (-1) in
   let best_open = ref infinity in
   for m = 0 to n_sites - 1 do
-    let bids =
-      List.fold_left
-        (fun acc p ->
-          let cap =
-            Float.min p.dual
-              (Facility_store.dist_offering t.store ~commodity:e ~from:p.site)
-          in
-          acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.site m))
-        0.0 t.past.(e)
-    in
-    let open_at =
-      Finite_metric.dist t.metric site m
-      +. Numerics.pos (Cost_function.singleton_cost t.cost m e -. bids)
-    in
+    let open_at = row_r.(m) +. Numerics.pos (f3e.(m) -. bids.(m)) in
     if open_at < !best_open then begin
       best_open := open_at;
       best_site := m
@@ -57,8 +79,7 @@ let serve_commodity t ~site e =
   if !best_open < connect_at then
     ignore
       (Facility_store.open_facility t.store ~site:!best_site
-         ~kind:(Facility.Small e)
-         ~cost:(Cost_function.singleton_cost t.cost !best_site e)
+         ~kind:(Facility.Small e) ~cost:f3e.(!best_site)
          ~opened_at:t.n_requests);
   t.past.(e) <- { site; dual } :: t.past.(e);
   let fac, _ =

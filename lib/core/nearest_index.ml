@@ -1,0 +1,77 @@
+open Omflp_commodity
+open Omflp_metric
+open Omflp_obs
+
+let m_openings = Metrics.counter "index.openings"
+
+let m_cell_updates = Metrics.counter "index.cell_updates"
+
+(* Parallel unboxed arrays instead of (float * int) tuples: the PD/RAND
+   step loops read distances far more often than ids, and a float array
+   row is a flat scan with no pointer chasing or tuple allocation. *)
+type t = {
+  n_commodities : int;
+  n_sites : int;
+  dist : float array array; (* [commodity].(site) -> d(F(e), site) *)
+  id : int array array; (* [commodity].(site) -> facility id, -1 if none *)
+  dist_large : float array; (* site -> d(F^, site) *)
+  id_large : int array;
+}
+
+let create ~n_commodities ~n_sites =
+  {
+    n_commodities;
+    n_sites;
+    dist = Array.init n_commodities (fun _ -> Array.make n_sites infinity);
+    id = Array.init n_commodities (fun _ -> Array.make n_sites (-1));
+    dist_large = Array.make n_sites infinity;
+    id_large = Array.make n_sites (-1);
+  }
+
+let note_opened t metric ~site ~offered ~id =
+  Metrics.incr m_openings;
+  (* One metric row serves the whole update: row.(p) = dist p site by
+     symmetry. Looping commodity-major over that row keeps each table
+     row hot in cache. *)
+  let row = Finite_metric.row metric site in
+  let updates = ref 0 in
+  Cset.iter
+    (fun e ->
+      let de = t.dist.(e) and ide = t.id.(e) in
+      for p = 0 to t.n_sites - 1 do
+        let d = row.(p) in
+        if d < de.(p) then begin
+          de.(p) <- d;
+          ide.(p) <- id;
+          incr updates
+        end
+      done)
+    offered;
+  if Cset.is_full offered then begin
+    let dl = t.dist_large and il = t.id_large in
+    for p = 0 to t.n_sites - 1 do
+      let d = row.(p) in
+      if d < dl.(p) then begin
+        dl.(p) <- d;
+        il.(p) <- id;
+        incr updates
+      end
+    done
+  end;
+  Metrics.add m_cell_updates !updates
+
+(* Queries are deliberately uncounted: they sit in the innermost event
+   loops and must stay raw array reads. *)
+let dist t ~commodity ~site = t.dist.(commodity).(site)
+
+let id t ~commodity ~site = t.id.(commodity).(site)
+
+let dist_large t ~site = t.dist_large.(site)
+
+let id_large t ~site = t.id_large.(site)
+
+(* Read-only row views for hot loops that scan a commodity's whole
+   distance row; callers must not mutate. *)
+let dist_row t ~commodity = t.dist.(commodity)
+
+let dist_large_row t = t.dist_large

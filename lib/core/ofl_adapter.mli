@@ -1,0 +1,33 @@
+(** Adapters lifting single-commodity Online Facility Location algorithms
+    ({!Omflp_ofl.Ofl_types.ALGORITHM}) to the joint {!Algo_intf.ALGO}
+    interface.
+
+    Each commodity gets an independent OFL run whose opening costs are
+    the singleton costs [f^{e}_m]; its openings are mirrored into a
+    shared {!Facility_store} as [Small] facilities and every request is
+    served per commodity by the nearest mirrored facility. The adapters
+    register in {!Registry.extended}, so the conformance oracle and the
+    algorithms table exercise the classical OFL baselines without
+    special-casing their step signature. *)
+
+module type OFL_SPEC = sig
+  module A : Omflp_ofl.Ofl_types.ALGORITHM
+
+  val name : string
+
+  val create :
+    ?seed:int ->
+    commodity:int ->
+    Omflp_metric.Finite_metric.t ->
+    opening_costs:float array ->
+    A.t
+end
+
+module Make (_ : OFL_SPEC) : Algo_intf.ALGO
+
+(** Meyerson's randomized OFL per commodity; the commodity index salts
+    the seed so the per-commodity streams are independent. *)
+module Meyerson_ofl : Algo_intf.ALGO
+
+(** Fotakis' deterministic primal-dual OFL per commodity. *)
+module Fotakis_ofl : Algo_intf.ALGO

@@ -66,7 +66,32 @@ type t = {
   incremental : bool;
   b3_cache : float array array;
   b4_cache : float array;
+  (* Hot-path tables and scratch, set up once at creation.
+     [f3.(e).(m)] = singleton opening cost of {e} at m (rows built
+     lazily on a commodity's first demand), [f4.(m)] = full cost at m:
+     the event loop probes these every iteration and
+     [Cost_function.singleton_cost] allocates a fresh commodity set per
+     call, so the table turns an allocating closure dispatch into an
+     array read (identical float values — the cost function is pure).
+     The [scratch_*] buffers and recompute-mode bid accumulators
+     ([b3_scratch] rows indexed by position in the request's demand) are
+     reused across [step] calls instead of re-allocated per request;
+     only request-local data that outlives the step (duals, caps — they
+     are stored in [past]) is still freshly allocated. *)
+  f3 : float array option array;
+  f4 : float array;
+  b3_scratch : float array array;
+  b4_scratch : float array;
+  scratch_es : int array;
+  scratch_serving : serving array;
+  scratch_unserved : int array;
 }
+
+and serving =
+  (* The serving target of one commodity while the request is processed. *)
+  | Unserved
+  | By_existing of int  (** facility id *)
+  | By_temp of int  (** site of a tentatively opened small facility *)
 
 let name = "PD-OMFLP"
 
@@ -85,18 +110,21 @@ let create_mode ~incremental metric cost =
       (if incremental then Array.make_matrix n_commodities n_sites 0.0
        else [||]);
     b4_cache = (if incremental then Array.make n_sites 0.0 else [||]);
+    f3 = Array.make n_commodities None;
+    f4 = Array.init n_sites (fun m -> Cost_function.full_cost cost m);
+    b3_scratch =
+      (if incremental then [||]
+       else Array.make_matrix n_commodities n_sites 0.0);
+    b4_scratch = (if incremental then [||] else Array.make n_sites 0.0);
+    scratch_es = Array.make n_commodities 0;
+    scratch_serving = Array.make n_commodities Unserved;
+    scratch_unserved = Array.make n_commodities 0;
   }
 
 let create ?seed:_ metric cost = create_mode ~incremental:false metric cost
 
 let create_incremental ?seed:_ metric cost =
   create_mode ~incremental:true metric cost
-
-(* The serving target of one commodity while the request is processed. *)
-type serving =
-  | Unserved
-  | By_existing of int  (** facility id *)
-  | By_temp of int  (** site of a tentatively opened small facility *)
 
 (* The four tightness events of Algorithm 1. The int payloads identify the
    commodity (index into the demand array) and/or the site. Priority order
@@ -124,14 +152,18 @@ let note_facility_opened t ~fs ~offered =
     let offers_all = Cset.is_full offered in
     List.iter
       (fun (p : past) ->
-        let d_jf = Finite_metric.dist t.metric p.p_site fs in
+        (* One metric row covers every distance from this past request:
+           row_j.(x) = d(j, x), the exact orientation the per-cell
+           [dist] calls used. *)
+        let row_j = Finite_metric.row t.metric p.p_site in
+        let d_jf = row_j.(fs) in
         Cset.iter
           (fun e ->
             if Cset.mem offered e && d_jf < p.p_caps.(e) then begin
               let old_cap = p.p_caps.(e) in
               let row = t.b3_cache.(e) in
               for m = 0 to n_sites - 1 do
-                let d = Finite_metric.dist t.metric p.p_site m in
+                let d = row_j.(m) in
                 row.(m) <-
                   row.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
               done;
@@ -142,7 +174,7 @@ let note_facility_opened t ~fs ~offered =
         if offers_all && d_jf < p.p_cap4 then begin
           let old_cap = p.p_cap4 in
           for m = 0 to n_sites - 1 do
-            let d = Finite_metric.dist t.metric p.p_site m in
+            let d = row_j.(m) in
             t.b4_cache.(m) <-
               t.b4_cache.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
           done;
@@ -152,11 +184,23 @@ let note_facility_opened t ~fs ~offered =
       t.past_rev
   end
 
+let f3_row t e =
+  match t.f3.(e) with
+  | Some row -> row
+  | None ->
+      let row =
+        Array.init
+          (Finite_metric.size t.metric)
+          (fun m -> Cost_function.singleton_cost t.cost m e)
+      in
+      t.f3.(e) <- Some row;
+      row
+
 let open_facility t ~site ~kind =
   let cost =
     match kind with
-    | Facility.Small e -> Cost_function.singleton_cost t.cost site e
-    | Facility.Large -> Cost_function.full_cost t.cost site
+    | Facility.Small e -> (f3_row t e).(site)
+    | Facility.Large -> t.f4.(site)
     | Facility.Custom sigma -> Cost_function.eval t.cost site sigma
   in
   let fac =
@@ -170,50 +214,65 @@ let open_facility t ~site ~kind =
 let step t (r : Request.t) =
   let n_sites = Finite_metric.size t.metric in
   let s = Cost_function.n_commodities t.cost in
-  let es = Array.of_list (Cset.elements r.demand) in
-  let k_total = Array.length es in
+  let es = t.scratch_es in
+  let k_total =
+    let k = ref 0 in
+    Cset.iter
+      (fun e ->
+        es.(!k) <- e;
+        Stdlib.incr k)
+      r.demand;
+    !k
+  in
   let a = Array.make s 0.0 in
-  let serving = Array.make s Unserved in
-  let d_rm = Array.init n_sites (fun m -> Finite_metric.dist t.metric r.site m) in
+  let serving = t.scratch_serving in
+  Array.fill serving 0 s Unserved;
+  (* d_rm.(m) = d(r, m): the metric's own row, fetched once (read-only). *)
+  let d_rm = Finite_metric.row t.metric r.site in
   (* Per-arrival-constant bid sums of past requests (constraints (3) and
      (4)); facilities only open once processing ends, so the caps
      min{a_je, d(F(e), j)} and min{Σa_je, d(F̂, j)} do not move.
      Incremental mode reads them off the maintained caches; otherwise they
-     are recomputed from the whole history. *)
+     are recomputed from the whole history into the reusable scratch
+     accumulators. The recompute walks [past_rev] in its head→tail order
+     with the per-(request, commodity) cap hoisted out of the site loop,
+     which adds exactly the same sequence of terms to each cell as the
+     historical per-cell fold — the float sums are bit-identical. *)
   let get_b3, get_b4 =
     if t.incremental then
       ((fun i m -> t.b3_cache.(es.(i)).(m)), fun m -> t.b4_cache.(m))
     else begin
-      let b3 =
-        Array.map
-          (fun e ->
-            Array.init n_sites (fun m ->
-                List.fold_left
-                  (fun acc (p : past) ->
-                    if Cset.mem p.p_demand e then begin
-                      let cap =
-                        Float.min p.p_duals.(e)
-                          (Facility_store.dist_offering t.store ~commodity:e
-                             ~from:p.p_site)
-                      in
-                      acc
-                      +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m)
-                    end
-                    else acc)
-                  0.0 t.past_rev))
-          es
-      in
-      let b4 =
-        Array.init n_sites (fun m ->
-            List.fold_left
-              (fun acc (p : past) ->
-                let cap =
-                  Float.min p.p_dual_sum
-                    (Facility_store.dist_large t.store ~from:p.p_site)
-                in
-                acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m))
-              0.0 t.past_rev)
-      in
+      let b3 = t.b3_scratch in
+      let b4 = t.b4_scratch in
+      for i = 0 to k_total - 1 do
+        Array.fill b3.(i) 0 n_sites 0.0
+      done;
+      Array.fill b4 0 n_sites 0.0;
+      List.iter
+        (fun (p : past) ->
+          let row_j = Finite_metric.row t.metric p.p_site in
+          for i = 0 to k_total - 1 do
+            let e = es.(i) in
+            if Cset.mem p.p_demand e then begin
+              let cap =
+                Float.min p.p_duals.(e)
+                  (Facility_store.dist_offering t.store ~commodity:e
+                     ~from:p.p_site)
+              in
+              let bi = b3.(i) in
+              for m = 0 to n_sites - 1 do
+                bi.(m) <- bi.(m) +. Numerics.pos (cap -. row_j.(m))
+              done
+            end
+          done;
+          let cap4 =
+            Float.min p.p_dual_sum
+              (Facility_store.dist_large t.store ~from:p.p_site)
+          in
+          for m = 0 to n_sites - 1 do
+            b4.(m) <- b4.(m) +. Numerics.pos (cap4 -. row_j.(m))
+          done)
+        t.past_rev;
       ((fun i m -> b3.(i).(m)), fun m -> b4.(m))
     end
   in
@@ -226,7 +285,10 @@ let step t (r : Request.t) =
      iteration (the loop body only serves commodities, so compaction
      preserves the iteration order the recomputing/incremental parity
      depends on). *)
-  let unserved = Array.init k_total Fun.id in
+  let unserved = t.scratch_unserved in
+  for i = 0 to k_total - 1 do
+    unserved.(i) <- i
+  done;
   let n_unserved = ref k_total in
   while not !finished do
     let w = ref 0 in
@@ -271,13 +333,13 @@ let step t (r : Request.t) =
         let d_fe = Facility_store.dist_offering t.store ~commodity:e ~from:r.site in
         if d_fe < infinity then
           consider (d_fe -. a.(e)) (E1_connect_small i) i 0;
+        let f3e = f3_row t e in
         for m = 0 to n_sites - 1 do
           (* Tight when (a_re - d(m,r))+ + B3 = f: the own bid must be
              active, i.e. a_re reaches d(m,r) + (f - B3)+. Waiting until
              then never violates the constraint because B3 <= f holds at
              every arrival. *)
-          let f = Cost_function.singleton_cost t.cost m e in
-          let target = d_rm.(m) +. Numerics.pos (f -. get_b3 i m) in
+          let target = d_rm.(m) +. Numerics.pos (f3e.(m) -. get_b3 i m) in
           consider (target -. a.(e)) (E3_open_small (i, m)) i m
         done
       done;
@@ -285,8 +347,7 @@ let step t (r : Request.t) =
       if d_large < infinity then
         consider ((d_large -. !sum_a) /. k) E2_connect_large 0 0;
       for m = 0 to n_sites - 1 do
-        let f = Cost_function.full_cost t.cost m in
-        let target = d_rm.(m) +. Numerics.pos (f -. get_b4 m) in
+        let target = d_rm.(m) +. Numerics.pos (t.f4.(m) -. get_b4 m) in
         consider ((target -. !sum_a) /. k) (E4_open_large m) 0 m
       done;
       match !best with
@@ -347,19 +408,21 @@ let step t (r : Request.t) =
         in
         Service.To_single fid
     | None ->
-        (* Line 10: confirm the remaining tentative small facilities. *)
-        let pairs =
-          Array.to_list
-            (Array.map
-               (fun e ->
-                 match serving.(e) with
-                 | By_existing fid -> (e, fid)
-                 | By_temp m ->
-                     (e, (open_facility t ~site:m ~kind:(Facility.Small e)).Facility.id)
-                 | Unserved -> assert false)
-               es)
-        in
-        Service.Per_commodity pairs
+        (* Line 10: confirm the remaining tentative small facilities, in
+           ascending commodity order (facility ids depend on it). *)
+        let pairs_rev = ref [] in
+        for i = 0 to k_total - 1 do
+          let e = es.(i) in
+          let pair =
+            match serving.(e) with
+            | By_existing fid -> (e, fid)
+            | By_temp m ->
+                (e, (open_facility t ~site:m ~kind:(Facility.Small e)).Facility.id)
+            | Unserved -> assert false
+          in
+          pairs_rev := pair :: !pairs_rev
+        done;
+        Service.Per_commodity (List.rev !pairs_rev)
   in
   Facility_store.record_service t.store ~request_site:r.site service;
   (* Record the request's duals; in incremental mode also add its bid
@@ -386,20 +449,18 @@ let step t (r : Request.t) =
     }
   in
   if t.incremental then begin
+    (* d_rm is r's metric row, so d_rm.(m) = d(r, m) as before. *)
     Cset.iter
       (fun e ->
         let row = t.b3_cache.(e) in
+        let cap_e = caps.(e) in
         for m = 0 to n_sites - 1 do
-          row.(m) <-
-            row.(m)
-            +. Numerics.pos (caps.(e) -. Finite_metric.dist t.metric r.site m)
+          row.(m) <- row.(m) +. Numerics.pos (cap_e -. d_rm.(m))
         done;
         Metrics.add m_cache_updates n_sites)
       r.demand;
     for m = 0 to n_sites - 1 do
-      t.b4_cache.(m) <-
-        t.b4_cache.(m)
-        +. Numerics.pos (cap4 -. Finite_metric.dist t.metric r.site m)
+      t.b4_cache.(m) <- t.b4_cache.(m) +. Numerics.pos (cap4 -. d_rm.(m))
     done;
     Metrics.add m_cache_updates n_sites
   end;

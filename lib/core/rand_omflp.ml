@@ -65,7 +65,10 @@ let build_estimate cs cum =
   !best
 
 let step t (r : Request.t) =
-  let dist_to m = Finite_metric.dist t.metric r.site m in
+  (* One row fetch replaces the per-site [dist] calls of every class
+     scan below; row_r.(m) = d(r, m) exactly. *)
+  let row_r = Finite_metric.row t.metric r.site in
+  let dist_to m = row_r.(m) in
   let es = Array.of_list (Cset.elements r.demand) in
   (* X(r,e) and its class profile per commodity. *)
   let profiles =

@@ -12,6 +12,8 @@ let extended () =
   @ [
       (Pd_omflp_fast.name, (module Pd_omflp_fast : Algo_intf.ALGO));
       (Heavy_aware.name, (module Heavy_aware));
+      (Ofl_adapter.Meyerson_ofl.name, (module Ofl_adapter.Meyerson_ofl));
+      (Ofl_adapter.Fotakis_ofl.name, (module Ofl_adapter.Fotakis_ofl));
     ]
 
 let find name =

@@ -5,7 +5,9 @@
 val all : unit -> (string * (module Algo_intf.ALGO)) list
 
 (** [extended ()] additionally contains the extensions: PD-OMFLP-FAST
-    (incremental bids, same decisions) and HEAVY-AWARE (Section 5). *)
+    (incremental bids, same decisions), HEAVY-AWARE (Section 5), and the
+    per-commodity OFL adapters MEYERSON-OFL / FOTAKIS-OFL
+    ({!Ofl_adapter}). *)
 val extended : unit -> (string * (module Algo_intf.ALGO)) list
 
 (** [find name] resolves case-insensitively over {!extended}. *)

@@ -134,7 +134,15 @@ let run ?seed ?(check = true) (module A : Algo_intf.ALGO)
   end;
   result
 
-let run_all ?seed inst =
-  List.map
-    (fun (name, algo) -> (name, run ?seed algo inst))
-    (Registry.all ())
+let run_many ?seed ?(check = true) algos (inst : Instance.t) =
+  (* All algorithms share the instance's metric, so the distance rows of
+     the request sites — the rows every step loop reads — are forced
+     once here and served from cache for the whole table, instead of
+     each run paying the first-touch materialization. *)
+  Array.iter
+    (fun (r : Request.t) ->
+      ignore (Omflp_metric.Finite_metric.row inst.metric r.site))
+    inst.requests;
+  List.map (fun (name, algo) -> (name, run ?seed ~check algo inst)) algos
+
+let run_all ?seed inst = run_many ?seed (Registry.all ()) inst

@@ -55,3 +55,8 @@ let run ?(reps = 5) ?(seed = 46) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:2 s)
+    ?seed:s.seed ()

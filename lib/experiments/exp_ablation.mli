@@ -7,4 +7,4 @@
     ([x = 0], one facility serves all — ALL-LARGE-style prediction is
     free). *)
 
-val run : ?reps:int -> ?seed:int -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

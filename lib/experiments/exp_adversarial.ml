@@ -58,3 +58,8 @@ let run ?(levels_list = [ 4; 6; 8 ]) ?(seed = 49) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?levels_list:(Exp_common.Spec.resolve s.sizes ~quick_default:[ 4; 6 ] s)
+    ?seed:s.seed ()

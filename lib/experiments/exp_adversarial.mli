@@ -6,4 +6,4 @@
     sequence. The ratio should grow roughly linearly in [levels] ≈ log n —
     in contrast with E4's flat curves on random inputs. *)
 
-val run : ?levels_list:int list -> ?seed:int -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

@@ -75,3 +75,8 @@ let run ?(reps = 5) ?(seed = 45) ?(quick = false) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:2 s)
+    ?seed:s.seed ~quick:s.quick ()

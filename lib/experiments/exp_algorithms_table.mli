@@ -7,4 +7,4 @@
     RAND-OMFLP, with the non-competitive GREEDY heuristic and the
     always-predict ALL-LARGE extreme for context. *)
 
-val run : ?reps:int -> ?seed:int -> ?quick:bool -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

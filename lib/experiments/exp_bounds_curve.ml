@@ -31,3 +31,6 @@ let run ?(n_commodities = 10_000) ?(steps = 20) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run ?n_commodities:s.n_commodities ?steps:s.steps ()

@@ -15,4 +15,4 @@ val upper_factor : n_commodities:int -> x:float -> float
 
 val lower_factor : n_commodities:int -> x:float -> float
 
-val run : ?n_commodities:int -> ?steps:int -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

@@ -98,6 +98,40 @@ let measure ?exact ?local_search ?pool ~reps ~seed ~gen ~algos () =
 let mean = Stats.mean
 let ci = Stats.ci95
 
+module Spec = struct
+  type t = {
+    id : string;
+    quick : bool;
+    reps : int option;
+    seed : int option;
+    sizes : int list option;
+    xs : float list option;
+    n_commodities : int option;
+    steps : int option;
+  }
+
+  let make ?(quick = false) ?reps ?seed ?sizes ?xs ?n_commodities ?steps id =
+    {
+      id = String.lowercase_ascii id;
+      quick;
+      reps;
+      seed;
+      sizes;
+      xs;
+      n_commodities;
+      steps;
+    }
+
+  (* [resolve field ~quick_default spec]: an explicit field wins; an
+     unset field on a quick spec takes the experiment's quick default;
+     otherwise the experiment's own full-size default applies (the
+     wrapper passes [None] through to its optional argument). *)
+  let resolve field ~quick_default (spec : t) =
+    match field with
+    | Some _ -> field
+    | None -> if spec.quick then Some quick_default else None
+end
+
 let default_algos () = Omflp_core.Registry.all ()
 
 type section = { title : string; notes : string list; table : Texttable.t }

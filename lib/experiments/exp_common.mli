@@ -51,6 +51,42 @@ val mean : float array -> float
 
 val ci : float array -> float
 
+(** One record describes a run of any experiment — the single entry
+    point replacing the per-experiment keyword signatures. Unset fields
+    fall back to the experiment's defaults ([quick] selects its reduced
+    smoke-run defaults); fields an experiment does not use are ignored.
+
+    Field reuse across experiments: [sizes] is e1's |S| list, e4's
+    request counts, and e10's adversary levels; [xs] is e3's cost
+    exponents and e8's surcharges. *)
+module Spec : sig
+  type t = {
+    id : string;  (** "e1" … "e10" (lowercased by {!make}) *)
+    quick : bool;
+    reps : int option;
+    seed : int option;
+    sizes : int list option;
+    xs : float list option;
+    n_commodities : int option;
+    steps : int option;
+  }
+
+  val make :
+    ?quick:bool ->
+    ?reps:int ->
+    ?seed:int ->
+    ?sizes:int list ->
+    ?xs:float list ->
+    ?n_commodities:int ->
+    ?steps:int ->
+    string ->
+    t
+
+  (** [resolve field ~quick_default spec] implements the precedence
+      explicit > quick default > experiment default ([None]). *)
+  val resolve : 'a option -> quick_default:'a -> t -> 'a option
+end
+
 (** [default_algos ()] is the full registry. *)
 val default_algos : unit -> (string * (module Omflp_core.Algo_intf.ALGO)) list
 

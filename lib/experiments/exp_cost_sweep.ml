@@ -46,3 +46,9 @@ let run ?(reps = 5) ?(n_commodities = 64) ?(xs = [ 0.0; 0.5; 1.0; 1.5; 2.0 ])
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:3 s)
+    ?n_commodities:(Exp_common.Spec.resolve s.n_commodities ~quick_default:16 s)
+    ?xs:s.xs ?seed:s.seed ()

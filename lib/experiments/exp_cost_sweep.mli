@@ -6,10 +6,4 @@
     useless and every reasonable algorithm is near-optimal; at [x = 1] the
     gap to non-predicting baselines is widest (factor ≈ ⁴√|S|). *)
 
-val run :
-  ?reps:int ->
-  ?n_commodities:int ->
-  ?xs:float list ->
-  ?seed:int ->
-  unit ->
-  Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

@@ -58,3 +58,8 @@ let run ?(reps = 5) ?(surcharges = [ 0.0; 5.0; 20.0 ]) ?(seed = 47) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:2 s)
+    ?surcharges:s.xs ?seed:s.seed ()

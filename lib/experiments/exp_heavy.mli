@@ -7,5 +7,4 @@
     facilities and serve them independently ({!Omflp_core.Heavy_aware}) —
     stays flat. *)
 
-val run :
-  ?reps:int -> ?surcharges:float list -> ?seed:int -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

@@ -93,3 +93,9 @@ let run ?(reps = 5) ?(sizes = [ 16; 64; 256; 1024 ]) ?(seed = 42) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:3 s)
+    ?sizes:(Exp_common.Spec.resolve s.sizes ~quick_default:[ 16; 64; 256 ] s)
+    ?seed:s.seed ()

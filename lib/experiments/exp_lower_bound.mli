@@ -9,4 +9,4 @@
     non-predicting algorithms (INDEP, GREEDY) and o(1)-to-constant with a
     much smaller constant for the predicting ones (PD, RAND). *)
 
-val run : ?reps:int -> ?sizes:int list -> ?seed:int -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

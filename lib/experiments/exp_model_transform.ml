@@ -74,3 +74,8 @@ let run ?(reps = 5) ?(seed = 48) () =
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:2 s)
+    ?seed:s.seed ()

@@ -8,4 +8,4 @@
     reports the cost inflation — which should stay a small constant even
     though the sequence length multiplies. *)
 
-val run : ?reps:int -> ?seed:int -> unit -> Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

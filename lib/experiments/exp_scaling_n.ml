@@ -59,3 +59,9 @@ let run ?(reps = 3) ?(ns = [ 50; 100; 200; 400 ]) ?(n_commodities = 8)
       ];
     table;
   }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:2 s)
+    ?ns:(Exp_common.Spec.resolve s.sizes ~quick_default:[ 25; 50; 100 ] s)
+    ?n_commodities:s.n_commodities ?seed:s.seed ()

@@ -8,10 +8,4 @@
     practice nearly flat) as [n] grows. Ratios are against the best-known
     offline solution (greedy), so they under-report the true ratio. *)
 
-val run :
-  ?reps:int ->
-  ?ns:int list ->
-  ?n_commodities:int ->
-  ?seed:int ->
-  unit ->
-  Exp_common.section
+val run_spec : Exp_common.Spec.t -> Exp_common.section

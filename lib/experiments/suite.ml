@@ -1,29 +1,16 @@
 let ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10" ]
 
-let run_one ~quick = function
-  | "e1" ->
-      if quick then
-        Exp_lower_bound.run ~reps:3 ~sizes:[ 16; 64; 256 ] ()
-      else Exp_lower_bound.run ()
-  | "e2" -> Exp_bounds_curve.run ()
-  | "e3" ->
-      if quick then Exp_cost_sweep.run ~reps:3 ~n_commodities:16 ()
-      else Exp_cost_sweep.run ()
-  | "e4" ->
-      if quick then Exp_scaling_n.run ~reps:2 ~ns:[ 25; 50; 100 ] ()
-      else Exp_scaling_n.run ()
-  | "e5" ->
-      if quick then Exp_algorithms_table.run ~reps:2 ~quick:true ()
-      else Exp_algorithms_table.run ()
-  | "e6" ->
-      if quick then Exp_ablation.run ~reps:2 () else Exp_ablation.run ()
-  | "e8" -> if quick then Exp_heavy.run ~reps:2 () else Exp_heavy.run ()
-  | "e9" ->
-      if quick then Exp_model_transform.run ~reps:2 ()
-      else Exp_model_transform.run ()
-  | "e10" ->
-      if quick then Exp_adversarial.run ~levels_list:[ 4; 6 ] ()
-      else Exp_adversarial.run ()
+let run_spec (spec : Exp_common.Spec.t) =
+  match spec.id with
+  | "e1" -> Exp_lower_bound.run_spec spec
+  | "e2" -> Exp_bounds_curve.run_spec spec
+  | "e3" -> Exp_cost_sweep.run_spec spec
+  | "e4" -> Exp_scaling_n.run_spec spec
+  | "e5" -> Exp_algorithms_table.run_spec spec
+  | "e6" -> Exp_ablation.run_spec spec
+  | "e8" -> Exp_heavy.run_spec spec
+  | "e9" -> Exp_model_transform.run_spec spec
+  | "e10" -> Exp_adversarial.run_spec spec
   | other -> invalid_arg (Printf.sprintf "unknown experiment id %S" other)
 
 let run ?pool ~quick ~which () =
@@ -31,6 +18,7 @@ let run ?pool ~quick ~which () =
   let pool =
     match pool with Some p -> p | None -> Omflp_prelude.Pool.default ()
   in
+  let spec id = Exp_common.Spec.make ~quick id in
   if which = "all" then
     (* Whole experiments fan out across the pool; sections come back in
        [ids] order (Pool.map preserves input order), so the printed
@@ -40,6 +28,6 @@ let run ?pool ~quick ~which () =
        instead. *)
     Array.to_list
       (Omflp_prelude.Pool.map pool
-         (fun id -> run_one ~quick id)
+         (fun id -> run_spec (spec id))
          (Array.of_list ids))
-  else [ run_one ~quick which ]
+  else [ run_spec (spec which) ]

@@ -1,9 +1,14 @@
-(** Experiment suite entry point: maps experiment ids to runners. *)
+(** Experiment suite entry point: one spec-driven runner for every
+    experiment. *)
 
-(** [run ~quick ~which] executes experiments. [which] is an id
-    ("e1" … "e6", "e8"; "e7" is the Bechamel half of [bench/main.exe]) or
-    "all". [quick] shrinks sizes/repetitions for smoke runs. Raises
-    [Invalid_argument] on an unknown id.
+(** [run_spec spec] dispatches on [spec.id] ("e1" … "e6", "e8" … "e10";
+    "e7" is the Bechamel half of [bench/main.exe]) and runs the
+    experiment with the spec's overrides. Raises [Invalid_argument] on
+    an unknown id. *)
+val run_spec : Exp_common.Spec.t -> Exp_common.section
+
+(** [run ~quick ~which] builds a {!Exp_common.Spec} per requested id
+    ([which] is an id or "all") and executes it via {!run_spec}.
 
     With ["all"], experiments are dispatched across [pool] (default:
     {!Omflp_prelude.Pool.default}); the returned sections are always in

@@ -1,12 +1,45 @@
-type t = { size : int; dmat : float array array }
+let m_cache_hits = Omflp_obs.Metrics.counter "metric.dist_cache.hits"
+
+let m_cache_rows = Omflp_obs.Metrics.counter "metric.dist_cache.rows_built"
+
+let () =
+  Omflp_prelude.Dist_cache.set_observers
+    ~hit:(fun () -> Omflp_obs.Metrics.incr m_cache_hits)
+    ~row_build:(fun () -> Omflp_obs.Metrics.incr m_cache_rows)
+
+(* Explicit matrices keep the Dense representation; generated families
+   (line, euclidean, uniform) are defined by a symmetric kernel and only
+   materialize the rows that are actually queried. Both representations
+   must produce bit-identical distances for the same constructor inputs:
+   the kernels below are exactly the expressions the eager constructors
+   used to evaluate per cell. *)
+type repr =
+  | Dense of float array array
+  | Memo of Omflp_prelude.Dist_cache.t
+
+type t = { size : int; repr : repr }
 
 let size t = t.size
 
-let dist t a b =
+let check_bounds ~ctx t a b =
   if a < 0 || a >= t.size || b < 0 || b >= t.size then
     invalid_arg
-      (Printf.sprintf "Finite_metric.dist: (%d, %d) outside [0, %d)" a b t.size);
-  t.dmat.(a).(b)
+      (Printf.sprintf "Finite_metric.%s: (%d, %d) outside [0, %d)" ctx a b
+         t.size)
+
+let dist t a b =
+  check_bounds ~ctx:"dist" t a b;
+  match t.repr with
+  | Dense dmat -> dmat.(a).(b)
+  | Memo cache -> Omflp_prelude.Dist_cache.get cache a b
+
+let row t a =
+  if a < 0 || a >= t.size then
+    invalid_arg
+      (Printf.sprintf "Finite_metric.row: %d outside [0, %d)" a t.size);
+  match t.repr with
+  | Dense dmat -> dmat.(a)
+  | Memo cache -> Omflp_prelude.Dist_cache.row cache a
 
 let check_triangle_matrix m =
   let n = Array.length m in
@@ -52,43 +85,38 @@ let validate m =
 
 let of_matrix m =
   validate m;
-  { size = Array.length m; dmat = Array.map Array.copy m }
+  { size = Array.length m; repr = Dense (Array.map Array.copy m) }
 
-let of_matrix_unchecked m = { size = Array.length m; dmat = m }
+let of_matrix_unchecked m = { size = Array.length m; repr = Dense m }
+
+let memo ~n ~kernel =
+  { size = n; repr = Memo (Omflp_prelude.Dist_cache.create ~n ~kernel) }
 
 let line positions =
-  let n = Array.length positions in
-  let dmat =
-    Array.init n (fun i ->
-        Array.init n (fun j -> Float.abs (positions.(i) -. positions.(j))))
-  in
-  of_matrix_unchecked dmat
+  let positions = Array.copy positions in
+  memo ~n:(Array.length positions) ~kernel:(fun i j ->
+      Float.abs (positions.(i) -. positions.(j)))
 
 let euclidean points =
-  let n = Array.length points in
-  let d (x1, y1) (x2, y2) =
-    let dx = x1 -. x2 and dy = y1 -. y2 in
-    sqrt ((dx *. dx) +. (dy *. dy))
-  in
-  let dmat =
-    Array.init n (fun i -> Array.init n (fun j -> d points.(i) points.(j)))
-  in
-  of_matrix_unchecked dmat
+  let points = Array.copy points in
+  memo ~n:(Array.length points) ~kernel:(fun i j ->
+      let x1, y1 = points.(i) and x2, y2 = points.(j) in
+      let dx = x1 -. x2 and dy = y1 -. y2 in
+      sqrt ((dx *. dx) +. (dy *. dy)))
 
 let single_point () = of_matrix_unchecked [| [| 0.0 |] |]
 
 let uniform n ~d =
   if d < 0.0 then invalid_arg "Finite_metric.uniform: negative distance";
-  let dmat =
-    Array.init n (fun i -> Array.init n (fun j -> if i = j then 0.0 else d))
-  in
-  of_matrix_unchecked dmat
+  memo ~n ~kernel:(fun i j -> if i = j then 0.0 else d)
 
-let check_triangle t = check_triangle_matrix t.dmat
+let to_rows t = Array.init t.size (fun a -> row t a)
+
+let check_triangle t = check_triangle_matrix (to_rows t)
 
 let diameter t =
   let d = ref 0.0 in
-  Array.iter (Array.iter (fun v -> if v > !d then d := v)) t.dmat;
+  Array.iter (Array.iter (fun v -> if v > !d then d := v)) (to_rows t);
   !d
 
 let nearest t ~from candidates =

@@ -13,6 +13,15 @@ val size : t -> int
     [Invalid_argument] on out-of-range indices. *)
 val dist : t -> int -> int -> float
 
+(** [row t a] is the full distance row of point [a] — [ (row t a).(b) =
+    dist t a b ] for every [b]. For generated metrics the row is
+    materialized lazily (once) through a {!Omflp_prelude.Dist_cache};
+    either way the returned array is the metric's own storage and MUST
+    be treated as read-only. Hot loops that scan all sites against a
+    fixed point should fetch the row once instead of calling [dist] per
+    site. *)
+val row : t -> int -> float array
+
 (** [of_matrix m] builds a metric from an explicit symmetric matrix with a
     zero diagonal. Raises [Invalid_argument] if the matrix is not square,
     has negative entries, is asymmetric, has a non-zero diagonal, or
@@ -23,7 +32,12 @@ val of_matrix : float array array -> t
     construct metrics correct by design (e.g. shortest-path closures). *)
 val of_matrix_unchecked : float array array -> t
 
-(** [line positions] is the 1-D metric induced by coordinates on the real
+(** Generated families ([line], [euclidean], [uniform]) are represented
+    lazily: construction is O(n) and distance rows materialize on first
+    touch, with hit/build counts surfaced as the
+    [metric.dist_cache.hits] / [metric.dist_cache.rows_built] metrics.
+
+    [line positions] is the 1-D metric induced by coordinates on the real
     line: [dist i j = |positions.(i) - positions.(j)|]. *)
 val line : float array -> t
 

@@ -1,0 +1,69 @@
+type t = {
+  n : int;
+  kernel : int -> int -> float;
+  rows : float array option array;
+  mutable hits : int;
+  mutable row_builds : int;
+}
+
+type stats = { hits : int; row_builds : int; rows_resident : int }
+
+(* Observer hooks let lib/metric wire cache events into lib/obs Metrics
+   without making the prelude depend on the observability layer. They are
+   process-global on purpose: caches are created per metric but counters
+   are aggregated per process, matching the Metrics registry. *)
+let on_hit : (unit -> unit) ref = ref ignore
+let on_row_build : (unit -> unit) ref = ref ignore
+let set_observers ~hit ~row_build =
+  on_hit := hit;
+  on_row_build := row_build
+
+let create ~n ~kernel =
+  if n < 0 then invalid_arg "Dist_cache.create: negative size";
+  { n; kernel; rows = Array.make n None; hits = 0; row_builds = 0 }
+
+let size t = t.n
+
+let build_row t a =
+  let k = t.kernel in
+  let row = Array.init t.n (fun b -> k a b) in
+  t.rows.(a) <- Some row;
+  t.row_builds <- t.row_builds + 1;
+  !on_row_build ();
+  row
+
+let row t a =
+  if a < 0 || a >= t.n then
+    invalid_arg
+      (Printf.sprintf "Dist_cache.row: %d outside [0, %d)" a t.n);
+  match t.rows.(a) with
+  | Some r ->
+      t.hits <- t.hits + 1;
+      !on_hit ();
+      r
+  | None -> build_row t a
+
+let get t a b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg
+      (Printf.sprintf "Dist_cache.get: (%d, %d) outside [0, %d)" a b t.n);
+  (* A symmetric kernel means either endpoint's row answers the query;
+     prefer whichever is already resident so point queries never build a
+     second row for a pair that is already covered. *)
+  match t.rows.(a) with
+  | Some r ->
+      t.hits <- t.hits + 1;
+      !on_hit ();
+      r.(b)
+  | None -> (
+      match t.rows.(b) with
+      | Some r ->
+          t.hits <- t.hits + 1;
+          !on_hit ();
+          r.(a)
+      | None -> (build_row t a).(b))
+
+let stats t =
+  let resident = ref 0 in
+  Array.iter (function Some _ -> incr resident | None -> ()) t.rows;
+  { hits = t.hits; row_builds = t.row_builds; rows_resident = !resident }

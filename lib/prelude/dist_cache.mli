@@ -1,0 +1,38 @@
+(** Row-memoizing cache for symmetric pairwise kernels.
+
+    Generated metrics (line, Euclidean, …) are defined by a closed-form
+    kernel; materializing the full n x n matrix up front is O(n^2) work
+    and memory even when an algorithm only ever touches the rows of the
+    requested sites. [Dist_cache] builds one row at a time, on first
+    touch, and serves every later lookup from the resident row.
+
+    The kernel MUST be symmetric ([kernel a b = kernel b a]) and pure:
+    [get] answers a point query from either endpoint's resident row, and
+    a row is built exactly once, so an impure or asymmetric kernel would
+    make lookups order-dependent. *)
+
+type t
+
+type stats = { hits : int; row_builds : int; rows_resident : int }
+
+(** [create ~n ~kernel] makes an empty cache over points [0 .. n-1].
+    No kernel calls happen until the first lookup. *)
+val create : n:int -> kernel:(int -> int -> float) -> t
+
+val size : t -> int
+
+(** [get t a b] is [kernel a b], served from a resident row when one
+    endpoint already has its row built. *)
+val get : t -> int -> int -> float
+
+(** [row t a] is the full distance row of [a], building it on first use.
+    The returned array is the cache's own storage: callers must treat it
+    as read-only. *)
+val row : t -> int -> float array
+
+val stats : t -> stats
+
+(** [set_observers ~hit ~row_build] installs process-global callbacks
+    fired on each cache hit / row materialization. Used by lib/metric to
+    bump lib/obs counters without a prelude -> obs dependency. *)
+val set_observers : hit:(unit -> unit) -> row_build:(unit -> unit) -> unit

@@ -1,0 +1,158 @@
+(* CLI-contract pins: the shared flag validators (lib/cli) must keep
+   their exact error strings — they are printed by every subcommand —
+   and the bench regression gate (lib/benchkit + Minijson) must read its
+   own omflp.bench.v1 output and flag exactly the regressed rows. *)
+
+module Cli_flags = Omflp_cli_support.Cli_flags
+module Benchkit = Omflp_benchkit.Benchkit
+module Minijson = Omflp_prelude.Minijson
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------- shared flag validators ---------- *)
+
+let test_jobs_errors () =
+  check_bool "1 ok" true (Cli_flags.validate_jobs 1 = Ok ());
+  check_bool "8 ok" true (Cli_flags.validate_jobs 8 = Ok ());
+  check_string "zero" "omflp: --jobs must be >= 1 (got 0)"
+    (match Cli_flags.validate_jobs 0 with Error e -> e | Ok () -> "ok");
+  check_string "negative" "omflp: --jobs must be >= 1 (got -3)"
+    (match Cli_flags.validate_jobs (-3) with Error e -> e | Ok () -> "ok")
+
+let test_nonneg_errors () =
+  check_bool "0 ok" true
+    (Cli_flags.validate_nonneg ~flag:"--budget" 0 = Ok ());
+  check_string "budget" "omflp: --budget must be >= 0 (got -1)"
+    (match Cli_flags.validate_nonneg ~flag:"--budget" (-1) with
+    | Error e -> e
+    | Ok () -> "ok")
+
+let test_conflict_error () =
+  check_string "conflict"
+    "omflp: --tables-only and --bench-only conflict (together they would \
+     run nothing)"
+    (Cli_flags.conflict_error "--tables-only" "--bench-only")
+
+(* ---------- Minijson ---------- *)
+
+let test_minijson_roundtrip () =
+  let json =
+    Minijson.of_string
+      {|{"schema": "omflp.bench.v1", "quick": false, "n": 3,
+         "benchmarks": [{"name": "a \"quoted\" one", "ns_per_run": 12.5},
+                        {"name": "b", "ns_per_run": null}]}|}
+  in
+  check_bool "schema" true
+    (Option.bind (Minijson.member "schema" json) Minijson.to_string
+    = Some "omflp.bench.v1");
+  check_bool "n" true
+    (Option.bind (Minijson.member "n" json) Minijson.to_float = Some 3.0);
+  match Option.bind (Minijson.member "benchmarks" json) Minijson.to_list with
+  | Some [ a; b ] ->
+      check_bool "escaped name" true
+        (Option.bind (Minijson.member "name" a) Minijson.to_string
+        = Some {|a "quoted" one|});
+      check_bool "ns" true
+        (Option.bind (Minijson.member "ns_per_run" a) Minijson.to_float
+        = Some 12.5);
+      check_bool "null ns" true
+        (Option.bind (Minijson.member "ns_per_run" b) Minijson.to_float = None)
+  | _ -> Alcotest.fail "expected two benchmark rows"
+
+let test_minijson_rejects_garbage () =
+  check_bool "raises" true
+    (match Minijson.of_string "{\"a\": }" with
+    | exception Minijson.Parse_error _ -> true
+    | _ -> false)
+
+(* ---------- bench regression gate ---------- *)
+
+let write_baseline rows =
+  let path = Filename.temp_file "omflp_baseline" ".json" in
+  Benchkit.write_json ~quick:false ~jobs:1 path ~bench_rows:rows
+    ~counter_rows:[];
+  path
+
+let test_gate_round_trip () =
+  (* write_json -> read_baseline is the identity on numeric rows. *)
+  let rows = [ ("slow one", Some 2000.0); ("fast one", Some 10.5) ] in
+  let path = write_baseline rows in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Benchkit.read_baseline path with
+      | Error e -> Alcotest.fail e
+      | Ok parsed ->
+          check_bool "identical rows" true
+            (parsed = [ ("slow one", 2000.0); ("fast one", 10.5) ]))
+
+let test_gate_flags_regressions () =
+  let path =
+    write_baseline
+      [ ("stable", Some 1000.0); ("regressed", Some 1000.0);
+        ("improved", Some 1000.0); ("gone", Some 1000.0) ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let current =
+        [
+          ("stable", Some 1100.0) (* +10%: inside the 25% budget *);
+          ("regressed", Some 1600.0) (* +60%: must be flagged *);
+          ("improved", Some 400.0);
+          ("brand new", Some 5.0) (* not in baseline: skipped *);
+          ("no estimate", None) (* bechamel produced nothing: skipped *);
+        ]
+      in
+      match
+        Benchkit.compare_baseline ~baseline_path:path ~max_regression:0.25
+          current
+      with
+      | Error e -> Alcotest.fail e
+      | Ok report ->
+          check_int "compared" 3 report.Benchkit.compared;
+          check_int "skipped" 2 report.Benchkit.skipped;
+          (match report.Benchkit.regressions with
+          | [ r ] ->
+              check_string "row" "regressed" r.Benchkit.reg_name;
+              check_bool "ratio" true (Float.abs (r.Benchkit.ratio -. 1.6) < 1e-9)
+          | rs ->
+              Alcotest.failf "expected exactly one regression, got %d"
+                (List.length rs)))
+
+let test_gate_missing_baseline () =
+  check_bool "unreadable baseline is an Error" true
+    (match
+       Benchkit.compare_baseline
+         ~baseline_path:"/nonexistent/omflp/baseline.json" ~max_regression:0.25
+         []
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "flags",
+        [
+          Alcotest.test_case "--jobs errors" `Quick test_jobs_errors;
+          Alcotest.test_case "nonneg errors" `Quick test_nonneg_errors;
+          Alcotest.test_case "conflict error" `Quick test_conflict_error;
+        ] );
+      ( "minijson",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_minijson_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_minijson_rejects_garbage;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_gate_round_trip;
+          Alcotest.test_case "flags regressions only" `Quick
+            test_gate_flags_regressions;
+          Alcotest.test_case "missing baseline" `Quick
+            test_gate_missing_baseline;
+        ] );
+    ]

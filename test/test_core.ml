@@ -192,9 +192,10 @@ let prop_store_distances =
 
 let test_registry () =
   check_int "five canonical algorithms" 5 (List.length (Registry.all ()));
-  check_int "seven with extensions" 7 (List.length (Registry.extended ()));
+  check_int "nine with extensions" 9 (List.length (Registry.extended ()));
   check_bool "find PD" true (Registry.find "pd-omflp" <> None);
   check_bool "find extension" true (Registry.find "heavy-aware" <> None);
+  check_bool "find OFL adapter" true (Registry.find "meyerson-ofl" <> None);
   check_bool "case insensitive" true (Registry.find "RAND-omflp" <> None);
   check_bool "unknown" true (Registry.find "nope" = None)
 

@@ -55,7 +55,10 @@ let test_e2_symmetry () =
     [ 0.0; 0.3; 0.7; 1.0 ]
 
 let test_e2_section () =
-  let section = Exp_bounds_curve.run ~n_commodities:10_000 ~steps:10 () in
+  let section =
+    Exp_bounds_curve.run_spec
+      (Exp_common.Spec.make ~n_commodities:10_000 ~steps:10 "e2")
+  in
   let rendered = Texttable.render section.Exp_common.table in
   check_bool "has peak row" true (contains rendered "1.00");
   check_bool "titled" true (contains section.Exp_common.title "Figure 2")
@@ -63,7 +66,10 @@ let test_e2_section () =
 (* ---------- Experiment smoke runs (minimal sizes) ---------- *)
 
 let test_e1_smoke () =
-  let section = Exp_lower_bound.run ~reps:2 ~sizes:[ 16 ] ~seed:1 () in
+  let section =
+    Exp_lower_bound.run_spec
+      (Exp_common.Spec.make ~reps:2 ~sizes:[ 16 ] ~seed:1 "e1")
+  in
   let rendered = Texttable.render section.Exp_common.table in
   check_bool "mentions PD" true (contains rendered "PD-OMFLP");
   check_bool "mentions both regimes" true
@@ -71,40 +77,59 @@ let test_e1_smoke () =
 
 let test_e3_smoke () =
   let section =
-    Exp_cost_sweep.run ~reps:2 ~n_commodities:16 ~xs:[ 0.0; 1.0; 2.0 ] ~seed:1 ()
+    Exp_cost_sweep.run_spec
+      (Exp_common.Spec.make ~reps:2 ~n_commodities:16 ~xs:[ 0.0; 1.0; 2.0 ]
+         ~seed:1 "e3")
   in
   check_bool "has rows" true
     (contains (Texttable.render section.Exp_common.table) "RAND-OMFLP")
 
 let test_e4_smoke () =
-  let section = Exp_scaling_n.run ~reps:1 ~ns:[ 20; 40 ] ~n_commodities:4 ~seed:1 () in
+  let section =
+    Exp_scaling_n.run_spec
+      (Exp_common.Spec.make ~reps:1 ~sizes:[ 20; 40 ] ~n_commodities:4 ~seed:1
+         "e4")
+  in
   check_bool "has rows" true
     (contains (Texttable.render section.Exp_common.table) "INDEP")
 
 let test_e5_smoke () =
-  let section = Exp_algorithms_table.run ~reps:1 ~quick:true ~seed:1 () in
+  let section =
+    Exp_algorithms_table.run_spec
+      (Exp_common.Spec.make ~reps:1 ~quick:true ~seed:1 "e5")
+  in
   check_bool "has all families" true
     (let r = Texttable.render section.Exp_common.table in
      contains r "line" && contains r "clustered" && contains r "network")
 
 let test_e6_smoke () =
-  let section = Exp_ablation.run ~reps:1 ~seed:1 () in
+  let section =
+    Exp_ablation.run_spec (Exp_common.Spec.make ~reps:1 ~seed:1 "e6")
+  in
   check_bool "has all costs" true
     (let r = Texttable.render section.Exp_common.table in
      contains r "linear" && contains r "sqrt" && contains r "constant")
 
 let test_e8_smoke () =
-  let section = Exp_heavy.run ~reps:1 ~surcharges:[ 0.0; 10.0 ] ~seed:1 () in
+  let section =
+    Exp_heavy.run_spec
+      (Exp_common.Spec.make ~reps:1 ~xs:[ 0.0; 10.0 ] ~seed:1 "e8")
+  in
   check_bool "has heavy-aware rows" true
     (contains (Texttable.render section.Exp_common.table) "HEAVY-AWARE")
 
 let test_e9_smoke () =
-  let section = Exp_model_transform.run ~reps:1 ~seed:1 () in
+  let section =
+    Exp_model_transform.run_spec (Exp_common.Spec.make ~reps:1 ~seed:1 "e9")
+  in
   check_bool "has inflation column" true
     (contains (Texttable.render section.Exp_common.table) "PD-OMFLP")
 
 let test_e10_smoke () =
-  let section = Exp_adversarial.run ~levels_list:[ 3 ] ~seed:1 () in
+  let section =
+    Exp_adversarial.run_spec
+      (Exp_common.Spec.make ~sizes:[ 3 ] ~seed:1 "e10")
+  in
   check_bool "has rows" true
     (contains (Texttable.render section.Exp_common.table) "GREEDY")
 
@@ -117,7 +142,10 @@ let test_suite_dispatch () =
 (* ---------- Export ---------- *)
 
 let test_csv_string () =
-  let section = Exp_bounds_curve.run ~n_commodities:100 ~steps:2 () in
+  let section =
+    Exp_bounds_curve.run_spec
+      (Exp_common.Spec.make ~n_commodities:100 ~steps:2 "e2")
+  in
   let csv = Export.csv_string section in
   let lines = String.split_on_char '\n' (String.trim csv) in
   check_int "header + 3 rows" 4 (List.length lines);
@@ -142,7 +170,10 @@ let test_slug () =
 let test_write_csv () =
   let dir = Filename.temp_file "omflp" "" in
   Sys.remove dir;
-  let section = Exp_bounds_curve.run ~n_commodities:100 ~steps:2 () in
+  let section =
+    Exp_bounds_curve.run_spec
+      (Exp_common.Spec.make ~n_commodities:100 ~steps:2 "e2")
+  in
   let path = Export.write_csv ~dir section in
   check_bool "file exists" true (Sys.file_exists path);
   let content = In_channel.with_open_text path In_channel.input_all in

@@ -1,0 +1,27 @@
+(* Regenerates test/golden/run_digests.txt: one MD5 of the full run
+   digest (Oracle.run_digest) per (scenario, registered algorithm) pair
+   on a fixed seed set. The optimization layer must never change these —
+   the pin is the decision-invariance contract of every perf PR.
+
+   Usage: dune exec tools/gen_digests.exe > test/golden/run_digests.txt *)
+
+let master_seed = 0xD16E57
+
+let n_scenarios = 24
+
+let () =
+  Printf.printf "# run digests: master_seed=%#x scenarios=%d\n" master_seed
+    n_scenarios;
+  Printf.printf "# regenerate: dune exec tools/gen_digests.exe > test/golden/run_digests.txt\n";
+  for index = 0 to n_scenarios - 1 do
+    let scenario = Omflp_check.Scenario.generate ~master_seed ~index in
+    List.iter
+      (fun (name, algo) ->
+        let run =
+          Omflp_core.Simulator.run ~seed:scenario.Omflp_check.Scenario.algo_seed
+            ~check:false algo scenario.Omflp_check.Scenario.instance
+        in
+        let md5 = Digest.to_hex (Digest.string (Omflp_check.Oracle.run_digest run)) in
+        Printf.printf "%02d %-14s %s\n" index name md5)
+      (Omflp_core.Registry.extended ())
+  done
