@@ -465,6 +465,151 @@ let selfcheck_cmd =
     (Cmd.info "selfcheck" ~doc:"Run validity and theory checks on a sample instance.")
     Term.(const action $ seed_arg)
 
+(* omflp serve *)
+let serve_cmd =
+  let module Serve = Omflp_serve in
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "PD-OMFLP"
+      & info [ "algo" ] ~docv:"NAME" ~doc:"Algorithm to serve with.")
+  in
+  let env_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "env" ] ~docv:"FILE"
+          ~doc:
+            "Instance file ('omflp gen') supplying the metric space and \
+             cost function. Its request list is ignored: requests arrive \
+             as JSON lines on stdin.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Durable session directory: write-ahead request log, decision \
+             log, and periodic state snapshots. A killed session restarted \
+             with --resume continues its exact decision stream.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Snapshot the algorithm state every $(docv) requests.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume the session in --checkpoint: restore the latest \
+             snapshot, replay the uncovered WAL suffix, re-emit decisions \
+             lost in the crash window, and skip that many already-served \
+             leading input lines.")
+  in
+  let action algo env checkpoint snapshot_every resume seed metrics trace =
+    if snapshot_every <= 0 then
+      Cli_flags.die "omflp: --snapshot-every must be >= 1";
+    if resume && checkpoint = None then
+      Cli_flags.die "omflp: --resume requires --checkpoint";
+    let inst = Serial.load_file env in
+    let metric = inst.Instance.metric and cost = inst.Instance.cost in
+    let n_sites = Instance.n_sites inst in
+    let n_commodities = Instance.n_commodities inst in
+    let algo_m =
+      match Omflp_core.Registry.find algo with
+      | Some a -> a
+      | None ->
+          Cli_flags.die
+            (Printf.sprintf "omflp: unknown algorithm %S (available: %s)" algo
+               (String.concat ", " (Omflp_core.Registry.names ())))
+    in
+    let (module A : Omflp_core.Algo_intf.ALGO) = algo_m in
+    let instance_md5 = Digest.to_hex (Digest.file env) in
+    match
+      with_obs ~metrics ~trace (fun () ->
+        let session, skip, reemit =
+          match checkpoint with
+          | None -> (Serve.Session.create ~algo:algo_m ~seed metric cost, 0, [])
+          | Some dir ->
+              if resume then begin
+                let rz =
+                  Serve.Checkpoint.open_resume ~dir ~n_sites ~n_commodities
+                    ~instance_md5
+                in
+                let s, lost = Serve.Session.resume ~algo:algo_m rz metric cost in
+                (s, Serve.Session.count s, lost)
+              end
+              else begin
+                let cp =
+                  Serve.Checkpoint.create ~dir ~algo:A.name ~seed:(Some seed)
+                    ~instance_md5 ~snapshot_every
+                in
+                ( Serve.Session.create ~algo:algo_m ~seed ~checkpoint:cp metric
+                    cost,
+                  0,
+                  [] )
+              end
+        in
+        (* Decisions that were served before the crash but not yet durable:
+           the client never saw their records survive, so re-emit them
+           (canonical form — replay has no meaningful latency). *)
+        List.iter
+          (fun d -> print_endline (Serve.Wire.decision_to_json d))
+          reemit;
+        if reemit <> [] then flush stdout;
+        let line_no = ref 0 in
+        let skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line stdin in
+             incr line_no;
+             if String.trim line <> "" then begin
+               if !skipped < skip then incr skipped
+               else
+                 match
+                   Serve.Wire.parse_request ~n_sites ~n_commodities line
+                 with
+                 | Error e ->
+                     Printf.eprintf "omflp serve: stdin line %d: %s\n%!"
+                       !line_no e
+                 | Ok r ->
+                     let t0 = Omflp_obs.Metrics.now () in
+                     let d = Serve.Session.handle session r in
+                     let latency_s = Omflp_obs.Metrics.now () -. t0 in
+                     print_endline (Serve.Wire.decision_to_json ~latency_s d);
+                     flush stdout
+             end
+           done
+         with End_of_file -> ());
+        Serve.Session.close session;
+        let construction, assignment, total =
+          Serve.Session.running_costs session
+        in
+        Printf.eprintf
+          "omflp serve: %s served %d requests; cost %.17g (construction \
+           %.17g, assignment %.17g)\n\
+           %!"
+          A.name
+          (Serve.Session.count session)
+          total construction assignment)
+    with
+    | () -> ()
+    | exception Failure msg -> Cli_flags.die ("omflp serve: " ^ msg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve requests interactively: JSON lines in, decision records \
+          out, with optional crash-robust checkpoint/resume.")
+    Term.(
+      const action $ algo_arg $ env_arg $ checkpoint_arg $ snapshot_every_arg
+      $ resume_arg $ seed_arg $ metrics_arg $ trace_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -482,4 +627,5 @@ let () =
             bench_cmd;
             check_cmd;
             selfcheck_cmd;
+            serve_cmd;
           ]))

@@ -383,9 +383,14 @@ let read_baseline path =
 (* Compares by benchmark NAME over the intersection of the two row sets,
    so a quick run (fewer scaling points) still gates against a full
    baseline and newly-added benchmarks don't fail the gate. *)
+let vacuous_error ~baseline_path ~n_rows ~skipped =
+  Printf.sprintf
+    "vacuous comparison: 0 of %d benchmark row(s) matched baseline %s (%d \
+     skipped) — wrong, empty, or stale baseline file"
+    n_rows baseline_path skipped
+
 let compare_baseline ~baseline_path ~max_regression bench_rows =
-  Result.map
-    (fun baseline ->
+  Result.bind (read_baseline baseline_path) (fun baseline ->
       let compared = ref 0 and skipped = ref 0 and regs = ref [] in
       List.iter
         (fun (name, est) ->
@@ -398,8 +403,20 @@ let compare_baseline ~baseline_path ~max_regression bench_rows =
                   { reg_name = name; baseline_ns; current_ns; ratio } :: !regs
           | _ -> incr skipped)
         bench_rows;
-      { compared = !compared; skipped = !skipped; regressions = List.rev !regs })
-    (read_baseline baseline_path)
+      (* A gate that compared nothing proves nothing: every row silently
+         skipping (renamed benchmarks, an empty or foreign baseline) used
+         to report OK. Make it a hard failure. *)
+      if !compared = 0 then
+        Error
+          (vacuous_error ~baseline_path ~n_rows:(List.length bench_rows)
+             ~skipped:!skipped)
+      else
+        Ok
+          {
+            compared = !compared;
+            skipped = !skipped;
+            regressions = List.rev !regs;
+          })
 
 let run_gate ~baseline_path ~max_regression bench_rows =
   print_endline "";

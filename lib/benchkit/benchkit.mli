@@ -60,10 +60,16 @@ type gate_report = {
     [omflp.bench.v1] file, dropping [null] estimates. *)
 val read_baseline : string -> ((string * float) list, string) result
 
+(** [vacuous_error ~baseline_path ~n_rows ~skipped] is the pinned message
+    {!compare_baseline} returns when the intersection is empty. *)
+val vacuous_error : baseline_path:string -> n_rows:int -> skipped:int -> string
+
 (** [compare_baseline ~baseline_path ~max_regression rows] diffs the
     current rows against the baseline by benchmark name (intersection
     only: rows missing on either side are counted as [skipped], never
-    failed). A row regresses when [current > baseline * (1 + max_regression)]. *)
+    failed). A row regresses when [current > baseline * (1 + max_regression)].
+    An empty intersection ([compared = 0]) is a hard [Error]
+    ({!vacuous_error}) — a gate that compared nothing must not pass. *)
 val compare_baseline :
   baseline_path:string ->
   max_regression:float ->

@@ -102,7 +102,37 @@ let check_instance ?(algos = default_algos ()) ?(seed = 0)
                 violation "opt-lower" name
                   "online cost %.9g beats the certified lower bound %.9g (%s)"
                   c b.lower b.lower_method
-          | _ -> ()))
+          | _ -> ());
+          (* Byte-identical continuation: snapshot at the midpoint,
+             restore from the blob, finish the run — the serving layer's
+             crash/resume path in miniature. Any drift (decisions,
+             facility ids, cost floats) is a violation. *)
+          checked ();
+          let (module A : Algo_intf.ALGO) = algo in
+          let cut = Instance.n_requests inst / 2 in
+          (match
+             let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+             Array.iteri
+               (fun i r -> if i < cut then ignore (A.step t r))
+               inst.Instance.requests;
+             let blob = A.snapshot t in
+             let t' =
+               A.restore inst.Instance.metric inst.Instance.cost blob
+             in
+             Array.iteri
+               (fun i r -> if i >= cut then ignore (A.step t' r))
+               inst.Instance.requests;
+             A.run_so_far t'
+           with
+          | resumed ->
+              if run_digest resumed <> run_digest run then
+                violation "resume" name
+                  "snapshot/restore at request %d diverges from the \
+                   uninterrupted run"
+                  cut
+          | exception e ->
+              violation "resume" name "snapshot/restore at request %d raised %s"
+                cut (Printexc.to_string e)))
     algos;
   (* PD-OMFLP theory checks: replay the deterministic primal-dual run and
      test the paper's inequalities on its duals. *)

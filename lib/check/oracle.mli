@@ -19,7 +19,11 @@
     - {b weak-duality}: [γ · Σ a_re] never exceeds the cost of a concrete
       feasible offline solution;
     - {b fast-equiv}: [Pd_omflp_fast] is decision-identical to
-      [Pd_omflp] and agrees on cost up to float-summation noise.
+      [Pd_omflp] and agrees on cost up to float-summation noise;
+    - {b resume}: snapshotting at the midpoint and restoring from the
+      blob ({!Omflp_core.Algo_intf.ALGO.snapshot}) reproduces the
+      uninterrupted run byte-identically — the serving layer's
+      crash/resume path in miniature.
 
     Violations are reported, never raised — an algorithm exception
     becomes a ["run"] violation — so the checker composes with shrinking

@@ -23,6 +23,33 @@ module type ALGO = sig
 
   (** [run_so_far t] snapshots facilities, services, and costs. *)
   val run_so_far : t -> Run.t
+
+  (** [store t] is the algorithm's facility store — the shared mutable
+      bookkeeping every algorithm maintains. Serving layers read running
+      costs and newly opened facilities off it in O(1) per request
+      instead of materializing a full {!Run.t}. *)
+  val store : t -> Facility_store.t
+
+  (** [snapshot t] serializes the algorithm's complete mutable state
+      (store, per-algorithm scratch that is not a pure function of the
+      inputs, and any RNG position) as an opaque versioned blob.
+
+      [restore metric cost blob] revives that state against the same
+      metric and cost function. The contract is {e byte-identical
+      continuation}: for any request sequence, interleaving
+      [snapshot]/[restore] at any point yields exactly the decisions,
+      facility ids, and cost floats of the uninterrupted run. [restore]
+      raises [Failure] (never a decode crash on the envelope) when the
+      blob belongs to another algorithm or format version; blobs are
+      trusted beyond the envelope tag, so integrity-check bytes of
+      unknown provenance before calling it. *)
+  val snapshot : t -> string
+
+  val restore :
+    Omflp_metric.Finite_metric.t ->
+    Omflp_commodity.Cost_function.t ->
+    string ->
+    t
 end
 
 type packed = (module ALGO)

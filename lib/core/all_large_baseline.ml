@@ -74,3 +74,31 @@ let step t (r : Request.t) =
 
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
+
+(* Persisted: the dual history plus the store; the f4 table and bid
+   scratch are rebuilt. *)
+type persisted = {
+  z_past : past list;
+  z_store : Facility_store.persisted;
+  z_n_requests : int;
+}
+
+let snapshot_tag = "omflp.snap.all-large.v1"
+
+let snapshot t =
+  Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_past = t.past;
+      z_store = Facility_store.persist t.store;
+      z_n_requests = t.n_requests;
+    }
+
+let restore metric cost blob =
+  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+  let t = create metric cost in
+  {
+    t with
+    past = z.z_past;
+    store = Facility_store.of_persisted metric z.z_store;
+    n_requests = z.z_n_requests;
+  }

@@ -76,3 +76,44 @@ let services t = List.rev t.services_rev
 let construction_cost t = t.construction
 let assignment_cost t = t.assignment
 let total_cost t = t.construction +. t.assignment
+
+(* ---------- persistence ---------- *)
+
+type persisted = {
+  ps_n_commodities : int;
+  ps_facilities : Facility.t list;  (* opening order *)
+  ps_services_rev : Service.t list;
+  ps_construction : float;
+  ps_assignment : float;
+}
+
+let persist t =
+  {
+    ps_n_commodities = t.n_commodities;
+    ps_facilities = facilities t;
+    ps_services_rev = t.services_rev;
+    ps_construction = t.construction;
+    ps_assignment = t.assignment;
+  }
+
+let of_persisted metric (z : persisted) =
+  let t = create metric ~n_commodities:z.ps_n_commodities in
+  (* Re-register the facilities in opening order without re-summing
+     costs: the nearest-index cells are min-updates over metric rows, so
+     replaying the same opening sequence rebuilds bit-identical tables,
+     while the cost accumulators are restored to their serialized values
+     (a fresh summation could round differently). *)
+  List.iter
+    (fun (f : Facility.t) ->
+      if f.Facility.id <> t.count then
+        failwith "Facility_store.of_persisted: non-sequential facility ids";
+      t.count <- t.count + 1;
+      t.facilities_rev <- f :: t.facilities_rev;
+      Hashtbl.replace t.by_id f.Facility.id f;
+      Nearest_index.note_opened t.index t.metric ~site:f.Facility.site
+        ~offered:f.Facility.offered ~id:f.Facility.id)
+    z.ps_facilities;
+  t.services_rev <- z.ps_services_rev;
+  t.construction <- z.ps_construction;
+  t.assignment <- z.ps_assignment;
+  t

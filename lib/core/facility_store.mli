@@ -57,3 +57,23 @@ val services : t -> Service.t list
 val construction_cost : t -> float
 val assignment_cost : t -> float
 val total_cost : t -> float
+
+(** {1 Persistence}
+
+    A store's durable state as pure data, for algorithm snapshots. The
+    distance tables are {e not} serialized: {!of_persisted} replays the
+    opening sequence through {!Nearest_index.note_opened}, which — being
+    a deterministic fold of min-updates over metric rows — rebuilds them
+    bit-identically, while the cost accumulators are restored to their
+    serialized values instead of being re-summed. *)
+
+type persisted
+
+(** [persist t] captures facilities (in opening order), services, and
+    cost accumulators. *)
+val persist : t -> persisted
+
+(** [of_persisted metric z] revives a store against the same metric.
+    Raises [Failure] if the facility ids are not the sequential ids this
+    store assigns. *)
+val of_persisted : Omflp_metric.Finite_metric.t -> persisted -> t

@@ -92,3 +92,27 @@ let step t (r : Request.t) =
 
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
+
+(* Persisted: GREEDY keeps no scratch beyond the store and the pure
+   singleton table, so the blob is just the store. *)
+type persisted = {
+  z_store : Facility_store.persisted;
+  z_n_requests : int;
+}
+
+let snapshot_tag = "omflp.snap.greedy.v1"
+
+let snapshot t =
+  Omflp_prelude.Snapshot_codec.encode ~tag:snapshot_tag
+    { z_store = Facility_store.persist t.store; z_n_requests = t.n_requests }
+
+let restore metric cost blob =
+  let (z : persisted) =
+    Omflp_prelude.Snapshot_codec.decode ~tag:snapshot_tag blob
+  in
+  let t = create metric cost in
+  {
+    t with
+    store = Facility_store.of_persisted metric z.z_store;
+    n_requests = z.z_n_requests;
+  }

@@ -164,3 +164,45 @@ let step t (r : Request.t) =
 
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
+
+(* Persisted: the heavy set (it may have been overridden via
+   [create_with_heavy], so detection is not re-run), the inner PD run as
+   a nested blob, and the outer bookkeeping. The light projection is a
+   pure function of (cost, heavy) and is rebuilt. *)
+type persisted = {
+  z_heavy : Cset.t;
+  z_inner : string;
+  z_store : Facility_store.persisted;
+  z_fid_map : (int * int) list;
+  z_inner_mirrored : int;
+  z_heavy_past : heavy_past list array;
+  z_n_requests : int;
+}
+
+let snapshot_tag = "omflp.snap.heavy-aware.v1"
+
+let snapshot t =
+  Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_heavy = t.heavy;
+      z_inner = Pd_omflp.snapshot t.inner;
+      z_store = Facility_store.persist t.store;
+      z_fid_map = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fid_map [];
+      z_inner_mirrored = t.inner_mirrored;
+      z_heavy_past = Array.copy t.heavy_past;
+      z_n_requests = t.n_requests;
+    }
+
+let restore metric cost blob =
+  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+  let t = create_with_heavy ~heavy:z.z_heavy metric cost in
+  let light_cost, _ = Cost_function.project cost ~keep:t.light in
+  List.iter (fun (k, v) -> Hashtbl.replace t.fid_map k v) z.z_fid_map;
+  Array.blit z.z_heavy_past 0 t.heavy_past 0 (Array.length t.heavy_past);
+  {
+    t with
+    inner = Pd_omflp.restore metric light_cost z.z_inner;
+    store = Facility_store.of_persisted metric z.z_store;
+    inner_mirrored = z.z_inner_mirrored;
+    n_requests = z.z_n_requests;
+  }

@@ -34,5 +34,16 @@ val step : t -> Omflp_instance.Request.t -> Service.t
 val run_so_far : t -> Run.t
 val store : t -> Facility_store.t
 
+(** See {!Algo_intf.ALGO}: byte-identical continuation. The blob records
+    the heavy set itself, so runs started with {!create_with_heavy}
+    restore faithfully without re-running detection. *)
+val snapshot : t -> string
+
+val restore :
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  string ->
+  t
+
 (** [heavy_set t] is the commodity set treated as heavy. *)
 val heavy_set : t -> Omflp_commodity.Cset.t

@@ -98,3 +98,31 @@ let step t (r : Request.t) =
 
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
+
+(* Persisted: per-commodity dual history plus the store; the lazy f3
+   rows and the bid scratch are rebuilt. *)
+type persisted = {
+  z_past : past list array;
+  z_store : Facility_store.persisted;
+  z_n_requests : int;
+}
+
+let snapshot_tag = "omflp.snap.indep.v1"
+
+let snapshot t =
+  Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_past = Array.copy t.past;
+      z_store = Facility_store.persist t.store;
+      z_n_requests = t.n_requests;
+    }
+
+let restore metric cost blob =
+  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+  let t = create metric cost in
+  Array.blit z.z_past 0 t.past 0 (Array.length t.past);
+  {
+    t with
+    store = Facility_store.of_persisted metric z.z_store;
+    n_requests = z.z_n_requests;
+  }

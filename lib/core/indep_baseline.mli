@@ -17,3 +17,12 @@ val create :
 val step : t -> Omflp_instance.Request.t -> Service.t
 val run_so_far : t -> Run.t
 val store : t -> Facility_store.t
+
+(** See {!Algo_intf.ALGO}: byte-identical continuation. *)
+val snapshot : t -> string
+
+val restore :
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  string ->
+  t

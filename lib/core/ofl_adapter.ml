@@ -110,6 +110,60 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
     service
 
   let run_so_far t = Run.of_store ~algorithm:name t.store
+  let store t = t.store
+
+  (* Persisted: the creation seed (so commodities first requested after a
+     restore derive the same per-commodity streams), the shared store, and
+     each live slot as (inner OFL blob, mirrored prefix length). Slot
+     opening-cost tables are pure and rebuilt. *)
+  type persisted = {
+    z_seed : int option;
+    z_store : Facility_store.persisted;
+    z_slots : (string * int) option array;
+    z_n_requests : int;
+  }
+
+  let snapshot_tag = "omflp.snap.ofl-adapter." ^ S.name ^ ".v1"
+
+  let snapshot t =
+    Snapshot_codec.encode ~tag:snapshot_tag
+      {
+        z_seed = t.seed;
+        z_store = Facility_store.persist t.store;
+        z_slots =
+          Array.map
+            (Option.map (fun s -> (S.A.save_state s.ofl, s.mirrored)))
+            t.slots;
+        z_n_requests = t.n_requests;
+      }
+
+  let restore metric cost blob =
+    let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+    let t = create ?seed:z.z_seed metric cost in
+    if Array.length z.z_slots <> Array.length t.slots then
+      failwith
+        (Printf.sprintf
+           "%s.restore: snapshot has %d commodities, cost function has %d"
+           S.name (Array.length z.z_slots) (Array.length t.slots));
+    Array.iteri
+      (fun e zs ->
+        match zs with
+        | None -> ()
+        | Some (ofl_blob, mirrored) ->
+            let costs =
+              Array.init (Finite_metric.size metric) (fun m ->
+                  Cost_function.singleton_cost cost m e)
+            in
+            let ofl =
+              S.A.restore_state metric ~opening_costs:costs ofl_blob
+            in
+            t.slots.(e) <- Some { ofl; costs; mirrored })
+      z.z_slots;
+    {
+      t with
+      store = Facility_store.of_persisted metric z.z_store;
+      n_requests = z.z_n_requests;
+    }
 end
 
 module Meyerson_ofl = Make (struct

@@ -490,6 +490,65 @@ let dual_objective t =
 
 let store t = t.store
 
+(* ---------- snapshot / restore ---------- *)
+
+(* Persisted state: the request history with its frozen duals and bid
+   caps, the store, the event trace, and — in incremental mode — the
+   maintained bid caches, serialized verbatim. The caches are NOT
+   rebuilt from the history on restore: they were produced by a
+   particular interleaving of additions and cap adjustments whose float
+   rounding a fresh summation would not reproduce, and byte-identical
+   continuation requires their exact values. Scratch buffers and the
+   pure cost tables (f3/f4) are rebuilt by [create_mode]. *)
+type persisted = {
+  z_incremental : bool;
+  z_store : Facility_store.persisted;
+  z_past_rev : past list;
+  z_trace_rev : fired list list;
+  z_n_requests : int;
+  z_b3 : float array array;
+  z_b4 : float array;
+}
+
+let snapshot_tag = "omflp.snap.pd-omflp.v1"
+
+let snapshot t =
+  Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_incremental = t.incremental;
+      z_store = Facility_store.persist t.store;
+      z_past_rev = t.past_rev;
+      z_trace_rev = t.trace_rev;
+      z_n_requests = t.n_requests;
+      z_b3 = (if t.incremental then Array.map Array.copy t.b3_cache else [||]);
+      z_b4 = (if t.incremental then Array.copy t.b4_cache else [||]);
+    }
+
+let restore_mode ~incremental metric cost blob =
+  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+  if z.z_incremental <> incremental then
+    failwith
+      (Printf.sprintf
+         "Pd_omflp.restore: snapshot is from the %s mode"
+         (if z.z_incremental then "incremental" else "recomputing"));
+  let t = create_mode ~incremental metric cost in
+  if incremental then begin
+    Array.iteri (fun e row -> t.b3_cache.(e) <- row) z.z_b3;
+    Array.blit z.z_b4 0 t.b4_cache 0 (Array.length z.z_b4)
+  end;
+  {
+    t with
+    store = Facility_store.of_persisted metric z.z_store;
+    past_rev = z.z_past_rev;
+    trace_rev = z.z_trace_rev;
+    n_requests = z.z_n_requests;
+  }
+
+let restore metric cost blob = restore_mode ~incremental:false metric cost blob
+
+let restore_incremental metric cost blob =
+  restore_mode ~incremental:true metric cost blob
+
 let cache_drift t =
   if not t.incremental then 0.0
   else begin

@@ -43,6 +43,27 @@ val step : t -> Omflp_instance.Request.t -> Service.t
 
 val run_so_far : t -> Run.t
 
+(** {1 Snapshot / restore}
+
+    See {!Algo_intf.ALGO}: byte-identical continuation. One blob format
+    covers both modes (it records which mode produced it); [restore]
+    revives the recomputing mode, [restore_incremental] the incremental
+    mode, and each raises [Failure] on a blob from the other mode. *)
+
+val snapshot : t -> string
+
+val restore :
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  string ->
+  t
+
+val restore_incremental :
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  string ->
+  t
+
 (** {1 Introspection (analysis and tests)} *)
 
 type dual_record = {

@@ -7,3 +7,9 @@ let create ?seed metric cost = Pd_omflp.create_incremental ?seed metric cost
 let step = Pd_omflp.step
 
 let run_so_far t = Run.of_store ~algorithm:name (Pd_omflp.store t)
+
+let store = Pd_omflp.store
+
+let snapshot = Pd_omflp.snapshot
+
+let restore = Pd_omflp.restore_incremental

@@ -15,3 +15,14 @@ val create :
 
 val step : t -> Omflp_instance.Request.t -> Service.t
 val run_so_far : t -> Run.t
+val store : t -> Facility_store.t
+
+(** {!Pd_omflp.snapshot} / {!Pd_omflp.restore_incremental}: blobs are
+    shared with the recomputing module but mode-checked on restore. *)
+val snapshot : t -> string
+
+val restore :
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  string ->
+  t

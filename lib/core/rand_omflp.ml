@@ -213,3 +213,35 @@ let step t (r : Request.t) =
 let run_so_far t = Run.of_store ~algorithm:name t.store
 
 let store t = t.store
+
+(* ---------- snapshot / restore ---------- *)
+
+(* Persisted: the RNG position (the whole point — a restored run must
+   continue the coin-flip stream, not restart it) plus the store. The
+   cost classes are a pure function of the cost function and are rebuilt
+   by [create]. *)
+type persisted = {
+  z_rng : int64;
+  z_store : Facility_store.persisted;
+  z_n_requests : int;
+}
+
+let snapshot_tag = "omflp.snap.rand-omflp.v1"
+
+let snapshot t =
+  Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_rng = Splitmix.state t.rng;
+      z_store = Facility_store.persist t.store;
+      z_n_requests = t.n_requests;
+    }
+
+let restore metric cost blob =
+  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+  let t = create metric cost in
+  {
+    t with
+    rng = Splitmix.create z.z_rng;
+    store = Facility_store.of_persisted metric z.z_store;
+    n_requests = z.z_n_requests;
+  }

@@ -26,3 +26,15 @@ val step : t -> Omflp_instance.Request.t -> Service.t
 val run_so_far : t -> Run.t
 
 val store : t -> Facility_store.t
+
+(** See {!Algo_intf.ALGO}: byte-identical continuation; the blob carries
+    the RNG position, so the restored run continues the coin-flip stream
+    exactly where the snapshot left it (the creation seed is not
+    consulted again). *)
+val snapshot : t -> string
+
+val restore :
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  string ->
+  t

@@ -35,8 +35,7 @@ let save oc (inst : Instance.t) =
     inst.requests
 
 let save_file path inst =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save oc inst)
+  Omflp_prelude.Atomic_file.write path (fun oc -> save oc inst)
 
 let fail fmt = Printf.ksprintf failwith fmt
 

@@ -26,7 +26,9 @@
 (** [save oc instance] writes the format above. *)
 val save : out_channel -> Instance.t -> unit
 
-(** [save_file path instance]. *)
+(** [save_file path instance] writes atomically (temp file + rename in
+    the destination directory), so replay consumers — the check corpus,
+    serve environments — never observe a torn file. *)
 val save_file : string -> Instance.t -> unit
 
 (** [load ic] parses an instance. Raises [Failure] with a descriptive

@@ -8,7 +8,13 @@ type t = {
 
 let to_channel oc = { oc; owns_channel = false; seq = 0 }
 
-let open_file path = { oc = open_out path; owns_channel = true; seq = 0 }
+(* Append, never truncate: a resumed session (or a second sink on the
+   same path) must extend the event log, not silently clobber it. *)
+let open_file path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+  in
+  { oc; owns_channel = true; seq = 0 }
 
 let escape_into buf s =
   String.iter
@@ -50,7 +56,10 @@ let emit t ~kind fields =
       add_value buf v)
     fields;
   Buffer.add_string buf "}\n";
-  Buffer.output_buffer t.oc buf
+  Buffer.output_buffer t.oc buf;
+  (* One flush per record: a crash loses at most the line being written,
+     and a resumed session finds every event it emitted before dying. *)
+  flush t.oc
 
 let close t =
   flush t.oc;

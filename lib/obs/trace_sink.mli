@@ -19,11 +19,15 @@ type value =
     not close it. *)
 val to_channel : out_channel -> t
 
-(** [open_file path] truncates/creates [path]; {!close} closes it. *)
+(** [open_file path] opens [path] in {e append} mode (creating it when
+    missing), so resumed sessions — and any two sinks pointed at one
+    path — extend the event log instead of truncating each other;
+    {!close} closes it. The per-sink [seq] still starts at 0. *)
 val open_file : string -> t
 
 (** [emit t ~kind fields] writes one line:
-    [{"kind":<kind>,"seq":<n>,<fields...>}]. *)
+    [{"kind":<kind>,"seq":<n>,<fields...>}] and flushes the channel, so
+    a crash loses at most the record being written. *)
 val emit : t -> kind:string -> (string * value) list -> unit
 
 val close : t -> unit

@@ -103,3 +103,41 @@ let snapshot t =
   }
 
 let duals t = List.rev_map (fun p -> p.dual) t.past
+
+(* Persisted state: the frozen duals, the opening history, the distance
+   table, and the cost accumulators — all pure data. *)
+type persisted = {
+  z_past : past list;
+  z_facility_sites : int list;
+  z_dist_to_f : float array;
+  z_construction : float;
+  z_assignment : float;
+}
+
+let snapshot_tag = "omflp.snap.fotakis.v1"
+
+let save_state t =
+  Omflp_prelude.Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_past = t.past;
+      z_facility_sites = t.facility_sites;
+      z_dist_to_f = Array.copy t.dist_to_f;
+      z_construction = t.construction;
+      z_assignment = t.assignment;
+    }
+
+let restore_state metric ~opening_costs blob =
+  let (z : persisted) =
+    Omflp_prelude.Snapshot_codec.decode ~tag:snapshot_tag blob
+  in
+  if Array.length z.z_dist_to_f <> Finite_metric.size metric then
+    failwith "Fotakis_pd.restore_state: snapshot from a different metric";
+  let t = create metric ~opening_costs in
+  {
+    t with
+    past = z.z_past;
+    facility_sites = z.z_facility_sites;
+    dist_to_f = z.z_dist_to_f;
+    construction = z.z_construction;
+    assignment = z.z_assignment;
+  }

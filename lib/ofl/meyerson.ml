@@ -151,3 +151,40 @@ let snapshot t =
     construction_cost = t.construction;
     assignment_cost = t.assignment;
   }
+
+(* Persisted state: everything [step] reads that is not a pure function
+   of (metric, opening_costs) — the RNG position, the opening history,
+   the incremental distance table, and the cost accumulators. [classes]
+   is rebuilt deterministically from the opening costs. *)
+type persisted = {
+  z_rng : int64;
+  z_facility_sites : int list;
+  z_dist_to_f : float array;
+  z_construction : float;
+  z_assignment : float;
+}
+
+let snapshot_tag = "omflp.snap.meyerson.v1"
+
+let save_state t =
+  Snapshot_codec.encode ~tag:snapshot_tag
+    {
+      z_rng = Splitmix.state t.rng;
+      z_facility_sites = t.facility_sites;
+      z_dist_to_f = Array.copy t.dist_to_f;
+      z_construction = t.construction;
+      z_assignment = t.assignment;
+    }
+
+let restore_state metric ~opening_costs blob =
+  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
+  if Array.length z.z_dist_to_f <> Finite_metric.size metric then
+    failwith "Meyerson.restore_state: snapshot from a different metric";
+  let t = create_seeded metric ~opening_costs ~rng:(Splitmix.create z.z_rng) in
+  {
+    t with
+    dist_to_f = z.z_dist_to_f;
+    facility_sites = z.z_facility_sites;
+    construction = z.z_construction;
+    assignment = z.z_assignment;
+  }

@@ -12,4 +12,7 @@ module type ALGORITHM = sig
   val create : Omflp_metric.Finite_metric.t -> opening_costs:float array -> t
   val step : t -> int -> float
   val snapshot : t -> run
+  val save_state : t -> string
+  val restore_state :
+    Omflp_metric.Finite_metric.t -> opening_costs:float array -> string -> t
 end

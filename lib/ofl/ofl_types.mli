@@ -25,4 +25,15 @@ module type ALGORITHM = sig
   val step : t -> int -> float
 
   val snapshot : t -> run
+
+  (** [save_state t] serializes the algorithm's complete mutable state
+      (including any RNG position) as an opaque blob; [restore_state]
+      revives it against the same metric and opening costs, such that the
+      revived run takes byte-identical decisions on every future request.
+      [restore_state] raises [Failure] on a blob from another algorithm
+      or format version. *)
+  val save_state : t -> string
+
+  val restore_state :
+    Omflp_metric.Finite_metric.t -> opening_costs:float array -> string -> t
 end

@@ -1,0 +1,41 @@
+(* Tagged Marshal envelope for algorithm state blobs.
+
+   The payload must be pure data (no closures, no custom blocks beyond
+   the stdlib's), which every persisted record in this repository is;
+   Marshal then round-trips floats and int64s bit-exactly — the property
+   the byte-identical resume contract rests on.
+
+   The tag names the producing module and its format version
+   ("omflp.snap.<algo>.v<n>"), so feeding a blob to the wrong [decode]
+   fails with a named error instead of unmarshalling garbage. Integrity
+   against truncation/corruption is the *caller's* job (the serve
+   checkpoint layer stores an MD5 next to the blob and verifies it
+   before calling [decode]); [Marshal.from_string] on hostile bytes is
+   unsafe, so decode only blobs whose provenance is checked. *)
+
+let encode ~tag payload =
+  if String.contains tag '\n' then
+    invalid_arg "Snapshot_codec.encode: tag contains a newline";
+  tag ^ "\n" ^ Marshal.to_string payload []
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let decode ~tag blob =
+  let header_len = String.length tag + 1 in
+  if
+    String.length blob < header_len
+    || String.sub blob 0 (String.length tag) <> tag
+    || blob.[String.length tag] <> '\n'
+  then
+    fail "Snapshot_codec.decode: blob is not a %S snapshot" tag
+  else if String.length blob - header_len < Marshal.header_size then
+    fail "Snapshot_codec.decode: truncated %S snapshot" tag
+  else
+    let data_len =
+      try Marshal.total_size (Bytes.unsafe_of_string blob) header_len
+      with Failure _ ->
+        fail "Snapshot_codec.decode: corrupt %S snapshot header" tag
+    in
+    if String.length blob - header_len < data_len then
+      fail "Snapshot_codec.decode: truncated %S snapshot" tag
+    else Marshal.from_string blob header_len

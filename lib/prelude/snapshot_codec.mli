@@ -1,0 +1,24 @@
+(** Tagged, versioned binary envelopes for algorithm state snapshots.
+
+    Every online algorithm serializes its persisted state through this
+    codec: [encode ~tag state] prefixes a Marshal blob with a
+    newline-terminated tag ("omflp.snap.<algo>.v<n>") and
+    [decode ~tag blob] refuses — with a named [Failure], never an
+    unmarshal crash on the envelope — blobs carrying a different tag or
+    an incomplete payload.
+
+    The payload travels through [Marshal], which round-trips floats and
+    int64s bit-exactly; that exactness is what lets a restored algorithm
+    produce byte-identical decisions. Decode only blobs whose integrity
+    has been established (the serve checkpoint layer verifies an MD5
+    before decoding): Marshal offers no protection against adversarial
+    bytes {e inside} a well-formed envelope. *)
+
+(** [encode ~tag payload] marshals [payload] under [tag]. Raises
+    [Invalid_argument] if [tag] contains a newline. *)
+val encode : tag:string -> 'a -> string
+
+(** [decode ~tag blob] recovers the payload. Raises [Failure] with a
+    message naming [tag] when the blob was encoded under a different tag
+    or is truncated. *)
+val decode : tag:string -> string -> 'a

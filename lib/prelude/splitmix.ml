@@ -20,6 +20,8 @@ let split t =
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
 let float t =
   (* 53 high bits give a uniform dyadic rational in [0, 1). *)
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

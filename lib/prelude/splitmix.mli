@@ -21,6 +21,11 @@ val split : t -> t
 (** [copy t] duplicates the current state. *)
 val copy : t -> t
 
+(** [state t] exposes the raw 64-bit state, so a generator can be
+    persisted and revived with {!create} mid-stream: [create (state t)]
+    continues exactly where [t] stopped. *)
+val state : t -> int64
+
 (** [float t] is uniform in [[0, 1)]. *)
 val float : t -> float
 

@@ -1,0 +1,245 @@
+open Omflp_prelude
+
+let format_id = "omflp.serve.v1"
+let snapshot_magic = "omflp.serve.snapshot.v1"
+let manifest_file = "MANIFEST.json"
+let wal_file = "wal.jsonl"
+let decisions_file = "decisions.jsonl"
+let snapshot_file = "snapshot.bin"
+
+type t = {
+  dir : string;
+  algo : string;
+  seed : int option;
+  instance_md5 : string;
+  snapshot_every : int;
+  wal_oc : out_channel;
+  dec_oc : out_channel;
+}
+
+let dir t = t.dir
+let algo t = t.algo
+let seed t = t.seed
+let snapshot_every t = t.snapshot_every
+
+let fail fmt = Printf.ksprintf failwith fmt
+let ( / ) = Filename.concat
+
+let append_channel path =
+  open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+
+let manifest_json ~algo ~seed ~instance_md5 ~snapshot_every =
+  Printf.sprintf
+    "{\"format\":%S,\"algo\":%S,\"seed\":%s,\"instance_md5\":%S,\"snapshot_every\":%d}\n"
+    format_id algo
+    (match seed with None -> "null" | Some s -> string_of_int s)
+    instance_md5 snapshot_every
+
+let create ~dir ~algo ~seed ~instance_md5 ~snapshot_every =
+  if snapshot_every <= 0 then
+    invalid_arg "Checkpoint.create: snapshot_every must be positive";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    fail "Checkpoint.create: %s exists and is not a directory" dir;
+  if Sys.file_exists (dir / manifest_file) then
+    fail
+      "Checkpoint.create: %s already holds a session (found %s); resume it \
+       or pick a fresh directory"
+      dir manifest_file;
+  Atomic_file.write_string (dir / manifest_file)
+    (manifest_json ~algo ~seed ~instance_md5 ~snapshot_every);
+  {
+    dir;
+    algo;
+    seed;
+    instance_md5;
+    snapshot_every;
+    wal_oc = append_channel (dir / wal_file);
+    dec_oc = append_channel (dir / decisions_file);
+  }
+
+(* ---------- durable appends ---------- *)
+
+let append_wal t line =
+  output_string t.wal_oc line;
+  output_char t.wal_oc '\n';
+  flush t.wal_oc
+
+let append_decision t line =
+  output_string t.dec_oc line;
+  output_char t.dec_oc '\n';
+  flush t.dec_oc
+
+let close t =
+  close_out t.wal_oc;
+  close_out t.dec_oc
+
+(* ---------- snapshots ---------- *)
+
+let write_snapshot t ~count blob =
+  Atomic_file.write (t.dir / snapshot_file) (fun oc ->
+      Printf.fprintf oc "%s %d %s\n" snapshot_magic count
+        (Digest.to_hex (Digest.string blob));
+      output_string oc blob)
+
+let load_snapshot ~dir =
+  let path = dir / snapshot_file in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let header, blob =
+      match String.index_opt content '\n' with
+      | None -> fail "Checkpoint.load_snapshot: corrupt snapshot header"
+      | Some i ->
+          ( String.sub content 0 i,
+            String.sub content (i + 1) (String.length content - i - 1) )
+    in
+    match String.split_on_char ' ' header with
+    | [ magic; count; md5 ] when magic = snapshot_magic -> (
+        match int_of_string_opt count with
+        | None -> fail "Checkpoint.load_snapshot: corrupt snapshot header"
+        | Some count ->
+            if Digest.to_hex (Digest.string blob) <> md5 then
+              fail
+                "Checkpoint.load_snapshot: snapshot integrity check failed \
+                 (truncated or corrupt)";
+            Some (count, blob))
+    | _ -> fail "Checkpoint.load_snapshot: corrupt snapshot header"
+  end
+
+(* ---------- resume ---------- *)
+
+(* Drop a torn (flushed-without-trailing-newline) final line; every line
+   before the last flush ends in '\n', so at most the crash-interrupted
+   record disappears. *)
+let truncate_torn_tail path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let len, content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          (n, really_input_string ic n))
+    in
+    let keep =
+      match String.rindex_opt content '\n' with
+      | None -> 0
+      | Some i -> i + 1
+    in
+    if keep < len then Unix.truncate path keep
+  end
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+type resume = {
+  cp : t;
+  wal : (int * Omflp_instance.Request.t) list;
+  n_decisions : int;
+  snapshot : (int * string) option;
+}
+
+let load_manifest ~dir =
+  let path = dir / manifest_file in
+  if not (Sys.file_exists path) then
+    fail "Checkpoint.resume: %s has no %s (not a session directory)" dir
+      manifest_file;
+  let json =
+    try Minijson.of_file path
+    with Minijson.Parse_error msg ->
+      fail "Checkpoint.resume: corrupt manifest: %s" msg
+  in
+  let str key =
+    match Option.bind (Minijson.member key json) Minijson.to_string with
+    | Some s -> s
+    | None -> fail "Checkpoint.resume: manifest misses %S" key
+  in
+  let num key =
+    match Option.bind (Minijson.member key json) Minijson.to_float with
+    | Some f -> int_of_float f
+    | None -> fail "Checkpoint.resume: manifest misses %S" key
+  in
+  let seed =
+    match Minijson.member "seed" json with
+    | Some (Minijson.Num f) -> Some (int_of_float f)
+    | _ -> None
+  in
+  (str "format", str "algo", seed, str "instance_md5", num "snapshot_every")
+
+let open_resume ~dir ~n_sites ~n_commodities ~instance_md5 =
+  let format, algo, seed, manifest_md5, snapshot_every =
+    load_manifest ~dir
+  in
+  if format <> format_id then
+    fail "Checkpoint.resume: unsupported checkpoint format %S" format;
+  if manifest_md5 <> instance_md5 then
+    fail
+      "Checkpoint.resume: instance mismatch: session was started on an \
+       instance with md5 %s, got %s"
+      manifest_md5 instance_md5;
+  truncate_torn_tail (dir / wal_file);
+  truncate_torn_tail (dir / decisions_file);
+  let wal =
+    List.mapi
+      (fun i line ->
+        match Wire.parse_wal_line ~n_sites ~n_commodities line with
+        | Error e -> fail "Checkpoint.resume: corrupt WAL line %d: %s" i e
+        | Ok (index, r) ->
+            if index <> i then
+              fail
+                "Checkpoint.resume: WAL line %d carries index %d (log not \
+                 sequential)"
+                i index;
+            (index, r))
+      (read_lines (dir / wal_file))
+  in
+  let n_decisions = List.length (read_lines (dir / decisions_file)) in
+  let n_wal = List.length wal in
+  if n_decisions > n_wal then
+    fail
+      "Checkpoint.resume: %d decisions but only %d WAL entries (decision \
+       log ahead of its WAL)"
+      n_decisions n_wal;
+  let snapshot = load_snapshot ~dir in
+  (* The write order per request is WAL flush -> decision flush ->
+     snapshot, so a genuine crash always leaves
+     snapshot count <= durable decisions <= WAL length; anything else is
+     external corruption, and restoring would leave a hole in the
+     decision log. *)
+  (match snapshot with
+  | Some (count, _) when count > n_decisions ->
+      fail
+        "Checkpoint.resume: snapshot covers %d requests but only %d \
+         decisions are durable (decision log truncated?)"
+        count n_decisions
+  | _ -> ());
+  let cp =
+    {
+      dir;
+      algo;
+      seed;
+      instance_md5;
+      snapshot_every;
+      wal_oc = append_channel (dir / wal_file);
+      dec_oc = append_channel (dir / decisions_file);
+    }
+  in
+  { cp; wal; n_decisions; snapshot }

@@ -1,0 +1,169 @@
+open Omflp_commodity
+open Omflp_instance
+open Omflp_core
+open Omflp_obs
+
+type state = State : (module Algo_intf.ALGO with type t = 'a) * 'a -> state
+
+type t = {
+  metric : Omflp_metric.Finite_metric.t;
+  cost : Cost_function.t;
+  state : state;
+  checkpoint : Checkpoint.t option;
+  mutable count : int;
+  mutable n_facilities_seen : int;
+}
+
+let requests_c = Metrics.counter "serve.requests"
+let resume_c = Metrics.counter "serve.resume"
+let replayed_c = Metrics.counter "serve.replayed"
+let snapshots_c = Metrics.counter "serve.snapshots"
+let step_t = Metrics.timer "serve.step"
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let count t = t.count
+
+let running_costs t =
+  match t.state with
+  | State ((module A), st) ->
+      let store = A.store st in
+      ( Facility_store.construction_cost store,
+        Facility_store.assignment_cost store,
+        Facility_store.total_cost store )
+
+let create ~algo ?seed ?checkpoint metric cost =
+  let (module A : Algo_intf.ALGO) = algo in
+  (match checkpoint with
+  | Some cp ->
+      if Checkpoint.algo cp <> A.name then
+        fail "Session.create: checkpoint belongs to %s, serving %s"
+          (Checkpoint.algo cp) A.name
+  | None -> ());
+  let st = A.create ?seed metric cost in
+  {
+    metric;
+    cost;
+    state = State ((module A), st);
+    checkpoint;
+    count = 0;
+    n_facilities_seen = 0;
+  }
+
+(* One algorithm step plus decision-record assembly; WAL and decision-log
+   appends are the caller's business (live vs replay differ there). *)
+let step_only t (r : Request.t) =
+  match t.state with
+  | State ((module A), st) ->
+      let t0 = Metrics.now () in
+      let service = A.step st r in
+      Metrics.record_span step_t (Metrics.now () -. t0);
+      let store = A.store st in
+      let n_fac = Facility_store.n_facilities store in
+      let opened =
+        List.init (n_fac - t.n_facilities_seen) (fun i ->
+            Facility_store.facility store (t.n_facilities_seen + i))
+      in
+      let d =
+        {
+          Wire.index = t.count;
+          site = r.site;
+          demand = Cset.elements r.demand;
+          service;
+          opened;
+          construction = Facility_store.construction_cost store;
+          assignment = Facility_store.assignment_cost store;
+          total = Facility_store.total_cost store;
+        }
+      in
+      t.n_facilities_seen <- n_fac;
+      t.count <- t.count + 1;
+      d
+
+let take_snapshot t =
+  match (t.checkpoint, t.state) with
+  | None, _ -> ()
+  | Some cp, State ((module A), st) ->
+      Checkpoint.write_snapshot cp ~count:t.count (A.snapshot st);
+      Metrics.incr snapshots_c
+
+let maybe_snapshot t =
+  match t.checkpoint with
+  | Some cp when t.count mod Checkpoint.snapshot_every cp = 0 ->
+      take_snapshot t
+  | _ -> ()
+
+let handle t (r : Request.t) =
+  Metrics.incr requests_c;
+  (match t.checkpoint with
+  | Some cp -> Checkpoint.append_wal cp (Wire.request_to_json ~index:t.count r)
+  | None -> ());
+  let d = step_only t r in
+  (match t.checkpoint with
+  | Some cp -> Checkpoint.append_decision cp (Wire.decision_to_json d)
+  | None -> ());
+  maybe_snapshot t;
+  Trace_sink.emit_current ~kind:"serve.step"
+    [
+      ("index", Trace_sink.Int d.Wire.index);
+      ("site", Trace_sink.Int d.Wire.site);
+      ("total", Trace_sink.Float d.Wire.total);
+    ];
+  d
+
+let resume ~algo (rz : Checkpoint.resume) metric cost =
+  let (module A : Algo_intf.ALGO) = algo in
+  if Checkpoint.algo rz.cp <> A.name then
+    fail "Session.resume: checkpoint belongs to %s, serving %s"
+      (Checkpoint.algo rz.cp) A.name;
+  Metrics.incr resume_c;
+  let start, st =
+    match rz.snapshot with
+    | Some (c, blob) -> (c, A.restore metric cost blob)
+    | None -> (0, A.create ?seed:(Checkpoint.seed rz.cp) metric cost)
+  in
+  let t =
+    {
+      metric;
+      cost;
+      state = State ((module A), st);
+      checkpoint = Some rz.cp;
+      count = start;
+      n_facilities_seen = Facility_store.n_facilities (A.store st);
+    }
+  in
+  (* Replay the WAL suffix the snapshot does not cover. Decisions already
+     durable (index < n_decisions) are recomputed but not re-appended;
+     the rest were lost in the crash window and are appended and handed
+     back for re-emission. *)
+  let reemitted = ref [] in
+  List.iter
+    (fun (idx, r) ->
+      if idx >= start then begin
+        if idx <> t.count then
+          fail "Session.resume: WAL replay out of order (at %d, expected %d)"
+            idx t.count;
+        Metrics.incr replayed_c;
+        let d = step_only t r in
+        if d.Wire.index >= rz.n_decisions then begin
+          (match t.checkpoint with
+          | Some cp -> Checkpoint.append_decision cp (Wire.decision_to_json d)
+          | None -> ());
+          reemitted := d :: !reemitted
+        end
+      end)
+    rz.wal;
+  Trace_sink.emit_current ~kind:"serve.resume"
+    [
+      ("start", Trace_sink.Int start);
+      ("replayed", Trace_sink.Int (t.count - start));
+      ("reemitted", Trace_sink.Int (List.length !reemitted));
+    ];
+  (t, List.rev !reemitted)
+
+let close t =
+  match t.checkpoint with
+  | None -> ()
+  | Some cp ->
+      take_snapshot t;
+      Checkpoint.close cp

@@ -1,0 +1,54 @@
+(** Long-lived serving sessions: requests in, decision records out, with
+    optional crash-robust checkpointing.
+
+    A session wraps any registered {!Omflp_core.Algo_intf.ALGO} and feeds
+    it requests one at a time. With a {!Checkpoint.t} attached, every
+    request is write-ahead logged before the algorithm steps and every
+    decision is appended after; a state snapshot is written every
+    [snapshot_every] requests and at {!close}. {!resume} restores the
+    snapshot, replays the WAL suffix, and — by the byte-identical
+    continuation contract of {!Omflp_core.Algo_intf.ALGO.snapshot} —
+    continues exactly the decision stream of the uninterrupted run.
+
+    Observability: counters [serve.requests], [serve.resume],
+    [serve.replayed], [serve.snapshots]; timer [serve.step]; trace events
+    [serve.step] and [serve.resume] through the current sink. *)
+
+type t
+
+(** [create ~algo ?seed ?checkpoint metric cost] starts a fresh session.
+    Raises [Failure] when [checkpoint] was created for another
+    algorithm. *)
+val create :
+  algo:Omflp_core.Algo_intf.packed ->
+  ?seed:int ->
+  ?checkpoint:Checkpoint.t ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+
+(** [handle t r] serves one request: WAL append (flushed), algorithm
+    step, decision append (flushed), periodic snapshot. *)
+val handle : t -> Omflp_instance.Request.t -> Wire.decision
+
+(** [resume ~algo rz metric cost] revives a session from what
+    {!Checkpoint.open_resume} found and replays the uncovered WAL
+    suffix. Returns the session positioned after the last WAL entry plus
+    the decisions that were {e not} yet durable (crash window) — the
+    caller should re-emit exactly those. *)
+val resume :
+  algo:Omflp_core.Algo_intf.packed ->
+  Checkpoint.resume ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  (t * Wire.decision list)
+
+(** [count t] is the number of requests served (including replayed). *)
+val count : t -> int
+
+(** [running_costs t] is (construction, assignment, total) so far. *)
+val running_costs : t -> float * float * float
+
+(** [close t] writes a final snapshot and closes the checkpoint (no-op
+    without one). *)
+val close : t -> unit

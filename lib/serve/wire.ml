@@ -1,0 +1,177 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+open Omflp_core
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_float b v = Buffer.add_string b (Printf.sprintf "%.17g" v)
+
+let buf_add_int_list b es =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int e))
+    es;
+  Buffer.add_char b ']'
+
+(* ---------- requests ---------- *)
+
+let int_member key json =
+  match Option.bind (Minijson.member key json) Minijson.to_float with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let demand_member key json =
+  match Option.bind (Minijson.member key json) Minijson.to_list with
+  | None -> None
+  | Some items ->
+      let rec ints acc = function
+        | [] -> Some (List.rev acc)
+        | j :: rest -> (
+            match Minijson.to_float j with
+            | Some f when Float.is_integer f -> ints (int_of_float f :: acc) rest
+            | _ -> None)
+      in
+      ints [] items
+
+let parse_request ~n_sites ~n_commodities line =
+  match Minijson.of_string line with
+  | exception Minijson.Parse_error msg -> Error ("bad JSON: " ^ msg)
+  | json -> (
+      match (int_member "site" json, demand_member "demand" json) with
+      | None, _ -> Error {|missing or non-integer "site"|}
+      | _, None -> Error {|missing or non-integer-list "demand"|}
+      | Some site, Some demand ->
+          if site < 0 || site >= n_sites then
+            Error
+              (Printf.sprintf "site %d out of range [0,%d)" site n_sites)
+          else if demand = [] then Error "empty demand"
+          else if
+            List.exists (fun e -> e < 0 || e >= n_commodities) demand
+          then
+            Error
+              (Printf.sprintf "demand commodity out of range [0,%d)"
+                 n_commodities)
+          else
+            Ok
+              (Request.make ~site
+                 ~demand:(Cset.of_list ~n_commodities demand)))
+
+let request_to_json ~index (r : Request.t) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "{\"index\":";
+  Buffer.add_string b (string_of_int index);
+  Buffer.add_string b ",\"site\":";
+  Buffer.add_string b (string_of_int r.site);
+  Buffer.add_string b ",\"demand\":";
+  buf_add_int_list b (Cset.elements r.demand);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let parse_wal_line ~n_sites ~n_commodities line =
+  match Minijson.of_string line with
+  | exception Minijson.Parse_error msg -> Error ("bad JSON: " ^ msg)
+  | json -> (
+      match int_member "index" json with
+      | None -> Error {|missing or non-integer "index"|}
+      | Some index -> (
+          match parse_request ~n_sites ~n_commodities line with
+          | Error e -> Error e
+          | Ok r -> Ok (index, r)))
+
+(* ---------- decisions ---------- *)
+
+type decision = {
+  index : int;
+  site : int;
+  demand : int list;
+  service : Service.t;
+  opened : Facility.t list;
+  construction : float;
+  assignment : float;
+  total : float;
+}
+
+let buf_add_kind b (k : Facility.kind) =
+  match k with
+  | Facility.Small e -> buf_add_json_string b (Printf.sprintf "small(%d)" e)
+  | Facility.Large -> buf_add_json_string b "large"
+  | Facility.Custom s ->
+      buf_add_json_string b
+        ("custom("
+        ^ String.concat "," (List.map string_of_int (Cset.elements s))
+        ^ ")")
+
+let buf_add_facility b (f : Facility.t) =
+  Buffer.add_string b "{\"id\":";
+  Buffer.add_string b (string_of_int f.id);
+  Buffer.add_string b ",\"site\":";
+  Buffer.add_string b (string_of_int f.site);
+  Buffer.add_string b ",\"kind\":";
+  buf_add_kind b f.kind;
+  Buffer.add_string b ",\"cost\":";
+  buf_add_float b f.cost;
+  Buffer.add_char b '}'
+
+let buf_add_service b (s : Service.t) =
+  match s with
+  | Service.To_single fid ->
+      Buffer.add_string b "{\"kind\":\"single\",\"facility\":";
+      Buffer.add_string b (string_of_int fid);
+      Buffer.add_char b '}'
+  | Service.Per_commodity pairs ->
+      Buffer.add_string b "{\"kind\":\"per_commodity\",\"pairs\":[";
+      List.iteri
+        (fun i (e, fid) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '[';
+          Buffer.add_string b (string_of_int e);
+          Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int fid);
+          Buffer.add_char b ']')
+        pairs;
+      Buffer.add_string b "]}"
+
+let decision_to_json ?latency_s (d : decision) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"index\":";
+  Buffer.add_string b (string_of_int d.index);
+  Buffer.add_string b ",\"site\":";
+  Buffer.add_string b (string_of_int d.site);
+  Buffer.add_string b ",\"demand\":";
+  buf_add_int_list b d.demand;
+  Buffer.add_string b ",\"service\":";
+  buf_add_service b d.service;
+  Buffer.add_string b ",\"opened\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_facility b f)
+    d.opened;
+  Buffer.add_string b "],\"construction\":";
+  buf_add_float b d.construction;
+  Buffer.add_string b ",\"assignment\":";
+  buf_add_float b d.assignment;
+  Buffer.add_string b ",\"total\":";
+  buf_add_float b d.total;
+  (match latency_s with
+  | None -> ()
+  | Some l -> Buffer.add_string b (Printf.sprintf ",\"latency_s\":%.6f" l));
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,46 @@
+(** JSONL wire format of the serving layer.
+
+    Requests arrive one JSON object per line, [{"site":s,"demand":[e,...]}];
+    each produces one decision record. The {e canonical} decision encoding
+    (no [latency_s] field, floats printed [%.17g]) is what lands in the
+    checkpoint's decision log, so an interrupted-and-resumed session can be
+    diffed byte-for-byte against a straight-through run; the interactive
+    stream adds the per-step latency on top. *)
+
+(** A decision record: what happened to request [index]. [opened] lists
+    facilities opened {e by this step} in opening order; the cost fields
+    are the running totals after the step. *)
+type decision = {
+  index : int;
+  site : int;
+  demand : int list;
+  service : Omflp_core.Service.t;
+  opened : Omflp_core.Facility.t list;
+  construction : float;
+  assignment : float;
+  total : float;
+}
+
+(** [parse_request ~n_sites ~n_commodities line] parses and validates one
+    input line. Errors are human-readable and never exceptions. *)
+val parse_request :
+  n_sites:int ->
+  n_commodities:int ->
+  string ->
+  (Omflp_instance.Request.t, string) result
+
+(** [request_to_json ~index r] is the canonical WAL encoding,
+    [{"index":k,"site":s,"demand":[...]}]. *)
+val request_to_json : index:int -> Omflp_instance.Request.t -> string
+
+(** [parse_wal_line ~n_sites ~n_commodities line] reads back a
+    {!request_to_json} line. *)
+val parse_wal_line :
+  n_sites:int ->
+  n_commodities:int ->
+  string ->
+  (int * Omflp_instance.Request.t, string) result
+
+(** [decision_to_json ?latency_s d] encodes a decision record on one line.
+    Omit [latency_s] for the canonical (replay-stable) form. *)
+val decision_to_json : ?latency_s:float -> decision -> string

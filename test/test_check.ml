@@ -28,6 +28,10 @@ module Broken_cost : Algo_intf.ALGO = struct
       Run.algorithm = name;
       construction_cost = run.Run.construction_cost *. 0.5;
     }
+
+  let store = Indep_baseline.store
+  let snapshot = Indep_baseline.snapshot
+  let restore = Indep_baseline.restore
 end
 
 let mutant = [ ("BROKEN-COST", (module Broken_cost : Algo_intf.ALGO)) ]
@@ -113,16 +117,49 @@ let test_mutant_is_caught () =
          && f.violation.Oracle.check = "feasible")
        replayed.Check_engine.findings)
 
+let test_corpus_rejects_truncated () =
+  (* Corpus files are written atomically (temp + rename), so a torn file
+     can only come from outside — and the loader must reject it with the
+     serializer's named error instead of replaying garbage. *)
+  with_temp_corpus @@ fun dir ->
+  let sc = Scenario.generate ~master_seed:seed ~index:1 in
+  let path = Corpus.save ~dir ~slug:"truncated" sc.Scenario.instance in
+  check_int "no temp-file litter next to the corpus file" 1
+    (Array.length (Sys.readdir dir));
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let prefix = really_input_string ic (len / 2) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc prefix;
+  close_out oc;
+  match Corpus.load_all ~dir with
+  | [ (p, Error msg) ] ->
+      check_bool "same path" true (p = path);
+      check_bool "named Serial.load error" true
+        (String.length msg >= 11 && String.sub msg 0 11 = "Serial.load")
+  | [ (_, Ok _) ] -> Alcotest.fail "truncated corpus file was accepted"
+  | entries ->
+      Alcotest.failf "expected exactly one corpus entry, got %d"
+        (List.length entries)
+
 let test_oracle_reports_instead_of_raising () =
   (* An algorithm that raises mid-run must surface as a ["run"] violation,
      not as an exception out of the checker. *)
   let module Crasher : Algo_intf.ALGO = struct
-    type t = unit
+    type t = Facility_store.t
 
     let name = "CRASHER"
-    let create ?seed:_ _ _ = ()
-    let step () _ = failwith "boom"
-    let run_so_far () = Alcotest.fail "unreachable"
+
+    let create ?seed:_ metric cost =
+      Facility_store.create metric
+        ~n_commodities:(Omflp_commodity.Cost_function.n_commodities cost)
+
+    let step _ _ = failwith "boom"
+    let run_so_far _ = Alcotest.fail "unreachable"
+    let store t = t
+    let snapshot _ = failwith "CRASHER has no snapshot"
+    let restore _ _ _ = failwith "CRASHER has no restore"
   end in
   let sc = Scenario.generate ~master_seed:seed ~index:0 in
   let violations =
@@ -147,5 +184,7 @@ let () =
             `Quick test_mutant_is_caught;
           Alcotest.test_case "algorithm exception becomes a finding" `Quick
             test_oracle_reports_instead_of_raising;
+          Alcotest.test_case "truncated corpus file rejected" `Quick
+            test_corpus_rejects_truncated;
         ] );
     ]

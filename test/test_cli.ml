@@ -122,6 +122,52 @@ let test_gate_flags_regressions () =
               Alcotest.failf "expected exactly one regression, got %d"
                 (List.length rs)))
 
+let test_gate_vacuous_fails () =
+  (* Regression: a comparison where every row skipped (renamed
+     benchmarks, foreign baseline) reported "gate: OK". Zero compared
+     rows must be a hard Error with the pinned message. *)
+  let path =
+    write_baseline [ ("other-a", Some 1000.0); ("other-b", Some 500.0) ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let current = [ ("mine-1", Some 10.0); ("mine-2", None) ] in
+      match
+        Benchkit.compare_baseline ~baseline_path:path ~max_regression:0.25
+          current
+      with
+      | Ok _ -> Alcotest.fail "vacuous comparison must not pass"
+      | Error e ->
+          check_string "pinned message"
+            (Benchkit.vacuous_error ~baseline_path:path ~n_rows:2 ~skipped:2)
+            e;
+      match
+        Benchkit.compare_baseline ~baseline_path:path ~max_regression:0.25 []
+      with
+      | Ok _ -> Alcotest.fail "empty current rows must not pass"
+      | Error _ -> ())
+
+let test_gate_partial_skip_passes () =
+  (* Skipping is fine as long as at least one row was really compared. *)
+  let path = write_baseline [ ("kept", Some 1000.0) ] in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let current =
+        [ ("kept", Some 1000.0); ("new-a", Some 1.0); ("new-b", None) ]
+      in
+      match
+        Benchkit.compare_baseline ~baseline_path:path ~max_regression:0.25
+          current
+      with
+      | Error e -> Alcotest.fail e
+      | Ok report ->
+          check_int "compared" 1 report.Benchkit.compared;
+          check_int "skipped" 2 report.Benchkit.skipped;
+          check_int "no regressions" 0
+            (List.length report.Benchkit.regressions))
+
 let test_gate_missing_baseline () =
   check_bool "unreadable baseline is an Error" true
     (match
@@ -154,5 +200,9 @@ let () =
             test_gate_flags_regressions;
           Alcotest.test_case "missing baseline" `Quick
             test_gate_missing_baseline;
+          Alcotest.test_case "vacuous comparison fails" `Quick
+            test_gate_vacuous_fails;
+          Alcotest.test_case "partial skip still passes" `Quick
+            test_gate_partial_skip_passes;
         ] );
     ]

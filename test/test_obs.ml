@@ -215,6 +215,42 @@ let test_trace_sink_json_lines () =
     "second record" "{\"kind\":\"request\",\"seq\":1,\"index\":1}" l2;
   check_bool "exactly two lines" true eof
 
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_trace_sink_appends () =
+  (* Regression: [open_file] used to truncate, so a resumed session (or
+     any second sink on the same path) wiped the events of the first.
+     It must append — and flush per record, so the line is durable
+     before [close]. *)
+  let path = Filename.temp_file "omflp_trace" ".jsonl" in
+  let s1 = Trace_sink.open_file path in
+  Trace_sink.emit s1 ~kind:"first" [ ("i", Trace_sink.Int 0) ];
+  Trace_sink.close s1;
+  let s2 = Trace_sink.open_file path in
+  Trace_sink.emit s2 ~kind:"second" [ ("i", Trace_sink.Int 1) ];
+  let durable_before_close = List.length (read_lines path) in
+  Trace_sink.close s2;
+  let lines = read_lines path in
+  Sys.remove path;
+  check_int "record durable before close" 2 durable_before_close;
+  check_int "both sessions' records survive" 2 (List.length lines);
+  Alcotest.(check string)
+    "first session's record intact"
+    "{\"kind\":\"first\",\"seq\":0,\"i\":0}" (List.nth lines 0);
+  Alcotest.(check string)
+    "second session appended (seq restarts per sink)"
+    "{\"kind\":\"second\",\"seq\":0,\"i\":1}" (List.nth lines 1)
+
 (* ---------- report ---------- *)
 
 let test_report_renders () =
@@ -341,7 +377,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_shards_equal_serial;
         ] );
       ( "trace",
-        [ Alcotest.test_case "json lines" `Quick test_trace_sink_json_lines ] );
+        [
+          Alcotest.test_case "json lines" `Quick test_trace_sink_json_lines;
+          Alcotest.test_case "append across sinks" `Quick
+            test_trace_sink_appends;
+        ] );
       ( "report",
         [ Alcotest.test_case "render" `Quick test_report_renders ] );
       ( "parity",

@@ -1,0 +1,387 @@
+(* Serving-layer tests: the byte-identical kill/resume contract at every
+   interruption point for every registered algorithm (pinned against the
+   golden run digests), the JSONL wire format, and the checkpoint
+   directory's durability invariants (WAL ahead of decisions, torn-tail
+   truncation, snapshot integrity, named corruption errors). *)
+
+open Omflp_instance
+open Omflp_core
+open Omflp_serve
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let master_seed = 0xD16E57
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let scenario index =
+  let sc = Omflp_check.Scenario.generate ~master_seed ~index in
+  (sc.Omflp_check.Scenario.instance, sc.Omflp_check.Scenario.algo_seed)
+
+let load_golden () =
+  let golden = "golden/run_digests.txt" in
+  let path =
+    if Sys.file_exists golden then golden else Filename.concat "test" golden
+  in
+  let tbl = Hashtbl.create 256 in
+  In_channel.with_open_text path In_channel.input_lines
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ idx; name; md5 ] ->
+             Hashtbl.replace tbl (int_of_string idx, name) md5
+         | _ -> Alcotest.failf "malformed golden line %S" line);
+  tbl
+
+(* ---------- kill at every step ---------- *)
+
+(* For every algorithm, every scenario family, and every cut point k:
+   serve k requests, snapshot, restore from the blob, serve the rest —
+   the completed run must be byte-identical (run_digest: decisions,
+   facility ids, %.17g costs) to the uninterrupted run, which itself is
+   pinned to test/golden/run_digests.txt. *)
+let test_kill_at_every_step () =
+  let golden = load_golden () in
+  List.iter
+    (fun index ->
+      let inst, seed = scenario index in
+      let n = Instance.n_requests inst in
+      List.iter
+        (fun (name, (module A : Algo_intf.ALGO)) ->
+          let straight =
+            let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+            Array.iter (fun r -> ignore (A.step t r)) inst.Instance.requests;
+            Omflp_check.Oracle.run_digest (A.run_so_far t)
+          in
+          (match Hashtbl.find_opt golden (index, name) with
+          | Some md5 ->
+              check_string
+                (Printf.sprintf "scenario %02d %s matches golden" index name)
+                md5
+                (Digest.to_hex (Digest.string straight))
+          | None -> Alcotest.failf "no golden digest for %d %s" index name);
+          for k = 0 to n do
+            let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+            for i = 0 to k - 1 do
+              ignore (A.step t inst.Instance.requests.(i))
+            done;
+            let blob = A.snapshot t in
+            let t' = A.restore inst.Instance.metric inst.Instance.cost blob in
+            for i = k to n - 1 do
+              ignore (A.step t' inst.Instance.requests.(i))
+            done;
+            let resumed = Omflp_check.Oracle.run_digest (A.run_so_far t') in
+            if resumed <> straight then
+              Alcotest.failf
+                "%s, scenario %d: kill/restore after request %d diverges \
+                 from the uninterrupted run"
+                name index k
+          done)
+        (Registry.extended ()))
+    [ 0; 1; 2 ]
+
+(* A blob must only restore into the algorithm that wrote it. *)
+let test_snapshot_rejects_foreign_blob () =
+  let inst, seed = scenario 0 in
+  let module P = Pd_omflp in
+  let module G = Greedy_baseline in
+  let t = G.create ~seed inst.Instance.metric inst.Instance.cost in
+  ignore (G.step t inst.Instance.requests.(0));
+  let blob = G.snapshot t in
+  check_bool "foreign blob raises Failure" true
+    (match P.restore inst.Instance.metric inst.Instance.cost blob with
+    | _ -> false
+    | exception Failure _ -> true)
+
+(* ---------- wire format ---------- *)
+
+let test_wire_parse_request () =
+  let ok line =
+    match Wire.parse_request ~n_sites:4 ~n_commodities:3 line with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "unexpected parse error on %S: %s" line e
+  in
+  let err line =
+    match Wire.parse_request ~n_sites:4 ~n_commodities:3 line with
+    | Ok _ -> Alcotest.failf "expected a parse error on %S" line
+    | Error e -> e
+  in
+  let r = ok {|{"site":2,"demand":[0,2]}|} in
+  check_int "site" 2 r.Request.site;
+  Alcotest.(check (list int))
+    "demand" [ 0; 2 ]
+    (Omflp_commodity.Cset.elements r.Request.demand);
+  check_bool "bad json" true (err "{" <> "");
+  check_bool "missing site" true (err {|{"demand":[0]}|} <> "");
+  check_bool "site range" true (err {|{"site":4,"demand":[0]}|} <> "");
+  check_bool "empty demand" true (err {|{"site":0,"demand":[]}|} <> "");
+  check_bool "commodity range" true (err {|{"site":0,"demand":[3]}|} <> "")
+
+let test_wire_wal_round_trip () =
+  let r =
+    Request.make ~site:3
+      ~demand:(Omflp_commodity.Cset.of_list ~n_commodities:5 [ 1; 4 ])
+  in
+  let line = Wire.request_to_json ~index:7 r in
+  check_string "canonical wal line" {|{"index":7,"site":3,"demand":[1,4]}|}
+    line;
+  match Wire.parse_wal_line ~n_sites:4 ~n_commodities:5 line with
+  | Error e -> Alcotest.fail e
+  | Ok (index, r') ->
+      check_int "index" 7 index;
+      check_int "site" 3 r'.Request.site;
+      check_bool "demand" true
+        (Omflp_commodity.Cset.equal r.Request.demand r'.Request.demand)
+
+let test_wire_decision_latency_variants () =
+  let inst, seed = scenario 0 in
+  let session =
+    Session.create
+      ~algo:(module Pd_omflp : Algo_intf.ALGO)
+      ~seed inst.Instance.metric inst.Instance.cost
+  in
+  let d = Session.handle session inst.Instance.requests.(0) in
+  let canonical = Wire.decision_to_json d in
+  let with_latency = Wire.decision_to_json ~latency_s:0.25 d in
+  check_bool "canonical has no latency field" true
+    (not (contains ~sub:"latency_s" canonical));
+  check_string "latency variant extends the canonical record"
+    (String.sub canonical 0 (String.length canonical - 1)
+    ^ {|,"latency_s":0.250000}|})
+    with_latency
+
+(* ---------- checkpoint durability ---------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "omflp-serve" ".ckpt" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else In_channel.with_open_text path In_channel.input_lines
+
+let md5 = "0123456789abcdef0123456789abcdef"
+
+let algo_pd = (module Pd_omflp : Algo_intf.ALGO)
+
+let fresh_checkpoint ~dir ~snapshot_every =
+  Checkpoint.create ~dir ~algo:Pd_omflp.name ~seed:(Some 0)
+    ~instance_md5:md5 ~snapshot_every
+
+(* Serve [k] requests into a fresh checkpoint and abandon the session
+   without closing — the library-level equivalent of SIGKILL. *)
+let crash_after ~dir ~snapshot_every k =
+  let inst, _ = scenario 0 in
+  let cp = fresh_checkpoint ~dir ~snapshot_every in
+  let session =
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp
+      inst.Instance.metric inst.Instance.cost
+  in
+  for i = 0 to k - 1 do
+    ignore (Session.handle session inst.Instance.requests.(i))
+  done;
+  inst
+
+(* Reference decision log: the full run, straight through. *)
+let reference_decisions inst =
+  let session =
+    Session.create ~algo:algo_pd ~seed:0 inst.Instance.metric
+      inst.Instance.cost
+  in
+  Array.to_list inst.Instance.requests
+  |> List.map (fun r -> Wire.decision_to_json (Session.handle session r))
+
+let resume_and_finish ~dir inst =
+  let rz =
+    Checkpoint.open_resume ~dir
+      ~n_sites:(Instance.n_sites inst)
+      ~n_commodities:(Instance.n_commodities inst)
+      ~instance_md5:md5
+  in
+  let session, lost =
+    Session.resume ~algo:algo_pd rz inst.Instance.metric inst.Instance.cost
+  in
+  let rest = ref [] in
+  for i = Session.count session to Instance.n_requests inst - 1 do
+    rest :=
+      Wire.decision_to_json (Session.handle session inst.Instance.requests.(i))
+      :: !rest
+  done;
+  Session.close session;
+  (rz, lost, List.rev !rest)
+
+let test_wal_precedes_decisions () =
+  with_temp_dir @@ fun dir ->
+  let inst = crash_after ~dir ~snapshot_every:2 5 in
+  let rz =
+    Checkpoint.open_resume ~dir
+      ~n_sites:(Instance.n_sites inst)
+      ~n_commodities:(Instance.n_commodities inst)
+      ~instance_md5:md5
+  in
+  check_int "wal holds every accepted request" 5 (List.length rz.Checkpoint.wal);
+  check_int "every decision is durable" 5 rz.Checkpoint.n_decisions;
+  (match rz.Checkpoint.snapshot with
+  | Some (count, _) -> check_int "snapshot at the last cadence point" 4 count
+  | None -> Alcotest.fail "expected a snapshot");
+  Checkpoint.close rz.Checkpoint.cp
+
+let test_kill_resume_decision_log_byte_identical () =
+  (* Kill after k requests for every k, resume, finish: the durable
+     decision log must equal the straight-through log line for line. *)
+  let inst, _ = scenario 0 in
+  let reference = reference_decisions inst in
+  for k = 0 to Instance.n_requests inst do
+    with_temp_dir @@ fun dir ->
+    ignore (crash_after ~dir ~snapshot_every:3 k);
+    let _, lost, _ = resume_and_finish ~dir inst in
+    check_int (Printf.sprintf "kill at %d loses nothing durable" k) 0
+      (List.length lost);
+    Alcotest.(check (list string))
+      (Printf.sprintf "decision log after kill at %d" k)
+      reference
+      (read_lines (Filename.concat dir "decisions.jsonl"))
+  done
+
+let test_torn_tails_and_crash_window () =
+  with_temp_dir @@ fun dir ->
+  let inst = crash_after ~dir ~snapshot_every:100 6 in
+  (* Simulate the crash window: the decision append of request 5 died
+     mid-write (partial line, no newline), and a WAL append for request 6
+     died the same way. *)
+  let chop path =
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc
+          (String.sub content 0 (String.length content - 7)))
+  in
+  chop (Filename.concat dir "decisions.jsonl");
+  let oc =
+    open_out_gen [ Open_wronly; Open_append ] 0o644
+      (Filename.concat dir "wal.jsonl")
+  in
+  output_string oc {|{"index":6,"si|};
+  close_out oc;
+  let rz, lost, _ = resume_and_finish ~dir inst in
+  check_int "torn wal line dropped" 6 (List.length rz.Checkpoint.wal);
+  check_int "torn decision line dropped" 5 rz.Checkpoint.n_decisions;
+  (match lost with
+  | [ d ] -> check_int "the crash-window decision is re-emitted" 5 d.Wire.index
+  | l -> Alcotest.failf "expected exactly one lost decision, got %d"
+           (List.length l));
+  Alcotest.(check (list string))
+    "decision log healed to the reference"
+    (reference_decisions inst)
+    (read_lines (Filename.concat dir "decisions.jsonl"))
+
+let expect_failure ~substring f =
+  match f () with
+  | _ -> Alcotest.failf "expected Failure mentioning %S" substring
+  | exception Failure msg ->
+      check_bool
+        (Printf.sprintf "error %S mentions %S" msg substring)
+        true
+        (contains ~sub:substring msg)
+
+let test_corruption_is_named () =
+  with_temp_dir @@ fun dir ->
+  let inst = crash_after ~dir ~snapshot_every:2 6 in
+  let open_rz () =
+    Checkpoint.open_resume ~dir
+      ~n_sites:(Instance.n_sites inst)
+      ~n_commodities:(Instance.n_commodities inst)
+      ~instance_md5:md5
+  in
+  (* Truncated snapshot: the MD5 in the header no longer matches. *)
+  let snap = Filename.concat dir "snapshot.bin" in
+  let content = In_channel.with_open_bin snap In_channel.input_all in
+  Out_channel.with_open_bin snap (fun oc ->
+      Out_channel.output_string oc
+        (String.sub content 0 (String.length content - 3)));
+  expect_failure ~substring:"snapshot integrity check failed" open_rz;
+  (* Garbage header. *)
+  Out_channel.with_open_bin snap (fun oc ->
+      Out_channel.output_string oc "not a snapshot\njunk");
+  expect_failure ~substring:"corrupt snapshot header" open_rz;
+  (* Snapshot newer than the durable decisions: external truncation of
+     the decision log (a real crash cannot produce this ordering). *)
+  Out_channel.with_open_bin snap (fun oc ->
+      Out_channel.output_string oc content);
+  let dec = Filename.concat dir "decisions.jsonl" in
+  let lines = read_lines dec in
+  Out_channel.with_open_bin dec (fun oc ->
+      List.iteri
+        (fun i l -> if i < 3 then Out_channel.output_string oc (l ^ "\n"))
+        lines);
+  expect_failure ~substring:"snapshot covers" open_rz;
+  (* Wrong instance hash. *)
+  expect_failure ~substring:"instance mismatch" (fun () ->
+      Checkpoint.open_resume ~dir
+        ~n_sites:(Instance.n_sites inst)
+        ~n_commodities:(Instance.n_commodities inst)
+        ~instance_md5:(String.make 32 'f'))
+
+let test_create_refuses_live_directory () =
+  with_temp_dir @@ fun dir ->
+  let cp = fresh_checkpoint ~dir ~snapshot_every:4 in
+  Checkpoint.close cp;
+  expect_failure ~substring:"already holds a session" (fun () ->
+      fresh_checkpoint ~dir ~snapshot_every:4)
+
+let test_session_algo_mismatch () =
+  with_temp_dir @@ fun dir ->
+  let inst, _ = scenario 0 in
+  let cp = fresh_checkpoint ~dir ~snapshot_every:4 in
+  expect_failure ~substring:"checkpoint belongs to" (fun () ->
+      Session.create
+        ~algo:(module Greedy_baseline : Algo_intf.ALGO)
+        ~seed:0 ~checkpoint:cp inst.Instance.metric inst.Instance.cost)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "resume",
+        [
+          Alcotest.test_case "kill at every step, all algorithms" `Slow
+            test_kill_at_every_step;
+          Alcotest.test_case "foreign blob rejected" `Quick
+            test_snapshot_rejects_foreign_blob;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "parse request" `Quick test_wire_parse_request;
+          Alcotest.test_case "wal round trip" `Quick test_wire_wal_round_trip;
+          Alcotest.test_case "decision latency variants" `Quick
+            test_wire_decision_latency_variants;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "wal precedes decisions" `Quick
+            test_wal_precedes_decisions;
+          Alcotest.test_case "kill/resume decision log byte-identical" `Slow
+            test_kill_resume_decision_log_byte_identical;
+          Alcotest.test_case "torn tails and crash window" `Quick
+            test_torn_tails_and_crash_window;
+          Alcotest.test_case "corruption errors are named" `Quick
+            test_corruption_is_named;
+          Alcotest.test_case "create refuses a live directory" `Quick
+            test_create_refuses_live_directory;
+          Alcotest.test_case "algorithm mismatch" `Quick
+            test_session_algo_mismatch;
+        ] );
+    ]
