@@ -511,11 +511,54 @@ let serve_cmd =
              lost in the crash window, and skip that many already-served \
              leading input lines.")
   in
-  let action algo env checkpoint snapshot_every resume seed metrics trace =
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve many concurrent sessions over a socket instead of one \
+             over stdin: a path is a Unix-domain socket, HOST:PORT is TCP. \
+             Each connection opens with a session handshake line; with \
+             --checkpoint DIR every session checkpoints under DIR/ID. \
+             Stdin mode is exactly this with one anonymous session.")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Refuse handshakes beyond $(docv) concurrent sessions \
+             (--listen only).")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Per-connection request-queue bound; a full queue stops \
+             reading that connection until its session catches up \
+             (--listen only).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Serving domains for --listen mode.")
+  in
+  let action algo env checkpoint snapshot_every resume listen max_sessions
+      queue_depth workers seed metrics trace =
     if snapshot_every <= 0 then
       Cli_flags.die "omflp: --snapshot-every must be >= 1";
     if resume && checkpoint = None then
       Cli_flags.die "omflp: --resume requires --checkpoint";
+    if resume && listen <> None then
+      Cli_flags.die
+        "omflp: --resume is per-session in --listen mode (use the \
+         handshake's \"resume\":true instead)";
     let inst = Serial.load_file env in
     let metric = inst.Instance.metric and cost = inst.Instance.cost in
     let n_sites = Instance.n_sites inst in
@@ -530,6 +573,28 @@ let serve_cmd =
     in
     let (module A : Omflp_core.Algo_intf.ALGO) = algo_m in
     let instance_md5 = Digest.to_hex (Digest.file env) in
+    match listen with
+    | Some addr -> (
+        match
+          with_obs ~metrics ~trace (fun () ->
+              Serve.Server.run
+                {
+                  Serve.Server.listen = addr;
+                  algo;
+                  env = inst;
+                  instance_md5;
+                  checkpoint_root = checkpoint;
+                  snapshot_every;
+                  seed;
+                  max_sessions;
+                  queue_depth;
+                  workers;
+                })
+        with
+        | () -> ()
+        | exception (Failure msg | Invalid_argument msg) ->
+            Cli_flags.die ("omflp serve: " ^ msg))
+    | None -> (
     match
       with_obs ~metrics ~trace (fun () ->
         let session, skip, reemit =
@@ -599,16 +664,124 @@ let serve_cmd =
           total construction assignment)
     with
     | () -> ()
-    | exception Failure msg -> Cli_flags.die ("omflp serve: " ^ msg)
+    | exception Failure msg -> Cli_flags.die ("omflp serve: " ^ msg))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve requests interactively: JSON lines in, decision records \
-          out, with optional crash-robust checkpoint/resume.")
+          out, with optional crash-robust checkpoint/resume; --listen \
+          multiplexes many concurrent sessions over a socket.")
     Term.(
       const action $ algo_arg $ env_arg $ checkpoint_arg $ snapshot_every_arg
-      $ resume_arg $ seed_arg $ metrics_arg $ trace_arg)
+      $ resume_arg $ listen_arg $ max_sessions_arg $ queue_depth_arg
+      $ workers_arg $ seed_arg $ metrics_arg $ trace_arg)
+
+(* omflp loadgen *)
+let loadgen_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Server address ('omflp serve --listen' syntax): a Unix-domain \
+             socket path or HOST:PORT.")
+  in
+  let env_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "env" ] ~docv:"FILE"
+          ~doc:
+            "Instance file ('omflp gen'); session $(i,i) replays its \
+             request sequence rotated by $(i,i).")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent client sessions.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests per session (wraps around the instance).")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algo" ] ~docv:"NAME"
+          ~doc:"Algorithm named in the handshake; default: the server's.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Max in-flight requests per connection.")
+  in
+  let prefix_arg =
+    Arg.(
+      value & opt string "lg"
+      & info [ "session-prefix" ] ~docv:"S" ~doc:"Session id prefix.")
+  in
+  let no_checkpoint_arg =
+    Arg.(
+      value & flag
+      & info [ "no-checkpoint" ]
+          ~doc:
+            "Opt sessions out of checkpointing even when the server has a \
+             checkpoint root.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ] ~doc:"Resume every session from its checkpoint.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-dir" ] ~docv:"DIR"
+          ~doc:
+            "Also write each session's exact request stream to \
+             DIR/ID.jsonl, for byte-identity replays through stdin mode.")
+  in
+  let action connect env sessions requests algo window prefix no_checkpoint
+      resume dump_dir seed =
+    let inst = Serial.load_file env in
+    match
+      Omflp_loadgen.Loadgen.run
+        {
+          Omflp_loadgen.Loadgen.connect;
+          env = inst;
+          sessions;
+          requests_per_session = requests;
+          algo;
+          seed = Some seed;
+          snapshot_every = None;
+          checkpoint = (if no_checkpoint then Some false else None);
+          resume;
+          window;
+          session_prefix = prefix;
+          dump_dir;
+        }
+    with
+    | Ok report -> Omflp_loadgen.Loadgen.print_report stdout report
+    | Error msg -> Cli_flags.die ("omflp loadgen: " ^ msg)
+    | exception (Failure msg | Invalid_argument msg) ->
+        Cli_flags.die ("omflp loadgen: " ^ msg)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive an 'omflp serve --listen' server with N concurrent \
+          sessions and report throughput and latency percentiles.")
+    Term.(
+      const action $ connect_arg $ env_arg $ sessions_arg $ requests_arg
+      $ algo_arg $ window_arg $ prefix_arg $ no_checkpoint_arg $ resume_arg
+      $ dump_arg $ seed_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -628,4 +801,5 @@ let () =
             check_cmd;
             selfcheck_cmd;
             serve_cmd;
+            loadgen_cmd;
           ]))

@@ -237,18 +237,32 @@ let bucket_bounds i = (Float.ldexp 1.0 (i - 34), Float.ldexp 1.0 (i - 33))
 
 let snapshot () =
   let all = sorted_shards () in
+  (* Capture (count, names) pairs under the registration mutex: a
+     concurrent [register] from another domain swaps the names array
+     ([grow_s]) and bumps the count non-atomically, so an unguarded
+     reader can pair a new count with a stale (shorter, or
+     partially-blank) array — yielding empty instrument names or an
+     out-of-bounds read. Holding the mutex synchronizes-with the
+     registering domain's release, so every slot below the captured
+     count is fully written in the captured array. *)
+  let n_c, names_c, n_t, names_t, n_h, names_h =
+    Mutex.lock reg_mutex;
+    let r = (!c_count, !c_names, !t_count, !t_names, !h_count, !h_names) in
+    Mutex.unlock reg_mutex;
+    r
+  in
   let counters =
-    List.init !c_count (fun i ->
+    List.init n_c (fun i ->
         let v =
           List.fold_left
             (fun acc s -> if i < Array.length s.sh_c then acc + s.sh_c.(i) else acc)
             0 all
         in
-        { c_name = !c_names.(i); c_value = v })
+        { c_name = names_c.(i); c_value = v })
     |> List.sort (fun a b -> String.compare a.c_name b.c_name)
   in
   let timers =
-    List.init !t_count (fun i ->
+    List.init n_t (fun i ->
         let events, total =
           List.fold_left
             (fun (e, tt) s ->
@@ -257,11 +271,11 @@ let snapshot () =
               else (e, tt))
             (0, 0.0) all
         in
-        { t_name = !t_names.(i); t_events = events; t_total_s = total })
+        { t_name = names_t.(i); t_events = events; t_total_s = total })
     |> List.sort (fun a b -> String.compare a.t_name b.t_name)
   in
   let histograms =
-    List.init !h_count (fun i ->
+    List.init n_h (fun i ->
         let cells = Array.make n_buckets 0 in
         let sum =
           List.fold_left
@@ -286,7 +300,7 @@ let snapshot () =
           end
         done;
         {
-          h_name = !h_names.(i);
+          h_name = names_h.(i);
           h_events = !events;
           h_sum = sum;
           h_buckets = !buckets;

@@ -16,7 +16,11 @@
     yields the same counts whether it ran on 1 domain or N — while float
     accumulators (timer totals, histogram sums) merge in a deterministic
     order. Merging is intended for join points: call {!snapshot} or
-    {!value} only while no task is concurrently recording.
+    {!value} only while no task is concurrently {e recording}.
+    Concurrent {e registration} is safe, though: {!snapshot} captures the
+    instrument name tables under the registration mutex, so a server
+    registering per-session instruments on one domain never tears a
+    snapshot taken on another.
 
     Recording is gated by {!set_enabled} and starts disabled, so
     unobserved runs pay only the flag check. *)

@@ -3,10 +3,16 @@ type value = Int of int | Float of float | String of string | Bool of bool
 type t = {
   oc : out_channel;
   owns_channel : bool;  (* close the fd on [close], not just flush *)
+  (* Single-writer lock: concurrent sessions on different domains share
+     one sink, and an unserialized [output]+[flush] pair interleaves —
+     torn JSONL lines — while the unguarded [seq] bump duplicates
+     sequence numbers. Each record's field list is rendered off-lock;
+     the seq draw and the whole-line write+flush hold the lock. *)
+  mutex : Mutex.t;
   mutable seq : int;
 }
 
-let to_channel oc = { oc; owns_channel = false; seq = 0 }
+let to_channel oc = { oc; owns_channel = false; mutex = Mutex.create (); seq = 0 }
 
 (* Append, never truncate: a resumed session (or a second sink on the
    same path) must extend the event log, not silently clobber it. *)
@@ -14,7 +20,7 @@ let open_file path =
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
   in
-  { oc; owns_channel = true; seq = 0 }
+  { oc; owns_channel = true; mutex = Mutex.create (); seq = 0 }
 
 let escape_into buf s =
   String.iter
@@ -42,24 +48,31 @@ let add_value buf = function
       Buffer.add_char buf '"'
 
 let emit t ~kind fields =
-  let buf = Buffer.create 128 in
-  Buffer.add_string buf "{\"kind\":";
-  add_value buf (String kind);
-  Buffer.add_string buf ",\"seq\":";
-  Buffer.add_string buf (string_of_int t.seq);
-  t.seq <- t.seq + 1;
+  let tail = Buffer.create 128 in
   List.iter
     (fun (key, v) ->
-      Buffer.add_string buf ",\"";
-      escape_into buf key;
-      Buffer.add_string buf "\":";
-      add_value buf v)
+      Buffer.add_string tail ",\"";
+      escape_into tail key;
+      Buffer.add_string tail "\":";
+      add_value tail v)
     fields;
-  Buffer.add_string buf "}\n";
-  Buffer.output_buffer t.oc buf;
-  (* One flush per record: a crash loses at most the line being written,
-     and a resumed session finds every event it emitted before dying. *)
-  flush t.oc
+  Buffer.add_string tail "}\n";
+  let head = Buffer.create 48 in
+  Buffer.add_string head "{\"kind\":";
+  add_value head (String kind);
+  Buffer.add_string head ",\"seq\":";
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Buffer.add_string head (string_of_int t.seq);
+      t.seq <- t.seq + 1;
+      Buffer.output_buffer t.oc head;
+      Buffer.output_buffer t.oc tail;
+      (* One flush per record: a crash loses at most the line being
+         written, and a resumed session finds every event it emitted
+         before dying. *)
+      flush t.oc)
 
 let close t =
   flush t.oc;

@@ -27,7 +27,11 @@ val open_file : string -> t
 
 (** [emit t ~kind fields] writes one line:
     [{"kind":<kind>,"seq":<n>,<fields...>}] and flushes the channel, so
-    a crash loses at most the record being written. *)
+    a crash loses at most the record being written. Emission is atomic
+    per record — a single-writer mutex serializes the seq draw and the
+    whole-line write — so concurrent sessions on different domains
+    sharing one sink never interleave torn lines or duplicate sequence
+    numbers. *)
 val emit : t -> kind:string -> (string * value) list -> unit
 
 val close : t -> unit

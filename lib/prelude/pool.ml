@@ -113,6 +113,30 @@ let map t f arr =
       results
   end
 
+(* Fire-and-forget task submission, the long-lived-service face of the
+   pool ([map] is the batch face): the serve layer enqueues one drain
+   task per runnable connection and the spawned workers execute them.
+   Tasks run under [run_task] so a nested [map] inside a task falls back
+   inline and cannot deadlock the pool. *)
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  if Array.length t.workers = 0 then begin
+    (* Degenerate 1-job pool: no worker domains exist, so run inline —
+       submission order is preserved and the caller provides the
+       concurrency (e.g. one systhread per connection). *)
+    Mutex.unlock t.mutex;
+    run_task task
+  end
+  else begin
+    Queue.push (fun () -> run_task task) t.pending;
+    Condition.signal t.work_available;
+    Mutex.unlock t.mutex
+  end
+
 let shutdown t =
   Mutex.lock t.mutex;
   let workers = t.workers in

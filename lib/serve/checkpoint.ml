@@ -153,10 +153,15 @@ let read_lines path =
 type resume = {
   cp : t;
   wal : (int * Omflp_instance.Request.t) list;
+  decisions : string list;
   n_decisions : int;
   snapshot : (int * string) option;
 }
 
+(* Manifest fields feed arithmetic later ([count mod snapshot_every]) and
+   algorithm seeding, so a hand-edited or corrupt value must fail here
+   with a named error, not surface as a bare [Division_by_zero] or a
+   silently truncated float mid-session. *)
 let load_manifest ~dir =
   let path = dir / manifest_file in
   if not (Sys.file_exists path) then
@@ -172,17 +177,30 @@ let load_manifest ~dir =
     | Some s -> s
     | None -> fail "Checkpoint.resume: manifest misses %S" key
   in
-  let num key =
-    match Option.bind (Minijson.member key json) Minijson.to_float with
-    | Some f -> int_of_float f
+  let int key =
+    match Minijson.member key json with
     | None -> fail "Checkpoint.resume: manifest misses %S" key
+    | Some (Minijson.Num f) when Float.is_integer f -> int_of_float f
+    | Some (Minijson.Num f) ->
+        fail "Checkpoint.resume: manifest field %S must be an integer (got %g)"
+          key f
+    | Some _ ->
+        fail "Checkpoint.resume: manifest field %S must be an integer" key
   in
+  let snapshot_every = int "snapshot_every" in
+  if snapshot_every < 1 then
+    fail "Checkpoint.resume: manifest field \"snapshot_every\" must be >= 1 \
+          (got %d)"
+      snapshot_every;
   let seed =
     match Minijson.member "seed" json with
-    | Some (Minijson.Num f) -> Some (int_of_float f)
-    | _ -> None
+    | None | Some Minijson.Null -> None
+    | Some (Minijson.Num f) when Float.is_integer f -> Some (int_of_float f)
+    | Some _ ->
+        fail "Checkpoint.resume: manifest field \"seed\" must be an integer \
+              or null"
   in
-  (str "format", str "algo", seed, str "instance_md5", num "snapshot_every")
+  (str "format", str "algo", seed, str "instance_md5", snapshot_every)
 
 let open_resume ~dir ~n_sites ~n_commodities ~instance_md5 =
   let format, algo, seed, manifest_md5, snapshot_every =
@@ -211,7 +229,8 @@ let open_resume ~dir ~n_sites ~n_commodities ~instance_md5 =
             (index, r))
       (read_lines (dir / wal_file))
   in
-  let n_decisions = List.length (read_lines (dir / decisions_file)) in
+  let decisions = read_lines (dir / decisions_file) in
+  let n_decisions = List.length decisions in
   let n_wal = List.length wal in
   if n_decisions > n_wal then
     fail
@@ -242,4 +261,4 @@ let open_resume ~dir ~n_sites ~n_commodities ~instance_md5 =
       dec_oc = append_channel (dir / decisions_file);
     }
   in
-  { cp; wal; n_decisions; snapshot }
+  { cp; wal; decisions; n_decisions; snapshot }

@@ -54,22 +54,26 @@ val load_snapshot : dir:string -> (int * string) option
 val close : t -> unit
 
 (** What {!open_resume} found: the reopened checkpoint, the full WAL in
-    index order, how many decisions are already durable, and the latest
-    snapshot. Invariants checked: sequential WAL indexes,
+    index order, the durable decision lines (verbatim, so a replay can be
+    cross-checked against them), and the latest snapshot. Invariants
+    checked: sequential WAL indexes,
     [snapshot count <= n_decisions <= |wal|] (the per-request write order
     is WAL flush, then decision flush, then snapshot — a genuine crash
     cannot violate this chain, only external corruption can). *)
 type resume = {
   cp : t;
   wal : (int * Omflp_instance.Request.t) list;
-  n_decisions : int;
+  decisions : string list;  (** durable decision lines, in index order *)
+  n_decisions : int;  (** [List.length decisions] *)
   snapshot : (int * string) option;
 }
 
 (** [open_resume ~dir ~n_sites ~n_commodities ~instance_md5] validates the
-    manifest (format id, instance md5), truncates torn tails of both
-    logs, parses the WAL, and integrity-checks the snapshot. All failures
-    are [Failure] with a named [Checkpoint.resume: ...] message. *)
+    manifest (format id, instance md5, integral/positive
+    [snapshot_every], integral-or-null [seed]), truncates torn tails of
+    both logs, parses the WAL, and integrity-checks the snapshot. All
+    failures are [Failure] with a named [Checkpoint.resume: ...]
+    message. *)
 val open_resume :
   dir:string ->
   n_sites:int ->

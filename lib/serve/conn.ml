@@ -1,0 +1,163 @@
+(* One accepted connection: the socket pair of channels, a single-writer
+   output lock, and the bounded request queue that couples the reader
+   thread to the pool worker draining the session.
+
+   Threading contract: exactly one reader thread calls [input_line_opt] /
+   [push] / [finish_input]; exactly one drain task at a time calls
+   [take] (the [scheduled] flag, managed here, guarantees the "at a
+   time"). [send_line] may be called from either side — the io mutex
+   makes every line atomic on the wire.
+
+   Backpressure: [push] blocks while the queue holds [cap] requests, so
+   a client outpacing its session stops being read, the kernel socket
+   buffer fills, and the client's own writes stall — flow control end to
+   end with no unbounded buffering server-side. *)
+
+open Omflp_instance
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  io_mutex : Mutex.t;
+  q : Request.t Queue.t;
+  q_mutex : Mutex.t;
+  q_not_full : Condition.t;
+  cap : int;
+  mutable scheduled : bool;  (* a drain task is queued or running *)
+  mutable eof : bool;  (* reader saw end of input *)
+  mutable dead : bool;  (* peer gone or session aborted: stop writing *)
+  mutable finalized : bool;  (* teardown ran; guards double-finalize *)
+  mutable session : Session.t option;
+  mutable session_id : string option;
+}
+
+let of_fd ~cap fd =
+  if cap < 1 then invalid_arg "Conn.of_fd: queue capacity must be >= 1";
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    io_mutex = Mutex.create ();
+    q = Queue.create ();
+    q_mutex = Mutex.create ();
+    q_not_full = Condition.create ();
+    cap;
+    scheduled = false;
+    eof = false;
+    dead = false;
+    finalized = false;
+    session = None;
+    session_id = None;
+  }
+
+(* First caller wins; a second finalization attempt (e.g. the drain
+   backstop racing the normal [Finished] path) becomes a no-op. *)
+let claim_finalize t =
+  Mutex.lock t.q_mutex;
+  let first = not t.finalized in
+  if first then t.finalized <- true;
+  Mutex.unlock t.q_mutex;
+  first
+
+(* Reader-side line input; any channel error (peer reset, fd shut down
+   by [abort]) reads as end of input — the conn is then finalized
+   through the normal drain path. *)
+let input_line_opt t =
+  match input_line t.ic with
+  | line -> Some line
+  | exception (End_of_file | Sys_error _) -> None
+  | exception Unix.Unix_error _ -> None
+
+let send_line t line =
+  if t.dead then false
+  else begin
+    Mutex.lock t.io_mutex;
+    let ok =
+      match
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc
+      with
+      | () -> true
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          t.dead <- true;
+          false
+    in
+    Mutex.unlock t.io_mutex;
+    ok
+  end
+
+(* Returns true when the caller must schedule a drain task (the queue
+   was idle). Blocks while the queue is full — that block IS the
+   backpressure. A dead conn swallows the request instead of blocking
+   forever on a drain that will never come. *)
+let push t r =
+  Mutex.lock t.q_mutex;
+  while Queue.length t.q >= t.cap && not t.dead do
+    Condition.wait t.q_not_full t.q_mutex
+  done;
+  let need =
+    if t.dead then false
+    else begin
+      Queue.push r t.q;
+      let need = not t.scheduled in
+      if need then t.scheduled <- true;
+      need
+    end
+  in
+  Mutex.unlock t.q_mutex;
+  need
+
+(* Reader is done (EOF or read error). Returns true when a drain task
+   must be scheduled to run the finalization. *)
+let finish_input t =
+  Mutex.lock t.q_mutex;
+  t.eof <- true;
+  let need = not t.scheduled in
+  if need then t.scheduled <- true;
+  Mutex.unlock t.q_mutex;
+  need
+
+type take = Step of Request.t | Idle | Finished
+
+(* Drain-side: next unit of work. [Idle] clears [scheduled] — the next
+   [push]/[finish_input] schedules a fresh task; [Finished] keeps it
+   set, the drain finalizes and nothing runs after. *)
+let take t =
+  Mutex.lock t.q_mutex;
+  let r =
+    match Queue.take_opt t.q with
+    | Some r ->
+        Condition.signal t.q_not_full;
+        Step r
+    | None ->
+        if t.eof then Finished
+        else begin
+          t.scheduled <- false;
+          Idle
+        end
+  in
+  Mutex.unlock t.q_mutex;
+  r
+
+(* Fatal-session teardown from the drain side: stop the reader (shut the
+   receive half so a blocked [input_line] returns), drop queued work,
+   and wake a reader blocked on a full queue. The conn then finalizes
+   through the normal [Finished] path. *)
+let abort t =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_RECEIVE
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  Mutex.lock t.q_mutex;
+  Queue.clear t.q;
+  t.dead <- true;
+  t.eof <- true;
+  Condition.broadcast t.q_not_full;
+  Mutex.unlock t.q_mutex
+
+(* Close the socket once, via the fd: [ic] and [oc] wrap the same
+   descriptor, so closing the channels would double-close it. Buffered
+   output was flushed per line by [send_line]. *)
+let close t =
+  t.dead <- true;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

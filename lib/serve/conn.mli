@@ -1,0 +1,71 @@
+(** One accepted server connection: socket channels, a single-writer
+    output lock, and the bounded request queue coupling the reader
+    thread to the pool worker draining the session.
+
+    Threading contract: one reader thread calls {!input_line_opt},
+    {!push}, and {!finish_input}; at most one drain task at a time calls
+    {!take} (the internal [scheduled] flag guarantees it — [push] and
+    [finish_input] return [true] exactly when the caller must schedule a
+    drain). {!send_line} is safe from both sides. {!push} blocking on a
+    full queue is the server's backpressure: the reader stops consuming
+    input, the kernel buffers fill, and the client's writes stall. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  io_mutex : Mutex.t;
+  q : Omflp_instance.Request.t Queue.t;
+  q_mutex : Mutex.t;
+  q_not_full : Condition.t;
+  cap : int;
+  mutable scheduled : bool;
+  mutable eof : bool;
+  mutable dead : bool;
+  mutable finalized : bool;
+  mutable session : Session.t option;
+  mutable session_id : string option;
+}
+
+(** [of_fd ~cap fd] wraps an accepted socket with a [cap]-bounded request
+    queue. Raises [Invalid_argument] when [cap < 1]. *)
+val of_fd : cap:int -> Unix.file_descr -> t
+
+(** [claim_finalize t] is [true] for exactly one caller over the conn's
+    lifetime: run the teardown iff it returns [true]. *)
+val claim_finalize : t -> bool
+
+(** [input_line_opt t] reads one line; [None] on EOF or any read error
+    (peer reset, {!abort}). Reader thread only. *)
+val input_line_opt : t -> string option
+
+(** [send_line t line] writes [line ^ "\n"] atomically and flushes;
+    [false] when the peer is gone (the conn is marked dead and later
+    writes are dropped). *)
+val send_line : t -> string -> bool
+
+(** [push t r] enqueues a request, blocking while the queue is full
+    (backpressure). Returns [true] when the caller must schedule a drain
+    task. Reader thread only. *)
+val push : t -> Omflp_instance.Request.t -> bool
+
+(** [finish_input t] marks end of input; [true] when a drain task must
+    be scheduled to finalize. Reader thread only. *)
+val finish_input : t -> bool
+
+type take =
+  | Step of Omflp_instance.Request.t  (** serve this request next *)
+  | Idle  (** queue empty, drain descheduled; a future push reschedules *)
+  | Finished  (** input done and queue drained: finalize the conn *)
+
+(** [take t] is the drain task's next unit of work. Drain side only. *)
+val take : t -> take
+
+(** [abort t] tears the session down from the drain side: shuts the
+    receive half (unblocking the reader), drops queued requests, and
+    wakes a reader blocked on the full queue. The conn still finalizes
+    through the normal {!Finished} path. *)
+val abort : t -> unit
+
+(** [close t] closes the socket (once — both channels share the fd). *)
+val close : t -> unit

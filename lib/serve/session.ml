@@ -133,9 +133,14 @@ let resume ~algo (rz : Checkpoint.resume) metric cost =
     }
   in
   (* Replay the WAL suffix the snapshot does not cover. Decisions already
-     durable (index < n_decisions) are recomputed but not re-appended;
-     the rest were lost in the crash window and are appended and handed
-     back for re-emission. *)
+     durable (index < n_decisions) are recomputed and cross-checked byte
+     for byte against the durable log — a snapshot that restores into a
+     different state (corruption, a planted blob, a nondeterministic
+     environment) would otherwise silently continue a decision stream
+     that contradicts what the client already saw. The rest were lost in
+     the crash window and are appended and handed back for
+     re-emission. *)
+  let durable = Array.of_list rz.decisions in
   let reemitted = ref [] in
   List.iter
     (fun (idx, r) ->
@@ -145,7 +150,17 @@ let resume ~algo (rz : Checkpoint.resume) metric cost =
             idx t.count;
         Metrics.incr replayed_c;
         let d = step_only t r in
-        if d.Wire.index >= rz.n_decisions then begin
+        if d.Wire.index < rz.n_decisions then begin
+          let recomputed = Wire.decision_to_json d in
+          if recomputed <> durable.(d.Wire.index) then
+            fail
+              "Session.resume: replay diverges from the durable decision \
+               log at index %d (recomputed %s, durable %s) — the snapshot \
+               does not reproduce the state that emitted the log"
+              d.Wire.index recomputed
+              durable.(d.Wire.index)
+        end
+        else begin
           (match t.checkpoint with
           | Some cp -> Checkpoint.append_decision cp (Wire.decision_to_json d)
           | None -> ());

@@ -33,9 +33,13 @@ val handle : t -> Omflp_instance.Request.t -> Wire.decision
 
 (** [resume ~algo rz metric cost] revives a session from what
     {!Checkpoint.open_resume} found and replays the uncovered WAL
-    suffix. Returns the session positioned after the last WAL entry plus
-    the decisions that were {e not} yet durable (crash window) — the
-    caller should re-emit exactly those. *)
+    suffix. Every recomputed decision that is already durable is
+    cross-checked byte for byte against the durable log; a mismatch —
+    a snapshot that does not reproduce the state that emitted the log —
+    raises [Failure] instead of silently contradicting what the client
+    already saw. Returns the session positioned after the last WAL entry
+    plus the decisions that were {e not} yet durable (crash window) —
+    the caller should re-emit exactly those. *)
 val resume :
   algo:Omflp_core.Algo_intf.packed ->
   Checkpoint.resume ->

@@ -95,6 +95,191 @@ let parse_wal_line ~n_sites ~n_commodities line =
           | Error e -> Error e
           | Ok r -> Ok (index, r)))
 
+(* ---------- session-open handshake ---------- *)
+
+type hello = {
+  h_session : string;
+  h_algo : string option;
+  h_seed : int option;
+  h_snapshot_every : int option;
+  h_checkpoint : bool option;
+  h_resume : bool;
+}
+
+(* Session ids name checkpoint subdirectories and metric labels, so they
+   are confined to a filesystem- and JSON-safe alphabet; in particular a
+   leading dot (and hence "." / "..") is rejected. *)
+let valid_session_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && (match s.[0] with 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+let bool_member key json =
+  match Minijson.member key json with
+  | Some (Minijson.Bool b) -> Ok (Some b)
+  | None | Some Minijson.Null -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+
+let opt_int_member key json =
+  match Minijson.member key json with
+  | None | Some Minijson.Null -> Ok None
+  | Some (Minijson.Num f) when Float.is_integer f -> Ok (Some (int_of_float f))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
+let parse_hello line =
+  let ( let* ) = Result.bind in
+  match Minijson.of_string line with
+  | exception Minijson.Parse_error msg -> Error ("bad JSON: " ^ msg)
+  | json ->
+      let* session =
+        match Option.bind (Minijson.member "session" json) Minijson.to_string with
+        | Some s when valid_session_id s -> Ok s
+        | Some s ->
+            Error
+              (Printf.sprintf
+                 "invalid session id %S (1-64 chars of [A-Za-z0-9._-], \
+                  starting alphanumeric)"
+                 s)
+        | None -> Error {|missing or non-string "session"|}
+      in
+      let* algo =
+        match Minijson.member "algo" json with
+        | None | Some Minijson.Null -> Ok None
+        | Some (Minijson.Str s) -> Ok (Some s)
+        | Some _ -> Error {|field "algo" must be a string|}
+      in
+      let* seed = opt_int_member "seed" json in
+      let* snapshot_every = opt_int_member "snapshot_every" json in
+      let* () =
+        match snapshot_every with
+        | Some n when n < 1 -> Error {|field "snapshot_every" must be >= 1|}
+        | _ -> Ok ()
+      in
+      let* checkpoint = bool_member "checkpoint" json in
+      let* resume = bool_member "resume" json in
+      Ok
+        {
+          h_session = session;
+          h_algo = algo;
+          h_seed = seed;
+          h_snapshot_every = snapshot_every;
+          h_checkpoint = checkpoint;
+          h_resume = Option.value resume ~default:false;
+        }
+
+let hello_to_json h =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"session\":";
+  buf_add_json_string b h.h_session;
+  (match h.h_algo with
+  | None -> ()
+  | Some a ->
+      Buffer.add_string b ",\"algo\":";
+      buf_add_json_string b a);
+  (match h.h_seed with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string b ",\"seed\":";
+      Buffer.add_string b (string_of_int s));
+  (match h.h_snapshot_every with
+  | None -> ()
+  | Some n ->
+      Buffer.add_string b ",\"snapshot_every\":";
+      Buffer.add_string b (string_of_int n));
+  (match h.h_checkpoint with
+  | None -> ()
+  | Some c -> Buffer.add_string b (if c then ",\"checkpoint\":true" else ",\"checkpoint\":false"));
+  if h.h_resume then Buffer.add_string b ",\"resume\":true";
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+type ack = {
+  a_session : string;
+  a_algo : string;
+  a_served : int;
+  a_reemitted : int;
+}
+
+let ack_to_json a =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"ok\":true,\"session\":";
+  buf_add_json_string b a.a_session;
+  Buffer.add_string b ",\"algo\":";
+  buf_add_json_string b a.a_algo;
+  Buffer.add_string b ",\"served\":";
+  Buffer.add_string b (string_of_int a.a_served);
+  Buffer.add_string b ",\"reemitted\":";
+  Buffer.add_string b (string_of_int a.a_reemitted);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let error_to_json msg =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "{\"ok\":false,\"error\":";
+  buf_add_json_string b msg;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let done_to_json ~served ~total =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "{\"done\":true,\"served\":";
+  Buffer.add_string b (string_of_int served);
+  Buffer.add_string b ",\"total\":";
+  buf_add_float b total;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+type server_line =
+  | Ack of ack
+  | Refused of string
+  | Decision_line of int
+  | Done of int * float
+
+let parse_server_line line =
+  match Minijson.of_string line with
+  | exception Minijson.Parse_error msg -> Error ("bad JSON: " ^ msg)
+  | json -> (
+      match Minijson.member "ok" json with
+      | Some (Minijson.Bool true) -> (
+          let str key =
+            Option.bind (Minijson.member key json) Minijson.to_string
+          in
+          match (str "session", str "algo", int_member "served" json,
+                 int_member "reemitted" json)
+          with
+          | Some s, Some a, Some served, Some reemitted ->
+              Ok (Ack { a_session = s; a_algo = a; a_served = served;
+                        a_reemitted = reemitted })
+          | _ -> Error "malformed ack")
+      | Some (Minijson.Bool false) | Some Minijson.Null -> (
+          match
+            Option.bind (Minijson.member "error" json) Minijson.to_string
+          with
+          | Some e -> Ok (Refused e)
+          | None -> Error "malformed refusal")
+      | _ -> (
+          match Minijson.member "done" json with
+          | Some (Minijson.Bool true) -> (
+              match
+                ( int_member "served" json,
+                  Option.bind (Minijson.member "total" json) Minijson.to_float )
+              with
+              | Some served, Some total -> Ok (Done (served, total))
+              | _ -> Error "malformed done record")
+          | _ -> (
+              match
+                (int_member "index" json,
+                 Option.bind (Minijson.member "error" json) Minijson.to_string)
+              with
+              | Some i, _ -> Ok (Decision_line i)
+              | None, Some e -> Ok (Refused e)
+              | None, None -> Error "unrecognized server line")))
+
 (* ---------- decisions ---------- *)
 
 type decision = {

@@ -44,3 +44,59 @@ val parse_wal_line :
 (** [decision_to_json ?latency_s d] encodes a decision record on one line.
     Omit [latency_s] for the canonical (replay-stable) form. *)
 val decision_to_json : ?latency_s:float -> decision -> string
+
+(** {1 Session-open handshake}
+
+    A multi-session connection ({!Server}) opens with one client hello
+    line, [{"session":ID,"algo":...,"seed":...,"snapshot_every":...,
+    "checkpoint":...,"resume":...}] — every field but [session] optional,
+    defaults coming from the server's configuration. The server answers
+    with an ack, [{"ok":true,"session":...,"algo":...,"served":n,
+    "reemitted":k}], followed by [k] re-emitted crash-window decision
+    lines (resume only); a refused handshake gets
+    [{"ok":false,"error":...}] and the connection is closed. After the
+    ack the stream is the plain request/decision JSONL of stdin mode, and
+    a client that half-closes its sending side receives a final
+    [{"done":true,"served":n,"total":c}] record. *)
+
+type hello = {
+  h_session : string;  (** 1-64 chars of [A-Za-z0-9._-], leading alnum *)
+  h_algo : string option;
+  h_seed : int option;
+  h_snapshot_every : int option;
+  h_checkpoint : bool option;
+      (** [Some false] opts out of checkpointing even under a server
+          checkpoint root; [None] follows the server default. *)
+  h_resume : bool;
+}
+
+val parse_hello : string -> (hello, string) result
+
+(** [hello_to_json h] is the canonical client hello line (optional fields
+    omitted when [None]). *)
+val hello_to_json : hello -> string
+
+type ack = {
+  a_session : string;
+  a_algo : string;
+  a_served : int;  (** requests already served before this connection *)
+  a_reemitted : int;  (** crash-window decisions re-sent after the ack *)
+}
+
+val ack_to_json : ack -> string
+
+(** [error_to_json msg] is [{"ok":false,"error":msg}] — the refused
+    handshake and mid-stream bad-request shape. *)
+val error_to_json : string -> string
+
+(** [done_to_json ~served ~total] is the end-of-session summary record. *)
+val done_to_json : served:int -> total:float -> string
+
+(** What a client sees on a server connection, one line at a time. *)
+type server_line =
+  | Ack of ack
+  | Refused of string
+  | Decision_line of int  (** a decision record, by request index *)
+  | Done of int * float  (** served count, total cost *)
+
+val parse_server_line : string -> (server_line, string) result

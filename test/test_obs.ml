@@ -162,6 +162,46 @@ let test_parallel_timers_histograms_merge () =
       | [ b ] -> check_int "all in [2,4)" n b.b_count
       | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs))
 
+(* Regression guard: [snapshot] used to read the registration counts
+   and the names arrays without [reg_mutex] — a genuine data race with a
+   concurrent [Metrics.counter]/[histogram] (which grow and swap those
+   arrays under the mutex). On x86 the mutex-ordered stores and
+   grow-only arrays make the bad interleaving unobservable in practice,
+   so this test is a contract guard for the locked read (and for weaker
+   memory models / future refactors) rather than an empirical failure
+   on this platform. Half the pool tasks register fresh instruments
+   while the other half snapshot. *)
+let test_registration_vs_snapshot_race () =
+  with_metrics (fun () ->
+      with_pool ~jobs:4 (fun pool ->
+          let n = 192 in
+          let failures = Array.make n "" in
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 if i mod 2 = 0 then
+                   for j = 0 to 15 do
+                     ignore
+                       (Metrics.counter
+                          (Printf.sprintf "test.obs.regrace.%03d.%02d" i j));
+                     ignore
+                       (Metrics.histogram
+                          (Printf.sprintf "test.obs.regrace.h%03d.%02d" i j))
+                   done
+                 else
+                   match Metrics.snapshot () with
+                   | snap ->
+                       List.iter
+                         (fun (c : Metrics.counter_view) ->
+                           if c.c_name = "" then
+                             failures.(i) <- "snapshot saw an unnamed counter")
+                         snap.counters
+                   | exception e ->
+                       failures.(i) <-
+                         "snapshot raised " ^ Printexc.to_string e)
+               (Array.init n Fun.id));
+          Array.iter (fun f -> if f <> "" then Alcotest.fail f) failures))
+
 let prop_shards_equal_serial =
   (* The satellite qcheck property: for any workload of counter
      increments, the parallel merged value equals the serial value. *)
@@ -250,6 +290,54 @@ let test_trace_sink_appends () =
   Alcotest.(check string)
     "second session appended (seq restarts per sink)"
     "{\"kind\":\"second\",\"seq\":0,\"i\":1}" (List.nth lines 1)
+
+(* Regression: [emit] wrote to the shared channel without a lock. The
+   channel's own per-operation lock hid this for small records, but a
+   record larger than the channel buffer (64 KiB) is written in several
+   chunks with the lock released in between — two domains emitting
+   concurrently interleaved their chunks mid-line (torn JSONL), and the
+   unsynchronized [seq] bump could duplicate numbers. The 100 KB pads
+   below tear on the pre-fix code in ~90% of runs; with emission
+   serialized, every line must parse and the seqs must be an exact
+   permutation. *)
+let test_trace_sink_concurrent_emission () =
+  let path = Filename.temp_file "omflp_trace" ".jsonl" in
+  let sink = Trace_sink.open_file path in
+  let n_tasks = 8 and per = 48 in
+  with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun i ->
+             let pad = String.make 100_000 (Char.chr (97 + (i mod 26))) in
+             for j = 0 to per - 1 do
+               Trace_sink.emit sink ~kind:"race"
+                 [
+                   ("task", Trace_sink.Int i);
+                   ("j", Trace_sink.Int j);
+                   ("pad", Trace_sink.String pad);
+                 ]
+             done)
+           (Array.init n_tasks Fun.id)));
+  Trace_sink.close sink;
+  let lines = read_lines path in
+  Sys.remove path;
+  check_int "one line per record" (n_tasks * per) (List.length lines);
+  let seqs =
+    List.map
+      (fun l ->
+        match Minijson.of_string l with
+        | exception Minijson.Parse_error e ->
+            Alcotest.failf "torn trace line %S: %s" l e
+        | json -> (
+            match Minijson.member "seq" json with
+            | Some (Minijson.Num f) -> int_of_float f
+            | _ -> Alcotest.failf "trace line without seq: %s" l))
+      lines
+  in
+  Alcotest.(check (list int))
+    "seqs are a permutation (no duplicates, no gaps)"
+    (List.init (n_tasks * per) Fun.id)
+    (List.sort compare seqs)
 
 (* ---------- report ---------- *)
 
@@ -374,6 +462,8 @@ let () =
             test_parallel_counters_merge_exact;
           Alcotest.test_case "parallel timers/histograms merge" `Quick
             test_parallel_timers_histograms_merge;
+          Alcotest.test_case "registration vs snapshot race" `Quick
+            test_registration_vs_snapshot_race;
           QCheck_alcotest.to_alcotest prop_shards_equal_serial;
         ] );
       ( "trace",
@@ -381,6 +471,8 @@ let () =
           Alcotest.test_case "json lines" `Quick test_trace_sink_json_lines;
           Alcotest.test_case "append across sinks" `Quick
             test_trace_sink_appends;
+          Alcotest.test_case "concurrent emission has no torn lines" `Quick
+            test_trace_sink_concurrent_emission;
         ] );
       ( "report",
         [ Alcotest.test_case "render" `Quick test_report_renders ] );

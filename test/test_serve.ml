@@ -336,6 +336,401 @@ let test_corruption_is_named () =
         ~n_commodities:(Instance.n_commodities inst)
         ~instance_md5:(String.make 32 'f'))
 
+(* ---------- manifest validation (regression: int_of_float truncation) ---------- *)
+
+let replace_once ~old ~by s =
+  let n = String.length s and m = String.length old in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = old then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "substring %S not found in %S" old s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let rewrite_manifest ~dir ~old ~by =
+  let path = Filename.concat dir "MANIFEST.json" in
+  let s = In_channel.with_open_text path In_channel.input_all in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (replace_once ~old ~by s))
+
+(* [load_manifest] used to read snapshot_every with a bare
+   [int_of_float]: 2.7 silently truncated to 2 (changing the snapshot
+   cadence of the resumed session), and 0 surfaced later as a naked
+   [Division_by_zero] from the cadence check. Both must instead be named
+   [Checkpoint.resume:] manifest errors at load time. *)
+let test_manifest_validation () =
+  let inst, _ = scenario 0 in
+  let open_rz dir () =
+    Checkpoint.open_resume ~dir
+      ~n_sites:(Instance.n_sites inst)
+      ~n_commodities:(Instance.n_commodities inst)
+      ~instance_md5:md5
+  in
+  let with_edit ~old ~by f =
+    with_temp_dir @@ fun dir ->
+    ignore (crash_after ~dir ~snapshot_every:4 5);
+    rewrite_manifest ~dir ~old ~by;
+    f dir
+  in
+  with_edit ~old:{|"snapshot_every":4|} ~by:{|"snapshot_every":2.7|}
+    (fun dir ->
+      expect_failure ~substring:"must be an integer" (open_rz dir);
+      expect_failure ~substring:"Checkpoint.resume:" (open_rz dir));
+  with_edit ~old:{|"snapshot_every":4|} ~by:{|"snapshot_every":0|} (fun dir ->
+      expect_failure ~substring:"must be >= 1" (open_rz dir));
+  with_edit ~old:{|"snapshot_every":4|} ~by:{|"snapshot_every":-3|} (fun dir ->
+      expect_failure ~substring:"must be >= 1" (open_rz dir));
+  with_edit ~old:{|"snapshot_every":4|} ~by:{|"snapshot_every":"4"|}
+    (fun dir -> expect_failure ~substring:"must be an integer" (open_rz dir));
+  with_edit ~old:{|"snapshot_every":4|} ~by:{|"snapshot_evry":4|} (fun dir ->
+      expect_failure ~substring:"misses" (open_rz dir));
+  with_edit ~old:{|"seed":0|} ~by:{|"seed":1.5|} (fun dir ->
+      expect_failure ~substring:{|"seed" must be an integer|} (open_rz dir));
+  (* An intact manifest still resumes. *)
+  with_temp_dir @@ fun dir ->
+  ignore (crash_after ~dir ~snapshot_every:4 5);
+  let rz = open_rz dir () in
+  check_int "valid manifest resumes" 4 (Checkpoint.snapshot_every rz.Checkpoint.cp);
+  Checkpoint.close rz.Checkpoint.cp
+
+(* ---------- resume cross-check (regression: unchecked WAL replay) ---------- *)
+
+let copy_file src dst =
+  let content = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc content)
+
+(* [Session.resume] used to recompute decisions during WAL replay
+   without ever comparing them to the durable decision log — a snapshot
+   from a different history replayed cleanly and the session silently
+   continued a stream contradicting what the client already saw. Plant a
+   foreign-history snapshot and require the named failure. *)
+let test_resume_detects_divergent_snapshot () =
+  let inst, _ = scenario 0 in
+  with_temp_dir @@ fun dir_a ->
+  with_temp_dir @@ fun dir_b ->
+  (* A: the genuine session, six requests in arrival order. *)
+  let cp_a = fresh_checkpoint ~dir:dir_a ~snapshot_every:4 in
+  let sa =
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_a inst.Instance.metric
+      inst.Instance.cost
+  in
+  for i = 0 to 5 do
+    ignore (Session.handle sa inst.Instance.requests.(i))
+  done;
+  (* B: same shape (snapshot at count 4) but a different history — the
+     first request served six times over. *)
+  let cp_b = fresh_checkpoint ~dir:dir_b ~snapshot_every:4 in
+  let sb =
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_b inst.Instance.metric
+      inst.Instance.cost
+  in
+  for _ = 1 to 6 do
+    ignore (Session.handle sb inst.Instance.requests.(0))
+  done;
+  (* Plant B's snapshot into A: internally consistent (its own MD5
+     matches), covers the same count, passes every file-level check —
+     only the replay cross-check can catch it. *)
+  copy_file
+    (Filename.concat dir_b "snapshot.bin")
+    (Filename.concat dir_a "snapshot.bin");
+  expect_failure ~substring:"diverges from the durable decision log"
+    (fun () ->
+      let rz =
+        Checkpoint.open_resume ~dir:dir_a
+          ~n_sites:(Instance.n_sites inst)
+          ~n_commodities:(Instance.n_commodities inst)
+          ~instance_md5:md5
+      in
+      Session.resume ~algo:algo_pd rz inst.Instance.metric inst.Instance.cost)
+
+(* ---------- the socket server ---------- *)
+
+let with_server_root f =
+  with_temp_dir @@ fun root ->
+  Unix.mkdir root 0o755;
+  f root
+
+let server_config ~root ~env ?(max_sessions = 64) ?(queue_depth = 4)
+    ?(workers = 2) () =
+  {
+    Server.listen = Filename.concat root "srv.sock";
+    algo = Pd_omflp.name;
+    env;
+    instance_md5 = md5;
+    checkpoint_root = Some (Filename.concat root "cps");
+    snapshot_every = 4;
+    seed = 0;
+    max_sessions;
+    queue_depth;
+    workers;
+  }
+
+(* Tentpole acceptance: 8 concurrent sessions through one server, each
+   stream a distinct rotation (wrapping past the instance length, so
+   snapshots fire mid-stream), durable logs byte-identical to the same
+   streams served by a plain single-session [Session] — which is what
+   stdin mode drives. The queue depth of 4 against a window of 5 also
+   forces the backpressure path. *)
+let test_server_multi_client_byte_identical () =
+  let inst, _ = scenario 0 in
+  let n = Instance.n_requests inst in
+  with_server_root @@ fun root ->
+  let cfg = server_config ~root ~env:inst () in
+  let server = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let per = (2 * n) + 3 in
+  match
+    Omflp_loadgen.Loadgen.run
+      {
+        Omflp_loadgen.Loadgen.connect = cfg.Server.listen;
+        env = inst;
+        sessions = 8;
+        requests_per_session = per;
+        algo = None;
+        seed = None;
+        snapshot_every = None;
+        checkpoint = None;
+        resume = false;
+        window = 5;
+        session_prefix = "c";
+        dump_dir = None;
+      }
+  with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+      check_int "every request answered" (8 * per)
+        report.Omflp_loadgen.Loadgen.r_requests;
+      for i = 0 to 7 do
+        let reference =
+          let s =
+            Session.create ~algo:algo_pd ~seed:0 inst.Instance.metric
+              inst.Instance.cost
+          in
+          List.init per (fun j ->
+              Wire.decision_to_json
+                (Session.handle s inst.Instance.requests.((i + j) mod n)))
+        in
+        Alcotest.(check (list string))
+          (Printf.sprintf "session c%d durable log = single-session run" i)
+          reference
+          (read_lines
+             (Filename.concat root
+                (Filename.concat "cps"
+                   (Filename.concat (Printf.sprintf "c%d" i)
+                      "decisions.jsonl"))))
+      done
+
+let hello_line ?algo ?seed ?snapshot_every ?checkpoint ?(resume = false) id =
+  Wire.hello_to_json
+    {
+      Wire.h_session = id;
+      h_algo = algo;
+      h_seed = seed;
+      h_snapshot_every = snapshot_every;
+      h_checkpoint = checkpoint;
+      h_resume = resume;
+    }
+
+(* A raw synchronous client for handshake-level tests. *)
+let raw_client sock id =
+  let fd = Listener.connect sock in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc (hello_line id);
+  output_char oc '\n';
+  flush oc;
+  let reply =
+    match Wire.parse_server_line (input_line ic) with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "unparseable server line: %s" e
+  in
+  (fd, reply)
+
+let test_server_admission_control () =
+  let inst, _ = scenario 0 in
+  with_server_root @@ fun root ->
+  let cfg = server_config ~root ~env:inst ~max_sessions:2 ~workers:1 () in
+  let server = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let fd1, r1 = raw_client cfg.Server.listen "a" in
+  let fd2, r2 = raw_client cfg.Server.listen "b" in
+  (match (r1, r2) with
+  | Wire.Ack a, Wire.Ack b ->
+      check_string "session a acked" "a" a.Wire.a_session;
+      check_string "session b acked" "b" b.Wire.a_session
+  | _ -> Alcotest.fail "expected two acks");
+  check_int "two live sessions" 2 (Server.active_sessions server);
+  (* Third session: over capacity. *)
+  let fd3, r3 = raw_client cfg.Server.listen "c" in
+  (match r3 with
+  | Wire.Refused e ->
+      check_bool "refusal names max-sessions" true
+        (contains ~sub:"max-sessions" e)
+  | _ -> Alcotest.fail "expected a capacity refusal");
+  (* Duplicate id: refused while the first connection is live. *)
+  let fd4, r4 = raw_client cfg.Server.listen "a" in
+  (match r4 with
+  | Wire.Refused e ->
+      check_bool "refusal names the duplicate" true
+        (contains ~sub:"already connected" e)
+  | _ -> Alcotest.fail "expected a duplicate-session refusal");
+  (* Traversal-shaped ids: a session id becomes a checkpoint directory
+     name, so ".." and anything with a path separator must be refused at
+     the handshake (before any directory is created). *)
+  let traversal =
+    List.map
+      (fun id ->
+        let fd, r = raw_client cfg.Server.listen id in
+        (match r with
+        | Wire.Refused e ->
+            check_bool
+              (Printf.sprintf "refusal for id %S names validity" id)
+              true
+              (contains ~sub:"invalid session id" e)
+        | _ -> Alcotest.failf "expected id %S to be refused" id);
+        fd)
+      [ ".."; "."; "x/y"; "" ]
+  in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ((fd1 :: fd2 :: fd3 :: fd4 :: traversal))
+
+(* ---------- SIGKILL the whole server, resume every session ---------- *)
+
+(* The test runs from _build/default/test (dune runtest) or the
+   workspace root (dune exec); anchor on the test executable instead of
+   the cwd. *)
+let cli_binary =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "omflp_cli.exe"))
+
+let wait_connect sock =
+  let rec go tries =
+    match Listener.connect sock with
+    | fd -> fd
+    | exception Failure _ ->
+        if tries = 0 then Alcotest.fail "server never came up";
+        Unix.sleepf 0.05;
+        go (tries - 1)
+  in
+  go 200
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let recv_line ic =
+  match Wire.parse_server_line (input_line ic) with
+  | Ok l -> l
+  | Error e -> Alcotest.failf "unparseable server line: %s" e
+
+(* Drive the real binary: open a session over the socket, serve half the
+   stream, SIGKILL the server process mid-flight, restart it on the same
+   checkpoint root, resume the session by handshake, finish the stream —
+   the durable decision log must equal the uninterrupted reference. *)
+let test_server_sigkill_resume () =
+  if not (Sys.file_exists cli_binary) then
+    Alcotest.skip ();
+  let inst, _ = scenario 0 in
+  let n = Instance.n_requests inst in
+  with_server_root @@ fun root ->
+  let env_file = Filename.concat root "env.inst" in
+  Serial.save_file env_file inst;
+  let sock = Filename.concat root "srv.sock" in
+  let cps = Filename.concat root "cps" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let spawn () =
+    Unix.create_process cli_binary
+      [|
+        cli_binary; "serve"; "--env"; env_file; "--listen"; sock;
+        "--checkpoint"; cps; "--snapshot-every"; "3"; "--workers"; "1";
+        "--seed"; "0";
+      |]
+      Unix.stdin Unix.stdout devnull
+  in
+  let reap pid =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let request_lines =
+    Array.map
+      (fun r ->
+        Printf.sprintf {|{"site":%d,"demand":[%s]}|} r.Request.site
+          (String.concat ","
+             (List.map string_of_int
+                (Omflp_commodity.Cset.elements r.Request.demand))))
+      inst.Instance.requests
+  in
+  let pid = ref (spawn ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      reap !pid;
+      Unix.close devnull)
+    (fun () ->
+      (* Phase 1: serve just past a snapshot boundary, then SIGKILL. *)
+      let fd = wait_connect sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      send_line oc (hello_line "s");
+      (match recv_line ic with
+      | Wire.Ack a -> check_int "fresh session" 0 a.Wire.a_served
+      | _ -> Alcotest.fail "expected an ack");
+      let k = (n / 2) + 1 in
+      for i = 0 to k - 1 do
+        send_line oc request_lines.(i);
+        match recv_line ic with
+        | Wire.Decision_line idx -> check_int "in-order decision" i idx
+        | _ -> Alcotest.fail "expected a decision"
+      done;
+      Unix.kill !pid Sys.sigkill;
+      ignore (Unix.waitpid [] !pid);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* Phase 2: restart on the same root, resume, finish. *)
+      pid := spawn ();
+      let fd = wait_connect sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      send_line oc (hello_line ~resume:true "s");
+      let served =
+        match recv_line ic with
+        | Wire.Ack a ->
+            for _ = 1 to a.Wire.a_reemitted do
+              ignore (recv_line ic)
+            done;
+            a.Wire.a_served
+        | Wire.Refused e -> Alcotest.failf "resume refused: %s" e
+        | _ -> Alcotest.fail "expected a resume ack"
+      in
+      check_bool "resume lost nothing durable" true (served = k);
+      for i = served to n - 1 do
+        send_line oc request_lines.(i);
+        match recv_line ic with
+        | Wire.Decision_line idx -> check_int "resumed decision" i idx
+        | _ -> Alcotest.fail "expected a decision"
+      done;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (match recv_line ic with
+      | Wire.Done (served, _) -> check_int "done covers the stream" n served
+      | _ -> Alcotest.fail "expected the done record");
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      reap !pid;
+      (* The durable log equals the uninterrupted single-session run. *)
+      let reference =
+        let s =
+          Session.create ~algo:algo_pd ~seed:0 inst.Instance.metric
+            inst.Instance.cost
+        in
+        Array.to_list inst.Instance.requests
+        |> List.map (fun r -> Wire.decision_to_json (Session.handle s r))
+      in
+      Alcotest.(check (list string))
+        "decision log byte-identical across SIGKILL" reference
+        (read_lines
+           (Filename.concat cps (Filename.concat "s" "decisions.jsonl"))))
+
 let test_create_refuses_live_directory () =
   with_temp_dir @@ fun dir ->
   let cp = fresh_checkpoint ~dir ~snapshot_every:4 in
@@ -379,9 +774,22 @@ let () =
             test_torn_tails_and_crash_window;
           Alcotest.test_case "corruption errors are named" `Quick
             test_corruption_is_named;
+          Alcotest.test_case "manifest validation" `Quick
+            test_manifest_validation;
+          Alcotest.test_case "resume detects divergent snapshot" `Quick
+            test_resume_detects_divergent_snapshot;
           Alcotest.test_case "create refuses a live directory" `Quick
             test_create_refuses_live_directory;
           Alcotest.test_case "algorithm mismatch" `Quick
             test_session_algo_mismatch;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "8 clients byte-identical to single-session"
+            `Quick test_server_multi_client_byte_identical;
+          Alcotest.test_case "admission control" `Quick
+            test_server_admission_control;
+          Alcotest.test_case "SIGKILL mid-stream, resume by handshake" `Slow
+            test_server_sigkill_resume;
         ] );
     ]

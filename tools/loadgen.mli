@@ -1,0 +1,45 @@
+(** Concurrent load generator for [omflp serve --listen].
+
+    Opens [sessions] connections, each with its own session id
+    ([session_prefix ^ i]) and a deterministic request stream (the env
+    instance's requests rotated by [i], wrapping), drives them with up
+    to [window] requests in flight per connection, and reports
+    throughput plus latency percentiles from a {!Omflp_obs.Metrics}
+    histogram. With [dump_dir] set, each session's exact stream is also
+    written to [DIR/ID.jsonl] for byte-identity replays through
+    single-session stdin mode. *)
+
+type config = {
+  connect : string;  (** {!Omflp_serve.Listener.parse} syntax *)
+  env : Omflp_instance.Instance.t;  (** source of replayed requests *)
+  sessions : int;
+  requests_per_session : int;
+  algo : string option;  (** hello overrides; [None] = server default *)
+  seed : int option;
+  snapshot_every : int option;
+  checkpoint : bool option;
+  resume : bool;
+  window : int;  (** max in-flight requests per connection, >= 1 *)
+  session_prefix : string;
+  dump_dir : string option;
+}
+
+type report = {
+  r_sessions : int;
+  r_requests : int;
+  r_elapsed_s : float;
+  r_throughput_rps : float;
+  r_total_cost : float;
+  r_latency : Omflp_obs.Metrics.histogram_view option;
+  r_min_s : float;
+  r_max_s : float;
+}
+
+(** [run cfg] drives the full load and blocks until every client
+    finished. [Error msg] when any session failed (refused handshake,
+    protocol violation, dropped connection). Raises [Invalid_argument]
+    on nonsensical [cfg] numbers, [Failure] when the env instance has no
+    requests. *)
+val run : config -> (report, string) result
+
+val print_report : out_channel -> report -> unit
