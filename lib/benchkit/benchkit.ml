@@ -57,8 +57,47 @@ let bench_instance ~n_sites ~n_requests ~n_commodities =
 
 let full_run (module A : Omflp_core.Algo_intf.ALGO) inst () =
   let t = A.create ~seed:17 inst.Instance.metric inst.Instance.cost in
-  Array.iter (fun r -> ignore (A.step t r)) inst.Instance.requests;
+  ignore (A.step_batch t inst.Instance.requests);
   Omflp_core.Run.total_cost (A.run_so_far t)
+
+(* Serve-layer throughput: the drain loop's in-process shape — one
+   session, no checkpoint IO, requests stepped in drain-sized batches
+   with full decision-record assembly. What one worker domain of the
+   socket server achieves, minus the sockets. *)
+let serve_batch = 32
+
+let serve_bench_n_requests = 60
+
+let serve_bench_name =
+  Printf.sprintf "serve/session PD-OMFLP-FAST (n=%d, batch=%d)"
+    serve_bench_n_requests serve_batch
+
+let serve_full_run inst () =
+  let algo =
+    (module Omflp_core.Pd_omflp_fast : Omflp_core.Algo_intf.ALGO)
+  in
+  let s =
+    Omflp_serve.Session.create ~algo ~seed:17 inst.Instance.metric
+      inst.Instance.cost
+  in
+  let reqs = inst.Instance.requests in
+  let n = Array.length reqs in
+  let i = ref 0 in
+  while !i < n do
+    let k = min serve_batch (n - !i) in
+    ignore (Omflp_serve.Session.handle_batch s (Array.sub reqs !i k));
+    i := !i + k
+  done;
+  Omflp_serve.Session.count s
+
+let serve_benches () =
+  let inst =
+    bench_instance ~n_sites:16 ~n_requests:serve_bench_n_requests
+      ~n_commodities:8
+  in
+  [
+    Test.make ~name:serve_bench_name (Staged.stage (serve_full_run inst));
+  ]
 
 (* One Test.make per table/figure artifact: the computational kernel that
    regenerates it. *)
@@ -218,7 +257,7 @@ let run_benchmarks ~quick () =
     @ scaling_benches ~quick ()
     @ commodity_sweep_benches ~quick ()
     @ site_sweep_benches ~quick ()
-    @ offline_benches ()
+    @ offline_benches () @ serve_benches ()
   in
   let table = Texttable.create [ "benchmark"; "ns/run"; "ms/run" ] in
   (* Collect every OLS estimate first and sort by benchmark name:
@@ -252,6 +291,13 @@ let run_benchmarks ~quick () =
       | None -> Texttable.add_row table [ name; "n/a"; "n/a" ])
     rows;
   Texttable.print table;
+  (match List.assoc_opt serve_bench_name rows with
+  | Some (Some ns) when ns > 0.0 ->
+      Printf.printf
+        "serve throughput: %.0f requests/sec (one domain, in-process \
+         session stepping)\n"
+        (float_of_int serve_bench_n_requests *. 1e9 /. ns)
+  | _ -> ());
   rows
 
 (* Work counters (lib/obs): deterministic seeded full runs, reported as
@@ -294,6 +340,58 @@ let run_work_counters ~quick () =
   Texttable.print table;
   List.rev !rows
 
+(* ---------- allocation profile: minor words per request ---------- *)
+
+(* [Gc.minor_words] deltas over repeated seeded full runs, reported per
+   request so the number is workload-size independent. The committed
+   baseline gates growth separately from ns/run: perf work that trades
+   speed for garbage (or a refactor that quietly reboxes the hot path)
+   shows up here even on a fast machine. *)
+let alloc_reps = 10
+
+let run_allocations () =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " E7c: allocation profile (minor words per request)";
+  print_endline "====================================================";
+  let inst = bench_instance ~n_sites:16 ~n_requests:60 ~n_commodities:8 in
+  let n_requests = Array.length inst.Instance.requests in
+  let workloads =
+    [
+      ( "PD-OMFLP full-run (n=60)",
+        fun () -> ignore (full_run (module Omflp_core.Pd_omflp) inst ()) );
+      ( "PD-OMFLP-FAST full-run (n=60)",
+        fun () -> ignore (full_run (module Omflp_core.Pd_omflp_fast) inst ())
+      );
+      ( "RAND-OMFLP full-run (n=60)",
+        fun () -> ignore (full_run (module Omflp_core.Rand_omflp) inst ()) );
+      ( "GREEDY full-run (n=60)",
+        fun () -> ignore (full_run (module Omflp_core.Greedy_baseline) inst ())
+      );
+      (serve_bench_name, fun () -> ignore (serve_full_run inst ()));
+    ]
+  in
+  let table = Texttable.create [ "workload"; "minor words/request" ] in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        (* One warm run first: lazy cost tables and metric rows
+           materialize outside the measured window. *)
+        f ();
+        let w0 = Gc.minor_words () in
+        for _ = 1 to alloc_reps do
+          f ()
+        done;
+        let per_request =
+          (Gc.minor_words () -. w0) /. float_of_int (alloc_reps * n_requests)
+        in
+        Texttable.add_row table [ name; Printf.sprintf "%.1f" per_request ];
+        (name, per_request))
+      workloads
+  in
+  Texttable.print table;
+  rows
+
 (* ---------- BENCH.json: the perf trajectory across PRs ---------- *)
 
 let json_escape s =
@@ -311,7 +409,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~quick ~jobs path ~bench_rows ~counter_rows =
+let write_json ~quick ~jobs path ~bench_rows ~counter_rows ~alloc_rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -327,6 +425,14 @@ let write_json ~quick ~jobs path ~bench_rows ~counter_rows =
         | _ -> "null")
         (if i = List.length bench_rows - 1 then "" else ","))
     bench_rows;
+  out "  ],\n";
+  out "  \"allocations\": [\n";
+  List.iteri
+    (fun i (name, per_request) ->
+      out "    {\"name\": \"%s\", \"minor_words_per_request\": %.3f}%s\n"
+        (json_escape name) per_request
+        (if i = List.length alloc_rows - 1 then "" else ","))
+    alloc_rows;
   out "  ],\n";
   out "  \"work_counters\": [\n";
   List.iteri
@@ -456,6 +562,122 @@ let run_gate ~baseline_path ~max_regression bench_rows =
         1
       end
 
+(* ---------- Allocation gate vs the committed baseline ---------- *)
+
+(* Allocation growth is gated tighter than wall-clock: minor words per
+   request are deterministic for a fixed workload, so noise headroom is
+   unnecessary and 10% growth already means a reboxed hot path. *)
+let alloc_max_growth = 0.10
+
+let missing_alloc_error ~baseline_path =
+  Printf.sprintf
+    "baseline %s has no \"allocations\" section — regenerate it with \
+     --json; an allocation gate that compares nothing proves nothing"
+    baseline_path
+
+(* Reads the [allocations] rows into [(name, minor_words_per_request)]
+   pairs. A baseline predating the section is a hard error, not a skip:
+   the gate would otherwise pass forever against a stale file. *)
+let read_alloc_baseline path =
+  match Minijson.of_file path with
+  | exception Sys_error msg -> Error ("cannot read baseline: " ^ msg)
+  | exception Minijson.Parse_error msg ->
+      Error (Printf.sprintf "cannot parse baseline %s: %s" path msg)
+  | json -> (
+      match
+        Option.bind (Minijson.member "allocations" json) Minijson.to_list
+      with
+      | None -> Error (missing_alloc_error ~baseline_path:path)
+      | Some rows ->
+          Ok
+            (List.filter_map
+               (fun row ->
+                 match
+                   ( Option.bind (Minijson.member "name" row) Minijson.to_string,
+                     Option.bind
+                       (Minijson.member "minor_words_per_request" row)
+                       Minijson.to_float )
+                 with
+                 | Some name, Some w -> Some (name, w)
+                 | _ -> None)
+               rows))
+
+(* Same [gate_report] shape as the ns gate; for allocation rows the
+   [baseline_ns]/[current_ns] fields hold minor words per request. *)
+let compare_allocations ~baseline_path alloc_rows =
+  Result.bind (read_alloc_baseline baseline_path) (fun baseline ->
+      let compared = ref 0 and skipped = ref 0 and regs = ref [] in
+      List.iter
+        (fun (name, current) ->
+          match List.assoc_opt name baseline with
+          | Some base when base > 0.0 ->
+              incr compared;
+              let ratio = current /. base in
+              if ratio > 1.0 +. alloc_max_growth then
+                regs :=
+                  {
+                    reg_name = name;
+                    baseline_ns = base;
+                    current_ns = current;
+                    ratio;
+                  }
+                  :: !regs
+          | _ -> incr skipped)
+        alloc_rows;
+      if !compared = 0 then
+        Error
+          (Printf.sprintf
+             "vacuous allocation comparison: 0 of %d row(s) matched baseline \
+              %s (%d skipped) — wrong, empty, or stale baseline file"
+             (List.length alloc_rows) baseline_path !skipped)
+      else
+        Ok
+          {
+            compared = !compared;
+            skipped = !skipped;
+            regressions = List.rev !regs;
+          })
+
+let run_alloc_gate ~baseline_path alloc_rows =
+  print_endline "";
+  print_endline "====================================================";
+  print_endline " allocation gate (minor words per request)";
+  print_endline "====================================================";
+  match compare_allocations ~baseline_path alloc_rows with
+  | Error msg ->
+      Printf.printf "GATE ERROR: %s\n" msg;
+      2
+  | Ok report ->
+      Printf.printf
+        "baseline %s: %d row(s) compared, %d skipped, threshold +%.0f%%\n"
+        baseline_path report.compared report.skipped
+        (100.0 *. alloc_max_growth);
+      if report.regressions = [] then begin
+        print_endline "allocation gate: OK (no workload grew past the threshold)";
+        0
+      end
+      else begin
+        let table =
+          Texttable.create
+            [ "workload"; "baseline words/req"; "current words/req"; "ratio" ]
+        in
+        List.iter
+          (fun r ->
+            Texttable.add_row table
+              [
+                r.reg_name;
+                Printf.sprintf "%.1f" r.baseline_ns;
+                Printf.sprintf "%.1f" r.current_ns;
+                Printf.sprintf "%.2fx" r.ratio;
+              ])
+          report.regressions;
+        Texttable.print table;
+        Printf.printf "allocation gate: FAIL (%d workload(s) grew > +%.0f%%)\n"
+          (List.length report.regressions)
+          (100.0 *. alloc_max_growth);
+        1
+      end
+
 (* ---------- Entry point shared by bench/main.exe and [omflp bench] ---------- *)
 
 let run config =
@@ -465,21 +687,26 @@ let run config =
     Option.iter
       (fun path ->
         write_json ~quick:config.quick ~jobs:config.jobs path ~bench_rows:[]
-          ~counter_rows:[])
+          ~counter_rows:[] ~alloc_rows:[])
       config.json_path;
     0
   end
   else begin
     let bench_rows = run_benchmarks ~quick:config.quick () in
     let counter_rows = run_work_counters ~quick:config.quick () in
+    let alloc_rows = run_allocations () in
     Option.iter
       (fun path ->
         write_json ~quick:config.quick ~jobs:config.jobs path ~bench_rows
-          ~counter_rows)
+          ~counter_rows ~alloc_rows)
       config.json_path;
     match config.baseline_path with
     | None -> 0
     | Some baseline_path ->
-        run_gate ~baseline_path ~max_regression:config.max_regression
-          bench_rows
+        let ns_gate =
+          run_gate ~baseline_path ~max_regression:config.max_regression
+            bench_rows
+        in
+        let alloc_gate = run_alloc_gate ~baseline_path alloc_rows in
+        max ns_gate alloc_gate
   end

@@ -35,12 +35,21 @@ val run_benchmarks : quick:bool -> unit -> (string * float option) list
 
 val run_work_counters : quick:bool -> unit -> (string * string * int) list
 
+(** [(workload, minor words per request)] rows: [Gc.minor_words] deltas
+    over {!alloc_reps} seeded full runs after one warm-up run, divided by
+    [reps * n_requests]. Deterministic for a fixed workload. *)
+val run_allocations : unit -> (string * float) list
+
+(** Measured runs per allocation row (after the warm-up run). *)
+val alloc_reps : int
+
 val write_json :
   quick:bool ->
   jobs:int ->
   string ->
   bench_rows:(string * float option) list ->
   counter_rows:(string * string * int) list ->
+  alloc_rows:(string * float) list ->
   unit
 
 type regression = {
@@ -74,4 +83,30 @@ val compare_baseline :
   baseline_path:string ->
   max_regression:float ->
   (string * float option) list ->
+  (gate_report, string) result
+
+(** {2 Allocation gate} *)
+
+(** Fixed growth threshold for minor words per request (0.10 = +10%).
+    Tighter than the ns gate because the measurement is deterministic. *)
+val alloc_max_growth : float
+
+(** [missing_alloc_error ~baseline_path] is the pinned message for a
+    baseline file predating the [allocations] section. *)
+val missing_alloc_error : baseline_path:string -> string
+
+(** [read_alloc_baseline path] loads the [allocations] rows of an
+    [omflp.bench.v1] file. A baseline {e without} the section is a hard
+    [Error] ({!missing_alloc_error}), not an empty list — the gate must
+    not silently pass against a stale baseline. *)
+val read_alloc_baseline : string -> ((string * float) list, string) result
+
+(** [compare_allocations ~baseline_path rows] diffs current
+    minor-words-per-request rows against the baseline by workload name,
+    flagging growth beyond {!alloc_max_growth}. Reuses {!gate_report};
+    in its rows the [baseline_ns]/[current_ns] fields hold minor words
+    per request. Empty intersection is a hard [Error]. *)
+val compare_allocations :
+  baseline_path:string ->
+  (string * float) list ->
   (gate_report, string) result

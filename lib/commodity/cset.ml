@@ -45,4 +45,14 @@ let subsets_of t =
       done;
       !s)
 
+let write b t =
+  Snapshot_codec.w_int b (Bitset.universe t);
+  Snapshot_codec.w_int_array b (Bitset.to_words t)
+
+let read r =
+  let u = Snapshot_codec.r_int r in
+  let words = Snapshot_codec.r_int_array r in
+  try Bitset.of_words u words
+  with Invalid_argument m -> failwith ("Snapshot_codec: " ^ m)
+
 let pp = Bitset.pp

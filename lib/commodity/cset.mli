@@ -49,4 +49,10 @@ val all_nonempty_subsets : n_commodities:int -> t list
     Raises [Invalid_argument] if [cardinal t > 20]. *)
 val subsets_of : t -> t list
 
+(** Snapshot codec v2 field serializers: universe size + backing words.
+    [read] raises [Failure] on malformed bytes. *)
+val write : Omflp_prelude.Snapshot_codec.writer -> t -> unit
+
+val read : Omflp_prelude.Snapshot_codec.reader -> t
+
 val pp : Format.formatter -> t -> unit

@@ -72,33 +72,42 @@ let step t (r : Request.t) =
   t.n_requests <- t.n_requests + 1;
   service
 
+let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
+
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
 
 (* Persisted: the dual history plus the store; the f4 table and bid
    scratch are rebuilt. *)
-type persisted = {
-  z_past : past list;
-  z_store : Facility_store.persisted;
-  z_n_requests : int;
-}
 
-let snapshot_tag = "omflp.snap.all-large.v1"
+let snapshot_tag = "omflp.snap.all-large.v2"
+
+let w_past b (p : past) =
+  Snapshot_codec.w_int b p.site;
+  Snapshot_codec.w_float b p.dual
+
+let r_past r =
+  let site = Snapshot_codec.r_int r in
+  let dual = Snapshot_codec.r_float r in
+  { site; dual }
 
 let snapshot t =
-  Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_past = t.past;
-      z_store = Facility_store.persist t.store;
-      z_n_requests = t.n_requests;
-    }
+  Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Snapshot_codec.w_list w_past b t.past;
+      Facility_store.write_persisted b (Facility_store.persist t.store);
+      Snapshot_codec.w_int b t.n_requests)
 
 let restore metric cost blob =
-  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-  let t = create metric cost in
-  {
-    t with
-    past = z.z_past;
-    store = Facility_store.of_persisted metric z.z_store;
-    n_requests = z.z_n_requests;
-  }
+  Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_past = Snapshot_codec.r_list r_past r in
+      let z_store = Facility_store.read_persisted r in
+      let n_requests = Snapshot_codec.r_int r in
+      let t = create metric cost in
+      {
+        t with
+        past = z_past;
+        store = Facility_store.of_persisted metric z_store;
+        n_requests;
+      })
+    blob

@@ -17,6 +17,10 @@ val create :
   t
 
 val step : t -> Omflp_instance.Request.t -> Service.t
+
+(** Batch variant of {!step}; decisions are exactly those of folding
+    [step] left to right. *)
+val step_batch : t -> Omflp_instance.Request.t array -> Service.t array
 val run_so_far : t -> Run.t
 val store : t -> Facility_store.t
 

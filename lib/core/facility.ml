@@ -16,6 +16,39 @@ let offered_of_kind ~n_commodities = function
   | Large -> Cset.full ~n_commodities
   | Custom s -> s
 
+open Omflp_prelude
+
+let write b t =
+  Snapshot_codec.w_int b t.id;
+  Snapshot_codec.w_int b t.site;
+  (match t.kind with
+  | Small e ->
+      Snapshot_codec.w_int b 0;
+      Snapshot_codec.w_int b e
+  | Large -> Snapshot_codec.w_int b 1
+  | Custom s ->
+      Snapshot_codec.w_int b 2;
+      Cset.write b s);
+  Snapshot_codec.w_float b t.cost;
+  Snapshot_codec.w_int b t.opened_at
+
+let read ~n_commodities r =
+  let id = Snapshot_codec.r_int r in
+  let site = Snapshot_codec.r_int r in
+  let kind =
+    match Snapshot_codec.r_int r with
+    | 0 -> Small (Snapshot_codec.r_int r)
+    | 1 -> Large
+    | 2 -> Custom (Cset.read r)
+    | k -> Printf.ksprintf failwith "Snapshot_codec: bad facility kind %d" k
+  in
+  let cost = Snapshot_codec.r_float r in
+  let opened_at = Snapshot_codec.r_int r in
+  (* [offered] is a pure function of the kind — derive it rather than
+     trusting serialized bytes to stay consistent with the kind. *)
+  let offered = offered_of_kind ~n_commodities kind in
+  { id; site; kind; offered; cost; opened_at }
+
 let pp ppf t =
   let kind =
     match t.kind with

@@ -18,4 +18,11 @@ type t = {
     set. *)
 val offered_of_kind : n_commodities:int -> kind -> Omflp_commodity.Cset.t
 
+(** Snapshot codec v2 field serializers. [read] derives [offered] from
+    the kind instead of deserializing it; raises [Failure] on malformed
+    bytes. *)
+val write : Omflp_prelude.Snapshot_codec.writer -> t -> unit
+
+val read : n_commodities:int -> Omflp_prelude.Snapshot_codec.reader -> t
+
 val pp : Format.formatter -> t -> unit

@@ -1,13 +1,17 @@
+open Omflp_prelude
 open Omflp_metric
 
+(* Facility ids are the sequential opening order, so the id->facility map
+   is a flat growable array (doubling push) rather than a hashtable, and
+   services append to a flat array the same way. *)
 type t = {
   metric : Finite_metric.t;
   n_commodities : int;
-  mutable facilities_rev : Facility.t list;
+  mutable fac : Facility.t array; (* slots 0..count-1 valid, opening order *)
   mutable count : int;
-  by_id : (int, Facility.t) Hashtbl.t;
   index : Nearest_index.t;
-  mutable services_rev : Service.t list;
+  mutable svc : Service.t array; (* slots 0..n_services-1 valid *)
+  mutable n_services : int;
   mutable construction : float;
   mutable assignment : float;
 }
@@ -17,11 +21,11 @@ let create metric ~n_commodities =
   {
     metric;
     n_commodities;
-    facilities_rev = [];
+    fac = [||];
     count = 0;
-    by_id = Hashtbl.create 64;
     index = Nearest_index.create ~n_commodities ~n_sites;
-    services_rev = [];
+    svc = [||];
+    n_services = 0;
     construction = 0.0;
     assignment = 0.0;
   }
@@ -30,23 +34,46 @@ let metric t = t.metric
 let n_commodities t = t.n_commodities
 let index t = t.index
 
+let push_fac t f =
+  let cap = Array.length t.fac in
+  if t.count = cap then begin
+    let grown = Array.make (max 8 (2 * cap)) f in
+    Array.blit t.fac 0 grown 0 t.count;
+    t.fac <- grown
+  end;
+  t.fac.(t.count) <- f;
+  t.count <- t.count + 1
+
+let push_svc t s =
+  let cap = Array.length t.svc in
+  if t.n_services = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) s in
+    Array.blit t.svc 0 grown 0 t.n_services;
+    t.svc <- grown
+  end;
+  t.svc.(t.n_services) <- s;
+  t.n_services <- t.n_services + 1
+
 let open_facility t ~site ~kind ~cost ~opened_at =
   if cost < 0.0 then invalid_arg "Facility_store.open_facility: negative cost";
   let offered = Facility.offered_of_kind ~n_commodities:t.n_commodities kind in
   let fac =
     { Facility.id = t.count; site; kind; offered; cost; opened_at }
   in
-  t.count <- t.count + 1;
-  t.facilities_rev <- fac :: t.facilities_rev;
-  Hashtbl.replace t.by_id fac.id fac;
+  push_fac t fac;
   t.construction <- t.construction +. cost;
   Nearest_index.note_opened t.index t.metric ~site ~offered ~id:fac.id;
   fac
 
-let facilities t = List.rev t.facilities_rev
+let facilities t = Array.to_list (Array.sub t.fac 0 t.count)
 let n_facilities t = t.count
 
-let facility t id = Hashtbl.find t.by_id id
+let facility t id =
+  if id < 0 || id >= t.count then raise Not_found;
+  t.fac.(id)
+
+(* Raw site lookup for hot loops: no bounds ceremony beyond the array's. *)
+let facility_site t id = t.fac.(id).Facility.site
 
 let dist_offering t ~commodity ~from =
   Nearest_index.dist t.index ~commodity ~site:from
@@ -64,14 +91,14 @@ let nearest_large t ~from =
   else Some (facility t id, Nearest_index.dist_large t.index ~site:from)
 
 let record_service t ~request_site service =
-  let facility_site id = (facility t id).Facility.site in
+  let facility_site id = t.fac.(id).Facility.site in
   let c =
     Service.cost ~facility_site ~metric:t.metric ~request_site service
   in
   t.assignment <- t.assignment +. c;
-  t.services_rev <- service :: t.services_rev
+  push_svc t service
 
-let services t = List.rev t.services_rev
+let services t = Array.to_list (Array.sub t.svc 0 t.n_services)
 
 let construction_cost t = t.construction
 let assignment_cost t = t.assignment
@@ -91,7 +118,11 @@ let persist t =
   {
     ps_n_commodities = t.n_commodities;
     ps_facilities = facilities t;
-    ps_services_rev = t.services_rev;
+    ps_services_rev =
+      (let rec go i acc =
+         if i = t.n_services then acc else go (i + 1) (t.svc.(i) :: acc)
+       in
+       go 0 []);
     ps_construction = t.construction;
     ps_assignment = t.assignment;
   }
@@ -107,13 +138,31 @@ let of_persisted metric (z : persisted) =
     (fun (f : Facility.t) ->
       if f.Facility.id <> t.count then
         failwith "Facility_store.of_persisted: non-sequential facility ids";
-      t.count <- t.count + 1;
-      t.facilities_rev <- f :: t.facilities_rev;
-      Hashtbl.replace t.by_id f.Facility.id f;
+      push_fac t f;
       Nearest_index.note_opened t.index t.metric ~site:f.Facility.site
         ~offered:f.Facility.offered ~id:f.Facility.id)
     z.ps_facilities;
-  t.services_rev <- z.ps_services_rev;
+  List.iter (fun s -> push_svc t s) (List.rev z.ps_services_rev);
   t.construction <- z.ps_construction;
   t.assignment <- z.ps_assignment;
   t
+
+let write_persisted b (z : persisted) =
+  Snapshot_codec.w_int b z.ps_n_commodities;
+  Snapshot_codec.w_list Facility.write b z.ps_facilities;
+  Snapshot_codec.w_list Service.write b z.ps_services_rev;
+  Snapshot_codec.w_float b z.ps_construction;
+  Snapshot_codec.w_float b z.ps_assignment
+
+let read_persisted r =
+  let ps_n_commodities = Snapshot_codec.r_int r in
+  let ps_facilities =
+    Snapshot_codec.r_list
+      (Facility.read ~n_commodities:ps_n_commodities)
+      r
+  in
+  let ps_services_rev = Snapshot_codec.r_list Service.read r in
+  let ps_construction = Snapshot_codec.r_float r in
+  let ps_assignment = Snapshot_codec.r_float r in
+  { ps_n_commodities; ps_facilities; ps_services_rev; ps_construction;
+    ps_assignment }

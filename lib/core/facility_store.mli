@@ -32,6 +32,10 @@ val n_facilities : t -> int
 (** [facility t id] fetches by id. Raises [Not_found]. *)
 val facility : t -> int -> Facility.t
 
+(** [facility_site t id] is [(facility t id).site] without the option
+    ceremony — for hot loops that already hold a valid id. *)
+val facility_site : t -> int -> int
+
 (** [dist_offering t ~commodity ~from] is [d(F(e), ·)]: the distance from
     site [from] to the nearest open facility offering [commodity]
     ([infinity] if none). *)
@@ -77,3 +81,9 @@ val persist : t -> persisted
     Raises [Failure] if the facility ids are not the sequential ids this
     store assigns. *)
 val of_persisted : Omflp_metric.Finite_metric.t -> persisted -> t
+
+(** Snapshot codec v2 field serializers for the persisted form;
+    [read_persisted] raises [Failure] on malformed bytes. *)
+val write_persisted : Omflp_prelude.Snapshot_codec.writer -> persisted -> unit
+
+val read_persisted : Omflp_prelude.Snapshot_codec.reader -> persisted

@@ -90,29 +90,30 @@ let step t (r : Request.t) =
   t.n_requests <- t.n_requests + 1;
   service
 
+let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
+
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
 
 (* Persisted: GREEDY keeps no scratch beyond the store and the pure
    singleton table, so the blob is just the store. *)
-type persisted = {
-  z_store : Facility_store.persisted;
-  z_n_requests : int;
-}
 
-let snapshot_tag = "omflp.snap.greedy.v1"
+let snapshot_tag = "omflp.snap.greedy.v2"
 
 let snapshot t =
-  Omflp_prelude.Snapshot_codec.encode ~tag:snapshot_tag
-    { z_store = Facility_store.persist t.store; z_n_requests = t.n_requests }
+  Omflp_prelude.Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Facility_store.write_persisted b (Facility_store.persist t.store);
+      Omflp_prelude.Snapshot_codec.w_int b t.n_requests)
 
 let restore metric cost blob =
-  let (z : persisted) =
-    Omflp_prelude.Snapshot_codec.decode ~tag:snapshot_tag blob
-  in
-  let t = create metric cost in
-  {
-    t with
-    store = Facility_store.of_persisted metric z.z_store;
-    n_requests = z.z_n_requests;
-  }
+  Omflp_prelude.Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_store = Facility_store.read_persisted r in
+      let n_requests = Omflp_prelude.Snapshot_codec.r_int r in
+      let t = create metric cost in
+      {
+        t with
+        store = Facility_store.of_persisted metric z_store;
+        n_requests;
+      })
+    blob

@@ -162,47 +162,78 @@ let step t (r : Request.t) =
   t.n_requests <- t.n_requests + 1;
   service
 
+let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
+
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
 
 (* Persisted: the heavy set (it may have been overridden via
    [create_with_heavy], so detection is not re-run), the inner PD run as
    a nested blob, and the outer bookkeeping. The light projection is a
-   pure function of (cost, heavy) and is rebuilt. *)
-type persisted = {
-  z_heavy : Cset.t;
-  z_inner : string;
-  z_store : Facility_store.persisted;
-  z_fid_map : (int * int) list;
-  z_inner_mirrored : int;
-  z_heavy_past : heavy_past list array;
-  z_n_requests : int;
-}
+   pure function of (cost, heavy) and is rebuilt. The fid map is
+   serialized sorted by inner id so the blob does not depend on hashtable
+   iteration order. *)
 
-let snapshot_tag = "omflp.snap.heavy-aware.v1"
+let snapshot_tag = "omflp.snap.heavy-aware.v2"
+
+let w_heavy_past b (p : heavy_past) =
+  Snapshot_codec.w_int b p.site;
+  Snapshot_codec.w_float b p.dual
+
+let r_heavy_past r =
+  let site = Snapshot_codec.r_int r in
+  let dual = Snapshot_codec.r_float r in
+  { site; dual }
 
 let snapshot t =
-  Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_heavy = t.heavy;
-      z_inner = Pd_omflp.snapshot t.inner;
-      z_store = Facility_store.persist t.store;
-      z_fid_map = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fid_map [];
-      z_inner_mirrored = t.inner_mirrored;
-      z_heavy_past = Array.copy t.heavy_past;
-      z_n_requests = t.n_requests;
-    }
+  Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Cset.write b t.heavy;
+      Snapshot_codec.w_string b (Pd_omflp.snapshot t.inner);
+      Facility_store.write_persisted b (Facility_store.persist t.store);
+      let fid_pairs =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fid_map [])
+      in
+      Snapshot_codec.w_list
+        (fun b (k, v) ->
+          Snapshot_codec.w_int b k;
+          Snapshot_codec.w_int b v)
+        b fid_pairs;
+      Snapshot_codec.w_int b t.inner_mirrored;
+      Snapshot_codec.w_array (Snapshot_codec.w_list w_heavy_past) b
+        t.heavy_past;
+      Snapshot_codec.w_int b t.n_requests)
 
 let restore metric cost blob =
-  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-  let t = create_with_heavy ~heavy:z.z_heavy metric cost in
-  let light_cost, _ = Cost_function.project cost ~keep:t.light in
-  List.iter (fun (k, v) -> Hashtbl.replace t.fid_map k v) z.z_fid_map;
-  Array.blit z.z_heavy_past 0 t.heavy_past 0 (Array.length t.heavy_past);
-  {
-    t with
-    inner = Pd_omflp.restore metric light_cost z.z_inner;
-    store = Facility_store.of_persisted metric z.z_store;
-    inner_mirrored = z.z_inner_mirrored;
-    n_requests = z.z_n_requests;
-  }
+  Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_heavy = Cset.read r in
+      let z_inner = Snapshot_codec.r_string r in
+      let z_store = Facility_store.read_persisted r in
+      let z_fid_map =
+        Snapshot_codec.r_list
+          (fun r ->
+            let k = Snapshot_codec.r_int r in
+            let v = Snapshot_codec.r_int r in
+            (k, v))
+          r
+      in
+      let z_inner_mirrored = Snapshot_codec.r_int r in
+      let z_heavy_past =
+        Snapshot_codec.r_array (Snapshot_codec.r_list r_heavy_past) r
+      in
+      let z_n_requests = Snapshot_codec.r_int r in
+      let t = create_with_heavy ~heavy:z_heavy metric cost in
+      let light_cost, _ = Cost_function.project cost ~keep:t.light in
+      List.iter (fun (k, v) -> Hashtbl.replace t.fid_map k v) z_fid_map;
+      if Array.length z_heavy_past <> Array.length t.heavy_past then
+        failwith "Heavy_aware.restore: commodity count mismatch";
+      Array.blit z_heavy_past 0 t.heavy_past 0 (Array.length t.heavy_past);
+      {
+        t with
+        inner = Pd_omflp.restore metric light_cost z_inner;
+        store = Facility_store.of_persisted metric z_store;
+        inner_mirrored = z_inner_mirrored;
+        n_requests = z_n_requests;
+      })
+    blob

@@ -96,33 +96,44 @@ let step t (r : Request.t) =
   t.n_requests <- t.n_requests + 1;
   service
 
+let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
+
 let run_so_far t = Run.of_store ~algorithm:name t.store
 let store t = t.store
 
 (* Persisted: per-commodity dual history plus the store; the lazy f3
    rows and the bid scratch are rebuilt. *)
-type persisted = {
-  z_past : past list array;
-  z_store : Facility_store.persisted;
-  z_n_requests : int;
-}
 
-let snapshot_tag = "omflp.snap.indep.v1"
+let snapshot_tag = "omflp.snap.indep.v2"
+
+let w_past b (p : past) =
+  Snapshot_codec.w_int b p.site;
+  Snapshot_codec.w_float b p.dual
+
+let r_past r =
+  let site = Snapshot_codec.r_int r in
+  let dual = Snapshot_codec.r_float r in
+  { site; dual }
 
 let snapshot t =
-  Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_past = Array.copy t.past;
-      z_store = Facility_store.persist t.store;
-      z_n_requests = t.n_requests;
-    }
+  Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Snapshot_codec.w_array (Snapshot_codec.w_list w_past) b t.past;
+      Facility_store.write_persisted b (Facility_store.persist t.store);
+      Snapshot_codec.w_int b t.n_requests)
 
 let restore metric cost blob =
-  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-  let t = create metric cost in
-  Array.blit z.z_past 0 t.past 0 (Array.length t.past);
-  {
-    t with
-    store = Facility_store.of_persisted metric z.z_store;
-    n_requests = z.z_n_requests;
-  }
+  Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_past = Snapshot_codec.r_array (Snapshot_codec.r_list r_past) r in
+      let z_store = Facility_store.read_persisted r in
+      let n_requests = Snapshot_codec.r_int r in
+      let t = create metric cost in
+      if Array.length z_past <> Array.length t.past then
+        failwith "Indep_baseline.restore: commodity count mismatch";
+      Array.blit z_past 0 t.past 0 (Array.length t.past);
+      {
+        t with
+        store = Facility_store.of_persisted metric z_store;
+        n_requests;
+      })
+    blob

@@ -6,14 +6,16 @@ let m_openings = Metrics.counter "index.openings"
 
 let m_cell_updates = Metrics.counter "index.cell_updates"
 
-(* Parallel unboxed arrays instead of (float * int) tuples: the PD/RAND
-   step loops read distances far more often than ids, and a float array
-   row is a flat scan with no pointer chasing or tuple allocation. *)
+(* Single flat unboxed arrays instead of per-commodity rows: cell
+   (commodity e, site p) lives at [e * n_sites + p]. The PD/RAND step
+   loops read distances far more often than ids, and a flat float array
+   scan has no pointer chasing, no outer-array bounds check, and no tuple
+   allocation. *)
 type t = {
   n_commodities : int;
   n_sites : int;
-  dist : float array array; (* [commodity].(site) -> d(F(e), site) *)
-  id : int array array; (* [commodity].(site) -> facility id, -1 if none *)
+  dist : float array; (* (commodity * n_sites + site) -> d(F(e), site) *)
+  id : int array; (* (commodity * n_sites + site) -> facility id, -1 if none *)
   dist_large : float array; (* site -> d(F^, site) *)
   id_large : int array;
 }
@@ -22,38 +24,44 @@ let create ~n_commodities ~n_sites =
   {
     n_commodities;
     n_sites;
-    dist = Array.init n_commodities (fun _ -> Array.make n_sites infinity);
-    id = Array.init n_commodities (fun _ -> Array.make n_sites (-1));
-    dist_large = Array.make n_sites infinity;
-    id_large = Array.make n_sites (-1);
+    dist = Array.make (max 1 (n_commodities * n_sites)) infinity;
+    id = Array.make (max 1 (n_commodities * n_sites)) (-1);
+    dist_large = Array.make (max 1 n_sites) infinity;
+    id_large = Array.make (max 1 n_sites) (-1);
   }
 
 let note_opened t metric ~site ~offered ~id =
   Metrics.incr m_openings;
   (* One metric row serves the whole update: row.(p) = dist p site by
-     symmetry. Looping commodity-major over that row keeps each table
-     row hot in cache. *)
+     symmetry. Looping commodity-major keeps each table segment hot in
+     cache. The select style (compare once, conditional-move both cells)
+     keeps the scan flat; ties keep the earlier opening via strict [<]. *)
   let row = Finite_metric.row metric site in
   let updates = ref 0 in
+  let n = t.n_sites in
+  let de = t.dist and ide = t.id in
   Cset.iter
     (fun e ->
-      let de = t.dist.(e) and ide = t.id.(e) in
-      for p = 0 to t.n_sites - 1 do
-        let d = row.(p) in
-        if d < de.(p) then begin
-          de.(p) <- d;
-          ide.(p) <- id;
+      let base = e * n in
+      for p = 0 to n - 1 do
+        let d = Array.unsafe_get row p in
+        let j = base + p in
+        let smaller = d < Array.unsafe_get de j in
+        if smaller then begin
+          Array.unsafe_set de j d;
+          Array.unsafe_set ide j id;
           incr updates
         end
       done)
     offered;
   if Cset.is_full offered then begin
     let dl = t.dist_large and il = t.id_large in
-    for p = 0 to t.n_sites - 1 do
-      let d = row.(p) in
-      if d < dl.(p) then begin
-        dl.(p) <- d;
-        il.(p) <- id;
+    for p = 0 to n - 1 do
+      let d = Array.unsafe_get row p in
+      let smaller = d < Array.unsafe_get dl p in
+      if smaller then begin
+        Array.unsafe_set dl p d;
+        Array.unsafe_set il p id;
         incr updates
       end
     done
@@ -62,16 +70,22 @@ let note_opened t metric ~site ~offered ~id =
 
 (* Queries are deliberately uncounted: they sit in the innermost event
    loops and must stay raw array reads. *)
-let dist t ~commodity ~site = t.dist.(commodity).(site)
+let dist t ~commodity ~site = t.dist.((commodity * t.n_sites) + site)
 
-let id t ~commodity ~site = t.id.(commodity).(site)
+let id t ~commodity ~site = t.id.((commodity * t.n_sites) + site)
 
 let dist_large t ~site = t.dist_large.(site)
 
 let id_large t ~site = t.id_large.(site)
 
-(* Read-only row views for hot loops that scan a commodity's whole
-   distance row; callers must not mutate. *)
-let dist_row t ~commodity = t.dist.(commodity)
+(* Read-only flat views for hot loops; commodity [e]'s row starts at
+   [row_base t ~commodity:e]. Callers must not mutate. *)
+let flat_dist t = t.dist
+
+let flat_id t = t.id
+
+let row_base t ~commodity = commodity * t.n_sites
 
 let dist_large_row t = t.dist_large
+
+let id_large_row t = t.id_large

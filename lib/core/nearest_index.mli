@@ -48,9 +48,16 @@ val dist_large : t -> site:int -> float
 
 val id_large : t -> site:int -> int
 
-(** Read-only views of the underlying rows ([ (dist_row t ~commodity).(p)
-    = dist t ~commodity ~site:p ]) for loops that scan every site;
-    callers MUST NOT mutate them. *)
-val dist_row : t -> commodity:int -> float array
+(** Read-only views of the underlying flat tables for loops that scan
+    every site: cell (commodity [e], site [p]) of {!flat_dist} /
+    {!flat_id} lives at [row_base t ~commodity:e + p]. Callers MUST NOT
+    mutate them. *)
+val flat_dist : t -> float array
+
+val flat_id : t -> int array
+
+val row_base : t -> commodity:int -> int
 
 val dist_large_row : t -> float array
+
+val id_large_row : t -> int array

@@ -109,6 +109,8 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
     t.n_requests <- t.n_requests + 1;
     service
 
+  let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
+
   let run_so_far t = Run.of_store ~algorithm:name t.store
   let store t = t.store
 
@@ -116,54 +118,60 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
      restore derive the same per-commodity streams), the shared store, and
      each live slot as (inner OFL blob, mirrored prefix length). Slot
      opening-cost tables are pure and rebuilt. *)
-  type persisted = {
-    z_seed : int option;
-    z_store : Facility_store.persisted;
-    z_slots : (string * int) option array;
-    z_n_requests : int;
-  }
 
-  let snapshot_tag = "omflp.snap.ofl-adapter." ^ S.name ^ ".v1"
+  let snapshot_tag = "omflp.snap.ofl-adapter." ^ S.name ^ ".v2"
 
   let snapshot t =
-    Snapshot_codec.encode ~tag:snapshot_tag
-      {
-        z_seed = t.seed;
-        z_store = Facility_store.persist t.store;
-        z_slots =
-          Array.map
-            (Option.map (fun s -> (S.A.save_state s.ofl, s.mirrored)))
-            t.slots;
-        z_n_requests = t.n_requests;
-      }
+    Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+        Snapshot_codec.w_opt Snapshot_codec.w_int b t.seed;
+        Facility_store.write_persisted b (Facility_store.persist t.store);
+        Snapshot_codec.w_array
+          (Snapshot_codec.w_opt (fun b s ->
+               Snapshot_codec.w_string b (S.A.save_state s.ofl);
+               Snapshot_codec.w_int b s.mirrored))
+          b t.slots;
+        Snapshot_codec.w_int b t.n_requests)
 
   let restore metric cost blob =
-    let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-    let t = create ?seed:z.z_seed metric cost in
-    if Array.length z.z_slots <> Array.length t.slots then
-      failwith
-        (Printf.sprintf
-           "%s.restore: snapshot has %d commodities, cost function has %d"
-           S.name (Array.length z.z_slots) (Array.length t.slots));
-    Array.iteri
-      (fun e zs ->
-        match zs with
-        | None -> ()
-        | Some (ofl_blob, mirrored) ->
-            let costs =
-              Array.init (Finite_metric.size metric) (fun m ->
-                  Cost_function.singleton_cost cost m e)
-            in
-            let ofl =
-              S.A.restore_state metric ~opening_costs:costs ofl_blob
-            in
-            t.slots.(e) <- Some { ofl; costs; mirrored })
-      z.z_slots;
-    {
-      t with
-      store = Facility_store.of_persisted metric z.z_store;
-      n_requests = z.z_n_requests;
-    }
+    Snapshot_codec.decode ~tag:snapshot_tag
+      (fun r ->
+        let z_seed = Snapshot_codec.r_opt Snapshot_codec.r_int r in
+        let z_store = Facility_store.read_persisted r in
+        let z_slots =
+          Snapshot_codec.r_array
+            (Snapshot_codec.r_opt (fun r ->
+                 let blob = Snapshot_codec.r_string r in
+                 let mirrored = Snapshot_codec.r_int r in
+                 (blob, mirrored)))
+            r
+        in
+        let z_n_requests = Snapshot_codec.r_int r in
+        let t = create ?seed:z_seed metric cost in
+        if Array.length z_slots <> Array.length t.slots then
+          failwith
+            (Printf.sprintf
+               "%s.restore: snapshot has %d commodities, cost function has %d"
+               S.name (Array.length z_slots) (Array.length t.slots));
+        Array.iteri
+          (fun e zs ->
+            match zs with
+            | None -> ()
+            | Some (ofl_blob, mirrored) ->
+                let costs =
+                  Array.init (Finite_metric.size metric) (fun m ->
+                      Cost_function.singleton_cost cost m e)
+                in
+                let ofl =
+                  S.A.restore_state metric ~opening_costs:costs ofl_blob
+                in
+                t.slots.(e) <- Some { ofl; costs; mirrored })
+          z_slots;
+        {
+          t with
+          store = Facility_store.of_persisted metric z_store;
+          n_requests = z_n_requests;
+        })
+      blob
 end
 
 module Meyerson_ofl = Make (struct

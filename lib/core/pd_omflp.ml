@@ -40,31 +40,46 @@ type fired =
   | Connected_large of { facility : int; dual_sum : float }
   | Opened_large of { site : int; dual_sum : float }
 
-(* Internal past-request record. [caps] holds, per demanded commodity, the
-   value min{a_je, d(F(e), j)} currently accounted in the incremental bid
-   caches; [cap4] the corresponding min{Σ a_je, d(F̂, j)}. *)
-type past = {
-  p_site : int;
-  p_demand : Cset.t;
-  p_duals : float array;
-  p_dual_sum : float;
-  p_caps : float array;
-  mutable p_cap4 : float;
-}
+(* Local positive part for the innermost loops. [Numerics.pos] is a
+   cross-module call, which without flambda boxes its float argument and
+   result on every call — millions per run from here. A same-module
+   single-comparison version stays inline and keeps the floats unboxed;
+   the produced values are identical for every non-NaN input ([Float.max]
+   and the branch agree on signed zeros), which the golden decision
+   digests pin. *)
+let[@inline] pos x = if x > 0.0 then x else 0.0
 
+(* Past requests live in struct-of-arrays form, oldest first: request j's
+   scalars sit at index j of [p_site]/[p_demand]/[p_dual_sum]/[p_cap4],
+   its per-commodity duals and bid caps in the flat rows
+   [j*s .. j*s + s - 1] of [p_duals]/[p_caps] ([caps] holds, per demanded
+   commodity, the value min{a_je, d(F(e), j)} currently accounted in the
+   incremental bid caches; [cap4] the min{Σ a_je, d(F̂, j)} analogue).
+   Every history walk runs newest-first ([for j = n_past-1 downto 0]) to
+   preserve the float summation order of the previous cons-list
+   representation, which the golden decision digests pin. *)
 type t = {
   metric : Finite_metric.t;
   cost : Cost_function.t;
   store : Facility_store.t;
-  mutable past_rev : past list;
+  s : int; (* number of commodities *)
+  n_sites : int;
+  mutable n_past : int;
+  mutable p_site : int array;
+  mutable p_demand : Cset.t array;
+  mutable p_dual_sum : float array;
+  mutable p_cap4 : float array;
+  mutable p_duals : float array; (* flat n_past x s *)
+  mutable p_caps : float array; (* flat n_past x s *)
   mutable trace_rev : fired list list;
   mutable n_requests : int;
   (* Incremental mode: bid sums are maintained across arrivals instead of
-     being recomputed from the whole history. [b3_cache.(e).(m)] is the
-     constraint-(3) bid sum of all past requests towards a small facility
-     {e} at site m; [b4_cache.(m)] the constraint-(4) analogue. *)
+     being recomputed from the whole history. [b3_cache.(e*n_sites + m)]
+     is the constraint-(3) bid sum of all past requests towards a small
+     facility {e} at site m; [b4_cache.(m)] the constraint-(4)
+     analogue. *)
   incremental : bool;
-  b3_cache : float array array;
+  b3_cache : float array;
   b4_cache : float array;
   (* Hot-path tables and scratch, set up once at creation.
      [f3.(e).(m)] = singleton opening cost of {e} at m (rows built
@@ -75,23 +90,21 @@ type t = {
      array read (identical float values — the cost function is pure).
      The [scratch_*] buffers and recompute-mode bid accumulators
      ([b3_scratch] rows indexed by position in the request's demand) are
-     reused across [step] calls instead of re-allocated per request;
-     only request-local data that outlives the step (duals, caps — they
-     are stored in [past]) is still freshly allocated. *)
+     reused across [step] calls; the request's own duals and caps are
+     written directly into their [p_duals]/[p_caps] rows, so a step
+     allocates nothing on the event path. [scratch_fb] carries floats
+     across the [consider] call boundary unboxed: slot 0 the candidate
+     delta, slot 1 the best delta, slot 2 the running dual sum. *)
   f3 : float array option array;
   f4 : float array;
-  b3_scratch : float array array;
+  b3_scratch : float array;
   b4_scratch : float array;
   scratch_es : int array;
-  scratch_serving : serving array;
+  scratch_serving_kind : int array; (* 0 unserved / 1 existing / 2 temp *)
+  scratch_serving_id : int array; (* facility id (1) or temp site (2) *)
   scratch_unserved : int array;
+  scratch_fb : float array;
 }
-
-and serving =
-  (* The serving target of one commodity while the request is processed. *)
-  | Unserved
-  | By_existing of int  (** facility id *)
-  | By_temp of int  (** site of a tentatively opened small facility *)
 
 let name = "PD-OMFLP"
 
@@ -102,23 +115,31 @@ let create_mode ~incremental metric cost =
     metric;
     cost;
     store = Facility_store.create metric ~n_commodities;
-    past_rev = [];
+    s = n_commodities;
+    n_sites;
+    n_past = 0;
+    p_site = [||];
+    p_demand = [||];
+    p_dual_sum = [||];
+    p_cap4 = [||];
+    p_duals = [||];
+    p_caps = [||];
     trace_rev = [];
     n_requests = 0;
     incremental;
     b3_cache =
-      (if incremental then Array.make_matrix n_commodities n_sites 0.0
-       else [||]);
+      (if incremental then Array.make (n_commodities * n_sites) 0.0 else [||]);
     b4_cache = (if incremental then Array.make n_sites 0.0 else [||]);
     f3 = Array.make n_commodities None;
     f4 = Array.init n_sites (fun m -> Cost_function.full_cost cost m);
     b3_scratch =
-      (if incremental then [||]
-       else Array.make_matrix n_commodities n_sites 0.0);
+      (if incremental then [||] else Array.make (n_commodities * n_sites) 0.0);
     b4_scratch = (if incremental then [||] else Array.make n_sites 0.0);
     scratch_es = Array.make n_commodities 0;
-    scratch_serving = Array.make n_commodities Unserved;
+    scratch_serving_kind = Array.make n_commodities 0;
+    scratch_serving_id = Array.make n_commodities (-1);
     scratch_unserved = Array.make n_commodities 0;
+    scratch_fb = Array.make 3 0.0;
   }
 
 let create ?seed:_ metric cost = create_mode ~incremental:false metric cost
@@ -126,62 +147,78 @@ let create ?seed:_ metric cost = create_mode ~incremental:false metric cost
 let create_incremental ?seed:_ metric cost =
   create_mode ~incremental:true metric cost
 
-(* The four tightness events of Algorithm 1. The int payloads identify the
-   commodity (index into the demand array) and/or the site. Priority order
-   on ties follows the paper's loop structure: connections and small
-   facilities (lines 3–5) are examined before large ones (lines 6–9). *)
-type event =
-  | E1_connect_small of int
-  | E3_open_small of int * int
-  | E2_connect_large
-  | E4_open_large of int
-
-let event_rank = function
-  | E1_connect_small _ -> 0
-  | E3_open_small _ -> 1
-  | E2_connect_large -> 2
-  | E4_open_large _ -> 3
+let ensure_past_capacity t =
+  let cap = Array.length t.p_site in
+  if t.n_past = cap then begin
+    (* Start small: the first growth zeroes [ncap * s] floats for the
+       dual and cap rows, which dominates whole short runs when the
+       commodity set is large (the theorem-2 adversary pairs |S|=1024
+       with 32 requests). Doubling from 8 keeps that first touch
+       proportional to what a short run actually uses. *)
+    let ncap = max 8 (2 * cap) in
+    let grow_int a =
+      let a' = Array.make ncap 0 in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    let grow_float a len len' =
+      let a' = Array.make len' 0.0 in
+      Array.blit a 0 a' 0 len;
+      a'
+    in
+    t.p_site <- grow_int t.p_site;
+    let dem = Array.make ncap (Cset.empty ~n_commodities:t.s) in
+    Array.blit t.p_demand 0 dem 0 cap;
+    t.p_demand <- dem;
+    t.p_dual_sum <- grow_float t.p_dual_sum cap ncap;
+    t.p_cap4 <- grow_float t.p_cap4 cap ncap;
+    t.p_duals <- grow_float t.p_duals (cap * t.s) (ncap * t.s);
+    t.p_caps <- grow_float t.p_caps (cap * t.s) (ncap * t.s)
+  end
 
 (* Incremental maintenance: a newly opened facility at [fs] offering [o]
    can only shrink past caps — min{a, d(F(e), j)} becomes
    min{old cap, d(j, fs)} — so each affected (request, commodity) adjusts
-   the caches by the difference of its contribution. *)
+   the caches by the difference of its contribution. The walk is
+   newest-first, matching the old cons-list order. *)
 let note_facility_opened t ~fs ~offered =
   if t.incremental then begin
-    let n_sites = Finite_metric.size t.metric in
+    let n_sites = t.n_sites in
     let offers_all = Cset.is_full offered in
-    List.iter
-      (fun (p : past) ->
-        (* One metric row covers every distance from this past request:
-           row_j.(x) = d(j, x), the exact orientation the per-cell
-           [dist] calls used. *)
-        let row_j = Finite_metric.row t.metric p.p_site in
-        let d_jf = row_j.(fs) in
-        Cset.iter
-          (fun e ->
-            if Cset.mem offered e && d_jf < p.p_caps.(e) then begin
-              let old_cap = p.p_caps.(e) in
-              let row = t.b3_cache.(e) in
-              for m = 0 to n_sites - 1 do
-                let d = row_j.(m) in
-                row.(m) <-
-                  row.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
-              done;
-              Metrics.add m_cache_updates n_sites;
-              p.p_caps.(e) <- d_jf
-            end)
-          p.p_demand;
-        if offers_all && d_jf < p.p_cap4 then begin
-          let old_cap = p.p_cap4 in
-          for m = 0 to n_sites - 1 do
-            let d = row_j.(m) in
-            t.b4_cache.(m) <-
-              t.b4_cache.(m) +. Numerics.pos (d_jf -. d) -. Numerics.pos (old_cap -. d)
-          done;
-          Metrics.add m_cache_updates n_sites;
-          p.p_cap4 <- d_jf
-        end)
-      t.past_rev
+    let b3 = t.b3_cache and b4 = t.b4_cache in
+    for j = t.n_past - 1 downto 0 do
+      (* One metric row covers every distance from this past request:
+         row_j.(x) = d(j, x), the exact orientation the per-cell [dist]
+         calls used. *)
+      let row_j = Finite_metric.row t.metric t.p_site.(j) in
+      let d_jf = row_j.(fs) in
+      let cbase = j * t.s in
+      Cset.iter
+        (fun e ->
+          if Cset.mem offered e && d_jf < t.p_caps.(cbase + e) then begin
+            let old_cap = t.p_caps.(cbase + e) in
+            let bb = e * n_sites in
+            for m = 0 to n_sites - 1 do
+              let d = row_j.(m) in
+              b3.(bb + m) <-
+                b3.(bb + m) +. pos (d_jf -. d)
+                -. pos (old_cap -. d)
+            done;
+            Metrics.add m_cache_updates n_sites;
+            t.p_caps.(cbase + e) <- d_jf
+          end)
+        t.p_demand.(j);
+      if offers_all && d_jf < t.p_cap4.(j) then begin
+        let old_cap = t.p_cap4.(j) in
+        for m = 0 to n_sites - 1 do
+          let d = row_j.(m) in
+          b4.(m) <-
+            b4.(m) +. pos (d_jf -. d) -. pos (old_cap -. d)
+        done;
+        Metrics.add m_cache_updates n_sites;
+        t.p_cap4.(j) <- d_jf
+      end
+    done
   end
 
 let f3_row t e =
@@ -189,9 +226,7 @@ let f3_row t e =
   | Some row -> row
   | None ->
       let row =
-        Array.init
-          (Finite_metric.size t.metric)
-          (fun m -> Cost_function.singleton_cost t.cost m e)
+        Array.init t.n_sites (fun m -> Cost_function.singleton_cost t.cost m e)
       in
       t.f3.(e) <- Some row;
       row
@@ -212,8 +247,9 @@ let open_facility t ~site ~kind =
   fac
 
 let step t (r : Request.t) =
-  let n_sites = Finite_metric.size t.metric in
-  let s = Cost_function.n_commodities t.cost in
+  let n_sites = t.n_sites in
+  let s = t.s in
+  ensure_past_capacity t;
   let es = t.scratch_es in
   let k_total =
     let k = ref 0 in
@@ -224,60 +260,69 @@ let step t (r : Request.t) =
       r.demand;
     !k
   in
-  let a = Array.make s 0.0 in
-  let serving = t.scratch_serving in
-  Array.fill serving 0 s Unserved;
+  (* The request's duals accumulate directly in its (pre-zeroed) row of
+     [p_duals]; [abase + e] is the old [a.(e)]. *)
+  let abase = t.n_past * s in
+  let duals = t.p_duals in
+  Array.fill duals abase s 0.0;
+  Array.fill t.p_caps abase s 0.0;
+  let sk = t.scratch_serving_kind and sid = t.scratch_serving_id in
+  Array.fill sk 0 s 0;
   (* d_rm.(m) = d(r, m): the metric's own row, fetched once (read-only). *)
   let d_rm = Finite_metric.row t.metric r.site in
+  (* Flat read-only views of the nearest-open-facility tables; they are
+     mutated in place by openings, so these stay current through the
+     step. *)
+  let idx = Facility_store.index t.store in
+  let nd = Nearest_index.flat_dist idx in
+  let nid = Nearest_index.flat_id idx in
+  let ndl = Nearest_index.dist_large_row idx in
+  let nil = Nearest_index.id_large_row idx in
+  let inc = t.incremental in
   (* Per-arrival-constant bid sums of past requests (constraints (3) and
      (4)); facilities only open once processing ends, so the caps
      min{a_je, d(F(e), j)} and min{Σa_je, d(F̂, j)} do not move.
      Incremental mode reads them off the maintained caches; otherwise they
      are recomputed from the whole history into the reusable scratch
-     accumulators. The recompute walks [past_rev] in its head→tail order
-     with the per-(request, commodity) cap hoisted out of the site loop,
-     which adds exactly the same sequence of terms to each cell as the
+     accumulators. The recompute walks the history newest-first with the
+     per-(request, commodity) cap hoisted out of the site loop, which
+     adds exactly the same sequence of terms to each cell as the
      historical per-cell fold — the float sums are bit-identical. *)
-  let get_b3, get_b4 =
-    if t.incremental then
-      ((fun i m -> t.b3_cache.(es.(i)).(m)), fun m -> t.b4_cache.(m))
+  let b3_all, b4 =
+    if inc then (t.b3_cache, t.b4_cache)
     else begin
-      let b3 = t.b3_scratch in
-      let b4 = t.b4_scratch in
-      for i = 0 to k_total - 1 do
-        Array.fill b3.(i) 0 n_sites 0.0
-      done;
+      let b3 = t.b3_scratch and b4 = t.b4_scratch in
+      Array.fill b3 0 (k_total * n_sites) 0.0;
       Array.fill b4 0 n_sites 0.0;
-      List.iter
-        (fun (p : past) ->
-          let row_j = Finite_metric.row t.metric p.p_site in
-          for i = 0 to k_total - 1 do
-            let e = es.(i) in
-            if Cset.mem p.p_demand e then begin
-              let cap =
-                Float.min p.p_duals.(e)
-                  (Facility_store.dist_offering t.store ~commodity:e
-                     ~from:p.p_site)
-              in
-              let bi = b3.(i) in
-              for m = 0 to n_sites - 1 do
-                bi.(m) <- bi.(m) +. Numerics.pos (cap -. row_j.(m))
-              done
-            end
-          done;
-          let cap4 =
-            Float.min p.p_dual_sum
-              (Facility_store.dist_large t.store ~from:p.p_site)
-          in
-          for m = 0 to n_sites - 1 do
-            b4.(m) <- b4.(m) +. Numerics.pos (cap4 -. row_j.(m))
-          done)
-        t.past_rev;
-      ((fun i m -> b3.(i).(m)), fun m -> b4.(m))
+      for j = t.n_past - 1 downto 0 do
+        let jsite = t.p_site.(j) in
+        let row_j = Finite_metric.row t.metric jsite in
+        let dem = t.p_demand.(j) in
+        let dbase = j * s in
+        for i = 0 to k_total - 1 do
+          let e = es.(i) in
+          if Cset.mem dem e then begin
+            let cap =
+              Float.min t.p_duals.(dbase + e) nd.((e * n_sites) + jsite)
+            in
+            let bb = i * n_sites in
+            for m = 0 to n_sites - 1 do
+              b3.(bb + m) <- b3.(bb + m) +. pos (cap -. row_j.(m))
+            done
+          end
+        done;
+        let cap4 = Float.min t.p_dual_sum.(j) ndl.(jsite) in
+        for m = 0 to n_sites - 1 do
+          b4.(m) <- b4.(m) +. pos (cap4 -. row_j.(m))
+        done
+      done;
+      (b3, b4)
     end
   in
-  let sum_a = ref 0.0 in
-  let large_result = ref None in
+  let fb = t.scratch_fb in
+  fb.(2) <- 0.0 (* Σ a_re so far *);
+  let large_kind = ref 0 (* 0 none / 1 existing / 2 new *) in
+  let large_tgt = ref (-1) in
   let fired_rev = ref [] in
   let finished = ref false in
   (* Indices into [es] still unserved, in ascending order — compacted in
@@ -294,199 +339,247 @@ let step t (r : Request.t) =
     let w = ref 0 in
     for u = 0 to !n_unserved - 1 do
       let i = unserved.(u) in
-      match serving.(es.(i)) with
-      | Unserved ->
-          unserved.(!w) <- i;
-          Stdlib.incr w
-      | By_existing _ | By_temp _ -> ()
+      if sk.(es.(i)) = 0 then begin
+        unserved.(!w) <- i;
+        Stdlib.incr w
+      end
     done;
     n_unserved := !w;
     if !n_unserved = 0 then finished := true
     else begin
       Metrics.incr m_loop_iters;
       let k = float_of_int !n_unserved in
-      (* Collect the earliest event; ties resolved by event rank, then by
+      (* Collect the earliest event; ties resolved by event rank
+         (E1 connect-small = 0, E3 open-small = 1, E2 connect-large = 2,
+         E4 open-large = 3 — connections and small facilities, the
+         paper's lines 3–5, before large ones, lines 6–9), then by
          commodity index, then by site. Deltas within a relative 1e-9 of
          each other count as tied, so tie-breaking is stable under the
          float-summation-order differences between the recomputing and
          incremental bid modes (integer-valued cost functions produce
-         exact (3)-vs-(4) ties all the time). *)
-      let best = ref None in
-      let consider delta ev i m =
-        let delta = Float.max delta 0.0 in
-        match !best with
-        | None -> best := Some ((delta, event_rank ev, i, m), ev)
-        | Some ((bd, br, bi, bm), _) ->
-            let eps = 1e-9 *. Float.max 1.0 (Float.max delta bd) in
-            if delta < bd -. eps then
-              best := Some ((delta, event_rank ev, i, m), ev)
-            else if
-              delta <= bd +. eps && (event_rank ev, i, m) < (br, bi, bm)
-            then
+         exact (3)-vs-(4) ties all the time). The candidate delta enters
+         [consider] through fb.(0) and the best lives in fb.(1): int-only
+         arguments keep the floats unboxed across the call. *)
+      let has_best = ref false in
+      let best_rank = ref 0 and best_i = ref 0 and best_m = ref 0 in
+      let consider rank i m =
+        let delta = Float.max fb.(0) 0.0 in
+        if not !has_best then begin
+          has_best := true;
+          fb.(1) <- delta;
+          best_rank := rank;
+          best_i := i;
+          best_m := m
+        end
+        else begin
+          let bd = fb.(1) in
+          let eps = 1e-9 *. Float.max 1.0 (Float.max delta bd) in
+          if delta < bd -. eps then begin
+            fb.(1) <- delta;
+            best_rank := rank;
+            best_i := i;
+            best_m := m
+          end
+          else if delta <= bd +. eps then begin
+            let br = !best_rank and bi = !best_i and bm = !best_m in
+            if rank < br || (rank = br && (i < bi || (i = bi && m < bm)))
+            then begin
               (* Tie: keep the smaller delta as the anchor so chains of
                  near-ties cannot drift. *)
-              best := Some ((Float.min delta bd, event_rank ev, i, m), ev)
+              fb.(1) <- Float.min delta bd;
+              best_rank := rank;
+              best_i := i;
+              best_m := m
+            end
+          end
+        end
       in
       for u = 0 to !n_unserved - 1 do
         let i = unserved.(u) in
         let e = es.(i) in
-        let d_fe = Facility_store.dist_offering t.store ~commodity:e ~from:r.site in
-        if d_fe < infinity then
-          consider (d_fe -. a.(e)) (E1_connect_small i) i 0;
+        let ae = duals.(abase + e) in
+        let d_fe = nd.((e * n_sites) + r.site) in
+        if d_fe < infinity then begin
+          fb.(0) <- d_fe -. ae;
+          consider 0 i 0
+        end;
         let f3e = f3_row t e in
+        let bb = if inc then e * n_sites else i * n_sites in
         for m = 0 to n_sites - 1 do
           (* Tight when (a_re - d(m,r))+ + B3 = f: the own bid must be
              active, i.e. a_re reaches d(m,r) + (f - B3)+. Waiting until
              then never violates the constraint because B3 <= f holds at
              every arrival. *)
-          let target = d_rm.(m) +. Numerics.pos (f3e.(m) -. get_b3 i m) in
-          consider (target -. a.(e)) (E3_open_small (i, m)) i m
+          let target = d_rm.(m) +. pos (f3e.(m) -. b3_all.(bb + m)) in
+          fb.(0) <- target -. ae;
+          consider 1 i m
         done
       done;
-      let d_large = Facility_store.dist_large t.store ~from:r.site in
-      if d_large < infinity then
-        consider ((d_large -. !sum_a) /. k) E2_connect_large 0 0;
+      let d_large = ndl.(r.site) in
+      if d_large < infinity then begin
+        fb.(0) <- (d_large -. fb.(2)) /. k;
+        consider 2 0 0
+      end;
       for m = 0 to n_sites - 1 do
-        let target = d_rm.(m) +. Numerics.pos (t.f4.(m) -. get_b4 m) in
-        consider ((target -. !sum_a) /. k) (E4_open_large m) 0 m
+        let target = d_rm.(m) +. pos (t.f4.(m) -. b4.(m)) in
+        fb.(0) <- (target -. fb.(2)) /. k;
+        consider 3 0 m
       done;
-      match !best with
-      | None -> assert false (* E3 events always exist *)
-      | Some ((delta, _, _, _), ev) ->
-          for u = 0 to !n_unserved - 1 do
-            let i = unserved.(u) in
-            a.(es.(i)) <- a.(es.(i)) +. delta
-          done;
-          sum_a := !sum_a +. (k *. delta);
-          (match ev with
-          | E1_connect_small i ->
-              let e = es.(i) in
-              let fac, _ =
-                Option.get
-                  (Facility_store.nearest_offering t.store ~commodity:e
-                     ~from:r.site)
-              in
-              serving.(e) <- By_existing fac.Facility.id;
-              Metrics.incr m_connect_small;
-              fired_rev :=
-                Connected_small
-                  { commodity = e; facility = fac.Facility.id; dual = a.(e) }
-                :: !fired_rev
-          | E3_open_small (i, m) ->
-              serving.(es.(i)) <- By_temp m;
-              Metrics.incr m_open_small;
-              fired_rev :=
-                Opened_small { commodity = es.(i); site = m; dual = a.(es.(i)) }
-                :: !fired_rev
-          | E2_connect_large ->
-              let fac, _ =
-                Option.get (Facility_store.nearest_large t.store ~from:r.site)
-              in
-              large_result := Some (`Existing fac.Facility.id);
-              Metrics.incr m_connect_large;
-              fired_rev :=
-                Connected_large { facility = fac.Facility.id; dual_sum = !sum_a }
-                :: !fired_rev;
-              finished := true
-          | E4_open_large m ->
-              large_result := Some (`New m);
-              Metrics.incr m_open_large;
-              fired_rev :=
-                Opened_large { site = m; dual_sum = !sum_a } :: !fired_rev;
-              finished := true)
+      if not !has_best then assert false (* E3 events always exist *);
+      let delta = fb.(1) in
+      for u = 0 to !n_unserved - 1 do
+        let e = es.(unserved.(u)) in
+        duals.(abase + e) <- duals.(abase + e) +. delta
+      done;
+      fb.(2) <- fb.(2) +. (k *. delta);
+      (match !best_rank with
+      | 0 ->
+          let e = es.(!best_i) in
+          let fid = nid.((e * n_sites) + r.site) in
+          sk.(e) <- 1;
+          sid.(e) <- fid;
+          Metrics.incr m_connect_small;
+          fired_rev :=
+            Connected_small
+              { commodity = e; facility = fid; dual = duals.(abase + e) }
+            :: !fired_rev
+      | 1 ->
+          let e = es.(!best_i) in
+          let m = !best_m in
+          sk.(e) <- 2;
+          sid.(e) <- m;
+          Metrics.incr m_open_small;
+          fired_rev :=
+            Opened_small { commodity = e; site = m; dual = duals.(abase + e) }
+            :: !fired_rev
+      | 2 ->
+          let fid = nil.(r.site) in
+          large_kind := 1;
+          large_tgt := fid;
+          Metrics.incr m_connect_large;
+          fired_rev :=
+            Connected_large { facility = fid; dual_sum = fb.(2) }
+            :: !fired_rev;
+          finished := true
+      | _ ->
+          let m = !best_m in
+          large_kind := 2;
+          large_tgt := m;
+          Metrics.incr m_open_large;
+          fired_rev := Opened_large { site = m; dual_sum = fb.(2) } :: !fired_rev;
+          finished := true)
     end
   done;
   let service =
-    match !large_result with
-    | Some target ->
-        (* Lines 7–9: the whole request is served by one large facility;
-           tentative small facilities are discarded. *)
-        let fid =
-          match target with
-          | `Existing fid -> fid
-          | `New m -> (open_facility t ~site:m ~kind:Facility.Large).Facility.id
+    if !large_kind <> 0 then
+      (* Lines 7–9: the whole request is served by one large facility;
+         tentative small facilities are discarded. *)
+      let fid =
+        if !large_kind = 1 then !large_tgt
+        else
+          (open_facility t ~site:!large_tgt ~kind:Facility.Large).Facility.id
+      in
+      Service.To_single fid
+    else begin
+      (* Line 10: confirm the remaining tentative small facilities, in
+         ascending commodity order (facility ids depend on it). *)
+      let pairs_rev = ref [] in
+      for i = 0 to k_total - 1 do
+        let e = es.(i) in
+        let pair =
+          match sk.(e) with
+          | 1 -> (e, sid.(e))
+          | 2 ->
+              ( e,
+                (open_facility t ~site:(sid.(e)) ~kind:(Facility.Small e))
+                  .Facility.id )
+          | _ -> assert false
         in
-        Service.To_single fid
-    | None ->
-        (* Line 10: confirm the remaining tentative small facilities, in
-           ascending commodity order (facility ids depend on it). *)
-        let pairs_rev = ref [] in
-        for i = 0 to k_total - 1 do
-          let e = es.(i) in
-          let pair =
-            match serving.(e) with
-            | By_existing fid -> (e, fid)
-            | By_temp m ->
-                (e, (open_facility t ~site:m ~kind:(Facility.Small e)).Facility.id)
-            | Unserved -> assert false
-          in
-          pairs_rev := pair :: !pairs_rev
-        done;
-        Service.Per_commodity (List.rev !pairs_rev)
+        pairs_rev := pair :: !pairs_rev
+      done;
+      Service.Per_commodity (List.rev !pairs_rev)
+    end
   in
   Facility_store.record_service t.store ~request_site:r.site service;
-  (* Record the request's duals; in incremental mode also add its bid
-     contributions (capped by the post-opening facility distances) to the
-     caches. *)
-  let caps = Array.make s 0.0 in
+  (* Record the request's bid caps (capped by the post-opening facility
+     distances — the index rows already reflect this step's openings); in
+     incremental mode also add its contributions to the caches. *)
+  let caps = t.p_caps in
   Cset.iter
     (fun e ->
-      caps.(e) <-
-        Float.min a.(e)
-          (Facility_store.dist_offering t.store ~commodity:e ~from:r.site))
+      caps.(abase + e) <-
+        Float.min duals.(abase + e) nd.((e * n_sites) + r.site))
     r.demand;
-  let cap4 =
-    Float.min !sum_a (Facility_store.dist_large t.store ~from:r.site)
-  in
-  let p =
-    {
-      p_site = r.site;
-      p_demand = r.demand;
-      p_duals = a;
-      p_dual_sum = !sum_a;
-      p_caps = caps;
-      p_cap4 = cap4;
-    }
-  in
-  if t.incremental then begin
+  let cap4 = Float.min fb.(2) ndl.(r.site) in
+  if inc then begin
     (* d_rm is r's metric row, so d_rm.(m) = d(r, m) as before. *)
     Cset.iter
       (fun e ->
-        let row = t.b3_cache.(e) in
-        let cap_e = caps.(e) in
+        let bb = e * n_sites in
+        let cap_e = caps.(abase + e) in
         for m = 0 to n_sites - 1 do
-          row.(m) <- row.(m) +. Numerics.pos (cap_e -. d_rm.(m))
+          t.b3_cache.(bb + m) <-
+            t.b3_cache.(bb + m) +. pos (cap_e -. d_rm.(m))
         done;
         Metrics.add m_cache_updates n_sites)
       r.demand;
     for m = 0 to n_sites - 1 do
-      t.b4_cache.(m) <- t.b4_cache.(m) +. Numerics.pos (cap4 -. d_rm.(m))
+      t.b4_cache.(m) <- t.b4_cache.(m) +. pos (cap4 -. d_rm.(m))
     done;
     Metrics.add m_cache_updates n_sites
   end;
-  t.past_rev <- p :: t.past_rev;
+  t.p_site.(t.n_past) <- r.site;
+  t.p_demand.(t.n_past) <- r.demand;
+  t.p_dual_sum.(t.n_past) <- fb.(2);
+  t.p_cap4.(t.n_past) <- cap4;
+  t.n_past <- t.n_past + 1;
   t.trace_rev <- List.rev !fired_rev :: t.trace_rev;
   t.n_requests <- t.n_requests + 1;
   Metrics.incr m_requests;
   service
 
+let step_batch t reqs =
+  (* Warm the block's metric rows once up front; each step (and its
+     history recompute) then hits the memoized rows. Decisions are
+     identical to stepping one by one — the rows are pure. *)
+  Array.iter
+    (fun (r : Request.t) -> ignore (Finite_metric.row t.metric r.site))
+    reqs;
+  let n = Array.length reqs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (step t reqs.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- step t reqs.(i)
+    done;
+    out
+  end
+
 let run_so_far t = Run.of_store ~algorithm:name t.store
 
 let dual_records t =
-  List.rev_map
-    (fun (p : past) ->
+  let acc = ref [] in
+  for j = t.n_past - 1 downto 0 do
+    acc :=
       {
-        site = p.p_site;
-        demand = p.p_demand;
-        duals = p.p_duals;
-        dual_sum = p.p_dual_sum;
-      })
-    t.past_rev
+        site = t.p_site.(j);
+        demand = t.p_demand.(j);
+        duals = Array.sub t.p_duals (j * t.s) t.s;
+        dual_sum = t.p_dual_sum.(j);
+      }
+      :: !acc
+  done;
+  !acc
 
 let trace t = List.rev t.trace_rev
 
 let dual_objective t =
-  List.fold_left (fun acc (p : past) -> acc +. p.p_dual_sum) 0.0 t.past_rev
+  (* Newest-first, like the cons-list fold it replaces. *)
+  let acc = ref 0.0 in
+  for j = t.n_past - 1 downto 0 do
+    acc := !acc +. t.p_dual_sum.(j)
+  done;
+  !acc
 
 let store t = t.store
 
@@ -500,49 +593,137 @@ let store t = t.store
    rounding a fresh summation would not reproduce, and byte-identical
    continuation requires their exact values. Scratch buffers and the
    pure cost tables (f3/f4) are rebuilt by [create_mode]. *)
-type persisted = {
-  z_incremental : bool;
-  z_store : Facility_store.persisted;
-  z_past_rev : past list;
-  z_trace_rev : fired list list;
-  z_n_requests : int;
-  z_b3 : float array array;
-  z_b4 : float array;
-}
 
-let snapshot_tag = "omflp.snap.pd-omflp.v1"
+let snapshot_tag = "omflp.snap.pd-omflp.v2"
+
+let w_fired b = function
+  | Connected_small { commodity; facility; dual } ->
+      Snapshot_codec.w_int b 0;
+      Snapshot_codec.w_int b commodity;
+      Snapshot_codec.w_int b facility;
+      Snapshot_codec.w_float b dual
+  | Opened_small { commodity; site; dual } ->
+      Snapshot_codec.w_int b 1;
+      Snapshot_codec.w_int b commodity;
+      Snapshot_codec.w_int b site;
+      Snapshot_codec.w_float b dual
+  | Connected_large { facility; dual_sum } ->
+      Snapshot_codec.w_int b 2;
+      Snapshot_codec.w_int b facility;
+      Snapshot_codec.w_float b dual_sum
+  | Opened_large { site; dual_sum } ->
+      Snapshot_codec.w_int b 3;
+      Snapshot_codec.w_int b site;
+      Snapshot_codec.w_float b dual_sum
+
+let r_fired r =
+  match Snapshot_codec.r_int r with
+  | 0 ->
+      let commodity = Snapshot_codec.r_int r in
+      let facility = Snapshot_codec.r_int r in
+      let dual = Snapshot_codec.r_float r in
+      Connected_small { commodity; facility; dual }
+  | 1 ->
+      let commodity = Snapshot_codec.r_int r in
+      let site = Snapshot_codec.r_int r in
+      let dual = Snapshot_codec.r_float r in
+      Opened_small { commodity; site; dual }
+  | 2 ->
+      let facility = Snapshot_codec.r_int r in
+      let dual_sum = Snapshot_codec.r_float r in
+      Connected_large { facility; dual_sum }
+  | 3 ->
+      let site = Snapshot_codec.r_int r in
+      let dual_sum = Snapshot_codec.r_float r in
+      Opened_large { site; dual_sum }
+  | k -> Printf.ksprintf failwith "Snapshot_codec: bad fired tag %d" k
 
 let snapshot t =
-  Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_incremental = t.incremental;
-      z_store = Facility_store.persist t.store;
-      z_past_rev = t.past_rev;
-      z_trace_rev = t.trace_rev;
-      z_n_requests = t.n_requests;
-      z_b3 = (if t.incremental then Array.map Array.copy t.b3_cache else [||]);
-      z_b4 = (if t.incremental then Array.copy t.b4_cache else [||]);
-    }
+  Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Snapshot_codec.w_bool b t.incremental;
+      Facility_store.write_persisted b (Facility_store.persist t.store);
+      let n = t.n_past in
+      Snapshot_codec.w_int b n;
+      for j = 0 to n - 1 do
+        Snapshot_codec.w_int b t.p_site.(j)
+      done;
+      for j = 0 to n - 1 do
+        Cset.write b t.p_demand.(j)
+      done;
+      Snapshot_codec.w_float_array b (Array.sub t.p_dual_sum 0 n);
+      Snapshot_codec.w_float_array b (Array.sub t.p_cap4 0 n);
+      Snapshot_codec.w_float_array b (Array.sub t.p_duals 0 (n * t.s));
+      Snapshot_codec.w_float_array b (Array.sub t.p_caps 0 (n * t.s));
+      Snapshot_codec.w_list (Snapshot_codec.w_list w_fired) b t.trace_rev;
+      Snapshot_codec.w_int b t.n_requests;
+      if t.incremental then begin
+        Snapshot_codec.w_float_array b t.b3_cache;
+        Snapshot_codec.w_float_array b t.b4_cache
+      end)
 
 let restore_mode ~incremental metric cost blob =
-  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-  if z.z_incremental <> incremental then
-    failwith
-      (Printf.sprintf
-         "Pd_omflp.restore: snapshot is from the %s mode"
-         (if z.z_incremental then "incremental" else "recomputing"));
-  let t = create_mode ~incremental metric cost in
-  if incremental then begin
-    Array.iteri (fun e row -> t.b3_cache.(e) <- row) z.z_b3;
-    Array.blit z.z_b4 0 t.b4_cache 0 (Array.length z.z_b4)
-  end;
-  {
-    t with
-    store = Facility_store.of_persisted metric z.z_store;
-    past_rev = z.z_past_rev;
-    trace_rev = z.z_trace_rev;
-    n_requests = z.z_n_requests;
-  }
+  Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_incremental = Snapshot_codec.r_bool r in
+      if z_incremental <> incremental then
+        failwith
+          (Printf.sprintf "Pd_omflp.restore: snapshot is from the %s mode"
+             (if z_incremental then "incremental" else "recomputing"));
+      let z_store = Facility_store.read_persisted r in
+      let t = create_mode ~incremental metric cost in
+      let n = Snapshot_codec.r_int r in
+      if n < 0 then failwith "Pd_omflp.restore: negative history length";
+      let sites = Array.make (max n 1) 0 in
+      for j = 0 to n - 1 do
+        let p = Snapshot_codec.r_int r in
+        if p < 0 || p >= t.n_sites then
+          failwith "Pd_omflp.restore: history site out of range";
+        sites.(j) <- p
+      done;
+      let demands = Array.make (max n 1) (Cset.empty ~n_commodities:t.s) in
+      for j = 0 to n - 1 do
+        let d = Cset.read r in
+        if Cset.n_commodities d <> t.s then
+          failwith "Pd_omflp.restore: demand universe mismatch";
+        demands.(j) <- d
+      done;
+      let dual_sum = Snapshot_codec.r_float_array r in
+      let cap4 = Snapshot_codec.r_float_array r in
+      let duals = Snapshot_codec.r_float_array r in
+      let caps = Snapshot_codec.r_float_array r in
+      if
+        Array.length dual_sum <> n
+        || Array.length cap4 <> n
+        || Array.length duals <> n * t.s
+        || Array.length caps <> n * t.s
+      then failwith "Pd_omflp.restore: inconsistent history arrays";
+      let trace_rev = Snapshot_codec.r_list (Snapshot_codec.r_list r_fired) r in
+      let n_requests = Snapshot_codec.r_int r in
+      if incremental then begin
+        let b3 = Snapshot_codec.r_float_array r in
+        let b4 = Snapshot_codec.r_float_array r in
+        if
+          Array.length b3 <> Array.length t.b3_cache
+          || Array.length b4 <> Array.length t.b4_cache
+        then failwith "Pd_omflp.restore: bid cache size mismatch";
+        Array.blit b3 0 t.b3_cache 0 (Array.length b3);
+        Array.blit b4 0 t.b4_cache 0 (Array.length b4)
+      end;
+      (* Capacity is trimmed to the history (padded to 1 slot so the
+         scalar and flat arrays stay in the cap/cap*s relationship);
+         the next step grows it. *)
+      t.n_past <- n;
+      t.p_site <- sites;
+      t.p_demand <- demands;
+      t.p_dual_sum <-
+        (if n = 0 then Array.make 1 0.0 else dual_sum);
+      t.p_cap4 <- (if n = 0 then Array.make 1 0.0 else cap4);
+      t.p_duals <- (if n = 0 then Array.make t.s 0.0 else duals);
+      t.p_caps <- (if n = 0 then Array.make t.s 0.0 else caps);
+      t.trace_rev <- trace_rev;
+      t.n_requests <- n_requests;
+      { t with store = Facility_store.of_persisted metric z_store })
+    blob
 
 let restore metric cost blob = restore_mode ~incremental:false metric cost blob
 
@@ -552,40 +733,43 @@ let restore_incremental metric cost blob =
 let cache_drift t =
   if not t.incremental then 0.0
   else begin
-    let n_sites = Finite_metric.size t.metric in
-    let s = Cost_function.n_commodities t.cost in
+    let n_sites = t.n_sites in
+    let s = t.s in
     let drift = ref 0.0 in
     for e = 0 to s - 1 do
       for m = 0 to n_sites - 1 do
-        let fresh =
-          List.fold_left
-            (fun acc (p : past) ->
-              if Cset.mem p.p_demand e then begin
-                let cap =
-                  Float.min p.p_duals.(e)
-                    (Facility_store.dist_offering t.store ~commodity:e
-                       ~from:p.p_site)
-                in
-                acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m)
-              end
-              else acc)
-            0.0 t.past_rev
-        in
-        drift := Float.max !drift (Float.abs (fresh -. t.b3_cache.(e).(m)))
+        (* Newest-first fold, like the cons-list fold it replaces. *)
+        let fresh = ref 0.0 in
+        for j = t.n_past - 1 downto 0 do
+          if Cset.mem t.p_demand.(j) e then begin
+            let cap =
+              Float.min
+                t.p_duals.((j * s) + e)
+                (Facility_store.dist_offering t.store ~commodity:e
+                   ~from:t.p_site.(j))
+            in
+            fresh :=
+              !fresh
+              +. pos
+                   (cap -. Finite_metric.dist t.metric t.p_site.(j) m)
+          end
+        done;
+        drift :=
+          Float.max !drift (Float.abs (!fresh -. t.b3_cache.((e * n_sites) + m)))
       done
     done;
     for m = 0 to n_sites - 1 do
-      let fresh =
-        List.fold_left
-          (fun acc (p : past) ->
-            let cap =
-              Float.min p.p_dual_sum
-                (Facility_store.dist_large t.store ~from:p.p_site)
-            in
-            acc +. Numerics.pos (cap -. Finite_metric.dist t.metric p.p_site m))
-          0.0 t.past_rev
-      in
-      drift := Float.max !drift (Float.abs (fresh -. t.b4_cache.(m)))
+      let fresh = ref 0.0 in
+      for j = t.n_past - 1 downto 0 do
+        let cap =
+          Float.min t.p_dual_sum.(j)
+            (Facility_store.dist_large t.store ~from:t.p_site.(j))
+        in
+        fresh :=
+          !fresh
+          +. pos (cap -. Finite_metric.dist t.metric t.p_site.(j) m)
+      done;
+      drift := Float.max !drift (Float.abs (!fresh -. t.b4_cache.(m)))
     done;
     !drift
   end

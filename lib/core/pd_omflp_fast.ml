@@ -6,6 +6,8 @@ let create ?seed metric cost = Pd_omflp.create_incremental ?seed metric cost
 
 let step = Pd_omflp.step
 
+let step_batch = Pd_omflp.step_batch
+
 let run_so_far t = Run.of_store ~algorithm:name (Pd_omflp.store t)
 
 let store = Pd_omflp.store

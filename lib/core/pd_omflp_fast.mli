@@ -14,6 +14,11 @@ val create :
   t
 
 val step : t -> Omflp_instance.Request.t -> Service.t
+
+(** Batch variant of {!step}; decisions are exactly those of folding
+    [step] left to right. Amortizes metric-row cache warming across the
+    batch. *)
+val step_batch : t -> Omflp_instance.Request.t array -> Service.t array
 val run_so_far : t -> Run.t
 val store : t -> Facility_store.t
 

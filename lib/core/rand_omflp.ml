@@ -210,6 +210,8 @@ let step t (r : Request.t) =
   Metrics.incr m_requests;
   service
 
+let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
+
 let run_so_far t = Run.of_store ~algorithm:name t.store
 
 let store t = t.store
@@ -220,28 +222,26 @@ let store t = t.store
    continue the coin-flip stream, not restart it) plus the store. The
    cost classes are a pure function of the cost function and are rebuilt
    by [create]. *)
-type persisted = {
-  z_rng : int64;
-  z_store : Facility_store.persisted;
-  z_n_requests : int;
-}
 
-let snapshot_tag = "omflp.snap.rand-omflp.v1"
+let snapshot_tag = "omflp.snap.rand-omflp.v2"
 
 let snapshot t =
-  Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_rng = Splitmix.state t.rng;
-      z_store = Facility_store.persist t.store;
-      z_n_requests = t.n_requests;
-    }
+  Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Snapshot_codec.w_i64 b (Splitmix.state t.rng);
+      Facility_store.write_persisted b (Facility_store.persist t.store);
+      Snapshot_codec.w_int b t.n_requests)
 
 let restore metric cost blob =
-  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-  let t = create metric cost in
-  {
-    t with
-    rng = Splitmix.create z.z_rng;
-    store = Facility_store.of_persisted metric z.z_store;
-    n_requests = z.z_n_requests;
-  }
+  Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let rng = Snapshot_codec.r_i64 r in
+      let z_store = Facility_store.read_persisted r in
+      let n_requests = Snapshot_codec.r_int r in
+      let t = create metric cost in
+      {
+        t with
+        rng = Splitmix.create rng;
+        store = Facility_store.of_persisted metric z_store;
+        n_requests;
+      })
+    blob

@@ -18,6 +18,33 @@ let covers ~facility_offered ~demand t =
             pairs)
         demand
 
+open Omflp_prelude
+
+let write b = function
+  | To_single id ->
+      Snapshot_codec.w_int b 0;
+      Snapshot_codec.w_int b id
+  | Per_commodity pairs ->
+      Snapshot_codec.w_int b 1;
+      Snapshot_codec.w_list
+        (fun b (e, id) ->
+          Snapshot_codec.w_int b e;
+          Snapshot_codec.w_int b id)
+        b pairs
+
+let read r =
+  match Snapshot_codec.r_int r with
+  | 0 -> To_single (Snapshot_codec.r_int r)
+  | 1 ->
+      Per_commodity
+        (Snapshot_codec.r_list
+           (fun r ->
+             let e = Snapshot_codec.r_int r in
+             let id = Snapshot_codec.r_int r in
+             (e, id))
+           r)
+  | k -> Printf.ksprintf failwith "Snapshot_codec: bad service tag %d" k
+
 let cost ~facility_site ~metric ~request_site t =
   List.fold_left
     (fun acc id ->

@@ -20,6 +20,12 @@ val covers :
   t ->
   bool
 
+(** Snapshot codec v2 field serializers. [read] raises [Failure] on
+    malformed bytes. *)
+val write : Omflp_prelude.Snapshot_codec.writer -> t -> unit
+
+val read : Omflp_prelude.Snapshot_codec.reader -> t
+
 (** [cost ~facility_site ~metric ~request_site t] is the connection cost:
     the sum of distances to distinct connected facilities. *)
 val cost :

@@ -106,38 +106,45 @@ let duals t = List.rev_map (fun p -> p.dual) t.past
 
 (* Persisted state: the frozen duals, the opening history, the distance
    table, and the cost accumulators — all pure data. *)
-type persisted = {
-  z_past : past list;
-  z_facility_sites : int list;
-  z_dist_to_f : float array;
-  z_construction : float;
-  z_assignment : float;
-}
 
-let snapshot_tag = "omflp.snap.fotakis.v1"
+module Sc = Omflp_prelude.Snapshot_codec
+
+let snapshot_tag = "omflp.snap.fotakis.v2"
+
+let w_past b (p : past) =
+  Sc.w_int b p.site;
+  Sc.w_float b p.dual
+
+let r_past r =
+  let site = Sc.r_int r in
+  let dual = Sc.r_float r in
+  { site; dual }
 
 let save_state t =
-  Omflp_prelude.Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_past = t.past;
-      z_facility_sites = t.facility_sites;
-      z_dist_to_f = Array.copy t.dist_to_f;
-      z_construction = t.construction;
-      z_assignment = t.assignment;
-    }
+  Sc.encode ~tag:snapshot_tag (fun b ->
+      Sc.w_list w_past b t.past;
+      Sc.w_list Sc.w_int b t.facility_sites;
+      Sc.w_float_array b t.dist_to_f;
+      Sc.w_float b t.construction;
+      Sc.w_float b t.assignment)
 
 let restore_state metric ~opening_costs blob =
-  let (z : persisted) =
-    Omflp_prelude.Snapshot_codec.decode ~tag:snapshot_tag blob
-  in
-  if Array.length z.z_dist_to_f <> Finite_metric.size metric then
-    failwith "Fotakis_pd.restore_state: snapshot from a different metric";
-  let t = create metric ~opening_costs in
-  {
-    t with
-    past = z.z_past;
-    facility_sites = z.z_facility_sites;
-    dist_to_f = z.z_dist_to_f;
-    construction = z.z_construction;
-    assignment = z.z_assignment;
-  }
+  Sc.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_past = Sc.r_list r_past r in
+      let z_facility_sites = Sc.r_list Sc.r_int r in
+      let z_dist_to_f = Sc.r_float_array r in
+      let z_construction = Sc.r_float r in
+      let z_assignment = Sc.r_float r in
+      if Array.length z_dist_to_f <> Finite_metric.size metric then
+        failwith "Fotakis_pd.restore_state: snapshot from a different metric";
+      let t = create metric ~opening_costs in
+      {
+        t with
+        past = z_past;
+        facility_sites = z_facility_sites;
+        dist_to_f = z_dist_to_f;
+        construction = z_construction;
+        assignment = z_assignment;
+      })
+    blob

@@ -156,35 +156,35 @@ let snapshot t =
    of (metric, opening_costs) — the RNG position, the opening history,
    the incremental distance table, and the cost accumulators. [classes]
    is rebuilt deterministically from the opening costs. *)
-type persisted = {
-  z_rng : int64;
-  z_facility_sites : int list;
-  z_dist_to_f : float array;
-  z_construction : float;
-  z_assignment : float;
-}
 
-let snapshot_tag = "omflp.snap.meyerson.v1"
+let snapshot_tag = "omflp.snap.meyerson.v2"
 
 let save_state t =
-  Snapshot_codec.encode ~tag:snapshot_tag
-    {
-      z_rng = Splitmix.state t.rng;
-      z_facility_sites = t.facility_sites;
-      z_dist_to_f = Array.copy t.dist_to_f;
-      z_construction = t.construction;
-      z_assignment = t.assignment;
-    }
+  Snapshot_codec.encode ~tag:snapshot_tag (fun b ->
+      Snapshot_codec.w_i64 b (Splitmix.state t.rng);
+      Snapshot_codec.w_list Snapshot_codec.w_int b t.facility_sites;
+      Snapshot_codec.w_float_array b t.dist_to_f;
+      Snapshot_codec.w_float b t.construction;
+      Snapshot_codec.w_float b t.assignment)
 
 let restore_state metric ~opening_costs blob =
-  let (z : persisted) = Snapshot_codec.decode ~tag:snapshot_tag blob in
-  if Array.length z.z_dist_to_f <> Finite_metric.size metric then
-    failwith "Meyerson.restore_state: snapshot from a different metric";
-  let t = create_seeded metric ~opening_costs ~rng:(Splitmix.create z.z_rng) in
-  {
-    t with
-    dist_to_f = z.z_dist_to_f;
-    facility_sites = z.z_facility_sites;
-    construction = z.z_construction;
-    assignment = z.z_assignment;
-  }
+  Snapshot_codec.decode ~tag:snapshot_tag
+    (fun r ->
+      let z_rng = Snapshot_codec.r_i64 r in
+      let z_facility_sites = Snapshot_codec.r_list Snapshot_codec.r_int r in
+      let z_dist_to_f = Snapshot_codec.r_float_array r in
+      let z_construction = Snapshot_codec.r_float r in
+      let z_assignment = Snapshot_codec.r_float r in
+      if Array.length z_dist_to_f <> Finite_metric.size metric then
+        failwith "Meyerson.restore_state: snapshot from a different metric";
+      let t =
+        create_seeded metric ~opening_costs ~rng:(Splitmix.create z_rng)
+      in
+      {
+        t with
+        dist_to_f = z_dist_to_f;
+        facility_sites = z_facility_sites;
+        construction = z_construction;
+        assignment = z_assignment;
+      })
+    blob

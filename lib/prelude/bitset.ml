@@ -98,9 +98,18 @@ let popcount w =
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
 let iter f t =
-  for i = 0 to t.universe - 1 do
-    if t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then
-      f i
+  (* Word-skipping scan: empty words cost one compare, and each word's
+     loop ends at its highest set bit. Phantom bits are never set, so the
+     universe bound needs no separate check. *)
+  let nw = Array.length t.words in
+  for k = 0 to nw - 1 do
+    let w = ref t.words.(k) in
+    let i = ref (k * bits_per_word) in
+    while !w <> 0 do
+      if !w land 1 <> 0 then f !i;
+      w := !w lsr 1;
+      incr i
+    done
   done
 
 let fold f t init =
@@ -138,6 +147,24 @@ let of_int universe bits =
   let t = create universe in
   t.words.(0) <- bits;
   t
+
+let to_words t = Array.copy t.words
+
+let of_words universe words =
+  if universe < 0 then invalid_arg "Bitset.of_words: negative universe";
+  let n = max 1 (word_count universe) in
+  if Array.length words <> n then
+    invalid_arg "Bitset.of_words: wrong word count";
+  let ok = ref true in
+  if universe = 0 then (if words.(0) <> 0 then ok := false)
+  else begin
+    for k = 0 to n - 2 do
+      if words.(k) land lnot ((1 lsl bits_per_word) - 1) <> 0 then ok := false
+    done;
+    if words.(n - 1) land lnot (last_word_mask universe) <> 0 then ok := false
+  end;
+  if not !ok then invalid_arg "Bitset.of_words: bits outside universe";
+  { universe; words = Array.copy words }
 
 let pp ppf t =
   Format.fprintf ppf "{%a}"

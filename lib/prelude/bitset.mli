@@ -88,5 +88,14 @@ val to_int : t -> int
 (** [of_int universe bits] decodes a bit pattern produced by {!to_int}. *)
 val of_int : int -> int -> t
 
+(** [to_words t] is a copy of the backing 62-bit word array, lowest
+    indices first — the serialization companion of {!of_words}. *)
+val to_words : t -> int array
+
+(** [of_words universe words] rebuilds a set from {!to_words} output.
+    Raises [Invalid_argument] on a wrong word count or bits outside the
+    universe. *)
+val of_words : int -> int array -> t
+
 (** [pp] prints as [{e1, e2, ...}]. *)
 val pp : Format.formatter -> t -> unit

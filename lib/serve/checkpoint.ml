@@ -70,6 +70,18 @@ let append_decision t line =
   output_char t.dec_oc '\n';
   flush t.dec_oc
 
+(* Batched appends: [buf] holds whole newline-terminated lines; one
+   write + flush makes the batch durable together. The WAL batch is
+   still flushed before the first step it covers, so the crash-window
+   invariant (snapshot <= decisions <= WAL) is unchanged. *)
+let append_wal_batch t buf =
+  Buffer.output_buffer t.wal_oc buf;
+  flush t.wal_oc
+
+let append_decision_batch t buf =
+  Buffer.output_buffer t.dec_oc buf;
+  flush t.dec_oc
+
 let close t =
   close_out t.wal_oc;
   close_out t.dec_oc

@@ -42,6 +42,15 @@ val append_wal : t -> string -> unit
 (** [append_decision t line] durably appends one decision line. *)
 val append_decision : t -> string -> unit
 
+(** [append_wal_batch t buf] durably appends a batch of whole
+    newline-terminated request lines in one write + flush. The batch
+    must still be made durable before the first step it covers. *)
+val append_wal_batch : t -> Buffer.t -> unit
+
+(** [append_decision_batch t buf] durably appends a batch of whole
+    newline-terminated decision lines in one write + flush. *)
+val append_decision_batch : t -> Buffer.t -> unit
+
 (** [write_snapshot t ~count blob] atomically replaces the snapshot with
     [blob], recording that it covers the first [count] requests. *)
 val write_snapshot : t -> count:int -> string -> unit

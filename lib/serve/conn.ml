@@ -20,6 +20,7 @@ type t = {
   ic : in_channel;
   oc : out_channel;
   io_mutex : Mutex.t;
+  out_buf : Buffer.t;  (* reused by [send_fill]; guarded by io_mutex *)
   q : Request.t Queue.t;
   q_mutex : Mutex.t;
   q_not_full : Condition.t;
@@ -39,6 +40,7 @@ let of_fd ~cap fd =
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd;
     io_mutex = Mutex.create ();
+    out_buf = Buffer.create 256;
     q = Queue.create ();
     q_mutex = Mutex.create ();
     q_not_full = Condition.create ();
@@ -88,6 +90,31 @@ let send_line t line =
     ok
   end
 
+(* Like [send_line], but [fill] writes the line body straight into the
+   connection's reusable output buffer (newline appended here) — the
+   per-decision hot path sends without building an intermediate
+   string. *)
+let send_fill t fill =
+  if t.dead then false
+  else begin
+    Mutex.lock t.io_mutex;
+    let ok =
+      match
+        Buffer.clear t.out_buf;
+        fill t.out_buf;
+        Buffer.add_char t.out_buf '\n';
+        Buffer.output_buffer t.oc t.out_buf;
+        flush t.oc
+      with
+      | () -> true
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          t.dead <- true;
+          false
+    in
+    Mutex.unlock t.io_mutex;
+    ok
+  end
+
 (* Returns true when the caller must schedule a drain task (the queue
    was idle). Blocks while the queue is full — that block IS the
    backpressure. A dead conn swallows the request instead of blocking
@@ -119,24 +146,32 @@ let finish_input t =
   Mutex.unlock t.q_mutex;
   need
 
-type take = Step of Request.t | Idle | Finished
+type take = Batch of Request.t array | Idle | Finished
 
-(* Drain-side: next unit of work. [Idle] clears [scheduled] — the next
-   [push]/[finish_input] schedules a fresh task; [Finished] keeps it
-   set, the drain finalizes and nothing runs after. *)
-let take t =
+(* Drain-side: next unit of work — up to [max] queued requests popped
+   together, in arrival order, so the session can step them as one batch
+   with a single WAL/decision flush each. [Idle] clears [scheduled] —
+   the next [push]/[finish_input] schedules a fresh task; [Finished]
+   keeps it set, the drain finalizes and nothing runs after. *)
+let take t ~max =
+  if max < 1 then invalid_arg "Conn.take: max must be >= 1";
   Mutex.lock t.q_mutex;
   let r =
-    match Queue.take_opt t.q with
-    | Some r ->
-        Condition.signal t.q_not_full;
-        Step r
-    | None ->
-        if t.eof then Finished
-        else begin
-          t.scheduled <- false;
-          Idle
-        end
+    if Queue.is_empty t.q then
+      if t.eof then Finished
+      else begin
+        t.scheduled <- false;
+        Idle
+      end
+    else begin
+      let n = min max (Queue.length t.q) in
+      let rs = Array.make n (Queue.peek t.q) in
+      for i = 0 to n - 1 do
+        rs.(i) <- Queue.pop t.q
+      done;
+      Condition.broadcast t.q_not_full;
+      Batch rs
+    end
   in
   Mutex.unlock t.q_mutex;
   r

@@ -15,6 +15,7 @@ type t = {
   ic : in_channel;
   oc : out_channel;
   io_mutex : Mutex.t;
+  out_buf : Buffer.t;
   q : Omflp_instance.Request.t Queue.t;
   q_mutex : Mutex.t;
   q_not_full : Condition.t;
@@ -44,6 +45,11 @@ val input_line_opt : t -> string option
     writes are dropped). *)
 val send_line : t -> string -> bool
 
+(** [send_fill t fill] is {!send_line} without the intermediate string:
+    [fill] writes the line body into the connection's reusable output
+    buffer (the newline is appended here). *)
+val send_fill : t -> (Buffer.t -> unit) -> bool
+
 (** [push t r] enqueues a request, blocking while the queue is full
     (backpressure). Returns [true] when the caller must schedule a drain
     task. Reader thread only. *)
@@ -54,12 +60,16 @@ val push : t -> Omflp_instance.Request.t -> bool
 val finish_input : t -> bool
 
 type take =
-  | Step of Omflp_instance.Request.t  (** serve this request next *)
+  | Batch of Omflp_instance.Request.t array
+      (** serve these next, in arrival order *)
   | Idle  (** queue empty, drain descheduled; a future push reschedules *)
   | Finished  (** input done and queue drained: finalize the conn *)
 
-(** [take t] is the drain task's next unit of work. Drain side only. *)
-val take : t -> take
+(** [take t ~max] is the drain task's next unit of work: up to [max]
+    queued requests popped together, so the session steps them as one
+    batch with a single WAL/decision flush each. Drain side only. Raises
+    [Invalid_argument] when [max < 1]. *)
+val take : t -> max:int -> take
 
 (** [abort t] tears the session down from the drain side: shuts the
     receive half (unblocking the reader), drops queued requests, and

@@ -185,27 +185,34 @@ let finalize t conn =
 (* ---------- drain (runs on pool worker domains) ---------- *)
 
 let rec drain t conn per_session_c budget =
-  if budget = 0 then
+  if budget <= 0 then
     (* Yield the worker: requeue behind other runnable connections. *)
     schedule t conn per_session_c
   else
-    match Conn.take conn with
+    match Conn.take conn ~max:budget with
     | Conn.Idle -> ()
     | Conn.Finished -> finalize t conn
-    | Conn.Step r -> (
+    | Conn.Batch rs -> (
         match conn.Conn.session with
         | None -> assert false (* requests only flow after the handshake *)
         | Some s -> (
             let t0 = Metrics.now () in
-            match Session.handle s r with
-            | d ->
-                let latency_s = Metrics.now () -. t0 in
-                Metrics.observe latency_h latency_s;
-                Metrics.incr per_session_c;
-                if not conn.Conn.dead then
-                  ignore
-                    (Conn.send_line conn (Wire.decision_to_json ~latency_s d));
-                drain t conn per_session_c (budget - 1)
+            match Session.handle_batch s rs with
+            | ds ->
+                let n = Array.length ds in
+                let latency_s =
+                  (Metrics.now () -. t0) /. float_of_int (max 1 n)
+                in
+                Array.iter
+                  (fun d ->
+                    Metrics.observe latency_h latency_s;
+                    Metrics.incr per_session_c;
+                    if not conn.Conn.dead then
+                      ignore
+                        (Conn.send_fill conn (fun b ->
+                             Wire.decision_to_buffer ~latency_s b d)))
+                  ds;
+                drain t conn per_session_c (budget - n)
             | exception Failure msg ->
                 (* Fatal for this session (checkpoint IO, algorithm
                    invariant): tell the client, stop its reader, and let

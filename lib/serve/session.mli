@@ -31,6 +31,15 @@ val create :
     step, decision append (flushed), periodic snapshot. *)
 val handle : t -> Omflp_instance.Request.t -> Wire.decision
 
+(** [handle_batch t reqs] serves a batch with one WAL flush before the
+    first step and one decision flush after the last — byte-identical
+    log contents to per-request {!handle}, grouped. A failing step
+    flushes the decisions of the stepped prefix before the exception
+    propagates, preserving the crash-window shape
+    (snapshot <= decisions <= WAL). *)
+val handle_batch :
+  t -> Omflp_instance.Request.t array -> Wire.decision array
+
 (** [resume ~algo rz metric cost] revives a session from what
     {!Checkpoint.open_resume} found and replays the uncovered WAL
     suffix. Every recomputed decision that is already durable is

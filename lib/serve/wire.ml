@@ -19,7 +19,7 @@ let buf_add_json_string b s =
     s;
   Buffer.add_char b '"'
 
-let buf_add_float b v = Buffer.add_string b (Printf.sprintf "%.17g" v)
+let buf_add_float b v = Printf.bprintf b "%.17g" v
 
 let buf_add_int_list b es =
   Buffer.add_char b '[';
@@ -333,8 +333,10 @@ let buf_add_service b (s : Service.t) =
         pairs;
       Buffer.add_string b "]}"
 
-let decision_to_json ?latency_s (d : decision) =
-  let b = Buffer.create 256 in
+(* Append one decision record to a caller-owned buffer: the hot serving
+   path reuses one buffer per connection/session instead of growing a
+   fresh 256-byte one per decision. *)
+let decision_to_buffer ?latency_s b (d : decision) =
   Buffer.add_string b "{\"index\":";
   Buffer.add_string b (string_of_int d.index);
   Buffer.add_string b ",\"site\":";
@@ -357,6 +359,10 @@ let decision_to_json ?latency_s (d : decision) =
   buf_add_float b d.total;
   (match latency_s with
   | None -> ()
-  | Some l -> Buffer.add_string b (Printf.sprintf ",\"latency_s\":%.6f" l));
-  Buffer.add_char b '}';
+  | Some l -> Printf.bprintf b ",\"latency_s\":%.6f" l);
+  Buffer.add_char b '}'
+
+let decision_to_json ?latency_s (d : decision) =
+  let b = Buffer.create 256 in
+  decision_to_buffer ?latency_s b d;
   Buffer.contents b

@@ -45,6 +45,12 @@ val parse_wal_line :
     Omit [latency_s] for the canonical (replay-stable) form. *)
 val decision_to_json : ?latency_s:float -> decision -> string
 
+(** [decision_to_buffer ?latency_s b d] appends the same encoding to a
+    caller-owned buffer (no trailing newline). The serving hot path
+    reuses one buffer per connection/session instead of allocating a
+    fresh one per decision. *)
+val decision_to_buffer : ?latency_s:float -> Buffer.t -> decision -> unit
+
 (** {1 Session-open handshake}
 
     A multi-session connection ({!Server}) opens with one client hello

@@ -20,6 +20,7 @@ module Broken_cost : Algo_intf.ALGO = struct
   let name = "BROKEN-COST"
   let create = Indep_baseline.create
   let step = Indep_baseline.step
+  let step_batch = Indep_baseline.step_batch
 
   let run_so_far t =
     let run = Indep_baseline.run_so_far t in
@@ -156,6 +157,7 @@ let test_oracle_reports_instead_of_raising () =
         ~n_commodities:(Omflp_commodity.Cost_function.n_commodities cost)
 
     let step _ _ = failwith "boom"
+    let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
     let run_so_far _ = Alcotest.fail "unreachable"
     let store t = t
     let snapshot _ = failwith "CRASHER has no snapshot"

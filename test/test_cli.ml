@@ -72,7 +72,7 @@ let test_minijson_rejects_garbage () =
 let write_baseline rows =
   let path = Filename.temp_file "omflp_baseline" ".json" in
   Benchkit.write_json ~quick:false ~jobs:1 path ~bench_rows:rows
-    ~counter_rows:[];
+    ~counter_rows:[] ~alloc_rows:[];
   path
 
 let test_gate_round_trip () =

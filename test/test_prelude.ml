@@ -118,6 +118,92 @@ let prop_elements_sorted =
       let es = Bitset.elements b in
       es = List.sort_uniq compare es)
 
+(* The word-packed bitset against a [Set.Make (Int)] reference: after
+   every operation of a random sequence the two must agree on [mem]
+   across the whole universe, [cardinal], [elements], and the ascending
+   [iter] order, and the [to_words]/[of_words] snapshot form must round
+   trip. Universes up to 150 span three 63-bit words, so the sequences
+   cross word boundaries. *)
+module Iset = Set.Make (Int)
+
+type bitset_op =
+  | Op_add of int
+  | Op_remove of int
+  | Op_union of int list
+  | Op_inter of int list
+  | Op_diff of int list
+
+let pp_bitset_op op =
+  let pp_list l = String.concat ";" (List.map string_of_int l) in
+  match op with
+  | Op_add i -> Printf.sprintf "add %d" i
+  | Op_remove i -> Printf.sprintf "remove %d" i
+  | Op_union l -> Printf.sprintf "union [%s]" (pp_list l)
+  | Op_inter l -> Printf.sprintf "inter [%s]" (pp_list l)
+  | Op_diff l -> Printf.sprintf "diff [%s]" (pp_list l)
+
+let bitset_ops_gen =
+  QCheck.make
+    ~print:(fun (u, ops) ->
+      Printf.sprintf "universe=%d: %s" u
+        (String.concat ", " (List.map pp_bitset_op ops)))
+    QCheck.Gen.(
+      let* universe = int_range 1 150 in
+      let elem = int_bound (universe - 1) in
+      let elems = list_size (int_bound 12) elem in
+      let op =
+        oneof
+          [
+            map (fun i -> Op_add i) elem;
+            map (fun i -> Op_remove i) elem;
+            map (fun l -> Op_union l) elems;
+            map (fun l -> Op_inter l) elems;
+            map (fun l -> Op_diff l) elems;
+          ]
+      in
+      let* ops = list_size (int_bound 30) op in
+      return (universe, ops))
+
+let prop_bitset_matches_reference =
+  QCheck.Test.make ~name:"random op sequences match Set.Make(Int)"
+    ~count:300 bitset_ops_gen (fun (universe, ops) ->
+      let apply_b b = function
+        | Op_add i -> Bitset.add b i
+        | Op_remove i -> Bitset.remove b i
+        | Op_union l -> Bitset.union b (Bitset.of_list universe l)
+        | Op_inter l -> Bitset.inter b (Bitset.of_list universe l)
+        | Op_diff l -> Bitset.diff b (Bitset.of_list universe l)
+      in
+      let apply_r r = function
+        | Op_add i -> Iset.add i r
+        | Op_remove i -> Iset.remove i r
+        | Op_union l -> Iset.union r (Iset.of_list l)
+        | Op_inter l -> Iset.inter r (Iset.of_list l)
+        | Op_diff l -> Iset.diff r (Iset.of_list l)
+      in
+      let agree b r =
+        Bitset.cardinal b = Iset.cardinal r
+        && Bitset.elements b = Iset.elements r
+        && (let iterated = ref [] in
+            Bitset.iter (fun i -> iterated := i :: !iterated) b;
+            List.rev !iterated = Iset.elements r)
+        &&
+        (let ok = ref true in
+         for i = 0 to universe - 1 do
+           if Bitset.mem b i <> Iset.mem i r then ok := false
+         done;
+         !ok)
+        && Bitset.equal b (Bitset.of_words universe (Bitset.to_words b))
+      in
+      let b = ref (Bitset.create universe) and r = ref Iset.empty in
+      agree !b !r
+      && List.for_all
+           (fun op ->
+             b := apply_b !b op;
+             r := apply_r !r op;
+             agree !b !r)
+           ops)
+
 (* ---------- Splitmix ---------- *)
 
 let test_splitmix_deterministic () =
@@ -403,6 +489,7 @@ let qcheck_tests =
       prop_cardinal_inclusion_exclusion;
       prop_complement_involution;
       prop_elements_sorted;
+      prop_bitset_matches_reference;
     ]
 
 let () =

@@ -85,6 +85,60 @@ let test_kill_at_every_step () =
         (Registry.extended ()))
     [ 0; 1; 2 ]
 
+(* ---------- committed snapshot fixtures (codec cross-version) ---------- *)
+
+(* The v2 wire format is pinned by committed fixture blobs: for every
+   registered algorithm, a snapshot taken after the first 5 requests of
+   scenario 0 must equal the committed bytes exactly, and the committed
+   bytes must restore and continue into the golden uninterrupted run. A
+   failure here means the codec layout changed under existing snapshots
+   — bump the algorithm's snapshot tag and regenerate deliberately with
+   [dune exec tools/gen_snapshot_fixtures.exe]. *)
+let fixture_path name =
+  let rel =
+    Filename.concat "golden"
+      (Filename.concat "snapshot_v2" (String.lowercase_ascii name ^ ".snap"))
+  in
+  if Sys.file_exists rel then rel else Filename.concat "test" rel
+
+let test_snapshot_fixture_cross_version () =
+  let golden = load_golden () in
+  let inst, seed = scenario 0 in
+  let n = Instance.n_requests inst in
+  let cut = min 5 n in
+  List.iter
+    (fun (name, (module A : Algo_intf.ALGO)) ->
+      let path = fixture_path name in
+      if not (Sys.file_exists path) then
+        Alcotest.failf
+          "no committed fixture for %s — run tools/gen_snapshot_fixtures.exe"
+          name;
+      let committed = In_channel.with_open_bin path In_channel.input_all in
+      let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+      for i = 0 to cut - 1 do
+        ignore (A.step t inst.Instance.requests.(i))
+      done;
+      check_bool
+        (Printf.sprintf "%s snapshot bytes match the committed fixture" name)
+        true
+        (A.snapshot t = committed);
+      let t' = A.restore inst.Instance.metric inst.Instance.cost committed in
+      for i = cut to n - 1 do
+        ignore (A.step t' inst.Instance.requests.(i))
+      done;
+      let digest =
+        Digest.to_hex
+          (Digest.string (Omflp_check.Oracle.run_digest (A.run_so_far t')))
+      in
+      match Hashtbl.find_opt golden (0, name) with
+      | Some md5 ->
+          check_string
+            (Printf.sprintf "%s committed fixture continues into golden run"
+               name)
+            md5 digest
+      | None -> Alcotest.failf "no golden digest for 0 %s" name)
+    (Registry.extended ())
+
 (* A blob must only restore into the algorithm that wrote it. *)
 let test_snapshot_rejects_foreign_blob () =
   let inst, seed = scenario 0 in
@@ -154,6 +208,39 @@ let test_wire_decision_latency_variants () =
     (String.sub canonical 0 (String.length canonical - 1)
     ^ {|,"latency_s":0.250000}|})
     with_latency
+
+let test_wire_decision_buffer_allocation_bounded () =
+  (* [decision_to_buffer] writes straight into a reused buffer; the
+     former path built a fresh [%.17g] string per float plus a fresh
+     Buffer and contents string per decision. Float formatting itself
+     allocates a few short strings per [%.17g] (about 260 words for a
+     whole decision on this record shape), so the budget is a small
+     constant — growth past it means per-decision garbage crept back
+     in. *)
+  let inst, seed = scenario 0 in
+  let session =
+    Session.create
+      ~algo:(module Pd_omflp : Algo_intf.ALGO)
+      ~seed inst.Instance.metric inst.Instance.cost
+  in
+  let d = Session.handle session inst.Instance.requests.(0) in
+  let b = Buffer.create 256 in
+  let serialize () =
+    Buffer.clear b;
+    Wire.decision_to_buffer ~latency_s:1.234e-4 b d
+  in
+  for _ = 1 to 64 do
+    serialize ()
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    serialize ()
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 1000.0 in
+  check_bool
+    (Printf.sprintf "%.1f minor words per serialized decision (budget 400)"
+       per_call)
+    true (per_call < 400.0)
 
 (* ---------- checkpoint durability ---------- *)
 
@@ -257,6 +344,55 @@ let test_kill_resume_decision_log_byte_identical () =
       reference
       (read_lines (Filename.concat dir "decisions.jsonl"))
   done
+
+let test_handle_batch_matches_handle () =
+  (* Batched serving is an amortization, not a semantic change: uneven
+     chunk sizes (including an empty chunk and one spanning two snapshot
+     cadence points) must produce the same decisions and byte-identical
+     WAL and decision logs as per-request [handle]. *)
+  let inst, _ = scenario 0 in
+  let n = Instance.n_requests inst in
+  with_temp_dir @@ fun dir_a ->
+  with_temp_dir @@ fun dir_b ->
+  let cp_a = fresh_checkpoint ~dir:dir_a ~snapshot_every:3 in
+  let sa =
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_a inst.Instance.metric
+      inst.Instance.cost
+  in
+  let per_request = ref [] in
+  Array.iter
+    (fun r ->
+      per_request := Wire.decision_to_json (Session.handle sa r) :: !per_request)
+    inst.Instance.requests;
+  Session.close sa;
+  let cp_b = fresh_checkpoint ~dir:dir_b ~snapshot_every:3 in
+  let sb =
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_b inst.Instance.metric
+      inst.Instance.cost
+  in
+  let batched = ref [] in
+  let i = ref 0 in
+  List.iter
+    (fun sz ->
+      let sz = min sz (n - !i) in
+      let ds = Session.handle_batch sb (Array.sub inst.Instance.requests !i sz) in
+      check_int "batch returns one decision per request" sz (Array.length ds);
+      Array.iter
+        (fun d -> batched := Wire.decision_to_json d :: !batched)
+        ds;
+      i := !i + sz)
+    [ 1; 4; 0; 7; 2; n ];
+  check_int "all requests consumed" n !i;
+  Session.close sb;
+  Alcotest.(check (list string))
+    "decision records identical" (List.rev !per_request) (List.rev !batched);
+  List.iter
+    (fun f ->
+      check_string
+        (Printf.sprintf "%s byte-identical between modes" f)
+        (In_channel.with_open_bin (Filename.concat dir_a f) In_channel.input_all)
+        (In_channel.with_open_bin (Filename.concat dir_b f) In_channel.input_all))
+    [ "wal.jsonl"; "decisions.jsonl" ]
 
 let test_torn_tails_and_crash_window () =
   with_temp_dir @@ fun dir ->
@@ -754,6 +890,8 @@ let () =
         [
           Alcotest.test_case "kill at every step, all algorithms" `Slow
             test_kill_at_every_step;
+          Alcotest.test_case "committed v2 fixtures restore and continue"
+            `Quick test_snapshot_fixture_cross_version;
           Alcotest.test_case "foreign blob rejected" `Quick
             test_snapshot_rejects_foreign_blob;
         ] );
@@ -763,6 +901,8 @@ let () =
           Alcotest.test_case "wal round trip" `Quick test_wire_wal_round_trip;
           Alcotest.test_case "decision latency variants" `Quick
             test_wire_decision_latency_variants;
+          Alcotest.test_case "decision buffer allocation bounded" `Quick
+            test_wire_decision_buffer_allocation_bounded;
         ] );
       ( "checkpoint",
         [
@@ -770,6 +910,8 @@ let () =
             test_wal_precedes_decisions;
           Alcotest.test_case "kill/resume decision log byte-identical" `Slow
             test_kill_resume_decision_log_byte_identical;
+          Alcotest.test_case "handle_batch byte-identical to handle" `Quick
+            test_handle_batch_matches_handle;
           Alcotest.test_case "torn tails and crash window" `Quick
             test_torn_tails_and_crash_window;
           Alcotest.test_case "corruption errors are named" `Quick

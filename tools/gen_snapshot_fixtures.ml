@@ -1,0 +1,33 @@
+(* Regenerates test/golden/snapshot_v2/<algo>.snap: the committed
+   snapshot-codec fixtures. Each file holds the exact blob every
+   registered algorithm emits after serving the first 5 requests of
+   check scenario 0 — test_serve pins current snapshots to these bytes
+   and proves the committed bytes still restore and continue into the
+   golden run digests. Regenerate ONLY on a deliberate wire-format
+   change, together with a tag bump in the algorithm's codec.
+
+   Usage: dune exec tools/gen_snapshot_fixtures.exe *)
+
+open Omflp_instance
+
+let master_seed = 0xD16E57
+
+let () =
+  let dir = Filename.concat "test" (Filename.concat "golden" "snapshot_v2") in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let sc = Omflp_check.Scenario.generate ~master_seed ~index:0 in
+  let inst = sc.Omflp_check.Scenario.instance in
+  let seed = sc.Omflp_check.Scenario.algo_seed in
+  let cut = min 5 (Instance.n_requests inst) in
+  List.iter
+    (fun (name, (module A : Omflp_core.Algo_intf.ALGO)) ->
+      let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+      for i = 0 to cut - 1 do
+        ignore (A.step t inst.Instance.requests.(i))
+      done;
+      let blob = A.snapshot t in
+      let path = Filename.concat dir (String.lowercase_ascii name ^ ".snap") in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc blob);
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length blob))
+    (Omflp_core.Registry.extended ())
