@@ -8,7 +8,7 @@ let usage =
   \  --quick               smaller experiment sizes and shorter bechamel \
    quotas\n\
   \  --tables-only         only regenerate the experiment tables (E1-E6, \
-   E8-E10)\n\
+   E8-E11)\n\
   \  --bench-only          only run the microbenchmarks and work counters \
    (E7)\n\
   \  --jobs N              run experiment repetitions on N domains (default \

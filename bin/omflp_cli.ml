@@ -231,7 +231,7 @@ let exp_cmd =
       value
       & opt string "all"
       & info [ "id"; "which" ]
-          ~doc:"Experiment id: e1 | e2 | e3 | e4 | e5 | e6 | e8 | e9 | e10 | all.")
+          ~doc:"Experiment id: e1 | e2 | e3 | e4 | e5 | e6 | e8 | e9 | e10 | e11 | all.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and repetitions.")
@@ -297,15 +297,39 @@ let check_cmd =
              different job count and require byte-identical run digests; 0 \
              disables the cross-check.")
   in
-  let action budget seed corpus no_replay no_shrink det_sample jobs metrics
-      trace =
+  let arrival_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "arrival" ] ~docv:"MODEL"
+          ~doc:
+            "Restrict the scenario stream's arrival axis: $(b,adversarial) \
+             (in-order/reversed), $(b,random-order), $(b,iid), or \
+             $(b,all) (default) to mix the three models.")
+  in
+  let action budget seed corpus no_replay no_shrink det_sample arrival jobs
+      metrics trace =
     Cli_flags.apply_jobs jobs;
     Cli_flags.or_die (Cli_flags.validate_nonneg ~flag:"--budget" budget);
+    let arrival =
+      match arrival with
+      | "all" -> None
+      | s -> (
+          match Omflp_check.Scenario.forced_of_string s with
+          | Some _ as f -> f
+          | None ->
+              Cli_flags.or_die
+                (Error
+                   (Printf.sprintf
+                      "--arrival: expected adversarial|random-order|iid|all, \
+                       got %S"
+                      s));
+              None)
+    in
     let report =
       with_obs ~metrics ~trace (fun () ->
           Omflp_check.Check_engine.run ~corpus_dir:(Some corpus)
             ~replay:(not no_replay) ~shrink:(not no_shrink)
-            ~determinism_sample:det_sample ~budget ~seed ())
+            ~determinism_sample:det_sample ?arrival ~budget ~seed ())
     in
     Printf.printf
       "checked %d scenario(s), replayed %d corpus case(s), determinism x%d: \
@@ -352,7 +376,8 @@ let check_cmd =
           (randomized conformance checking with shrinking and replay).")
     Term.(
       const action $ budget_arg $ seed_arg $ corpus_arg $ no_replay_arg
-      $ no_shrink_arg $ det_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      $ no_shrink_arg $ det_arg $ arrival_arg $ jobs_arg $ metrics_arg
+      $ trace_arg)
 
 (* omflp bench — the lib/benchkit harness (tables + E7 + regression gate) *)
 let bench_cmd =
@@ -366,7 +391,7 @@ let bench_cmd =
     Arg.(
       value & flag
       & info [ "tables-only" ]
-          ~doc:"Only regenerate the experiment tables (E1-E6, E8-E10).")
+          ~doc:"Only regenerate the experiment tables (E1-E6, E8-E11).")
   in
   let bench_only_arg =
     Arg.(

@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure of the reproduction
-   (experiments E1-E6, E8-E10, see DESIGN.md), times the algorithms with
+   (experiments E1-E6, E8-E11, see DESIGN.md), times the algorithms with
    Bechamel (experiment E7, the Section 4 efficiency claim), reports
    lib/obs work counters for seeded runs, and optionally gates the
    ns/run rows against a committed baseline (BENCH_BASELINE.json).
@@ -38,7 +38,7 @@ let default_config =
 
 let run_tables ~quick () =
   print_endline "====================================================";
-  print_endline " OMFLP reproduction: experiment tables (E1-E6, E8-E10)";
+  print_endline " OMFLP reproduction: experiment tables (E1-E6, E8-E11)";
   print_endline " paper: Castenow et al., SPAA 2020 (arXiv:2005.08391)";
   print_endline "====================================================";
   List.iter Omflp_experiments.Exp_common.print_section

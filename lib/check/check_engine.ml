@@ -54,8 +54,9 @@ let replay_pass ~algos ~seed entries =
 
 let run ?pool ?(algos = Oracle.default_algos ())
     ?(corpus_dir = Some Corpus.default_dir) ?(replay = true) ?(shrink = true)
-    ?(determinism_sample = 4) ~budget ~seed () =
+    ?(determinism_sample = 4) ?arrival ~budget ~seed () =
   if budget < 0 then invalid_arg "Check_engine.run: negative budget";
+  let generate index = Scenario.generate ?arrival ~master_seed:seed ~index () in
   let pool = match pool with Some p -> p | None -> Pool.default () in
   (* 1. Replay the corpus (serial: corpora are small and findings should
      print in a stable order). *)
@@ -71,7 +72,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
     Pool.map pool
       (fun index ->
         Metrics.incr m_scenarios;
-        let sc = Scenario.generate ~master_seed:seed ~index in
+        let sc = generate index in
         (sc, Oracle.check_instance ~algos ~seed:sc.Scenario.algo_seed
                sc.Scenario.instance))
       (Array.init budget Fun.id)
@@ -98,10 +99,15 @@ let run ?pool ?(algos = Oracle.default_algos ())
             let replay_path =
               Option.map
                 (fun dir ->
+                  (* The arrival tag makes the slug self-describing: a
+                     replay of this entry re-runs the exact materialized
+                     order (the .inst file also carries the arrival
+                     line). *)
                   Corpus.save ~dir
                     ~slug:
-                      (Printf.sprintf "case-%s-%s-s%d-i%d" v.check v.algo seed
-                         sc.index)
+                      (Printf.sprintf "case-%s-%s-%s-s%d-i%d" v.check v.algo
+                         (Arrival.model_tag sc.instance.Instance.arrival)
+                         seed sc.index)
                     shrunk)
                 corpus_dir
             in
@@ -123,7 +129,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
     if det_n <= 0 then []
     else begin
       let digest_of index =
-        let sc = Scenario.generate ~master_seed:seed ~index in
+        let sc = generate index in
         String.concat "\n"
           (List.map
              (fun (name, algo) ->
@@ -149,7 +155,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
           if base.(index) = alt.(index) then None
           else begin
             Metrics.incr m_findings;
-            let sc = Scenario.generate ~master_seed:seed ~index in
+            let sc = generate index in
             Some
               {
                 scenario = sc.Scenario.label;

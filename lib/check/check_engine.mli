@@ -47,7 +47,11 @@ type report = {
     saved to; [None] disables the corpus entirely. [replay] (default
     [true]) controls the initial corpus pass. [shrink] (default [true])
     controls minimization. [determinism_sample] (default 4) bounds the
-    alternate-pool cross-check; [0] disables it. *)
+    alternate-pool cross-check; [0] disables it. [arrival] restricts the
+    scenario stream's arrival axis to one model ({!Scenario.forced});
+    omitted, scenarios mix all three. Corpus slugs embed the model tag
+    ([adv]/[ro]/[iid]) and saved instances carry their arrival line, so
+    replays reproduce the exact request order. *)
 val run :
   ?pool:Omflp_prelude.Pool.t ->
   ?algos:(string * Omflp_core.Algo_intf.packed) list ->
@@ -55,6 +59,7 @@ val run :
   ?replay:bool ->
   ?shrink:bool ->
   ?determinism_sample:int ->
+  ?arrival:Scenario.forced ->
   budget:int ->
   seed:int ->
   unit ->

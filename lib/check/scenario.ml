@@ -54,20 +54,15 @@ let demand_model rng ~n_commodities =
   | 1 -> Demand.Singletons { zipf_s = 1.0 }
   | _ -> Demand.Zipf_bundle { zipf_s = 1.0; max_size = min 3 n_commodities }
 
-(* Request-order treatment: the generators emit a "natural" order; half
-   the scenarios shuffle it, a quarter reverse it, a quarter keep it. *)
-let reorder rng requests =
-  let requests = Array.copy requests in
-  match Splitmix.int rng 4 with
-  | 0 | 1 ->
-      Sampler.shuffle rng requests;
-      ("shuffled", requests)
-  | 2 ->
-      let n = Array.length requests in
-      ("reversed", Array.init n (fun i -> requests.(n - 1 - i)))
-  | _ -> ("in-order", requests)
+type forced = [ `Adversarial | `Random_order | `Iid ]
 
-let generate ~master_seed ~index =
+let forced_of_string = function
+  | "adversarial" | "adv" -> Some `Adversarial
+  | "random-order" | "ro" -> Some `Random_order
+  | "iid" -> Some `Iid
+  | _ -> None
+
+let generate ?arrival:forced ~master_seed ~index () =
   let rng = scenario_rng ~master_seed ~index in
   let cost_label, cost = cost_family rng in
   (* Multi-site universes stop at 4 commodities: the oracle's certified
@@ -114,7 +109,61 @@ let generate ~master_seed ~index =
             ~d:(pick rng [| 1.0; 10.0 |])
             ~n_requests ~n_commodities ~demand:(demand_model rng ~n_commodities) ~cost )
   in
-  let order, requests = reorder rng inst.Instance.requests in
+  (* Arrival axis. Every draw below is consumed unconditionally so a
+     [?arrival] forcing changes only the order treatment, never the
+     instance family or the algo seed of the same (master_seed, index). *)
+  let axis = Splitmix.int rng 8 in
+  let ro_seed = Splitmix.int rng 1_000_000_000 in
+  let iid_seed = Splitmix.int rng 1_000_000_000 in
+  let iid_demand =
+    (* Single-site families can carry up to 16 commodities; the oracle's
+       exact bracket there is the set-cover solver, which needs
+       singleton-friendly demands to stay affordable. Multi-site
+       families are capped at 4 commodities, so any model is fine. *)
+    if Instance.n_sites inst = 1 then Demand.Singletons { zipf_s = 1.0 }
+    else demand_model rng ~n_commodities:(Instance.n_commodities inst)
+  in
+  let model =
+    match forced with
+    | Some `Adversarial -> if axis = 2 then `Reversed else `In_order
+    | Some `Random_order -> `Random_order
+    | Some `Iid -> `Iid
+    | None -> (
+        match axis with
+        | 0 | 1 -> `In_order
+        | 2 -> `Reversed
+        | 3 | 4 | 5 -> `Random_order
+        | _ -> `Iid)
+  in
+  let order, arrival, requests =
+    let n_sites = Instance.n_sites inst in
+    let n_commodities = Instance.n_commodities inst in
+    match model with
+    | `In_order ->
+        ("in-order", Arrival.Adversarial, Array.copy inst.Instance.requests)
+    | `Reversed ->
+        let n = Array.length inst.Instance.requests in
+        ( "reversed",
+          Arrival.Adversarial,
+          Array.init n (fun i -> inst.Instance.requests.(n - 1 - i)) )
+    | `Random_order ->
+        let a = Arrival.Random_order { seed = ro_seed } in
+        ( Arrival.describe a,
+          a,
+          Arrival.apply a ~n_sites ~n_commodities inst.Instance.requests )
+    | `Iid ->
+        let a =
+          Arrival.Iid
+            {
+              seed = iid_seed;
+              n_requests = Array.length inst.Instance.requests;
+              demand = iid_demand;
+            }
+        in
+        ( Arrival.describe a,
+          a,
+          Arrival.apply a ~n_sites ~n_commodities inst.Instance.requests )
+  in
   let label =
     Printf.sprintf "chk s%d i%d: %s cost=%s order=%s (%d sites, %d reqs, %d comm)"
       master_seed index family cost_label order
@@ -122,7 +171,10 @@ let generate ~master_seed ~index =
       (Instance.n_commodities inst)
   in
   let instance =
-    Instance.make ~name:label ~metric:inst.Instance.metric
-      ~cost:inst.Instance.cost ~requests
+    let base =
+      Instance.make ~name:label ~metric:inst.Instance.metric
+        ~cost:inst.Instance.cost ~requests
+    in
+    { base with Instance.arrival }
   in
   { index; label; instance; algo_seed = Splitmix.int rng 1_000_000 }

@@ -1,0 +1,137 @@
+open Omflp_prelude
+open Omflp_commodity
+open Omflp_instance
+
+(* Oblivious zoom-line: the static cousin of Adversary.zoom_line. The
+   zoom point is drawn up front and the dyadic batches converge to it
+   coarse-to-fine — the classic bad arrival order for online facility
+   location (each batch is dense enough to look like a new cluster).
+   Under a random-order shuffle the early coarse requests no longer
+   precede the fine ones, which is exactly the regime where
+   Kaplan–Naori–Raz (arXiv:2207.08783) prove Meyerson is ~O(1). *)
+let zoom_line rng ~levels ~batch_base ~n_commodities =
+  let n_points = (1 lsl levels) + 1 in
+  let positions =
+    Array.init n_points (fun j -> float_of_int j /. float_of_int (n_points - 1))
+  in
+  let metric = Omflp_metric.Finite_metric.line positions in
+  let cost = Cost_function.constant ~n_commodities ~n_sites:n_points ~cost:1.0 in
+  let zoom = Splitmix.int rng n_points in
+  let demand () =
+    Demand.sample rng ~n_commodities (Demand.Singletons { zipf_s = 1.0 })
+  in
+  let requests_rev = ref [] in
+  let send site =
+    requests_rev := Request.make ~site ~demand:(demand ()) :: !requests_rev
+  in
+  let lo = ref 0 and hi = ref (n_points - 1) in
+  for l = 0 to levels - 1 do
+    let mid = (!lo + !hi) / 2 in
+    for _ = 1 to batch_base * (1 lsl l) do
+      send mid
+    done;
+    if zoom <= mid then hi := mid else lo := mid
+  done;
+  for _ = 1 to batch_base * (1 lsl levels) do
+    send ((!lo + !hi) / 2)
+  done;
+  Instance.make
+    ~name:(Printf.sprintf "zoom-line(levels=%d)" levels)
+    ~metric ~cost
+    ~requests:(Array.of_list (List.rev !requests_rev))
+
+let families ~quick =
+  let levels = if quick then 3 else 4 in
+  let scale = if quick then 1 else 2 in
+  [
+    ( "zoom-line",
+      Demand.Singletons { zipf_s = 1.0 },
+      fun rng -> zoom_line rng ~levels ~batch_base:2 ~n_commodities:2 );
+    ( "clustered",
+      Demand.Zipf_bundle { zipf_s = 1.0; max_size = 2 },
+      fun rng ->
+        Generators.clustered rng ~clusters:3 ~per_cluster:2
+          ~n_requests:(15 * scale) ~n_commodities:4 ~side:50.0 ~spread:2.0
+          ~cost:(fun ~n_commodities ~n_sites ->
+            Cost_function.power_law ~n_commodities ~n_sites ~x:1.0) );
+  ]
+
+(* Per-model instance transforms. Each draws its arrival seed from the
+   repetition RNG, so distinct repetitions see distinct permutations /
+   i.i.d. draws while the whole sweep stays a pure function of the
+   experiment seed (byte-identical across pool sizes). *)
+let models ~iid_demand =
+  [
+    ("adversarial", fun _rng inst -> inst);
+    ( "random-order",
+      fun rng inst ->
+        Generators.with_arrival
+          (Arrival.Random_order { seed = Splitmix.int rng 1_000_000_000 })
+          inst );
+    ( "iid",
+      fun rng inst ->
+        Generators.with_arrival
+          (Arrival.Iid
+             {
+               seed = Splitmix.int rng 1_000_000_000;
+               n_requests = Instance.n_requests inst;
+               demand = iid_demand;
+             })
+          inst );
+  ]
+
+let run ?(reps = 8) ?(seed = 47) ?(quick = false) () =
+  let table =
+    Texttable.create
+      [
+        "family";
+        "arrival";
+        "algorithm";
+        "mean ratio";
+        "p95 ratio";
+        "mean cost";
+        "OPT estimator";
+      ]
+  in
+  List.iter
+    (fun (fname, iid_demand, base_gen) ->
+      List.iter
+        (fun (mname, transform) ->
+          let gen rng = transform rng (base_gen rng) in
+          let outcome =
+            Exp_common.measure ~reps ~seed ~gen
+              ~algos:(Omflp_core.Registry.extended ())
+              ()
+          in
+          List.iter
+            (fun (m : Exp_common.measurement) ->
+              Texttable.add_row table
+                [
+                  fname;
+                  mname;
+                  m.algorithm;
+                  Texttable.cell_f (Exp_common.mean m.ratios_vs_upper);
+                  Texttable.cell_f (Stats.percentile m.ratios_vs_upper 95.0);
+                  Texttable.cell_f (Exp_common.mean m.costs);
+                  outcome.upper_method;
+                ])
+            outcome.measurements)
+        (models ~iid_demand);
+      Texttable.add_rule table)
+    (families ~quick);
+  {
+    Exp_common.title = "E11: empirical ratio per arrival model";
+    notes =
+      [
+        "Same seeded families under adversarial, random-order (uniform seeded";
+        "permutation), and i.i.d. arrival; ratios against the OPT bracket's";
+        "upper estimate. Kaplan-Naori-Raz (arXiv:2207.08783) predicts";
+        "random-order <= adversarial for MEYERSON-OFL on zoom-line.";
+      ];
+    table;
+  }
+
+let run_spec (s : Exp_common.Spec.t) =
+  run
+    ?reps:(Exp_common.Spec.resolve s.reps ~quick_default:2 s)
+    ?seed:s.seed ~quick:s.quick ()

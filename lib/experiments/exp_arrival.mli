@@ -1,0 +1,12 @@
+(** E11 — arrival-model comparison: every extended-registry algorithm on
+    the same seeded families under adversarial, random-order, and i.i.d.
+    arrival ({!Omflp_instance.Arrival}), with mean and p95 empirical
+    ratios against the OPT bracket.
+
+    The zoom-line family materializes the classic coarse-to-fine bad
+    order for online facility location; Kaplan–Naori–Raz
+    (arXiv:2207.08783) prove Meyerson's algorithm is ~O(1)-competitive
+    once that order is uniformly shuffled, so MEYERSON-OFL's
+    random-order row is expected at or below its adversarial row. *)
+
+val run_spec : Exp_common.Spec.t -> Exp_common.section

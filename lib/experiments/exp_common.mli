@@ -61,7 +61,7 @@ val ci : float array -> float
     exponents and e8's surcharges. *)
 module Spec : sig
   type t = {
-    id : string;  (** "e1" … "e10" (lowercased by {!make}) *)
+    id : string;  (** "e1" … "e11" (lowercased by {!make}) *)
     quick : bool;
     reps : int option;
     seed : int option;

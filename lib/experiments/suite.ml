@@ -1,4 +1,4 @@
-let ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10" ]
+let ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "e11" ]
 
 let run_spec (spec : Exp_common.Spec.t) =
   match spec.id with
@@ -11,6 +11,7 @@ let run_spec (spec : Exp_common.Spec.t) =
   | "e8" -> Exp_heavy.run_spec spec
   | "e9" -> Exp_model_transform.run_spec spec
   | "e10" -> Exp_adversarial.run_spec spec
+  | "e11" -> Exp_arrival.run_spec spec
   | other -> invalid_arg (Printf.sprintf "unknown experiment id %S" other)
 
 let run ?pool ~quick ~which () =

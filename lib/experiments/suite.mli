@@ -1,7 +1,7 @@
 (** Experiment suite entry point: one spec-driven runner for every
     experiment. *)
 
-(** [run_spec spec] dispatches on [spec.id] ("e1" … "e6", "e8" … "e10";
+(** [run_spec spec] dispatches on [spec.id] ("e1" … "e6", "e8" … "e11";
     "e7" is the Bechamel half of [bench/main.exe]) and runs the
     experiment with the spec's overrides. Raises [Invalid_argument] on
     an unknown id. *)

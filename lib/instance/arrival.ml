@@ -1,0 +1,60 @@
+open Omflp_prelude
+
+type t =
+  | Adversarial
+  | Random_order of { seed : int }
+  | Iid of { seed : int; n_requests : int; demand : Demand.model }
+
+let model_tag = function
+  | Adversarial -> "adv"
+  | Random_order _ -> "ro"
+  | Iid _ -> "iid"
+
+let describe = function
+  | Adversarial -> "adversarial"
+  | Random_order { seed } -> Printf.sprintf "ro(seed=%d)" seed
+  | Iid { seed; n_requests; demand } ->
+      Printf.sprintf "iid(seed=%d, n=%d, %s)" seed n_requests
+        (Demand.describe demand)
+
+(* All branches return a fresh array: the caller's requests are never
+   mutated and never aliased by the result (regression for the old
+   in-place Scenario.reorder shuffle). *)
+let apply t ~n_sites ~n_commodities requests =
+  match t with
+  | Adversarial -> Array.copy requests
+  | Random_order { seed } ->
+      let copy = Array.copy requests in
+      Sampler.shuffle (Splitmix.of_int seed) copy;
+      copy
+  | Iid { seed; n_requests; demand } ->
+      if n_sites <= 0 then invalid_arg "Arrival.apply: empty metric";
+      if n_requests < 0 then invalid_arg "Arrival.apply: negative n_requests";
+      let rng = Splitmix.of_int seed in
+      Array.init n_requests (fun _ ->
+          let site = Splitmix.int rng n_sites in
+          let demand = Demand.sample rng ~n_commodities demand in
+          Request.make ~site ~demand)
+
+let to_string = function
+  | Adversarial -> "adversarial"
+  | Random_order { seed } -> Printf.sprintf "random-order %d" seed
+  | Iid { seed; n_requests; demand } ->
+      Printf.sprintf "iid %d %d %s" seed n_requests (Demand.to_string demand)
+
+let of_string ~n_commodities s =
+  let fail () = failwith (Printf.sprintf "Arrival.of_string: malformed %S" s) in
+  let int_of x =
+    match int_of_string_opt x with Some v -> v | None -> fail ()
+  in
+  match String.split_on_char ' ' s |> List.filter (( <> ) "") with
+  | [ "adversarial" ] -> Adversarial
+  | [ "random-order"; seed ] -> Random_order { seed = int_of seed }
+  | "iid" :: seed :: n :: rest when rest <> [] ->
+      Iid
+        {
+          seed = int_of seed;
+          n_requests = int_of n;
+          demand = Demand.of_string ~n_commodities (String.concat " " rest);
+        }
+  | _ -> fail ()

@@ -1,0 +1,45 @@
+(** Arrival models: how a request sequence is ordered (or drawn).
+
+    The paper's guarantees are worst-case adversarial, but
+    Kaplan–Naori–Raz (arXiv:2207.08783) show Meyerson's algorithm is
+    ~O(1)-competitive when the adversary picks the multiset of requests
+    and the order is a uniform random permutation. This module makes the
+    arrival model a first-class, seeded, serializable value so
+    experiments and the conformance oracle can compare models on equal
+    footing.
+
+    An {!Instance.t} stores its requests already materialized in arrival
+    order; the arrival value records {e which model produced that order}
+    so serialized instances, corpus entries, and reports can reproduce
+    it exactly. *)
+
+type t =
+  | Adversarial  (** requests exactly as constructed, in order *)
+  | Random_order of { seed : int }
+      (** seeded uniform permutation (Fisher–Yates over
+          [Splitmix.of_int seed]) of the constructed requests *)
+  | Iid of { seed : int; n_requests : int; demand : Demand.model }
+      (** [n_requests] i.i.d. draws: site uniform over the metric,
+          demand set from [demand]; the constructed requests are
+          ignored *)
+
+(** [apply t ~n_sites ~n_commodities requests] materializes the arrival
+    sequence. Always returns a fresh array: [requests] is never mutated
+    and the result never aliases it. [Iid] ignores [requests] and draws
+    [n_requests] fresh ones. *)
+val apply :
+  t -> n_sites:int -> n_commodities:int -> Request.t array -> Request.t array
+
+(** Short tag for corpus slugs and CI findings: ["adv"], ["ro"], ["iid"]. *)
+val model_tag : t -> string
+
+(** [describe t] is a short human label for scenario names and reports. *)
+val describe : t -> string
+
+(** [to_string t] is an exact single-line form for the {!Serial} format;
+    inverted bit-for-bit by {!of_string}. *)
+val to_string : t -> string
+
+(** [of_string ~n_commodities s] parses {!to_string} output. Raises
+    [Failure] on malformed input. *)
+val of_string : n_commodities:int -> string -> t

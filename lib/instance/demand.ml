@@ -59,6 +59,44 @@ let sample rng ~n_commodities model =
       done;
       !s
 
+(* Exact textual form (floats as %.17g) so arrival specs can ride the
+   Serial instance format; [of_string] inverts it bit-for-bit. *)
+let to_string = function
+  | Singletons { zipf_s } -> Printf.sprintf "singletons %.17g" zipf_s
+  | Bernoulli { p } -> Printf.sprintf "bernoulli %.17g" p
+  | Zipf_bundle { zipf_s; max_size } ->
+      Printf.sprintf "zipf-bundle %.17g %d" zipf_s max_size
+  | Profile { profiles; keep_p } ->
+      Printf.sprintf "profile %.17g %s" keep_p
+        (String.concat ";"
+           (Array.to_list profiles
+           |> List.map (fun p ->
+                  String.concat "," (List.map string_of_int (Cset.elements p)))))
+
+let of_string ~n_commodities s =
+  let fail () = failwith (Printf.sprintf "Demand.of_string: malformed %S" s) in
+  let float_of x =
+    match float_of_string_opt x with Some v -> v | None -> fail ()
+  in
+  let int_of x =
+    match int_of_string_opt x with Some v -> v | None -> fail ()
+  in
+  match String.split_on_char ' ' s |> List.filter (( <> ) "") with
+  | [ "singletons"; zs ] -> Singletons { zipf_s = float_of zs }
+  | [ "bernoulli"; p ] -> Bernoulli { p = float_of p }
+  | [ "zipf-bundle"; zs; m ] ->
+      Zipf_bundle { zipf_s = float_of zs; max_size = int_of m }
+  | [ "profile"; kp; ps ] ->
+      let profiles =
+        String.split_on_char ';' ps
+        |> List.map (fun p ->
+               Cset.of_list ~n_commodities
+                 (String.split_on_char ',' p |> List.map int_of))
+        |> Array.of_list
+      in
+      Profile { profiles; keep_p = float_of kp }
+  | _ -> fail ()
+
 let describe = function
   | Singletons { zipf_s } -> Printf.sprintf "singletons(zipf %.2g)" zipf_s
   | Bernoulli { p } -> Printf.sprintf "bernoulli(p=%.2g)" p

@@ -22,3 +22,13 @@ val sample :
 
 (** [describe model] is a short label for reports. *)
 val describe : model -> string
+
+(** [to_string model] is an exact single-line textual form (floats as
+    [%.17g]) suitable for the {!Serial} instance format; inverted
+    bit-for-bit by {!of_string}. *)
+val to_string : model -> string
+
+(** [of_string ~n_commodities s] parses {!to_string} output. Profile
+    commodity sets are rebuilt in the given universe. Raises [Failure]
+    on malformed input. *)
+val of_string : n_commodities:int -> string -> model

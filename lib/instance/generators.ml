@@ -92,3 +92,15 @@ let uniform_metric rng ~n_sites ~d ~n_requests ~n_commodities ~demand ~cost =
   Instance.make
     ~name:(Printf.sprintf "uniform(%d sites, %d reqs)" n_sites n_requests)
     ~metric ~cost ~requests
+
+let with_arrival arrival (inst : Instance.t) =
+  let requests =
+    Arrival.apply arrival
+      ~n_sites:(Instance.n_sites inst)
+      ~n_commodities:(Instance.n_commodities inst)
+      inst.requests
+  in
+  let base =
+    Instance.make ~name:inst.name ~metric:inst.metric ~cost:inst.cost ~requests
+  in
+  { base with arrival }

@@ -63,6 +63,11 @@ val network :
   cost:(n_commodities:int -> n_sites:int -> Omflp_commodity.Cost_function.t) ->
   Instance.t
 
+(** [with_arrival arrival inst] materializes [arrival] over [inst]'s
+    requests (see {!Arrival.apply}) and returns a new instance carrying
+    the model; [inst] is left untouched. *)
+val with_arrival : Arrival.t -> Instance.t -> Instance.t
+
 (** [uniform_metric rng ~n_sites ~d ~n_requests ~n_commodities ~demand
     ~cost] uses the uniform metric (all distances [d]). *)
 val uniform_metric :

@@ -5,6 +5,7 @@ type t = {
   metric : Omflp_metric.Finite_metric.t;
   cost : Cost_function.t;
   requests : Request.t array;
+  arrival : Arrival.t;
 }
 
 let make ~name ~metric ~cost ~requests =
@@ -23,7 +24,7 @@ let make ~name ~metric ~cost ~requests =
       if Cset.n_commodities r.demand <> Cost_function.n_commodities cost then
         invalid_arg "Instance.make: request demand from wrong universe")
     requests;
-  { name; metric; cost; requests }
+  { name; metric; cost; requests; arrival = Arrival.Adversarial }
 
 let n_requests t = Array.length t.requests
 let n_sites t = Omflp_metric.Finite_metric.size t.metric
@@ -52,12 +53,14 @@ let split_per_commodity t =
              (Cset.elements r.demand))
          (Array.to_list t.requests))
   in
-  { t with name = t.name ^ " (per-commodity)"; requests }
+  (* The derived sequence is no longer what the arrival model drew, so
+     provenance resets to Adversarial ("as constructed"). *)
+  { t with name = t.name ^ " (per-commodity)"; requests; arrival = Arrival.Adversarial }
 
 let truncate t k =
   if k < 0 || k > Array.length t.requests then
     invalid_arg "Instance.truncate: bad length";
-  { t with requests = Array.sub t.requests 0 k }
+  { t with requests = Array.sub t.requests 0 k; arrival = Arrival.Adversarial }
 
 let pp ppf t =
   Format.fprintf ppf "%s: %d requests, %d sites, %d commodities, cost=%s"

@@ -5,13 +5,18 @@ type t = {
   name : string;
   metric : Omflp_metric.Finite_metric.t;
   cost : Omflp_commodity.Cost_function.t;
-  requests : Request.t array;  (** in arrival order *)
+  requests : Request.t array;  (** in arrival order, already materialized *)
+  arrival : Arrival.t;
+      (** which arrival model produced [requests]; descriptive metadata
+          carried through {!Serial} so replays reproduce the order *)
 }
 
 (** [make ~name ~metric ~cost ~requests] validates consistency: the cost
     function must cover every metric point as a site, every request site
     must be a metric point, and every demand must live in the cost
-    function's commodity universe. *)
+    function's commodity universe. The arrival field defaults to
+    {!Arrival.Adversarial}; use {!Generators.with_arrival} to
+    materialize another model (or a record update to tag provenance). *)
 val make :
   name:string ->
   metric:Omflp_metric.Finite_metric.t ->

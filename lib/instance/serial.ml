@@ -7,6 +7,11 @@ let save oc (inst : Instance.t) =
   let k = Instance.n_commodities inst in
   Printf.fprintf oc "%s\n" magic;
   Printf.fprintf oc "name %s\n" inst.name;
+  (* Optional line, written only for non-default models so files from
+     older writers and for adversarial instances stay byte-identical. *)
+  (match inst.arrival with
+  | Arrival.Adversarial -> ()
+  | a -> Printf.fprintf oc "arrival %s\n" (Arrival.to_string a));
   Printf.fprintf oc "commodities %d\n" k;
   Printf.fprintf oc "sites %d\n" n;
   Printf.fprintf oc "metric\n";
@@ -75,9 +80,38 @@ let load ic =
   in
   if read_line () <> magic then fail "Serial.load: missing %S header" magic;
   let name = expect_prefix "name " in
-  let k = int_of "commodities" (expect_prefix "commodities ") in
+  (* The arrival line is optional and precedes "commodities"; its demand
+     spec needs [k], so parsing is deferred until dimensions are read. *)
+  let arrival_raw, commodities_line =
+    let line = read_line () in
+    let p = "arrival " in
+    if
+      String.length line >= String.length p
+      && String.sub line 0 (String.length p) = p
+    then
+      ( Some
+          (String.trim
+             (String.sub line (String.length p)
+                (String.length line - String.length p))),
+        read_line () )
+    else (None, line)
+  in
+  let field_of prefix line =
+    let p = String.length prefix in
+    if String.length line < p || String.sub line 0 p <> prefix then
+      fail "Serial.load: line %d: expected %S" !line_no prefix;
+    String.trim (String.sub line p (String.length line - p))
+  in
+  let k = int_of "commodities" (field_of "commodities " commodities_line) in
   let n = int_of "sites" (expect_prefix "sites ") in
   if k <= 0 || n <= 0 then fail "Serial.load: non-positive dimensions";
+  let arrival =
+    match arrival_raw with
+    | None -> Arrival.Adversarial
+    | Some raw -> (
+        try Arrival.of_string ~n_commodities:k raw
+        with Failure msg -> fail "Serial.load: %s" msg)
+  in
   ignore (expect_prefix "metric");
   let dmat =
     Array.init n (fun _ -> Array.of_list (floats_of_line n))
@@ -112,7 +146,8 @@ let load ic =
             Request.make ~site ~demand
         | _ -> fail "Serial.load: line %d: malformed request" !line_no)
   in
-  Instance.make ~name ~metric ~cost ~requests
+  let base = Instance.make ~name ~metric ~cost ~requests in
+  { base with arrival }
 
 let load_file path =
   let ic = open_in path in

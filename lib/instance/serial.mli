@@ -6,6 +6,7 @@
     {v
     omflp-instance 1
     name <string>
+    arrival <spec>          (optional; omitted for adversarial)
     commodities <k>
     sites <n>
     metric
@@ -21,7 +22,14 @@
     [{0..j-1}]) and reloads [f^σ_m] as [table.(m).(|σ|)]. This is an exact
     round-trip for every size-based family shipped in
     {!Omflp_commodity.Cost_function} (including site-scaled ones) and a
-    size-projection otherwise. *)
+    size-projection otherwise.
+
+    The [arrival] line is {!Arrival.to_string} of the instance's arrival
+    model; it is written only for non-adversarial models, so files
+    produced by older writers (and for adversarial instances) are
+    byte-identical to before. Requests are always stored already
+    materialized in arrival order — the arrival line is provenance, so
+    corpus replays reproduce the exact order without re-deriving it. *)
 
 (** [save oc instance] writes the format above. *)
 val save : out_channel -> Instance.t -> unit

@@ -123,7 +123,7 @@ let test_corpus_rejects_truncated () =
      can only come from outside — and the loader must reject it with the
      serializer's named error instead of replaying garbage. *)
   with_temp_corpus @@ fun dir ->
-  let sc = Scenario.generate ~master_seed:seed ~index:1 in
+  let sc = Scenario.generate ~master_seed:seed ~index:1 () in
   let path = Corpus.save ~dir ~slug:"truncated" sc.Scenario.instance in
   check_int "no temp-file litter next to the corpus file" 1
     (Array.length (Sys.readdir dir));
@@ -163,7 +163,7 @@ let test_oracle_reports_instead_of_raising () =
     let snapshot _ = failwith "CRASHER has no snapshot"
     let restore _ _ _ = failwith "CRASHER has no restore"
   end in
-  let sc = Scenario.generate ~master_seed:seed ~index:0 in
+  let sc = Scenario.generate ~master_seed:seed ~index:0 () in
   let violations =
     Oracle.check_instance
       ~algos:[ ("CRASHER", (module Crasher : Algo_intf.ALGO)) ]
@@ -174,6 +174,116 @@ let test_oracle_reports_instead_of_raising () =
        (fun (v : Oracle.violation) ->
          v.Oracle.check = "run" && v.Oracle.algo = "CRASHER")
        violations)
+
+(* ---------- Arrival axis ---------- *)
+
+let forced_models =
+  [ (`Adversarial, "adv"); (`Random_order, "ro"); (`Iid, "iid") ]
+
+let test_scenario_pure () =
+  (* [generate] is a pure function of (master_seed, index): two calls
+     yield identical scenarios and never share a mutable request array
+     (regression for the old in-place reorder shuffle). *)
+  List.iter
+    (fun index ->
+      let a = Scenario.generate ~master_seed:seed ~index () in
+      let b = Scenario.generate ~master_seed:seed ~index () in
+      check_bool "labels equal" true (a.Scenario.label = b.Scenario.label);
+      check_int "algo seeds equal" a.Scenario.algo_seed b.Scenario.algo_seed;
+      check_bool "requests equal" true
+        (a.Scenario.instance.Instance.requests
+        = b.Scenario.instance.Instance.requests);
+      check_bool "request arrays not aliased" true
+        (a.Scenario.instance.Instance.requests
+        != b.Scenario.instance.Instance.requests))
+    [ 0; 1; 2; 5; 7 ]
+
+let test_forced_arrival_models () =
+  (* Forcing restricts the order treatment to one model and must leave
+     the instance family and algo seed of each index untouched (the
+     scenario stream consumes its RNG draws unconditionally). *)
+  List.iter
+    (fun (forced, tag) ->
+      for index = 0 to 11 do
+        let sc =
+          Scenario.generate ~arrival:forced ~master_seed:seed ~index ()
+        in
+        let base = Scenario.generate ~master_seed:seed ~index () in
+        check_bool
+          (Printf.sprintf "i%d forced model is %s" index tag)
+          true
+          (Arrival.model_tag sc.Scenario.instance.Instance.arrival = tag);
+        check_int "forcing keeps algo_seed" base.Scenario.algo_seed
+          sc.Scenario.algo_seed;
+        check_int "forcing keeps sites"
+          (Instance.n_sites base.Scenario.instance)
+          (Instance.n_sites sc.Scenario.instance);
+        check_int "forcing keeps commodities"
+          (Instance.n_commodities base.Scenario.instance)
+          (Instance.n_commodities sc.Scenario.instance)
+      done)
+    forced_models
+
+let test_corpus_slug_records_model () =
+  (* A finding on a forced random-order stream must persist with the
+     model tag in the slug and the arrival line in the .inst file, so
+     the replayed corpus entry re-runs the exact materialized order. *)
+  with_temp_corpus @@ fun dir ->
+  with_pool @@ fun pool ->
+  let report =
+    Check_engine.run ~pool ~algos:mutant ~corpus_dir:(Some dir) ~shrink:false
+      ~determinism_sample:0 ~arrival:`Random_order ~budget:2 ~seed ()
+  in
+  check_bool "planted bug reported" true (report.Check_engine.findings <> []);
+  List.iter
+    (fun (f : Check_engine.finding) ->
+      let path = Option.get f.replay_path in
+      let contains_ro =
+        let base = Filename.basename path in
+        let needle = "-ro-" in
+        let n = String.length needle and l = String.length base in
+        let rec scan i =
+          i + n <= l && (String.sub base i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check_bool "slug carries the model tag" true contains_ro;
+      let reloaded = Serial.load_file path in
+      let original = Option.get f.instance in
+      check_bool "arrival survives the corpus round trip" true
+        (reloaded.Instance.arrival = original.Instance.arrival);
+      check_bool "materialized order survives the corpus round trip" true
+        (reloaded.Instance.requests = original.Instance.requests))
+    report.Check_engine.findings
+
+let test_ro_jobs_determinism () =
+  (* Same-seed random-order scenarios must produce byte-identical run
+     digests under pools of different sizes — the jobs=1 vs jobs=N
+     contract extended to the new arrival axis. *)
+  let digest_of index =
+    let sc =
+      Scenario.generate ~arrival:`Random_order ~master_seed:seed ~index ()
+    in
+    String.concat "\n"
+      (List.map
+         (fun (_, algo) ->
+           Oracle.run_digest
+             (Simulator.run ~seed:sc.Scenario.algo_seed ~check:false algo
+                sc.Scenario.instance))
+         (Oracle.default_algos ()))
+  in
+  let indices = Array.init 6 Fun.id in
+  let under_jobs jobs =
+    let pool = Pool.create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map pool digest_of indices)
+  in
+  let one = under_jobs 1 and three = under_jobs 3 in
+  Array.iteri
+    (fun i d ->
+      check_bool (Printf.sprintf "digest %d identical" i) true (d = three.(i)))
+    one
 
 let () =
   Alcotest.run "check"
@@ -188,5 +298,16 @@ let () =
             test_oracle_reports_instead_of_raising;
           Alcotest.test_case "truncated corpus file rejected" `Quick
             test_corpus_rejects_truncated;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "scenario generation is pure" `Quick
+            test_scenario_pure;
+          Alcotest.test_case "forced models, invariant family" `Quick
+            test_forced_arrival_models;
+          Alcotest.test_case "corpus slug records the model" `Quick
+            test_corpus_slug_records_model;
+          Alcotest.test_case "random-order jobs=1 = jobs=3" `Quick
+            test_ro_jobs_determinism;
         ] );
     ]

@@ -133,8 +133,22 @@ let test_e10_smoke () =
   check_bool "has rows" true
     (contains (Texttable.render section.Exp_common.table) "GREEDY")
 
+let test_e11_smoke () =
+  let section =
+    Exp_arrival.run_spec (Exp_common.Spec.make ~quick:true ~reps:2 "e11")
+  in
+  let rendered = Texttable.render section.Exp_common.table in
+  (* Every arrival model and every extended-registry algorithm must show
+     up as rows — the per-model ratio table is E11's contract. *)
+  List.iter
+    (fun needle -> check_bool needle true (contains rendered needle))
+    [ "adversarial"; "random-order"; "iid"; "zoom-line"; "clustered" ];
+  List.iter
+    (fun (name, _) -> check_bool name true (contains rendered name))
+    (Omflp_core.Registry.extended ())
+
 let test_suite_dispatch () =
-  check_int "nine experiments" 9 (List.length Suite.ids);
+  check_int "ten experiments" 10 (List.length Suite.ids);
   Alcotest.check_raises "unknown id" (Invalid_argument "unknown experiment id \"e12\"")
     (fun () -> ignore (Suite.run ~quick:true ~which:"e12" ()));
   check_int "single" 1 (List.length (Suite.run ~quick:true ~which:"e2" ()))
@@ -297,6 +311,7 @@ let () =
           Alcotest.test_case "e8" `Slow test_e8_smoke;
           Alcotest.test_case "e9" `Slow test_e9_smoke;
           Alcotest.test_case "e10" `Slow test_e10_smoke;
+          Alcotest.test_case "e11" `Slow test_e11_smoke;
           Alcotest.test_case "suite dispatch" `Quick test_suite_dispatch;
         ] );
       ( "export",

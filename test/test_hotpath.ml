@@ -233,9 +233,9 @@ let test_golden_digests () =
   let master_seed = 0xD16E57 in
   let algos = Omflp_core.Registry.extended () in
   let digests = Hashtbl.create 256 in
-  let n_scenarios = 24 in
+  let n_scenarios = 30 in
   for index = 0 to n_scenarios - 1 do
-    let scenario = Omflp_check.Scenario.generate ~master_seed ~index in
+    let scenario = Omflp_check.Scenario.generate ~master_seed ~index () in
     List.iter
       (fun (name, algo) ->
         let run =

@@ -390,6 +390,267 @@ let test_split_per_commodity () =
 
 (* ---------- Instance_stats ---------- *)
 
+(* ---------- Arrival models ---------- *)
+
+let request_compare (a : Request.t) (b : Request.t) =
+  match compare a.site b.site with 0 -> Cset.compare a.demand b.demand | c -> c
+
+let sorted_requests arr =
+  let copy = Array.copy arr in
+  Array.sort request_compare copy;
+  copy
+
+let arrival_cases =
+  [
+    Arrival.Adversarial;
+    Arrival.Random_order { seed = 7 };
+    Arrival.Iid
+      { seed = 7; n_requests = 5; demand = Demand.Singletons { zipf_s = 1.0 } };
+  ]
+
+let test_arrival_apply_pure () =
+  (* [apply] never mutates its input and never aliases it in the result —
+     the regression behind the old in-place scenario reorder. *)
+  let inst = mk_instance () in
+  let before = Array.map (fun r -> r) inst.Instance.requests in
+  List.iter
+    (fun arrival ->
+      let out =
+        Arrival.apply arrival ~n_sites:(Instance.n_sites inst)
+          ~n_commodities:(Instance.n_commodities inst) inst.Instance.requests
+      in
+      check_bool "result is a fresh array" true (out != inst.Instance.requests);
+      check_bool "source unchanged" true (inst.Instance.requests = before))
+    arrival_cases;
+  (* Same through the generator combinator: the source instance keeps its
+     own order after a derived instance is built. *)
+  let derived =
+    Generators.with_arrival (Arrival.Random_order { seed = 3 }) inst
+  in
+  check_bool "with_arrival leaves the source instance unchanged" true
+    (inst.Instance.requests = before);
+  check_bool "derived instance has its own array" true
+    (derived.Instance.requests != inst.Instance.requests)
+
+let big_requests n =
+  Array.init n (fun i ->
+      Request.make ~site:i ~demand:(Cset.singleton ~n_commodities:2 (i mod 2)))
+
+let prop_ro_permutation =
+  QCheck.Test.make ~name:"random-order is a seed-deterministic permutation"
+    ~count:100 QCheck.small_int (fun s ->
+      let reqs = big_requests 20 in
+      let apply seed =
+        Arrival.apply
+          (Arrival.Random_order { seed })
+          ~n_sites:20 ~n_commodities:2 reqs
+      in
+      let a = apply s and b = apply s in
+      a = b
+      (* same seed, same permutation *)
+      && sorted_requests a = sorted_requests reqs
+      (* true permutation: multiset-equal to the source *))
+
+let test_ro_distinct_seeds_differ () =
+  (* 20 distinct sites give 20! orders; ten deterministic seeds must land
+     on ten pairwise-distinct permutations (fixed seeds, no flakiness). *)
+  let reqs = big_requests 20 in
+  let perms =
+    List.init 10 (fun seed ->
+        Arrival.apply
+          (Arrival.Random_order { seed })
+          ~n_sites:20 ~n_commodities:2 reqs)
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            check_bool (Printf.sprintf "seeds %d vs %d differ" i j) true
+              (a <> b))
+        perms)
+    perms
+
+let test_arrival_string_codec () =
+  let cases =
+    arrival_cases
+    @ [
+        Arrival.Iid
+          {
+            seed = 123456789;
+            n_requests = 40;
+            demand = Demand.Bernoulli { p = 0.375 };
+          };
+        Arrival.Iid
+          {
+            seed = 1;
+            n_requests = 3;
+            demand = Demand.Zipf_bundle { zipf_s = 1.5; max_size = 2 };
+          };
+        Arrival.Iid
+          {
+            seed = 2;
+            n_requests = 6;
+            demand =
+              Demand.Profile
+                {
+                  profiles =
+                    [|
+                      Cset.of_list ~n_commodities:4 [ 0; 2 ];
+                      Cset.of_list ~n_commodities:4 [ 1; 2; 3 ];
+                    |];
+                  keep_p = 0.75;
+                };
+          };
+      ]
+  in
+  List.iter
+    (fun a ->
+      let s = Arrival.to_string a in
+      check_bool (s ^ " round-trips") true
+        (Arrival.of_string ~n_commodities:4 s = a))
+    cases;
+  Alcotest.check_raises "malformed spec"
+    (Failure "Arrival.of_string: malformed \"bogus 1\"") (fun () ->
+      ignore (Arrival.of_string ~n_commodities:4 "bogus 1"))
+
+let test_arrival_serial_round_trip () =
+  (* A non-adversarial instance keeps both its materialized order and its
+     arrival provenance across save/load. *)
+  List.iter
+    (fun arrival ->
+      let inst = Generators.with_arrival arrival (mk_instance ()) in
+      let back = Serial.round_trip inst in
+      check_bool "arrival preserved" true (back.Instance.arrival = arrival);
+      check_bool "materialized order preserved" true
+        (back.Instance.requests = inst.Instance.requests))
+    arrival_cases;
+  (* Adversarial instances serialize without an arrival line — the file
+     is byte-compatible with the pre-arrival format. *)
+  let tmp = Filename.temp_file "omflp-arrival" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Serial.save_file tmp (mk_instance ());
+      let contents = In_channel.with_open_text tmp In_channel.input_all in
+      check_bool "no arrival line for the default model" false
+        (List.exists
+           (fun l -> String.length l >= 8 && String.sub l 0 8 = "arrival ")
+           (String.split_on_char '\n' contents)))
+
+(* ---------- Statistical validation of the i.i.d. sampler ----------
+
+   Same discipline as the RAND coin-flip tests: fixed seeds make every
+   run identical, and acceptance bands are wide (5-6 sigma, or the
+   p = 0.001 chi-square critical value), so a pass is stable and a fail
+   means the sampler is really broken. *)
+
+let chi_square ~expected observed =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) in
+      let d = float_of_int o -. e in
+      acc := !acc +. ((d *. d) /. e))
+    observed;
+  !acc
+
+let test_stat_singletons_zipf () =
+  (* Singletons with zipf_s = 1: P(commodity k) = (1/(k+1)) / H_4.
+     Chi-square over 4 cells, df = 3, critical value 16.27 at p=0.001. *)
+  let n = 20_000 and k = 4 in
+  let rng = Splitmix.of_int 51 in
+  let counts = Array.make k 0 in
+  for _ = 1 to n do
+    let d =
+      Demand.sample rng ~n_commodities:k (Demand.Singletons { zipf_s = 1.0 })
+    in
+    Cset.iter (fun e -> counts.(e) <- counts.(e) + 1) d
+  done;
+  let h4 = 1.0 +. (1.0 /. 2.0) +. (1.0 /. 3.0) +. (1.0 /. 4.0) in
+  let expected =
+    Array.init k (fun i -> float_of_int n /. (float_of_int (i + 1) *. h4))
+  in
+  let x2 = chi_square ~expected counts in
+  check_bool (Printf.sprintf "chi-square %.2f < 16.27" x2) true (x2 < 16.27)
+
+let test_stat_bernoulli_marginal () =
+  (* Bernoulli p=1/2 over 4 commodities, resampled until non-empty: the
+     conditional marginal is p / (1 - (1-p)^4) = 8/15. 20000 draws,
+     sigma = sqrt(q(1-q)/n) ~ 0.0035; +-5 sigma band. *)
+  let n = 20_000 and k = 4 in
+  let rng = Splitmix.of_int 52 in
+  let counts = Array.make k 0 in
+  for _ = 1 to n do
+    let d = Demand.sample rng ~n_commodities:k (Demand.Bernoulli { p = 0.5 }) in
+    Cset.iter (fun e -> counts.(e) <- counts.(e) + 1) d
+  done;
+  let q = 0.5 /. (1.0 -. (0.5 ** 4.0)) in
+  let sigma = sqrt (q *. (1.0 -. q) /. float_of_int n) in
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      check_bool
+        (Printf.sprintf "commodity %d freq %.4f within 5 sigma of %.4f" i freq
+           q)
+        true
+        (Float.abs (freq -. q) < 5.0 *. sigma))
+    counts
+
+let test_stat_zipf_bundle () =
+  (* Bundle size is uniform on {1, 2, 3} (the retry guard almost never
+     trips for 6 commodities); members are Zipf-popular, so commodity 0
+     must be requested strictly more often than commodity 5. *)
+  let n = 20_000 and k = 6 in
+  let rng = Splitmix.of_int 53 in
+  let size_counts = Array.make 3 0 in
+  let member_counts = Array.make k 0 in
+  for _ = 1 to n do
+    let d =
+      Demand.sample rng ~n_commodities:k
+        (Demand.Zipf_bundle { zipf_s = 1.0; max_size = 3 })
+    in
+    let c = Cset.cardinal d in
+    check_bool "cardinality in [1,3]" true (c >= 1 && c <= 3);
+    size_counts.(c - 1) <- size_counts.(c - 1) + 1;
+    Cset.iter (fun e -> member_counts.(e) <- member_counts.(e) + 1) d
+  done;
+  let third = 1.0 /. 3.0 in
+  let sigma = sqrt (third *. (1.0 -. third) /. float_of_int n) in
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      check_bool
+        (Printf.sprintf "size %d freq %.4f within 6 sigma of 1/3" (i + 1) freq)
+        true
+        (Float.abs (freq -. third) < 6.0 *. sigma))
+    size_counts;
+  check_bool "zipf head beats tail" true
+    (member_counts.(0) > member_counts.(k - 1))
+
+let test_stat_iid_sites_uniform () =
+  (* I.i.d. arrival draws request sites uniformly over the metric:
+     chi-square over 6 sites, df = 5, critical value 20.52 at p=0.001. *)
+  let n_sites = 6 and n = 18_000 in
+  let out =
+    Arrival.apply
+      (Arrival.Iid
+         {
+           seed = 54;
+           n_requests = n;
+           demand = Demand.Singletons { zipf_s = 1.0 };
+         })
+      ~n_sites ~n_commodities:2 [||]
+  in
+  check_int "draws n_requests" n (Array.length out);
+  let counts = Array.make n_sites 0 in
+  Array.iter (fun (r : Request.t) -> counts.(r.site) <- counts.(r.site) + 1) out;
+  let expected =
+    Array.make n_sites (float_of_int n /. float_of_int n_sites)
+  in
+  let x2 = chi_square ~expected counts in
+  check_bool (Printf.sprintf "chi-square %.2f < 20.52" x2) true (x2 < 20.52)
+
 let test_stats_basic () =
   let inst = mk_instance () in
   let s = Instance_stats.compute inst in
@@ -441,6 +702,28 @@ let () =
           QCheck_alcotest.to_alcotest prop_serial_round_trip_structural;
           QCheck_alcotest.to_alcotest prop_serial_round_trip_runs_identically;
           QCheck_alcotest.to_alcotest prop_serial_fuzz_never_crashes;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "apply is pure" `Quick test_arrival_apply_pure;
+          Alcotest.test_case "distinct seeds distinct permutations" `Quick
+            test_ro_distinct_seeds_differ;
+          Alcotest.test_case "string codec round trip" `Quick
+            test_arrival_string_codec;
+          Alcotest.test_case "serial round trip" `Quick
+            test_arrival_serial_round_trip;
+          QCheck_alcotest.to_alcotest prop_ro_permutation;
+        ] );
+      ( "iid statistics",
+        [
+          Alcotest.test_case "singletons zipf chi-square (statistical)" `Slow
+            test_stat_singletons_zipf;
+          Alcotest.test_case "bernoulli conditional marginal (statistical)"
+            `Slow test_stat_bernoulli_marginal;
+          Alcotest.test_case "zipf-bundle size & popularity (statistical)"
+            `Slow test_stat_zipf_bundle;
+          Alcotest.test_case "iid site uniformity (statistical)" `Slow
+            test_stat_iid_sites_uniform;
         ] );
       ( "stats",
         [

@@ -20,7 +20,7 @@ let contains ~sub s =
   go 0
 
 let scenario index =
-  let sc = Omflp_check.Scenario.generate ~master_seed ~index in
+  let sc = Omflp_check.Scenario.generate ~master_seed ~index () in
   (sc.Omflp_check.Scenario.instance, sc.Omflp_check.Scenario.algo_seed)
 
 let load_golden () =
@@ -47,6 +47,20 @@ let load_golden () =
    pinned to test/golden/run_digests.txt. *)
 let test_kill_at_every_step () =
   let golden = load_golden () in
+  (* The covered scenarios must span the arrival axis: index 1 is a
+     random-order stream and 0/2 are i.i.d. at the pinned master seed
+     (index 5 adds a multi-site random-order one). Checkpoint/resume has
+     to be order-oblivious, so every model rides the same contract. *)
+  let indices = [ 0; 1; 2; 5 ] in
+  let tags =
+    List.map
+      (fun index ->
+        let inst, _ = scenario index in
+        Arrival.model_tag inst.Instance.arrival)
+      indices
+  in
+  check_bool "covers a random-order stream" true (List.mem "ro" tags);
+  check_bool "covers an i.i.d. stream" true (List.mem "iid" tags);
   List.iter
     (fun index ->
       let inst, seed = scenario index in
@@ -83,7 +97,7 @@ let test_kill_at_every_step () =
                 name index k
           done)
         (Registry.extended ()))
-    [ 0; 1; 2 ]
+    indices
 
 (* ---------- committed snapshot fixtures (codec cross-version) ---------- *)
 

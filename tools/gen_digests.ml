@@ -7,14 +7,14 @@
 
 let master_seed = 0xD16E57
 
-let n_scenarios = 24
+let n_scenarios = 30
 
 let () =
   Printf.printf "# run digests: master_seed=%#x scenarios=%d\n" master_seed
     n_scenarios;
   Printf.printf "# regenerate: dune exec tools/gen_digests.exe > test/golden/run_digests.txt\n";
   for index = 0 to n_scenarios - 1 do
-    let scenario = Omflp_check.Scenario.generate ~master_seed ~index in
+    let scenario = Omflp_check.Scenario.generate ~master_seed ~index () in
     List.iter
       (fun (name, algo) ->
         let run =

@@ -15,7 +15,7 @@ let master_seed = 0xD16E57
 let () =
   let dir = Filename.concat "test" (Filename.concat "golden" "snapshot_v2") in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let sc = Omflp_check.Scenario.generate ~master_seed ~index:0 in
+  let sc = Omflp_check.Scenario.generate ~master_seed ~index:0 () in
   let inst = sc.Omflp_check.Scenario.instance in
   let seed = sc.Omflp_check.Scenario.algo_seed in
   let cut = min 5 (Instance.n_requests inst) in
