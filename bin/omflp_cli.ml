@@ -68,6 +68,35 @@ let family_arg =
     & info [ "family" ]
         ~doc:"Instance family: adversary | line | clustered | network | uniform.")
 
+(* Problem-family flag shared by check and bench: validated here so both
+   commands refuse an unknown family with the same message. *)
+let problem_family_of_flag ~flag s =
+  match s with
+  | "all" -> None
+  | s -> (
+      match Omflp_instance.Problem_env.Family.of_string s with
+      | Some f -> Some f
+      | None ->
+          Cli_flags.die
+            (Printf.sprintf
+               "omflp: %s: expected omflp|nonmetric-fl|leasing|all, got %S"
+               flag s))
+
+(* Resolve --algo NAME against the registry and the instance's problem
+   family; both failure modes are usage errors, not internal ones. *)
+let algo_for_instance name inst =
+  match Omflp_core.Registry.find name with
+  | Error e ->
+      Cli_flags.die ("omflp: " ^ Omflp_core.Registry.unknown_algo_message e)
+  | Ok a ->
+      let (module A : Omflp_core.Algo_intf.ALGO) = a in
+      if A.family <> Instance.family inst then
+        Cli_flags.die
+          ("omflp: "
+          ^ Omflp_instance.Problem_env.mismatch_message ~algo:name
+              ~declared:A.family ~got:(Instance.family inst));
+      a
+
 let sites_arg =
   Arg.(value & opt int 12 & info [ "sites" ] ~doc:"Number of metric points.")
 
@@ -102,12 +131,8 @@ let run_cmd =
         let runs =
           if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
           else
-            match Omflp_core.Registry.find algo with
-            | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
-            | None ->
-                invalid_arg
-                  (Printf.sprintf "unknown algorithm %S (available: %s)" algo
-                     (String.concat ", " (Omflp_core.Registry.names ())))
+            let a = algo_for_instance algo inst in
+            [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
         in
         let bracket = Omflp_offline.Opt_estimate.bracket inst in
         Printf.printf "offline bracket: [%.4g, %.4g] (%s / %s)\n" bracket.lower
@@ -184,9 +209,8 @@ let replay_cmd =
         let runs =
           if algo = "all" then Omflp_core.Simulator.run_all ~seed inst
           else
-            match Omflp_core.Registry.find algo with
-            | Some a -> [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
-            | None -> invalid_arg (Printf.sprintf "unknown algorithm %S" algo)
+            let a = algo_for_instance algo inst in
+            [ (algo, Omflp_core.Simulator.run ~seed a inst) ]
         in
         List.iter (fun (_, run) -> Format.printf "%a@." Omflp_core.Run.pp run) runs)
   in
@@ -306,10 +330,22 @@ let check_cmd =
              (in-order/reversed), $(b,random-order), $(b,iid), or \
              $(b,all) (default) to mix the three models.")
   in
-  let action budget seed corpus no_replay no_shrink det_sample arrival jobs
-      metrics trace =
+  let pfamily_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "problem-family" ] ~docv:"FAMILY"
+          ~doc:
+            "Force every fresh scenario into one problem family: \
+             $(b,omflp), $(b,nonmetric-fl), $(b,leasing); $(b,all) \
+             (default) keeps the unforced plain-OMFLP stream. The oracle \
+             checks each instance with the registered algorithms of its \
+             family.")
+  in
+  let action budget seed corpus no_replay no_shrink det_sample arrival pfamily
+      jobs metrics trace =
     Cli_flags.apply_jobs jobs;
     Cli_flags.or_die (Cli_flags.validate_nonneg ~flag:"--budget" budget);
+    let family = problem_family_of_flag ~flag:"--problem-family" pfamily in
     let arrival =
       match arrival with
       | "all" -> None
@@ -329,7 +365,7 @@ let check_cmd =
       with_obs ~metrics ~trace (fun () ->
           Omflp_check.Check_engine.run ~corpus_dir:(Some corpus)
             ~replay:(not no_replay) ~shrink:(not no_shrink)
-            ~determinism_sample:det_sample ?arrival ~budget ~seed ())
+            ~determinism_sample:det_sample ?arrival ?family ~budget ~seed ())
     in
     Printf.printf
       "checked %d scenario(s), replayed %d corpus case(s), determinism x%d: \
@@ -376,8 +412,8 @@ let check_cmd =
           (randomized conformance checking with shrinking and replay).")
     Term.(
       const action $ budget_arg $ seed_arg $ corpus_arg $ no_replay_arg
-      $ no_shrink_arg $ det_arg $ arrival_arg $ jobs_arg $ metrics_arg
-      $ trace_arg)
+      $ no_shrink_arg $ det_arg $ arrival_arg $ pfamily_arg $ jobs_arg
+      $ metrics_arg $ trace_arg)
 
 (* omflp bench — the lib/benchkit harness (tables + E7 + regression gate) *)
 let bench_cmd =
@@ -425,12 +461,23 @@ let bench_cmd =
       & info [ "max-regression" ] ~docv:"PCT"
           ~doc:"Allowed slowdown per benchmark row, in percent.")
   in
-  let action quick tables_only bench_only jobs json baseline max_regression =
+  let pfamily_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Restrict the bechamel rows to one problem family: $(b,omflp) \
+             runs the classic suite, $(b,nonmetric-fl) or $(b,leasing) \
+             only that family's E12 rows, $(b,all) (default) everything.")
+  in
+  let action quick tables_only bench_only jobs json baseline max_regression
+      pfamily =
     Cli_flags.or_die (Cli_flags.validate_jobs jobs);
     if tables_only && bench_only then
       Cli_flags.die (Cli_flags.conflict_error "--tables-only" "--bench-only");
     if max_regression < 0.0 then
       Cli_flags.die "omflp: --max-regression must be >= 0";
+    let family = problem_family_of_flag ~flag:"--family" pfamily in
     exit
       (Omflp_benchkit.Benchkit.run
          {
@@ -441,6 +488,7 @@ let bench_cmd =
            json_path = json;
            baseline_path = baseline;
            max_regression = max_regression /. 100.0;
+           family;
          })
   in
   Cmd.v
@@ -450,7 +498,7 @@ let bench_cmd =
           work counters, and (with --baseline) the perf regression gate.")
     Term.(
       const action $ quick_arg $ tables_only_arg $ bench_only_arg $ jobs_arg
-      $ json_arg $ baseline_arg $ max_regression_arg)
+      $ json_arg $ baseline_arg $ max_regression_arg $ pfamily_arg)
 
 (* omflp selfcheck *)
 let selfcheck_cmd =
@@ -467,9 +515,7 @@ let selfcheck_cmd =
         | Error e -> Printf.printf "%-10s INVALID: %s\n" name e)
       (Omflp_core.Simulator.run_all ~seed inst);
     (* PD-specific theory checks. *)
-    let t =
-      Omflp_core.Pd_omflp.create inst.Instance.metric inst.Instance.cost
-    in
+    let t = Omflp_core.Pd_omflp.create (Instance.env inst) in
     Array.iter
       (fun r -> ignore (Omflp_core.Pd_omflp.step t r))
       inst.Instance.requests;
@@ -585,16 +631,15 @@ let serve_cmd =
         "omflp: --resume is per-session in --listen mode (use the \
          handshake's \"resume\":true instead)";
     let inst = Serial.load_file env in
-    let metric = inst.Instance.metric and cost = inst.Instance.cost in
+    let penv = Instance.env inst in
     let n_sites = Instance.n_sites inst in
     let n_commodities = Instance.n_commodities inst in
     let algo_m =
       match Omflp_core.Registry.find algo with
-      | Some a -> a
-      | None ->
+      | Ok a -> a
+      | Error e ->
           Cli_flags.die
-            (Printf.sprintf "omflp: unknown algorithm %S (available: %s)" algo
-               (String.concat ", " (Omflp_core.Registry.names ())))
+            ("omflp: " ^ Omflp_core.Registry.unknown_algo_message e)
     in
     let (module A : Omflp_core.Algo_intf.ALGO) = algo_m in
     let instance_md5 = Digest.to_hex (Digest.file env) in
@@ -624,14 +669,14 @@ let serve_cmd =
       with_obs ~metrics ~trace (fun () ->
         let session, skip, reemit =
           match checkpoint with
-          | None -> (Serve.Session.create ~algo:algo_m ~seed metric cost, 0, [])
+          | None -> (Serve.Session.create ~algo:algo_m ~seed penv, 0, [])
           | Some dir ->
               if resume then begin
                 let rz =
                   Serve.Checkpoint.open_resume ~dir ~n_sites ~n_commodities
                     ~instance_md5
                 in
-                let s, lost = Serve.Session.resume ~algo:algo_m rz metric cost in
+                let s, lost = Serve.Session.resume ~algo:algo_m rz penv in
                 (s, Serve.Session.count s, lost)
               end
               else begin
@@ -639,8 +684,7 @@ let serve_cmd =
                   Serve.Checkpoint.create ~dir ~algo:A.name ~seed:(Some seed)
                     ~instance_md5 ~snapshot_every
                 in
-                ( Serve.Session.create ~algo:algo_m ~seed ~checkpoint:cp metric
-                    cost,
+                ( Serve.Session.create ~algo:algo_m ~seed ~checkpoint:cp penv,
                   0,
                   [] )
               end

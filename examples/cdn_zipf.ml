@@ -44,7 +44,7 @@ let () =
 
   (* Certified lower bounds: the PD dual (Corollary 17 + weak duality) on
      the whole instance, and the LP relaxation on a small prefix. *)
-  let t = Pd_omflp.create inst.Instance.metric inst.Instance.cost in
+  let t = Pd_omflp.create (Instance.env inst) in
   Array.iter (fun r -> ignore (Pd_omflp.step t r)) inst.Instance.requests;
   Format.printf "PD dual lower bound on OPT: %.2f@." (Dual_checker.dual_lower_bound t);
   let prefix = Instance.truncate inst 6 in

@@ -44,7 +44,7 @@ let () =
     (Run.total_cost run /. bracket.Omflp_offline.Opt_estimate.upper);
 
   (* The theory checks of Section 3.2, executable: *)
-  let t = Pd_omflp.create metric cost in
+  let t = Pd_omflp.create (Problem_env.omflp metric cost) in
   Array.iter (fun r -> ignore (Pd_omflp.step t r)) requests;
   (match Dual_checker.corollary8 t with
   | Ok () -> Format.printf "Corollary 8  (cost <= 3 * duals): ok@."

@@ -19,6 +19,9 @@ type config = {
   json_path : string option;
   baseline_path : string option;
   max_regression : float;
+  family : Problem_env.Family.t option;
+      (* restrict the bechamel rows to one problem family; [None] runs
+         everything *)
 }
 
 let default_max_regression = 0.25
@@ -32,6 +35,7 @@ let default_config =
     json_path = None;
     baseline_path = None;
     max_regression = default_max_regression;
+    family = None;
   }
 
 (* ---------- Part 1: experiment tables (one per paper artifact) ---------- *)
@@ -56,7 +60,7 @@ let bench_instance ~n_sites ~n_requests ~n_commodities =
       Omflp_commodity.Cost_function.power_law ~n_commodities ~n_sites ~x:1.0)
 
 let full_run (module A : Omflp_core.Algo_intf.ALGO) inst () =
-  let t = A.create ~seed:17 inst.Instance.metric inst.Instance.cost in
+  let t = A.create ~seed:17 (Instance.env inst) in
   ignore (A.step_batch t inst.Instance.requests);
   Omflp_core.Run.total_cost (A.run_so_far t)
 
@@ -76,10 +80,7 @@ let serve_full_run inst () =
   let algo =
     (module Omflp_core.Pd_omflp_fast : Omflp_core.Algo_intf.ALGO)
   in
-  let s =
-    Omflp_serve.Session.create ~algo ~seed:17 inst.Instance.metric
-      inst.Instance.cost
-  in
+  let s = Omflp_serve.Session.create ~algo ~seed:17 (Instance.env inst) in
   let reqs = inst.Instance.requests in
   let n = Array.length reqs in
   let i = ref 0 in
@@ -229,6 +230,48 @@ let site_sweep_benches ~quick () =
         (Staged.stage (full_run (module Omflp_core.Pd_omflp) inst)))
     (if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ])
 
+(* Family rows: every registered algorithm of the non-OMFLP families on
+   the clustered workload with family data bolted on — non-metric gets an
+   asymmetric perturbation of the metric, leasing a three-type menu. *)
+let family_instances () =
+  let base = bench_instance ~n_sites:12 ~n_requests:40 ~n_commodities:6 in
+  let nonmetric =
+    let n = Instance.n_sites base in
+    let rng = Splitmix.of_int 0xfa01 in
+    let conn =
+      Array.init n (fun m ->
+          Array.init n (fun s ->
+              let scale = Sampler.uniform_float rng ~lo:0.25 ~hi:4.0 in
+              (scale
+              *. Omflp_metric.Finite_metric.dist base.Instance.metric m s)
+              +. Sampler.uniform_float rng ~lo:0.0 ~hi:0.5))
+    in
+    Instance.with_ext base (Problem_env.Nonmetric { conn })
+  in
+  let leasing =
+    Instance.with_ext base
+      (Problem_env.Leasing
+         { durations = [| 1; 4; 16 |]; factors = [| 1.0; 2.5; 6.0 |] })
+  in
+  [ nonmetric; leasing ]
+
+let family_benches ?only () =
+  List.concat_map
+    (fun inst ->
+      let fam = Instance.family inst in
+      if only <> None && only <> Some fam then []
+      else
+        List.map
+          (fun (name, algo) ->
+            Test.make
+              ~name:
+                (Printf.sprintf "E12/family-%s %s (n=40)"
+                   (Problem_env.Family.to_string fam)
+                   name)
+              (Staged.stage (full_run algo inst)))
+          (Omflp_core.Registry.of_family fam))
+    (family_instances ())
+
 let offline_benches () =
   let inst = bench_instance ~n_sites:12 ~n_requests:30 ~n_commodities:6 in
   [
@@ -238,7 +281,7 @@ let offline_benches () =
 
 (* Runs the bechamel suite and returns [(name, ns_per_run option)] rows
    sorted by benchmark name, for both the printed table and BENCH.json. *)
-let run_benchmarks ~quick () =
+let run_benchmarks ?family ~quick () =
   print_endline "";
   print_endline "====================================================";
   print_endline " E7: Bechamel microbenchmarks (ns per full run)";
@@ -253,11 +296,21 @@ let run_benchmarks ~quick () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let tests =
-    table_kernels () @ algo_benches ()
-    @ scaling_benches ~quick ()
-    @ commodity_sweep_benches ~quick ()
-    @ site_sweep_benches ~quick ()
-    @ offline_benches () @ serve_benches ()
+    match family with
+    | Some Problem_env.Family.Omflp ->
+        table_kernels () @ algo_benches ()
+        @ scaling_benches ~quick ()
+        @ commodity_sweep_benches ~quick ()
+        @ site_sweep_benches ~quick ()
+        @ offline_benches () @ serve_benches ()
+    | Some fam -> family_benches ~only:fam ()
+    | None ->
+        table_kernels () @ algo_benches ()
+        @ scaling_benches ~quick ()
+        @ commodity_sweep_benches ~quick ()
+        @ site_sweep_benches ~quick ()
+        @ offline_benches () @ serve_benches ()
+        @ family_benches ()
   in
   let table = Texttable.create [ "benchmark"; "ns/run"; "ms/run" ] in
   (* Collect every OLS estimate first and sort by benchmark name:
@@ -692,7 +745,9 @@ let run config =
     0
   end
   else begin
-    let bench_rows = run_benchmarks ~quick:config.quick () in
+    let bench_rows =
+      run_benchmarks ?family:config.family ~quick:config.quick ()
+    in
     let counter_rows = run_work_counters ~quick:config.quick () in
     let alloc_rows = run_allocations () in
     Option.iter

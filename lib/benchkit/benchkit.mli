@@ -13,6 +13,10 @@ type config = {
       (** gate ns/run rows against this [omflp.bench.v1] file *)
   max_regression : float;
       (** allowed slowdown per row as a fraction (0.25 = +25%) *)
+  family : Omflp_instance.Problem_env.Family.t option;
+      (** restrict the bechamel rows to one problem family: [omflp] runs
+          the classic suite, another family runs only its E12 rows;
+          [None] runs everything *)
 }
 
 val default_max_regression : float
@@ -30,8 +34,13 @@ val run : config -> int
 val run_tables : quick:bool -> unit -> unit
 
 (** [(name, ns_per_run)] rows sorted by name; [None] when Bechamel
-    produced no estimate. *)
-val run_benchmarks : quick:bool -> unit -> (string * float option) list
+    produced no estimate. [family] restricts the test list as in
+    {!config}. *)
+val run_benchmarks :
+  ?family:Omflp_instance.Problem_env.Family.t ->
+  quick:bool ->
+  unit ->
+  (string * float option) list
 
 val run_work_counters : quick:bool -> unit -> (string * string * int) list
 

@@ -23,7 +23,7 @@ let m_replays = Metrics.counter "check.replays"
 
 let m_findings = Metrics.counter "check.findings"
 
-let replay_pass ~algos ~seed entries =
+let replay_pass ?algos ~seed entries =
   List.concat_map
     (fun (path, entry) ->
       Metrics.incr m_replays;
@@ -49,14 +49,24 @@ let replay_pass ~algos ~seed entries =
                 shrink_steps = 0;
                 replay_path = Some path;
               })
-            (Oracle.check_instance ~algos ~seed inst))
+            (Oracle.check_instance ?algos ~seed inst))
     entries
 
-let run ?pool ?(algos = Oracle.default_algos ())
-    ?(corpus_dir = Some Corpus.default_dir) ?(replay = true) ?(shrink = true)
-    ?(determinism_sample = 4) ?arrival ~budget ~seed () =
+let run ?pool ?algos ?(corpus_dir = Some Corpus.default_dir) ?(replay = true)
+    ?(shrink = true) ?(determinism_sample = 4) ?arrival ?family ~budget ~seed
+    () =
   if budget < 0 then invalid_arg "Check_engine.run: negative budget";
-  let generate index = Scenario.generate ?arrival ~master_seed:seed ~index () in
+  let generate index =
+    Scenario.generate ?arrival ?family ~master_seed:seed ~index ()
+  in
+  (* With no explicit pool the oracle family-filters per instance; the
+     determinism cross-check mirrors that so both passes exercise the
+     same algorithm set. *)
+  let algos_for inst =
+    match algos with
+    | Some l -> l
+    | None -> Omflp_core.Registry.of_family (Instance.family inst)
+  in
   let pool = match pool with Some p -> p | None -> Pool.default () in
   (* 1. Replay the corpus (serial: corpora are small and findings should
      print in a stable order). *)
@@ -65,7 +75,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
     | Some dir when replay -> Corpus.load_all ~dir
     | _ -> []
   in
-  let replay_findings = replay_pass ~algos ~seed corpus_entries in
+  let replay_findings = replay_pass ?algos ~seed corpus_entries in
   (* 2. Fresh scenarios, fanned out over the pool. Each task is a pure
      function of (seed, index); metrics shards are domain-safe. *)
   let results =
@@ -73,7 +83,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
       (fun index ->
         Metrics.incr m_scenarios;
         let sc = generate index in
-        (sc, Oracle.check_instance ~algos ~seed:sc.Scenario.algo_seed
+        (sc, Oracle.check_instance ?algos ~seed:sc.Scenario.algo_seed
                sc.Scenario.instance))
       (Array.init budget Fun.id)
   in
@@ -93,7 +103,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
                     List.exists
                       (fun (v' : Oracle.violation) ->
                         v'.check = v.check && v'.algo = v.algo)
-                      (Oracle.check_instance ~algos ~seed:sc.algo_seed cand))
+                      (Oracle.check_instance ?algos ~seed:sc.algo_seed cand))
                   sc.instance
             in
             let replay_path =
@@ -103,11 +113,16 @@ let run ?pool ?(algos = Oracle.default_algos ())
                      replay of this entry re-runs the exact materialized
                      order (the .inst file also carries the arrival
                      line). *)
+                  let family_tag =
+                    match Instance.family sc.instance with
+                    | Problem_env.Family.Omflp -> ""
+                    | f -> "-" ^ Problem_env.Family.to_string f
+                  in
                   Corpus.save ~dir
                     ~slug:
-                      (Printf.sprintf "case-%s-%s-%s-s%d-i%d" v.check v.algo
+                      (Printf.sprintf "case-%s-%s-%s%s-s%d-i%d" v.check v.algo
                          (Arrival.model_tag sc.instance.Instance.arrival)
-                         seed sc.index)
+                         family_tag seed sc.index)
                     shrunk)
                 corpus_dir
             in
@@ -139,7 +154,7 @@ let run ?pool ?(algos = Oracle.default_algos ())
                with
                | run -> Oracle.run_digest run
                | exception e -> name ^ " raised " ^ Printexc.to_string e)
-             algos)
+             (algos_for sc.Scenario.instance))
       in
       let indices = Array.init det_n Fun.id in
       let base = Pool.map pool digest_of indices in

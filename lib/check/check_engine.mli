@@ -49,7 +49,10 @@ type report = {
     controls minimization. [determinism_sample] (default 4) bounds the
     alternate-pool cross-check; [0] disables it. [arrival] restricts the
     scenario stream's arrival axis to one model ({!Scenario.forced});
-    omitted, scenarios mix all three. Corpus slugs embed the model tag
+    omitted, scenarios mix all three. [family] forces every fresh
+    scenario into one problem family ({!Scenario.generate}); omitted,
+    scenarios are plain OMFLP. [algos] defaults to every registered
+    algorithm of each instance's family. Corpus slugs embed the model tag
     ([adv]/[ro]/[iid]) and saved instances carry their arrival line, so
     replays reproduce the exact request order. *)
 val run :
@@ -60,6 +63,7 @@ val run :
   ?shrink:bool ->
   ?determinism_sample:int ->
   ?arrival:Scenario.forced ->
+  ?family:Omflp_instance.Problem_env.Family.t ->
   budget:int ->
   seed:int ->
   unit ->

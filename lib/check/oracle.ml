@@ -43,9 +43,10 @@ let run_digest run = digest ~with_name:true ~with_floats:true run
 
 let decision_digest run = digest ~with_name:false ~with_floats:false run
 
-let check_instance ?(algos = default_algos ()) ?(seed = 0)
-    (inst : Instance.t) =
+let check_instance ?algos ?(seed = 0) (inst : Instance.t) =
   Metrics.incr m_instances;
+  let fam = Instance.family inst in
+  let env = Instance.env inst in
   let out = ref [] in
   let violation check algo fmt =
     Printf.ksprintf
@@ -55,6 +56,24 @@ let check_instance ?(algos = default_algos ()) ?(seed = 0)
       fmt
   in
   let checked () = Metrics.incr m_checks in
+  (* Family dispatch: the default pool is every registered algorithm of
+     the instance's family; an explicitly requested algorithm of another
+     family is a named finding, never a mid-run crash. *)
+  let algos =
+    match algos with
+    | None -> Registry.of_family fam
+    | Some l ->
+        List.filter
+          (fun (name, algo) ->
+            let (module A : Algo_intf.ALGO) = algo in
+            A.family = fam
+            ||
+            (violation "family-mismatch" name "%s"
+               (Problem_env.mismatch_message ~algo:name ~declared:A.family
+                  ~got:fam);
+             false))
+          l
+  in
   (* Every algorithm run is guarded: a raise is itself a reportable
      (and shrinkable) finding, not an oracle crash. *)
   let safe_run name algo =
@@ -111,14 +130,12 @@ let check_instance ?(algos = default_algos ()) ?(seed = 0)
           let (module A : Algo_intf.ALGO) = algo in
           let cut = Instance.n_requests inst / 2 in
           (match
-             let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+             let t = A.create ~seed env in
              Array.iteri
                (fun i r -> if i < cut then ignore (A.step t r))
                inst.Instance.requests;
              let blob = A.snapshot t in
-             let t' =
-               A.restore inst.Instance.metric inst.Instance.cost blob
-             in
+             let t' = A.restore env blob in
              Array.iteri
                (fun i r -> if i >= cut then ignore (A.step t' r))
                inst.Instance.requests;
@@ -135,9 +152,12 @@ let check_instance ?(algos = default_algos ()) ?(seed = 0)
                 cut (Printexc.to_string e)))
     algos;
   (* PD-OMFLP theory checks: replay the deterministic primal-dual run and
-     test the paper's inequalities on its duals. *)
+     test the paper's inequalities on its duals. The paper's analysis is
+     for the metric OMFLP family only, so both the dual replay and the
+     FAST-equivalence differential are gated on it. *)
+  if fam = Problem_env.Family.Omflp then begin
   (try
-     let t = Pd_omflp.create ~seed inst.Instance.metric inst.Instance.cost in
+     let t = Pd_omflp.create ~seed env in
      Array.iter (fun r -> ignore (Pd_omflp.step t r)) inst.Instance.requests;
      checked ();
      (match Dual_checker.corollary8 t with
@@ -196,5 +216,6 @@ let check_instance ?(algos = default_algos ()) ?(seed = 0)
         violation "fast-equiv" Pd_omflp_fast.name
           "same decisions but cost %.17g differs from %.17g"
           (Run.total_cost fast) (Run.total_cost slow)
-  | _ -> ());
+  | _ -> ())
+  end;
   List.rev !out

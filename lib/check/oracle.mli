@@ -26,8 +26,12 @@
       crash/resume path in miniature.
 
     Violations are reported, never raised — an algorithm exception
-    becomes a ["run"] violation — so the checker composes with shrinking
-    and budgeted fan-out. Findings are counted through [Omflp_obs]
+    becomes a ["run"] violation, and an explicitly-passed algorithm whose
+    declared {!Omflp_core.Algo_intf.ALGO.family} differs from the
+    instance's environment becomes a ["family-mismatch"] violation and is
+    skipped (defaulted algorithm lists are already family-filtered via
+    {!Omflp_core.Registry.of_family}) — so the checker composes with
+    shrinking and budgeted fan-out. Findings are counted through [Omflp_obs]
     ([check.instances], [check.checks], [check.violations]). *)
 
 type violation = {

@@ -62,7 +62,15 @@ let forced_of_string = function
   | "iid" -> Some `Iid
   | _ -> None
 
-let generate ?arrival:forced ~master_seed ~index () =
+(* Lease menus for forced leasing scenarios: (durations, factors). *)
+let lease_menus =
+  [|
+    ([| 1; 4; 16 |], [| 1.0; 2.5; 6.0 |]);
+    ([| 2; 8; 32 |], [| 1.5; 3.5; 8.0 |]);
+    ([| 1; 2; 4; 8 |], [| 1.0; 1.8; 3.2; 5.5 |]);
+  |]
+
+let generate ?arrival:forced ?family:forced_family ~master_seed ~index () =
   let rng = scenario_rng ~master_seed ~index in
   let cost_label, cost = cost_family rng in
   (* Multi-site universes stop at 4 commodities: the oracle's certified
@@ -164,17 +172,62 @@ let generate ?arrival:forced ~master_seed ~index () =
           a,
           Arrival.apply a ~n_sites ~n_commodities inst.Instance.requests )
   in
+  let algo_seed = Splitmix.int rng 1_000_000 in
+  (* Problem-family axis. These draws come strictly after every draw the
+     plain-OMFLP stream consumes (algo_seed is the historical last draw),
+     and the unforced stream never applies them — so golden pins of the
+     unforced scenarios stay byte-identical and a [?family] forcing
+     reuses the same underlying instance with family data bolted on. *)
+  let conn_rng = Splitmix.split rng in
+  let menu_pick = Splitmix.int rng (Array.length lease_menus) in
+  let family_tag, ext =
+    match forced_family with
+    | None | Some Problem_env.Family.Omflp -> ("", Problem_env.Omflp_ext)
+    | Some Problem_env.Family.Nonmetric_fl ->
+        let n = Instance.n_sites inst in
+        let conn =
+          (* Asymmetric per-cell perturbation of the metric — breaks the
+             triangle inequality and symmetry while keeping magnitudes
+             comparable to the OMFLP workload's distances. *)
+          Array.init n (fun m ->
+              Array.init n (fun s ->
+                  let scale = Sampler.uniform_float conn_rng ~lo:0.25 ~hi:4.0 in
+                  let base = Omflp_metric.Finite_metric.dist inst.Instance.metric m s in
+                  (scale *. base) +. Sampler.uniform_float conn_rng ~lo:0.0 ~hi:0.5))
+        in
+        (" family=nonmetric-fl", Problem_env.Nonmetric { conn })
+    | Some Problem_env.Family.Multi_facility_leasing ->
+        let durations, factors = lease_menus.(menu_pick) in
+        ( Printf.sprintf " family=leasing(menu %d)" menu_pick,
+          Problem_env.Leasing { durations; factors } )
+  in
   let label =
-    Printf.sprintf "chk s%d i%d: %s cost=%s order=%s (%d sites, %d reqs, %d comm)"
+    Printf.sprintf
+      "chk s%d i%d: %s cost=%s order=%s (%d sites, %d reqs, %d comm)%s"
       master_seed index family cost_label order
       (Instance.n_sites inst) (Array.length requests)
-      (Instance.n_commodities inst)
+      (Instance.n_commodities inst) family_tag
   in
   let instance =
     let base =
-      Instance.make ~name:label ~metric:inst.Instance.metric
-        ~cost:inst.Instance.cost ~requests
+      Instance.with_ext
+        (Instance.make ~name:label ~metric:inst.Instance.metric
+           ~cost:inst.Instance.cost ~requests)
+        ext
     in
     { base with Instance.arrival }
   in
-  { index; label; instance; algo_seed = Splitmix.int rng 1_000_000 }
+  { index; label; instance; algo_seed }
+
+(* Golden-pin convention shared by tools/gen_digests,
+   tools/gen_snapshot_fixtures, and the tests: indices 0–29 are the
+   historical unforced (plain OMFLP) stream, 30–32 force the non-metric
+   family, 33–35 force leasing; anything beyond is unforced again. *)
+let golden_family ~index =
+  if index < 30 then None
+  else if index < 33 then Some Problem_env.Family.Nonmetric_fl
+  else if index < 36 then Some Problem_env.Family.Multi_facility_leasing
+  else None
+
+let golden ~master_seed ~index =
+  generate ?family:(golden_family ~index) ~master_seed ~index ()

@@ -39,4 +39,25 @@ val forced_of_string : string -> forced option
     underlying instance family, sizes, and [algo_seed] of a given
     [(master_seed, index)] are identical across forcings because every
     RNG draw is consumed unconditionally. *)
-val generate : ?arrival:forced -> master_seed:int -> index:int -> unit -> t
+val generate :
+  ?arrival:forced ->
+  ?family:Omflp_instance.Problem_env.Family.t ->
+  master_seed:int ->
+  index:int ->
+  unit ->
+  t
+
+(** [generate ?family ...] additionally forces a problem family: the
+    same underlying instance as the unforced draw of [(master_seed,
+    index)] with family data (non-metric connection matrix or lease
+    menu) bolted on — all family draws are consumed after every
+    plain-OMFLP draw, so unforced scenarios are unchanged. *)
+
+(** [golden_family ~index] is the golden-pin convention: indices 0–29
+    unforced (plain OMFLP), 30–32 non-metric, 33–35 leasing, beyond
+    unforced. *)
+val golden_family :
+  index:int -> Omflp_instance.Problem_env.Family.t option
+
+(** [golden ~master_seed ~index] draws with {!golden_family} applied. *)
+val golden : master_seed:int -> index:int -> t

@@ -23,7 +23,7 @@ let zoom_line ?(batch_base = 2) ?(facility_cost = 1.0) ?(n_commodities = 1)
   let cost =
     Cost_function.constant ~n_commodities ~n_sites:n_points ~cost:facility_cost
   in
-  let t = A.create ?seed metric cost in
+  let t = A.create ?seed (Problem_env.omflp metric cost) in
   let demand = Cset.singleton ~n_commodities 0 in
   let requests_rev = ref [] in
   let send site =

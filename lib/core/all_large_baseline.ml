@@ -20,14 +20,16 @@ type t = {
 }
 
 let name = "ALL-LARGE"
+let family = Problem_env.Family.Omflp
 
-let create ?seed:_ metric cost =
+let create ?seed:_ env =
+  let metric, cost = Problem_env.require_omflp ~algo:name env in
   let n_sites = Finite_metric.size metric in
   {
     metric;
     cost;
     store =
-      Facility_store.create metric
+      Facility_store.create env
         ~n_commodities:(Cost_function.n_commodities cost);
     f4 = Array.init n_sites (fun m -> Cost_function.full_cost cost m);
     bids = Array.make n_sites 0.0;
@@ -97,17 +99,17 @@ let snapshot t =
       Facility_store.write_persisted b (Facility_store.persist t.store);
       Snapshot_codec.w_int b t.n_requests)
 
-let restore metric cost blob =
+let restore env blob =
   Snapshot_codec.decode ~tag:snapshot_tag
     (fun r ->
       let z_past = Snapshot_codec.r_list r_past r in
       let z_store = Facility_store.read_persisted r in
       let n_requests = Snapshot_codec.r_int r in
-      let t = create metric cost in
+      let t = create env in
       {
         t with
         past = z_past;
-        store = Facility_store.of_persisted metric z_store;
+        store = Facility_store.of_persisted env z_store;
         n_requests;
       })
     blob

@@ -5,7 +5,8 @@ open Omflp_metric
    is a flat growable array (doubling push) rather than a hashtable, and
    services append to a flat array the same way. *)
 type t = {
-  metric : Finite_metric.t;
+  env : Omflp_instance.Problem_env.t;
+  metric : Finite_metric.t; (* = Problem_env.metric env, cached for hot loops *)
   n_commodities : int;
   mutable fac : Facility.t array; (* slots 0..count-1 valid, opening order *)
   mutable count : int;
@@ -16,9 +17,11 @@ type t = {
   mutable assignment : float;
 }
 
-let create metric ~n_commodities =
+let create env ~n_commodities =
+  let metric = Omflp_instance.Problem_env.metric env in
   let n_sites = Finite_metric.size metric in
   {
+    env;
     metric;
     n_commodities;
     fac = [||];
@@ -30,6 +33,7 @@ let create metric ~n_commodities =
     assignment = 0.0;
   }
 
+let env t = t.env
 let metric t = t.metric
 let n_commodities t = t.n_commodities
 let index t = t.index
@@ -93,7 +97,7 @@ let nearest_large t ~from =
 let record_service t ~request_site service =
   let facility_site id = t.fac.(id).Facility.site in
   let c =
-    Service.cost ~facility_site ~metric:t.metric ~request_site service
+    Service.cost_env ~facility_site ~env:t.env ~request_site service
   in
   t.assignment <- t.assignment +. c;
   push_svc t service
@@ -127,8 +131,8 @@ let persist t =
     ps_assignment = t.assignment;
   }
 
-let of_persisted metric (z : persisted) =
-  let t = create metric ~n_commodities:z.ps_n_commodities in
+let of_persisted env (z : persisted) =
+  let t = create env ~n_commodities:z.ps_n_commodities in
   (* Re-register the facilities in opening order without re-summing
      costs: the nearest-index cells are min-updates over metric rows, so
      replaying the same opening sequence rebuilds bit-identical tables,

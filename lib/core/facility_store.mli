@@ -8,9 +8,13 @@
 
 type t
 
-(** [create metric ~n_commodities] starts with no facilities. *)
-val create : Omflp_metric.Finite_metric.t -> n_commodities:int -> t
+(** [create env ~n_commodities] starts with no facilities; connection
+    costs are accounted family-aware via the environment. The nearest
+    index always runs on the environment's metric (non-metric algorithms
+    scan their connection matrix themselves). *)
+val create : Omflp_instance.Problem_env.t -> n_commodities:int -> t
 
+val env : t -> Omflp_instance.Problem_env.t
 val metric : t -> Omflp_metric.Finite_metric.t
 val n_commodities : t -> int
 
@@ -77,10 +81,10 @@ type persisted
     cost accumulators. *)
 val persist : t -> persisted
 
-(** [of_persisted metric z] revives a store against the same metric.
+(** [of_persisted env z] revives a store against the same environment.
     Raises [Failure] if the facility ids are not the sequential ids this
     store assigns. *)
-val of_persisted : Omflp_metric.Finite_metric.t -> persisted -> t
+val of_persisted : Omflp_instance.Problem_env.t -> persisted -> t
 
 (** Snapshot codec v2 field serializers for the persisted form;
     [read_persisted] raises [Failure] on malformed bytes. *)

@@ -15,14 +15,16 @@ type t = {
 }
 
 let name = "GREEDY"
+let family = Problem_env.Family.Omflp
 
-let create ?seed:_ metric cost =
+let create ?seed:_ env =
+  let metric, cost = Problem_env.require_omflp ~algo:name env in
   let n_commodities = Cost_function.n_commodities cost in
   let n_sites = Finite_metric.size metric in
   {
     metric;
     cost;
-    store = Facility_store.create metric ~n_commodities;
+    store = Facility_store.create env ~n_commodities;
     singleton =
       Array.init n_commodities (fun e ->
           Array.init n_sites (fun site ->
@@ -105,15 +107,15 @@ let snapshot t =
       Facility_store.write_persisted b (Facility_store.persist t.store);
       Omflp_prelude.Snapshot_codec.w_int b t.n_requests)
 
-let restore metric cost blob =
+let restore env blob =
   Omflp_prelude.Snapshot_codec.decode ~tag:snapshot_tag
     (fun r ->
       let z_store = Facility_store.read_persisted r in
       let n_requests = Omflp_prelude.Snapshot_codec.r_int r in
-      let t = create metric cost in
+      let t = create env in
       {
         t with
-        store = Facility_store.of_persisted metric z_store;
+        store = Facility_store.of_persisted env z_store;
         n_requests;
       })
     blob

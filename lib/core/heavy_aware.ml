@@ -20,8 +20,10 @@ type t = {
 }
 
 let name = "HEAVY-AWARE"
+let family = Problem_env.Family.Omflp
 
-let create_with_heavy ~heavy metric cost =
+let create_with_heavy ~heavy env =
+  let metric, cost = Problem_env.require_omflp ~algo:name env in
   let k = Cost_function.n_commodities cost in
   if Cset.n_commodities heavy <> k then
     invalid_arg "Heavy_aware.create_with_heavy: heavy from wrong universe";
@@ -35,16 +37,16 @@ let create_with_heavy ~heavy metric cost =
     heavy;
     light;
     light_map;
-    inner = Pd_omflp.create metric light_cost;
-    store = Facility_store.create metric ~n_commodities:k;
+    inner = Pd_omflp.create (Problem_env.omflp metric light_cost);
+    store = Facility_store.create env ~n_commodities:k;
     fid_map = Hashtbl.create 64;
     inner_mirrored = 0;
     heavy_past = Array.make k [];
     n_requests = 0;
   }
 
-let create ?seed:_ metric cost =
-  create_with_heavy ~heavy:(Heavy.detect cost) metric cost
+let create ?seed:_ env =
+  create_with_heavy ~heavy:(Heavy.detect (Problem_env.cost env)) env
 
 let heavy_set t = t.heavy
 
@@ -204,7 +206,7 @@ let snapshot t =
         t.heavy_past;
       Snapshot_codec.w_int b t.n_requests)
 
-let restore metric cost blob =
+let restore env blob =
   Snapshot_codec.decode ~tag:snapshot_tag
     (fun r ->
       let z_heavy = Cset.read r in
@@ -223,16 +225,16 @@ let restore metric cost blob =
         Snapshot_codec.r_array (Snapshot_codec.r_list r_heavy_past) r
       in
       let z_n_requests = Snapshot_codec.r_int r in
-      let t = create_with_heavy ~heavy:z_heavy metric cost in
-      let light_cost, _ = Cost_function.project cost ~keep:t.light in
+      let t = create_with_heavy ~heavy:z_heavy env in
+      let light_cost, _ = Cost_function.project t.cost ~keep:t.light in
       List.iter (fun (k, v) -> Hashtbl.replace t.fid_map k v) z_fid_map;
       if Array.length z_heavy_past <> Array.length t.heavy_past then
         failwith "Heavy_aware.restore: commodity count mismatch";
       Array.blit z_heavy_past 0 t.heavy_past 0 (Array.length t.heavy_past);
       {
         t with
-        inner = Pd_omflp.restore metric light_cost z_inner;
-        store = Facility_store.of_persisted metric z_store;
+        inner = Pd_omflp.restore (Problem_env.omflp t.metric light_cost) z_inner;
+        store = Facility_store.of_persisted env z_store;
         inner_mirrored = z_inner_mirrored;
         n_requests = z_n_requests;
       })

@@ -16,19 +16,13 @@
 type t
 
 val name : string
+val family : Omflp_instance.Problem_env.Family.t
 
-val create :
-  ?seed:int ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  t
+val create : ?seed:int -> Omflp_instance.Problem_env.t -> t
 
 (** [create_with_heavy ~heavy metric cost] overrides detection. *)
 val create_with_heavy :
-  heavy:Omflp_commodity.Cset.t ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  t
+  heavy:Omflp_commodity.Cset.t -> Omflp_instance.Problem_env.t -> t
 
 val step : t -> Omflp_instance.Request.t -> Service.t
 
@@ -43,11 +37,7 @@ val store : t -> Facility_store.t
     restore faithfully without re-running detection. *)
 val snapshot : t -> string
 
-val restore :
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  string ->
-  t
+val restore : Omflp_instance.Problem_env.t -> string -> t
 
 (** [heavy_set t] is the commodity set treated as heavy. *)
 val heavy_set : t -> Omflp_commodity.Cset.t

@@ -21,13 +21,15 @@ type t = {
 }
 
 let name = "INDEP"
+let family = Problem_env.Family.Omflp
 
-let create ?seed:_ metric cost =
+let create ?seed:_ env =
+  let metric, cost = Problem_env.require_omflp ~algo:name env in
   let n_commodities = Cost_function.n_commodities cost in
   {
     metric;
     cost;
-    store = Facility_store.create metric ~n_commodities;
+    store = Facility_store.create env ~n_commodities;
     past = Array.make n_commodities [];
     f3 = Array.make n_commodities None;
     bids = Array.make (Finite_metric.size metric) 0.0;
@@ -121,19 +123,19 @@ let snapshot t =
       Facility_store.write_persisted b (Facility_store.persist t.store);
       Snapshot_codec.w_int b t.n_requests)
 
-let restore metric cost blob =
+let restore env blob =
   Snapshot_codec.decode ~tag:snapshot_tag
     (fun r ->
       let z_past = Snapshot_codec.r_array (Snapshot_codec.r_list r_past) r in
       let z_store = Facility_store.read_persisted r in
       let n_requests = Snapshot_codec.r_int r in
-      let t = create metric cost in
+      let t = create env in
       if Array.length z_past <> Array.length t.past then
         failwith "Indep_baseline.restore: commodity count mismatch";
       Array.blit z_past 0 t.past 0 (Array.length t.past);
       {
         t with
-        store = Facility_store.of_persisted metric z_store;
+        store = Facility_store.of_persisted env z_store;
         n_requests;
       })
     blob

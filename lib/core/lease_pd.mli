@@ -1,24 +1,21 @@
-(** GREEDY — a natural rent-or-buy heuristic with no competitive
-    guarantee: each request picks the cheapest immediate option among
-    per-commodity connect-or-open-at-own-site, opening its exact demand
-    set at its own site, or connecting to an existing large facility.
-
-    It never predicts commodities (beyond its own demand), so the
-    Theorem 2 adversary defeats it — which is exactly the behaviour the
-    lower-bound experiment demonstrates. *)
+(** LEASE-PD — multi-facility leasing primal–dual after Markarian et al.
+    (arXiv:2006.16762) on the Fotakis-style PD core: facilities open as
+    leases of one of K types (duration × cost factor from the
+    environment), past requests bid toward a (site, lease type) pair
+    only inside the lease's time window, and requests connect to live
+    leases only. Declares the [Multi_facility_leasing] family. *)
 
 type t
 
 val name : string
 val family : Omflp_instance.Problem_env.Family.t
-
 val create : ?seed:int -> Omflp_instance.Problem_env.t -> t
-
 val step : t -> Omflp_instance.Request.t -> Service.t
 
 (** Batch variant of {!step}; decisions are exactly those of folding
     [step] left to right. *)
 val step_batch : t -> Omflp_instance.Request.t array -> Service.t array
+
 val run_so_far : t -> Run.t
 val store : t -> Facility_store.t
 

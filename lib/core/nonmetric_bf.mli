@@ -1,24 +1,22 @@
-(** GREEDY — a natural rent-or-buy heuristic with no competitive
-    guarantee: each request picks the cheapest immediate option among
-    per-commodity connect-or-open-at-own-site, opening its exact demand
-    set at its own site, or connecting to an existing large facility.
-
-    It never predicts commodities (beyond its own demand), so the
-    Theorem 2 adversary defeats it — which is exactly the behaviour the
-    lower-bound experiment demonstrates. *)
+(** NONMETRIC-BF — deterministic online non-metric facility location
+    after Bienkowski–Feldkord (arXiv:2007.07025): multiplicative-update
+    fractional covering per (commodity, site) with deterministic
+    threshold rounding, plus one greedy weighted-cover step
+    ({!Omflp_covering.Set_cover}) to close any integrally uncovered
+    demand. Declares the [Nonmetric_fl] family; connection costs come
+    from the environment's raw matrix. *)
 
 type t
 
 val name : string
 val family : Omflp_instance.Problem_env.Family.t
-
 val create : ?seed:int -> Omflp_instance.Problem_env.t -> t
-
 val step : t -> Omflp_instance.Request.t -> Service.t
 
 (** Batch variant of {!step}; decisions are exactly those of folding
     [step] left to right. *)
 val step_batch : t -> Omflp_instance.Request.t array -> Service.t array
+
 val run_so_far : t -> Run.t
 val store : t -> Facility_store.t
 

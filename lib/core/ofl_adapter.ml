@@ -44,13 +44,15 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
   }
 
   let name = S.name
+  let family = Problem_env.Family.Omflp
 
-  let create ?seed metric cost =
+  let create ?seed env =
+    let metric, cost = Problem_env.require_omflp ~algo:name env in
     {
       metric;
       cost;
       store =
-        Facility_store.create metric
+        Facility_store.create env
           ~n_commodities:(Cost_function.n_commodities cost);
       seed;
       slots = Array.make (Cost_function.n_commodities cost) None;
@@ -132,7 +134,7 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
           b t.slots;
         Snapshot_codec.w_int b t.n_requests)
 
-  let restore metric cost blob =
+  let restore env blob =
     Snapshot_codec.decode ~tag:snapshot_tag
       (fun r ->
         let z_seed = Snapshot_codec.r_opt Snapshot_codec.r_int r in
@@ -146,7 +148,7 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
             r
         in
         let z_n_requests = Snapshot_codec.r_int r in
-        let t = create ?seed:z_seed metric cost in
+        let t = create ?seed:z_seed env in
         if Array.length z_slots <> Array.length t.slots then
           failwith
             (Printf.sprintf
@@ -158,17 +160,17 @@ module Make (S : OFL_SPEC) : Algo_intf.ALGO = struct
             | None -> ()
             | Some (ofl_blob, mirrored) ->
                 let costs =
-                  Array.init (Finite_metric.size metric) (fun m ->
-                      Cost_function.singleton_cost cost m e)
+                  Array.init (Finite_metric.size t.metric) (fun m ->
+                      Cost_function.singleton_cost t.cost m e)
                 in
                 let ofl =
-                  S.A.restore_state metric ~opening_costs:costs ofl_blob
+                  S.A.restore_state t.metric ~opening_costs:costs ofl_blob
                 in
                 t.slots.(e) <- Some { ofl; costs; mirrored })
           z_slots;
         {
           t with
-          store = Facility_store.of_persisted metric z_store;
+          store = Facility_store.of_persisted env z_store;
           n_requests = z_n_requests;
         })
       blob

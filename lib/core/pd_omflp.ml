@@ -107,14 +107,16 @@ type t = {
 }
 
 let name = "PD-OMFLP"
+let family = Problem_env.Family.Omflp
 
-let create_mode ~incremental metric cost =
+let create_mode ~incremental env =
+  let metric, cost = Problem_env.require_omflp ~algo:name env in
   let n_commodities = Cost_function.n_commodities cost in
   let n_sites = Finite_metric.size metric in
   {
     metric;
     cost;
-    store = Facility_store.create metric ~n_commodities;
+    store = Facility_store.create env ~n_commodities;
     s = n_commodities;
     n_sites;
     n_past = 0;
@@ -142,10 +144,8 @@ let create_mode ~incremental metric cost =
     scratch_fb = Array.make 3 0.0;
   }
 
-let create ?seed:_ metric cost = create_mode ~incremental:false metric cost
-
-let create_incremental ?seed:_ metric cost =
-  create_mode ~incremental:true metric cost
+let create ?seed:_ env = create_mode ~incremental:false env
+let create_incremental ?seed:_ env = create_mode ~incremental:true env
 
 let ensure_past_capacity t =
   let cap = Array.length t.p_site in
@@ -661,7 +661,7 @@ let snapshot t =
         Snapshot_codec.w_float_array b t.b4_cache
       end)
 
-let restore_mode ~incremental metric cost blob =
+let restore_mode ~incremental env blob =
   Snapshot_codec.decode ~tag:snapshot_tag
     (fun r ->
       let z_incremental = Snapshot_codec.r_bool r in
@@ -670,7 +670,7 @@ let restore_mode ~incremental metric cost blob =
           (Printf.sprintf "Pd_omflp.restore: snapshot is from the %s mode"
              (if z_incremental then "incremental" else "recomputing"));
       let z_store = Facility_store.read_persisted r in
-      let t = create_mode ~incremental metric cost in
+      let t = create_mode ~incremental env in
       let n = Snapshot_codec.r_int r in
       if n < 0 then failwith "Pd_omflp.restore: negative history length";
       let sites = Array.make (max n 1) 0 in
@@ -722,13 +722,11 @@ let restore_mode ~incremental metric cost blob =
       t.p_caps <- (if n = 0 then Array.make t.s 0.0 else caps);
       t.trace_rev <- trace_rev;
       t.n_requests <- n_requests;
-      { t with store = Facility_store.of_persisted metric z_store })
+      { t with store = Facility_store.of_persisted env z_store })
     blob
 
-let restore metric cost blob = restore_mode ~incremental:false metric cost blob
-
-let restore_incremental metric cost blob =
-  restore_mode ~incremental:true metric cost blob
+let restore env blob = restore_mode ~incremental:false env blob
+let restore_incremental env blob = restore_mode ~incremental:true env blob
 
 let cache_drift t =
   if not t.incremental then 0.0

@@ -20,12 +20,9 @@
 type t
 
 val name : string
+val family : Omflp_instance.Problem_env.Family.t
 
-val create :
-  ?seed:int ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  t
+val create : ?seed:int -> Omflp_instance.Problem_env.t -> t
 
 (** [create_incremental] runs the identical algorithm but maintains the
     constraint-(3)/(4) bid sums incrementally across arrivals (O(|M|) per
@@ -33,11 +30,7 @@ val create :
     of recomputing them from the whole history (O(|s_r| · |M| · n) per
     arrival). Semantically equivalent up to floating-point summation
     order; see {!Pd_omflp_fast} for the packaged algorithm module. *)
-val create_incremental :
-  ?seed:int ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  t
+val create_incremental : ?seed:int -> Omflp_instance.Problem_env.t -> t
 
 val step : t -> Omflp_instance.Request.t -> Service.t
 
@@ -56,17 +49,9 @@ val run_so_far : t -> Run.t
 
 val snapshot : t -> string
 
-val restore :
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  string ->
-  t
+val restore : Omflp_instance.Problem_env.t -> string -> t
 
-val restore_incremental :
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  string ->
-  t
+val restore_incremental : Omflp_instance.Problem_env.t -> string -> t
 
 (** {1 Introspection (analysis and tests)} *)
 

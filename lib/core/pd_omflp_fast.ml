@@ -2,7 +2,8 @@ type t = Pd_omflp.t
 
 let name = "PD-OMFLP-FAST"
 
-let create ?seed metric cost = Pd_omflp.create_incremental ?seed metric cost
+let family = Pd_omflp.family
+let create ?seed env = Pd_omflp.create_incremental ?seed env
 
 let step = Pd_omflp.step
 

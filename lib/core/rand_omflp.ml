@@ -25,15 +25,17 @@ type t = {
 }
 
 let name = "RAND-OMFLP"
+let family = Problem_env.Family.Omflp
 
-let create ?(seed = 0x52414e44) metric cost =
+let create ?(seed = 0x52414e44) env =
+  let metric, cost = Problem_env.require_omflp ~algo:name env in
   {
     metric;
     cost;
     classes = Cost_classes.build cost;
     rng = Splitmix.of_int seed;
     store =
-      Facility_store.create metric
+      Facility_store.create env
         ~n_commodities:(Cost_function.n_commodities cost);
     n_requests = 0;
   }
@@ -231,17 +233,17 @@ let snapshot t =
       Facility_store.write_persisted b (Facility_store.persist t.store);
       Snapshot_codec.w_int b t.n_requests)
 
-let restore metric cost blob =
+let restore env blob =
   Snapshot_codec.decode ~tag:snapshot_tag
     (fun r ->
       let rng = Snapshot_codec.r_i64 r in
       let z_store = Facility_store.read_persisted r in
       let n_requests = Snapshot_codec.r_int r in
-      let t = create metric cost in
+      let t = create env in
       {
         t with
         rng = Splitmix.create rng;
-        store = Facility_store.of_persisted metric z_store;
+        store = Facility_store.of_persisted env z_store;
         n_requests;
       })
     blob

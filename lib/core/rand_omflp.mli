@@ -14,12 +14,9 @@
 type t
 
 val name : string
+val family : Omflp_instance.Problem_env.Family.t
 
-val create :
-  ?seed:int ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  t
+val create : ?seed:int -> Omflp_instance.Problem_env.t -> t
 
 val step : t -> Omflp_instance.Request.t -> Service.t
 
@@ -37,8 +34,4 @@ val store : t -> Facility_store.t
     consulted again). *)
 val snapshot : t -> string
 
-val restore :
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
-  string ->
-  t
+val restore : Omflp_instance.Problem_env.t -> string -> t

@@ -51,3 +51,14 @@ let cost ~facility_site ~metric ~request_site t =
       acc
       +. Omflp_metric.Finite_metric.dist metric request_site (facility_site id))
     0.0 (facility_ids t)
+
+(* Family-dispatched variant: connection costs come from the environment
+   (metric distance for OMFLP/leasing, the raw matrix for non-metric).
+   Float-identical to [cost] on OMFLP environments. *)
+let cost_env ~facility_site ~env ~request_site t =
+  List.fold_left
+    (fun acc id ->
+      acc
+      +. Omflp_instance.Problem_env.connection_dist env
+           ~facility_site:(facility_site id) ~request_site)
+    0.0 (facility_ids t)

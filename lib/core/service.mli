@@ -34,3 +34,14 @@ val cost :
   request_site:int ->
   t ->
   float
+
+(** [cost_env ~facility_site ~env ~request_site t] is the family-aware
+    connection cost: distances come from
+    {!Omflp_instance.Problem_env.connection_dist}. Float-identical to
+    {!cost} on OMFLP environments. *)
+val cost_env :
+  facility_site:(int -> int) ->
+  env:Omflp_instance.Problem_env.t ->
+  request_site:int ->
+  t ->
+  float

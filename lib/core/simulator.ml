@@ -11,6 +11,7 @@ let m_step_timer = Metrics.timer "sim.step"
 let m_step_hist = Metrics.histogram "sim.step_seconds"
 
 let validate (inst : Instance.t) (run : Run.t) =
+  let env = Instance.env inst in
   let facility_tbl = Hashtbl.create 64 in
   List.iter
     (fun (f : Facility.t) -> Hashtbl.replace facility_tbl f.id f)
@@ -20,6 +21,17 @@ let validate (inst : Instance.t) (run : Run.t) =
     | Some f -> f
     | None -> failwith (Printf.sprintf "unknown facility id %d" id)
   in
+  (* Construction costs must match an opening the environment allows;
+     for leasing this also recovers each facility's lease duration (its
+     liveness window). *)
+  let duration_of (f : Facility.t) =
+    match
+      Problem_env.classify_facility_cost env ~site:f.site ~offered:f.offered
+        ~cost:f.cost
+    with
+    | Ok d -> d
+    | Error msg -> failwith (Printf.sprintf "facility %d %s" f.id msg)
+  in
   let n_req = Instance.n_requests inst in
   let services = Array.of_list run.services in
   try
@@ -28,7 +40,8 @@ let validate (inst : Instance.t) (run : Run.t) =
         (Printf.sprintf "expected %d services, got %d" n_req
            (Array.length services));
     (* Coverage, respecting opening times: a facility used by request i
-       must have been opened at or before i. *)
+       must have been opened at or before i — and, under leasing, not
+       have expired before i. *)
     Array.iteri
       (fun i service ->
         let r = inst.requests.(i) in
@@ -39,7 +52,16 @@ let validate (inst : Instance.t) (run : Run.t) =
               failwith
                 (Printf.sprintf
                    "request %d served by facility %d opened later (at %d)" i id
-                   f.Facility.opened_at))
+                   f.Facility.opened_at);
+            match duration_of f with
+            | None -> ()
+            | Some d ->
+                if i >= f.Facility.opened_at + d then
+                  failwith
+                    (Printf.sprintf
+                       "request %d served by facility %d whose lease (opened \
+                        %d, duration %d) had expired"
+                       i id f.Facility.opened_at d))
           (Service.facility_ids service);
         if
           not
@@ -58,9 +80,9 @@ let validate (inst : Instance.t) (run : Run.t) =
       (fun i service ->
         assignment :=
           !assignment
-          +. Service.cost
+          +. Service.cost_env
                ~facility_site:(fun id -> (facility id).Facility.site)
-               ~metric:inst.metric
+               ~env
                ~request_site:inst.requests.(i).Request.site service)
       services;
     let open Omflp_prelude.Numerics in
@@ -72,23 +94,16 @@ let validate (inst : Instance.t) (run : Run.t) =
       failwith
         (Printf.sprintf "assignment cost mismatch: %.9g vs reported %.9g"
            !assignment run.assignment_cost);
-    (* Facility construction costs must match the cost function. *)
-    List.iter
-      (fun (f : Facility.t) ->
-        let expected =
-          Omflp_commodity.Cost_function.eval inst.cost f.site f.offered
-        in
-        if not (approx_eq ~tol:1e-6 expected f.cost) then
-          failwith
-            (Printf.sprintf "facility %d cost %.9g but f^sigma_m = %.9g" f.id
-               f.cost expected))
-      run.facilities;
+    (* Facility construction costs must match the cost function (checked
+       family-aware by [duration_of] above for used facilities; re-run
+       over all facilities so unused openings are checked too). *)
+    List.iter (fun (f : Facility.t) -> ignore (duration_of f)) run.facilities;
     Ok ()
   with Failure msg -> Error (run.algorithm ^ ": " ^ msg)
 
 let run ?seed ?(check = true) (module A : Algo_intf.ALGO)
     (inst : Instance.t) =
-  let t = A.create ?seed inst.metric inst.cost in
+  let t = A.create ?seed (Instance.env inst) in
   let observing = Metrics.enabled () || Trace_sink.installed () in
   let result =
     if not observing then begin
@@ -148,4 +163,5 @@ let run_many ?seed ?(check = true) algos (inst : Instance.t) =
     inst.requests;
   List.map (fun (name, algo) -> (name, run ?seed ~check algo inst)) algos
 
-let run_all ?seed inst = run_many ?seed (Registry.all ()) inst
+let run_all ?seed inst =
+  run_many ?seed (Registry.canonical_for (Instance.family inst)) inst

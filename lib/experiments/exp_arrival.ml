@@ -100,7 +100,9 @@ let run ?(reps = 8) ?(seed = 47) ?(quick = false) () =
           let gen rng = transform rng (base_gen rng) in
           let outcome =
             Exp_common.measure ~reps ~seed ~gen
-              ~algos:(Omflp_core.Registry.extended ())
+              ~algos:
+                (Omflp_core.Registry.of_family
+                   Omflp_instance.Problem_env.Family.Omflp)
               ()
           in
           List.iter

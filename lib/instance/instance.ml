@@ -6,6 +6,7 @@ type t = {
   cost : Cost_function.t;
   requests : Request.t array;
   arrival : Arrival.t;
+  ext : Problem_env.ext;
 }
 
 let make ~name ~metric ~cost ~requests =
@@ -24,7 +25,23 @@ let make ~name ~metric ~cost ~requests =
       if Cset.n_commodities r.demand <> Cost_function.n_commodities cost then
         invalid_arg "Instance.make: request demand from wrong universe")
     requests;
-  { name; metric; cost; requests; arrival = Arrival.Adversarial }
+  {
+    name;
+    metric;
+    cost;
+    requests;
+    arrival = Arrival.Adversarial;
+    ext = Problem_env.Omflp_ext;
+  }
+
+(* Attach (and validate) family-specific data; [make] always builds plain
+   OMFLP instances. *)
+let with_ext t ext =
+  ignore (Problem_env.of_parts ~ext t.metric t.cost);
+  { t with ext }
+
+let env t = Problem_env.of_parts ~ext:t.ext t.metric t.cost
+let family t = Problem_env.family (env t)
 
 let n_requests t = Array.length t.requests
 let n_sites t = Omflp_metric.Finite_metric.size t.metric

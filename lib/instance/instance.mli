@@ -9,6 +9,9 @@ type t = {
   arrival : Arrival.t;
       (** which arrival model produced [requests]; descriptive metadata
           carried through {!Serial} so replays reproduce the order *)
+  ext : Problem_env.ext;
+      (** problem-family payload ({!Problem_env.Omflp_ext} for plain
+          OMFLP); carried through {!Serial} *)
 }
 
 (** [make ~name ~metric ~cost ~requests] validates consistency: the cost
@@ -23,6 +26,16 @@ val make :
   cost:Omflp_commodity.Cost_function.t ->
   requests:Request.t array ->
   t
+
+(** [with_ext t ext] attaches (and validates) family-specific data;
+    {!make} always builds plain OMFLP instances. *)
+val with_ext : t -> Problem_env.ext -> t
+
+(** [env t] packs the instance's environment view — what an algorithm's
+    [create]/[restore] consumes. *)
+val env : t -> Problem_env.t
+
+val family : t -> Problem_env.Family.t
 
 val n_requests : t -> int
 val n_sites : t -> int

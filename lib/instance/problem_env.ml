@@ -1,0 +1,207 @@
+open Omflp_commodity
+
+module Family = struct
+  type t = Omflp | Nonmetric_fl | Multi_facility_leasing
+
+  let to_string = function
+    | Omflp -> "omflp"
+    | Nonmetric_fl -> "nonmetric-fl"
+    | Multi_facility_leasing -> "leasing"
+
+  let of_string = function
+    | "omflp" -> Some Omflp
+    | "nonmetric-fl" | "nonmetric" -> Some Nonmetric_fl
+    | "leasing" | "multi-facility-leasing" -> Some Multi_facility_leasing
+    | _ -> None
+
+  let all = [ Omflp; Nonmetric_fl; Multi_facility_leasing ]
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end
+
+type ext =
+  | Omflp_ext
+  | Nonmetric of { conn : float array array }
+  | Leasing of { durations : int array; factors : float array }
+
+type t = {
+  metric : Omflp_metric.Finite_metric.t;
+  cost : Cost_function.t;
+  ext : ext;
+}
+
+let family t =
+  match t.ext with
+  | Omflp_ext -> Family.Omflp
+  | Nonmetric _ -> Family.Nonmetric_fl
+  | Leasing _ -> Family.Multi_facility_leasing
+
+let metric t = t.metric
+let cost t = t.cost
+let ext t = t.ext
+
+let check_dims metric cost =
+  let n_sites = Omflp_metric.Finite_metric.size metric in
+  if Cost_function.n_sites cost <> n_sites then
+    invalid_arg
+      (Printf.sprintf
+         "Problem_env: cost function covers %d sites but metric has %d"
+         (Cost_function.n_sites cost) n_sites);
+  n_sites
+
+let omflp metric cost =
+  ignore (check_dims metric cost);
+  { metric; cost; ext = Omflp_ext }
+
+let validate_conn ~n_sites conn =
+  if Array.length conn <> n_sites then
+    invalid_arg
+      (Printf.sprintf "Problem_env.nonmetric: conn has %d rows, metric %d sites"
+         (Array.length conn) n_sites);
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_sites then
+        invalid_arg "Problem_env.nonmetric: conn is not square";
+      Array.iter
+        (fun v ->
+          if not (Float.is_finite v) || v < 0.0 then
+            invalid_arg
+              "Problem_env.nonmetric: connection costs must be finite and >= 0")
+        row)
+    conn
+
+let nonmetric ~conn metric cost =
+  let n_sites = check_dims metric cost in
+  validate_conn ~n_sites conn;
+  { metric; cost; ext = Nonmetric { conn } }
+
+let validate_leases ~durations ~factors =
+  let k = Array.length durations in
+  if k = 0 || Array.length factors <> k then
+    invalid_arg
+      "Problem_env.leasing: need the same positive number of durations and \
+       factors";
+  Array.iter
+    (fun d ->
+      if d <= 0 then invalid_arg "Problem_env.leasing: durations must be >= 1")
+    durations;
+  Array.iteri
+    (fun i f ->
+      if not (Float.is_finite f) || f <= 0.0 then
+        invalid_arg "Problem_env.leasing: factors must be finite and > 0";
+      for j = 0 to i - 1 do
+        (* Distinct factors let validation recover a facility's lease type
+           from its construction cost alone. *)
+        if Float.equal factors.(j) f then
+          invalid_arg "Problem_env.leasing: factors must be pairwise distinct"
+      done)
+    factors
+
+let leasing ~durations ~factors metric cost =
+  ignore (check_dims metric cost);
+  validate_leases ~durations ~factors;
+  { metric; cost; ext = Leasing { durations; factors } }
+
+let of_parts ~ext metric cost =
+  match ext with
+  | Omflp_ext -> omflp metric cost
+  | Nonmetric { conn } -> nonmetric ~conn metric cost
+  | Leasing { durations; factors } -> leasing ~durations ~factors metric cost
+
+(* ---------- capability-checked dispatch ---------- *)
+
+let mismatch_message ~algo ~declared ~got =
+  Printf.sprintf
+    "family mismatch: algorithm %s serves the %s family but the environment \
+     is %s"
+    algo (Family.to_string declared) (Family.to_string got)
+
+let require ~algo ~family:declared t =
+  let got = family t in
+  if got <> declared then
+    failwith (mismatch_message ~algo ~declared ~got)
+
+let require_omflp ~algo t =
+  require ~algo ~family:Family.Omflp t;
+  (t.metric, t.cost)
+
+let require_nonmetric ~algo t =
+  match t.ext with
+  | Nonmetric { conn } -> (t.metric, t.cost, conn)
+  | _ ->
+      failwith
+        (mismatch_message ~algo ~declared:Family.Nonmetric_fl ~got:(family t))
+
+let require_leasing ~algo t =
+  match t.ext with
+  | Leasing { durations; factors } -> (t.metric, t.cost, durations, factors)
+  | _ ->
+      failwith
+        (mismatch_message ~algo ~declared:Family.Multi_facility_leasing
+           ~got:(family t))
+
+(* ---------- family-dispatched primitives ---------- *)
+
+(* Connection cost of serving a request at [request_site] from a facility
+   at [facility_site]. Metric families read the (symmetric) metric in the
+   historical argument order; the non-metric family reads the raw matrix,
+   which need satisfy no triangle inequality and may be asymmetric
+   (direction: facility row, request column). *)
+let connection_dist t ~facility_site ~request_site =
+  match t.ext with
+  | Omflp_ext | Leasing _ ->
+      Omflp_metric.Finite_metric.dist t.metric request_site facility_site
+  | Nonmetric { conn } -> conn.(facility_site).(request_site)
+
+(* Lease type whose scaled construction cost matches [cost] for config
+   [offered] at [site]. [Ok None]: the cost matches the plain cost
+   function (non-leasing families). [Ok (Some d)]: a lease of duration
+   [d]. Ambiguity (a zero base cost matches every factor) resolves to the
+   longest duration — the most permissive liveness window — and the
+   algorithms use the same rule. *)
+let classify_facility_cost t ~site ~offered ~cost:c =
+  let base = Cost_function.eval t.cost site offered in
+  let approx = Omflp_prelude.Numerics.approx_eq ~tol:1e-6 in
+  match t.ext with
+  | Omflp_ext | Nonmetric _ ->
+      if approx base c then Ok None
+      else
+        Error
+          (Printf.sprintf "cost %.9g but f^sigma_m = %.9g" c base)
+  | Leasing { durations; factors } ->
+      let best = ref (-1) in
+      Array.iteri
+        (fun k f ->
+          if
+            approx (f *. base) c
+            && (!best < 0 || durations.(k) > durations.(!best))
+          then best := k)
+        factors;
+      if !best >= 0 then Ok (Some durations.(!best))
+      else
+        Error
+          (Printf.sprintf
+             "cost %.9g matches no lease type (base f^sigma_m = %.9g, \
+              factors %s)"
+             c base
+             (String.concat ","
+                (Array.to_list (Array.map (Printf.sprintf "%g") factors))))
+
+(* Cheapest way any single lease can cover one time instant: the minimum
+   factor (every duration >= 1 covers the opening step). Scale for the
+   family-generic serve-alone lower bound. *)
+let lease_scale_min t =
+  match t.ext with
+  | Omflp_ext | Nonmetric _ -> 1.0
+  | Leasing { factors; _ } -> Array.fold_left Float.min factors.(0) factors
+
+let pp ppf t =
+  match t.ext with
+  | Omflp_ext -> Format.fprintf ppf "omflp"
+  | Nonmetric _ -> Format.fprintf ppf "nonmetric-fl"
+  | Leasing { durations; factors } ->
+      Format.fprintf ppf "leasing[%s]"
+        (String.concat ";"
+           (Array.to_list
+              (Array.mapi
+                 (fun k d -> Printf.sprintf "%dx%g" d factors.(k))
+                 durations)))

@@ -1,0 +1,120 @@
+(** Problem-family environment: everything an online algorithm needs to
+    know about the world it serves, in one record.
+
+    An environment is always a finite metric plus a configuration cost
+    function; the [ext] payload selects the problem family and carries the
+    family-specific data:
+
+    - {b OMFLP} (the default): connection costs are metric distances.
+    - {b Non-metric facility location}: connection costs come from an
+      arbitrary non-negative matrix [conn] (facility row, request-site
+      column) with no triangle-inequality or symmetry promise; the metric
+      is still carried for tooling (scenario labels, bench kernels).
+    - {b Multi-facility leasing}: a facility is opened as a lease of one
+      of K types; type [k] lives for [durations.(k)] steps and costs
+      [factors.(k)] times the configuration cost.
+
+    All family-specific branching in the engine lives here (and in
+    [Registry]): algorithms declare a family and extract their view via
+    the [require_*] functions, which refuse mismatched environments with
+    a named [Failure]. *)
+
+module Family : sig
+  type t = Omflp | Nonmetric_fl | Multi_facility_leasing
+
+  val to_string : t -> string
+  (** ["omflp"], ["nonmetric-fl"], ["leasing"]. *)
+
+  val of_string : string -> t option
+  val all : t list
+  val pp : Format.formatter -> t -> unit
+end
+
+type ext =
+  | Omflp_ext
+  | Nonmetric of { conn : float array array }
+  | Leasing of { durations : int array; factors : float array }
+
+type t = {
+  metric : Omflp_metric.Finite_metric.t;
+  cost : Omflp_commodity.Cost_function.t;
+  ext : ext;
+}
+
+val omflp : Omflp_metric.Finite_metric.t -> Omflp_commodity.Cost_function.t -> t
+(** Plain OMFLP environment. Raises [Invalid_argument] on dimension
+    mismatch between metric and cost function. *)
+
+val nonmetric :
+  conn:float array array ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+(** Non-metric environment; [conn.(m).(s)] is the cost of serving a
+    request at site [s] from a facility at site [m]. Validates shape and
+    non-negativity. *)
+
+val leasing :
+  durations:int array ->
+  factors:float array ->
+  Omflp_metric.Finite_metric.t ->
+  Omflp_commodity.Cost_function.t ->
+  t
+(** Leasing environment. Durations must be positive; factors positive,
+    finite and pairwise distinct (so a facility's lease type can be
+    recovered from its construction cost). *)
+
+val of_parts :
+  ext:ext -> Omflp_metric.Finite_metric.t -> Omflp_commodity.Cost_function.t -> t
+(** Rebuild (and re-validate) an environment from its parts. *)
+
+val family : t -> Family.t
+val metric : t -> Omflp_metric.Finite_metric.t
+val cost : t -> Omflp_commodity.Cost_function.t
+val ext : t -> ext
+
+val mismatch_message : algo:string -> declared:Family.t -> got:Family.t -> string
+(** The canonical family-mismatch error text, shared by every refusal
+    site so tests can pin it once. *)
+
+val require : algo:string -> family:Family.t -> t -> unit
+(** Raises [Failure (mismatch_message ...)] unless [family t] matches. *)
+
+val require_omflp :
+  algo:string ->
+  t ->
+  Omflp_metric.Finite_metric.t * Omflp_commodity.Cost_function.t
+
+val require_nonmetric :
+  algo:string ->
+  t ->
+  Omflp_metric.Finite_metric.t * Omflp_commodity.Cost_function.t
+  * float array array
+
+val require_leasing :
+  algo:string ->
+  t ->
+  Omflp_metric.Finite_metric.t * Omflp_commodity.Cost_function.t
+  * int array * float array
+
+val connection_dist : t -> facility_site:int -> request_site:int -> float
+(** Family-dispatched connection cost: metric distance for OMFLP and
+    leasing, the raw matrix entry for the non-metric family. *)
+
+val classify_facility_cost :
+  t ->
+  site:int ->
+  offered:Omflp_commodity.Cset.t ->
+  cost:float ->
+  (int option, string) result
+(** Validation hook: does a recorded construction cost match an allowed
+    opening in this environment? [Ok None] for the plain configuration
+    cost; [Ok (Some d)] for a lease of duration [d] (ties on a zero base
+    cost resolve to the longest duration). *)
+
+val lease_scale_min : t -> float
+(** Scale applied to configuration costs in the family-generic
+    serve-alone lower bound: 1 outside leasing, the minimum lease factor
+    inside (any lease covers at least its opening instant). *)
+
+val pp : Format.formatter -> t -> unit

@@ -31,6 +31,33 @@ let save oc (inst : Instance.t) =
     done;
     output_char oc '\n'
   done;
+  (* Optional family section, written only for non-OMFLP families so
+     existing files stay byte-identical. *)
+  (match inst.ext with
+  | Problem_env.Omflp_ext -> ()
+  | Problem_env.Nonmetric { conn } ->
+      Printf.fprintf oc "family %s\n"
+        (Problem_env.Family.to_string Problem_env.Family.Nonmetric_fl);
+      Printf.fprintf oc "conn\n";
+      Array.iter
+        (fun row ->
+          Array.iteri
+            (fun v c ->
+              if v > 0 then output_char oc ' ';
+              Printf.fprintf oc "%.17g" c)
+            row;
+          output_char oc '\n')
+        conn
+  | Problem_env.Leasing { durations; factors } ->
+      Printf.fprintf oc "family %s\n"
+        (Problem_env.Family.to_string Problem_env.Family.Multi_facility_leasing);
+      Printf.fprintf oc "leases %d\n" (Array.length durations);
+      Printf.fprintf oc "durations";
+      Array.iter (fun d -> Printf.fprintf oc " %d" d) durations;
+      output_char oc '\n';
+      Printf.fprintf oc "factors";
+      Array.iter (fun f -> Printf.fprintf oc " %.17g" f) factors;
+      output_char oc '\n');
   Printf.fprintf oc "requests %d\n" (Instance.n_requests inst);
   Array.iter
     (fun (r : Request.t) ->
@@ -129,7 +156,61 @@ let load ic =
     Cost_function.make ~name:"serialized(size-based)" ~n_commodities:k
       ~n_sites:n (fun m sigma -> cost_table.(m).(Cset.cardinal sigma - 1))
   in
-  let n_req = int_of "requests" (expect_prefix "requests ") in
+  (* Optional family section precedes "requests"; same deferred-line
+     trick as the arrival header. *)
+  let ext, requests_line =
+    let line = read_line () in
+    let p = "family " in
+    if
+      String.length line >= String.length p
+      && String.sub line 0 (String.length p) = p
+    then (
+      let raw =
+        String.trim
+          (String.sub line (String.length p)
+             (String.length line - String.length p))
+      in
+      match Problem_env.Family.of_string raw with
+      | None -> fail "Serial.load: line %d: unknown family %S" !line_no raw
+      | Some Problem_env.Family.Omflp -> (Problem_env.Omflp_ext, read_line ())
+      | Some Problem_env.Family.Nonmetric_fl ->
+          ignore (expect_prefix "conn");
+          let conn =
+            Array.init n (fun _ -> Array.of_list (floats_of_line n))
+          in
+          (Problem_env.Nonmetric { conn }, read_line ())
+      | Some Problem_env.Family.Multi_facility_leasing ->
+          let n_leases = int_of "leases" (expect_prefix "leases ") in
+          if n_leases <= 0 then fail "Serial.load: non-positive lease count";
+          let ints_of field s =
+            List.map (int_of field)
+              (List.filter (fun x -> x <> "") (String.split_on_char ' ' s))
+          in
+          let durations =
+            Array.of_list (ints_of "duration" (expect_prefix "durations "))
+          in
+          let factors =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   match float_of_string_opt s with
+                   | Some v -> v
+                   | None ->
+                       fail "Serial.load: line %d: bad float %S" !line_no s)
+                 (List.filter
+                    (fun x -> x <> "")
+                    (String.split_on_char ' ' (expect_prefix "factors "))))
+          in
+          if
+            Array.length durations <> n_leases
+            || Array.length factors <> n_leases
+          then
+            fail "Serial.load: line %d: expected %d durations and factors"
+              !line_no n_leases;
+          (Problem_env.Leasing { durations; factors }, read_line ()))
+    else (Problem_env.Omflp_ext, line)
+  in
+  let n_req = int_of "requests" (field_of "requests " requests_line) in
   let requests =
     Array.init n_req (fun _ ->
         let line = read_line () in
@@ -146,7 +227,7 @@ let load ic =
             Request.make ~site ~demand
         | _ -> fail "Serial.load: line %d: malformed request" !line_no)
   in
-  let base = Instance.make ~name ~metric ~cost ~requests in
+  let base = Instance.with_ext (Instance.make ~name ~metric ~cost ~requests) ext in
   { base with arrival }
 
 let load_file path =

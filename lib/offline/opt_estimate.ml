@@ -1,6 +1,5 @@
 open Omflp_prelude
 open Omflp_commodity
-open Omflp_metric
 open Omflp_instance
 
 type bracket = {
@@ -15,6 +14,12 @@ let certified b = Numerics.approx_eq ~tol:1e-6 b.lower b.upper
 let serve_alone_cost (inst : Instance.t) (r : Request.t) =
   let s = Instance.n_commodities inst in
   let n_sites = Instance.n_sites inst in
+  let env = Instance.env inst in
+  (* Family-generic: connection costs come from the environment (raw
+     matrix for non-metric instances) and facility weights are scaled by
+     the cheapest lease factor — OPT cannot open anything cheaper. Both
+     degenerate to the identity on plain OMFLP. *)
+  let scale = Problem_env.lease_scale_min env in
   let demanded = Array.of_list (Cset.elements r.demand) in
   let k = Array.length demanded in
   let compact = Hashtbl.create (2 * k) in
@@ -49,13 +54,15 @@ let serve_alone_cost (inst : Instance.t) (r : Request.t) =
         let f = Cost_function.eval inst.cost m sigma in
         if f < best_piece.(bits) then best_piece.(bits) <- f)
       configs;
-    let d = Finite_metric.dist inst.metric r.site m in
+    let d =
+      Problem_env.connection_dist env ~facility_site:m ~request_site:r.site
+    in
     Array.iteri
       (fun bits f ->
         if bits <> 0 && f < infinity then
           sets :=
             {
-              Omflp_covering.Set_cover.weight = f +. d;
+              Omflp_covering.Set_cover.weight = (scale *. f) +. d;
               members = Bitset.of_int k bits;
             }
             :: !sets)
@@ -71,7 +78,33 @@ let single_request_lower (inst : Instance.t) =
     (fun acc r -> Float.max acc (fst (serve_alone_cost inst r)))
     0.0 inst.requests
 
+(* Family-generic bracket for non-OMFLP instances. The dedicated offline
+   machinery (ILP, LP relaxation, greedy + local search, PD replays) is
+   metric-OMFLP-specific, so the other families use the serve-alone
+   bracket: [lower] is the hardest single request — certified, since OPT
+   must serve every request and [serve_alone_cost] already prices
+   connections from the environment and facilities at the cheapest lease
+   factor — and [upper] is the concrete feasible solution that serves
+   every request alone at its arrival time. *)
+let serve_alone_bracket (inst : Instance.t) =
+  let lower = ref 0.0 and upper = ref 0.0 in
+  Array.iter
+    (fun r ->
+      let c, _ = serve_alone_cost inst r in
+      lower := Float.max !lower c;
+      upper := !upper +. c)
+    inst.requests;
+  {
+    lower = !lower;
+    lower_method = "hardest single request";
+    upper = !upper;
+    upper_method = "serve each request alone";
+  }
+
 let bracket ?exact ?(local_search = true) (inst : Instance.t) =
+  if Instance.family inst <> Problem_env.Family.Omflp then
+    serve_alone_bracket inst
+  else
   let s = Instance.n_commodities inst in
   let n_sites = Instance.n_sites inst in
   let n_req = Instance.n_requests inst in

@@ -14,9 +14,11 @@ let facility_set_of_run (run : Omflp_core.Run.t) =
        run.facilities)
 
 let one_pass inst requests =
+  (* The offline heuristic always works on the plain-OMFLP view of the
+     metric/cost pair, whatever the instance's family. *)
   let t =
-    Omflp_core.Pd_omflp.create_incremental inst.Instance.metric
-      inst.Instance.cost
+    Omflp_core.Pd_omflp.create_incremental
+      (Problem_env.omflp inst.Instance.metric inst.Instance.cost)
   in
   Array.iter (fun r -> ignore (Omflp_core.Pd_omflp.step t r)) requests;
   let run =

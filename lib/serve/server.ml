@@ -114,16 +114,14 @@ let open_session t (h : Wire.hello) =
   let algo_name = Option.value h.Wire.h_algo ~default:t.cfg.algo in
   let algo =
     match Registry.find algo_name with
-    | Some a -> a
-    | None ->
-        fail "unknown algorithm %S (available: %s)" algo_name
-          (String.concat ", " (Registry.names ()))
+    | Ok a -> a
+    | Error e -> fail "%s" (Registry.unknown_algo_message e)
   in
   let seed = Option.value h.Wire.h_seed ~default:t.cfg.seed in
   let snapshot_every =
     Option.value h.Wire.h_snapshot_every ~default:t.cfg.snapshot_every
   in
-  let metric = t.cfg.env.Instance.metric and cost = t.cfg.env.Instance.cost in
+  let env = Instance.env t.cfg.env in
   let want_checkpoint =
     match h.Wire.h_checkpoint with
     | Some b -> b
@@ -145,7 +143,7 @@ let open_session t (h : Wire.hello) =
         Checkpoint.open_resume ~dir:(root ()) ~n_sites:t.n_sites
           ~n_commodities:t.n_commodities ~instance_md5:t.cfg.instance_md5
       in
-      let s, lost = Session.resume ~algo rz metric cost in
+      let s, lost = Session.resume ~algo rz env in
       (s, Session.count s, lost)
     end
     else if want_checkpoint then begin
@@ -154,9 +152,9 @@ let open_session t (h : Wire.hello) =
         Checkpoint.create ~dir:(root ()) ~algo:A.name ~seed:(Some seed)
           ~instance_md5:t.cfg.instance_md5 ~snapshot_every
       in
-      (Session.create ~algo ~seed ~checkpoint:cp metric cost, 0, [])
+      (Session.create ~algo ~seed ~checkpoint:cp env, 0, [])
     end
-    else (Session.create ~algo ~seed metric cost, 0, [])
+    else (Session.create ~algo ~seed env, 0, [])
   in
   (session, algo_name, served, reemit)
 

@@ -6,8 +6,7 @@ open Omflp_obs
 type state = State : (module Algo_intf.ALGO with type t = 'a) * 'a -> state
 
 type t = {
-  metric : Omflp_metric.Finite_metric.t;
-  cost : Cost_function.t;
+  env : Problem_env.t;
   state : state;
   checkpoint : Checkpoint.t option;
   mutable count : int;
@@ -36,7 +35,7 @@ let running_costs t =
         Facility_store.assignment_cost store,
         Facility_store.total_cost store )
 
-let create ~algo ?seed ?checkpoint metric cost =
+let create ~algo ?seed ?checkpoint env =
   let (module A : Algo_intf.ALGO) = algo in
   (match checkpoint with
   | Some cp ->
@@ -44,10 +43,12 @@ let create ~algo ?seed ?checkpoint metric cost =
         fail "Session.create: checkpoint belongs to %s, serving %s"
           (Checkpoint.algo cp) A.name
   | None -> ());
-  let st = A.create ?seed metric cost in
+  (* Family capability check up front: a mismatched algorithm must refuse
+     at session open, never crash mid-run. *)
+  Problem_env.require ~algo:A.name ~family:A.family env;
+  let st = A.create ?seed env in
   {
-    metric;
-    cost;
+    env;
     state = State ((module A), st);
     checkpoint;
     count = 0;
@@ -185,21 +186,21 @@ let handle_batch t (reqs : Request.t array) =
     ds
   end
 
-let resume ~algo (rz : Checkpoint.resume) metric cost =
+let resume ~algo (rz : Checkpoint.resume) env =
   let (module A : Algo_intf.ALGO) = algo in
   if Checkpoint.algo rz.cp <> A.name then
     fail "Session.resume: checkpoint belongs to %s, serving %s"
       (Checkpoint.algo rz.cp) A.name;
+  Problem_env.require ~algo:A.name ~family:A.family env;
   Metrics.incr resume_c;
   let start, st =
     match rz.snapshot with
-    | Some (c, blob) -> (c, A.restore metric cost blob)
-    | None -> (0, A.create ?seed:(Checkpoint.seed rz.cp) metric cost)
+    | Some (c, blob) -> (c, A.restore env blob)
+    | None -> (0, A.create ?seed:(Checkpoint.seed rz.cp) env)
   in
   let t =
     {
-      metric;
-      cost;
+      env;
       state = State ((module A), st);
       checkpoint = Some rz.cp;
       count = start;

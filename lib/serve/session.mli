@@ -16,15 +16,16 @@
 
 type t
 
-(** [create ~algo ?seed ?checkpoint metric cost] starts a fresh session.
-    Raises [Failure] when [checkpoint] was created for another
-    algorithm. *)
+(** [create ~algo ?seed ?checkpoint env] starts a fresh session. Raises
+    [Failure] when [checkpoint] was created for another algorithm, or
+    when the algorithm's declared family doesn't match [env]'s (see
+    {!Omflp_instance.Problem_env.mismatch_message}) — sessions refuse at
+    open, never crash mid-run. *)
 val create :
   algo:Omflp_core.Algo_intf.packed ->
   ?seed:int ->
   ?checkpoint:Checkpoint.t ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
+  Omflp_instance.Problem_env.t ->
   t
 
 (** [handle t r] serves one request: WAL append (flushed), algorithm
@@ -40,7 +41,7 @@ val handle : t -> Omflp_instance.Request.t -> Wire.decision
 val handle_batch :
   t -> Omflp_instance.Request.t array -> Wire.decision array
 
-(** [resume ~algo rz metric cost] revives a session from what
+(** [resume ~algo rz env] revives a session from what
     {!Checkpoint.open_resume} found and replays the uncovered WAL
     suffix. Every recomputed decision that is already durable is
     cross-checked byte for byte against the durable log; a mismatch —
@@ -52,8 +53,7 @@ val handle_batch :
 val resume :
   algo:Omflp_core.Algo_intf.packed ->
   Checkpoint.resume ->
-  Omflp_metric.Finite_metric.t ->
-  Omflp_commodity.Cost_function.t ->
+  Omflp_instance.Problem_env.t ->
   (t * Wire.decision list)
 
 (** [count t] is the number of requests served (including replayed). *)

@@ -29,7 +29,7 @@ let test_run_validates () =
       match Simulator.validate outcome.Adversary.realized outcome.Adversary.run with
       | Ok () -> ()
       | Error e -> Alcotest.failf "%s: %s" name e)
-    (Registry.extended ())
+    (Registry.of_family Omflp_instance.Problem_env.Family.Omflp)
 
 let test_adversary_hurts_greedy () =
   (* The zoom construction defeats the non-competitive GREEDY badly. *)

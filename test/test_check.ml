@@ -18,6 +18,7 @@ module Broken_cost : Algo_intf.ALGO = struct
   type t = Indep_baseline.t
 
   let name = "BROKEN-COST"
+  let family = Indep_baseline.family
   let create = Indep_baseline.create
   let step = Indep_baseline.step
   let step_batch = Indep_baseline.step_batch
@@ -151,17 +152,19 @@ let test_oracle_reports_instead_of_raising () =
     type t = Facility_store.t
 
     let name = "CRASHER"
+    let family = Problem_env.Family.Omflp
 
-    let create ?seed:_ metric cost =
-      Facility_store.create metric
-        ~n_commodities:(Omflp_commodity.Cost_function.n_commodities cost)
+    let create ?seed:_ env =
+      Facility_store.create env
+        ~n_commodities:
+          (Omflp_commodity.Cost_function.n_commodities (Problem_env.cost env))
 
     let step _ _ = failwith "boom"
     let step_batch t reqs = Algo_intf.batch_of_step ~step t reqs
     let run_so_far _ = Alcotest.fail "unreachable"
     let store t = t
     let snapshot _ = failwith "CRASHER has no snapshot"
-    let restore _ _ _ = failwith "CRASHER has no restore"
+    let restore _ _ = failwith "CRASHER has no restore"
   end in
   let sc = Scenario.generate ~master_seed:seed ~index:0 () in
   let violations =
@@ -173,6 +176,26 @@ let test_oracle_reports_instead_of_raising () =
     (List.exists
        (fun (v : Oracle.violation) ->
          v.Oracle.check = "run" && v.Oracle.algo = "CRASHER")
+       violations)
+
+let test_oracle_family_mismatch_is_named () =
+  (* Handing the oracle an algorithm from the wrong problem family must
+     yield a named ["family-mismatch"] violation — it never crashes
+     mid-run and never silently runs the algorithm anyway. *)
+  let sc = Scenario.generate ~master_seed:seed ~index:0 () in
+  let violations =
+    Oracle.check_instance
+      ~algos:[ ("NONMETRIC-BF", (module Nonmetric_bf : Algo_intf.ALGO)) ]
+      ~seed:0 sc.Scenario.instance
+  in
+  check_bool "mismatch became a named violation" true
+    (List.exists
+       (fun (v : Oracle.violation) ->
+         v.Oracle.check = "family-mismatch"
+         && v.Oracle.algo = "NONMETRIC-BF"
+         && v.Oracle.detail
+            = "family mismatch: algorithm NONMETRIC-BF serves the \
+               nonmetric-fl family but the environment is omflp")
        violations)
 
 (* ---------- Arrival axis ---------- *)
@@ -270,7 +293,7 @@ let test_ro_jobs_determinism () =
            Oracle.run_digest
              (Simulator.run ~seed:sc.Scenario.algo_seed ~check:false algo
                 sc.Scenario.instance))
-         (Oracle.default_algos ()))
+         (Registry.of_family (Instance.family sc.Scenario.instance)))
   in
   let indices = Array.init 6 Fun.id in
   let under_jobs jobs =
@@ -294,6 +317,8 @@ let () =
             test_honest_algorithms_pass;
           Alcotest.test_case "planted bug is caught, shrunk, replayable"
             `Quick test_mutant_is_caught;
+          Alcotest.test_case "family mismatch becomes a named violation"
+            `Quick test_oracle_family_mismatch_is_named;
           Alcotest.test_case "algorithm exception becomes a finding" `Quick
             test_oracle_reports_instead_of_raising;
           Alcotest.test_case "truncated corpus file rejected" `Quick

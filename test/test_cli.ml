@@ -168,6 +168,79 @@ let test_gate_partial_skip_passes () =
           check_int "no regressions" 0
             (List.length report.Benchkit.regressions))
 
+(* ---------- end-to-end error pins against the real binary ---------- *)
+
+(* The test runs from _build/default/test (dune runtest) or the
+   workspace root (dune exec); anchor on the test executable. *)
+let cli_binary =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "omflp_cli.exe"))
+
+let run_cli args =
+  let err = Filename.temp_file "omflp_cli_err" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove err)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s >/dev/null 2>%s </dev/null"
+          (Filename.quote cli_binary)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, In_channel.with_open_text err In_channel.input_all))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let expect_usage_error ~args ~substring =
+  if not (Sys.file_exists cli_binary) then Alcotest.skip ();
+  let code, err = run_cli args in
+  check_int (String.concat " " args ^ " exits 2") 2 code;
+  check_bool
+    (Printf.sprintf "stderr carries %S (got %S)" substring err)
+    true
+    (contains ~sub:substring err)
+
+let with_omflp_instance_file f =
+  let sc = Omflp_check.Scenario.golden ~master_seed:0xD16E57 ~index:0 in
+  let path = Filename.temp_file "omflp_inst" ".txt" in
+  Omflp_instance.Serial.save_file path sc.Omflp_check.Scenario.instance;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_serve_unknown_algo () =
+  with_omflp_instance_file @@ fun inst ->
+  expect_usage_error
+    ~args:[ "serve"; "--algo"; "nope"; "--env"; inst ]
+    ~substring:
+      "omflp: unknown algorithm \"nope\" (available: PD-OMFLP, RAND-OMFLP, \
+       INDEP, ALL-LARGE, GREEDY, PD-OMFLP-FAST, HEAVY-AWARE, MEYERSON-OFL, \
+       FOTAKIS-OFL, NONMETRIC-BF, LEASE-PD)"
+
+let test_serve_family_mismatch () =
+  with_omflp_instance_file @@ fun inst ->
+  expect_usage_error
+    ~args:[ "serve"; "--algo"; "NONMETRIC-BF"; "--env"; inst ]
+    ~substring:
+      "omflp serve: family mismatch: algorithm NONMETRIC-BF serves the \
+       nonmetric-fl family but the environment is omflp"
+
+let test_check_bad_family () =
+  expect_usage_error
+    ~args:[ "check"; "--budget"; "0"; "--problem-family"; "bogus" ]
+    ~substring:
+      "omflp: --problem-family: expected omflp|nonmetric-fl|leasing|all, got \
+       \"bogus\""
+
+let test_bench_bad_family () =
+  expect_usage_error
+    ~args:[ "bench"; "--bench-only"; "--family"; "bogus" ]
+    ~substring:
+      "omflp: --family: expected omflp|nonmetric-fl|leasing|all, got \"bogus\""
+
 let test_gate_missing_baseline () =
   check_bool "unreadable baseline is an Error" true
     (match
@@ -186,6 +259,14 @@ let () =
           Alcotest.test_case "--jobs errors" `Quick test_jobs_errors;
           Alcotest.test_case "nonneg errors" `Quick test_nonneg_errors;
           Alcotest.test_case "conflict error" `Quick test_conflict_error;
+          Alcotest.test_case "serve --algo unknown is pinned" `Quick
+            test_serve_unknown_algo;
+          Alcotest.test_case "serve family mismatch is pinned" `Quick
+            test_serve_family_mismatch;
+          Alcotest.test_case "check --problem-family validation" `Quick
+            test_check_bad_family;
+          Alcotest.test_case "bench --family validation" `Quick
+            test_bench_bad_family;
         ] );
       ( "minijson",
         [

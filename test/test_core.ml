@@ -57,9 +57,14 @@ let test_service_covers () =
 
 (* ---------- Facility_store ---------- *)
 
+let env_of metric ~n_commodities =
+  let n_sites = Finite_metric.size metric in
+  Problem_env.omflp metric
+    (Cost_function.constant ~n_commodities ~n_sites ~cost:1.0)
+
 let mk_store () =
   let metric = Finite_metric.line [| 0.0; 2.0; 5.0 |] in
-  Facility_store.create metric ~n_commodities:3
+  Facility_store.create (env_of metric ~n_commodities:3) ~n_commodities:3
 
 let test_store_empty () =
   let store = mk_store () in
@@ -146,7 +151,9 @@ let prop_store_distances =
           Omflp_metric.Metric_gen.random_graph_metric rng ~n:n_sites
             ~extra_edges:2 ~max_weight:5.0
       in
-      let store = Facility_store.create metric ~n_commodities in
+      let store =
+        Facility_store.create (env_of metric ~n_commodities) ~n_commodities
+      in
       let facs = ref [] in
       for i = 0 to 6 do
         let site = Splitmix.int rng n_sites in
@@ -192,12 +199,37 @@ let prop_store_distances =
 
 let test_registry () =
   check_int "five canonical algorithms" 5 (List.length (Registry.all ()));
-  check_int "nine with extensions" 9 (List.length (Registry.extended ()));
-  check_bool "find PD" true (Registry.find "pd-omflp" <> None);
-  check_bool "find extension" true (Registry.find "heavy-aware" <> None);
-  check_bool "find OFL adapter" true (Registry.find "meyerson-ofl" <> None);
-  check_bool "case insensitive" true (Registry.find "RAND-omflp" <> None);
-  check_bool "unknown" true (Registry.find "nope" = None)
+  check_int "eleven with extensions" 11 (List.length (Registry.extended ()));
+  check_bool "find PD" true (Result.is_ok (Registry.find "pd-omflp"));
+  check_bool "find extension" true (Result.is_ok (Registry.find "heavy-aware"));
+  check_bool "find OFL adapter" true
+    (Result.is_ok (Registry.find "meyerson-ofl"));
+  check_bool "case insensitive" true (Result.is_ok (Registry.find "RAND-omflp"));
+  (match Registry.find "nope" with
+  | Ok _ -> Alcotest.fail "unknown algorithm resolved"
+  | Error (`Unknown_algo (name, available) as e) ->
+      Alcotest.(check string) "unknown name echoed" "nope" name;
+      Alcotest.(check (list string))
+        "available list" (Registry.names ()) available;
+      Alcotest.(check string)
+        "pinned message"
+        "unknown algorithm \"nope\" (available: PD-OMFLP, RAND-OMFLP, INDEP, \
+         ALL-LARGE, GREEDY, PD-OMFLP-FAST, HEAVY-AWARE, MEYERSON-OFL, \
+         FOTAKIS-OFL, NONMETRIC-BF, LEASE-PD)"
+        (Registry.unknown_algo_message e));
+  (* Family dispatch: 9 OMFLP algorithms, one per new family. *)
+  check_int "omflp family" 9
+    (List.length (Registry.of_family Problem_env.Family.Omflp));
+  check_int "nonmetric family" 1
+    (List.length (Registry.of_family Problem_env.Family.Nonmetric_fl));
+  check_int "leasing family" 1
+    (List.length
+       (Registry.of_family Problem_env.Family.Multi_facility_leasing));
+  check_int "canonical omflp = all" 5
+    (List.length (Registry.canonical_for Problem_env.Family.Omflp));
+  check_int "canonical leasing = of_family" 1
+    (List.length
+       (Registry.canonical_for Problem_env.Family.Multi_facility_leasing))
 
 (* ---------- Simulator validation ---------- *)
 

@@ -138,14 +138,14 @@ let test_e11_smoke () =
     Exp_arrival.run_spec (Exp_common.Spec.make ~quick:true ~reps:2 "e11")
   in
   let rendered = Texttable.render section.Exp_common.table in
-  (* Every arrival model and every extended-registry algorithm must show
-     up as rows — the per-model ratio table is E11's contract. *)
+  (* Every arrival model and every OMFLP-family algorithm must show up
+     as rows — the per-model ratio table is E11's contract. *)
   List.iter
     (fun needle -> check_bool needle true (contains rendered needle))
     [ "adversarial"; "random-order"; "iid"; "zoom-line"; "clustered" ];
   List.iter
     (fun (name, _) -> check_bool name true (contains rendered name))
-    (Omflp_core.Registry.extended ())
+    (Omflp_core.Registry.of_family Omflp_instance.Problem_env.Family.Omflp)
 
 let test_suite_dispatch () =
   check_int "ten experiments" 10 (List.length Suite.ids);

@@ -75,7 +75,7 @@ let test_heavy_aware_equals_pd_when_clean () =
 
 let test_heavy_aware_avoids_surcharge_in_large () =
   let inst = clustered_instance ~w:25.0 3 in
-  let t = Heavy_aware.create inst.Instance.metric inst.Instance.cost in
+  let t = Heavy_aware.create (Instance.env inst) in
   Array.iter (fun r -> ignore (Heavy_aware.step t r)) inst.Instance.requests;
   Alcotest.(check (list int))
     "detected commodity 0" [ 0 ]
@@ -109,7 +109,7 @@ let test_explicit_heavy_set () =
   let inst = clustered_instance ~w:0.0 1 in
   let heavy = Cset.of_list ~n_commodities:5 [ 2; 4 ] in
   let t =
-    Heavy_aware.create_with_heavy ~heavy inst.Instance.metric inst.Instance.cost
+    Heavy_aware.create_with_heavy ~heavy (Instance.env inst)
   in
   Array.iter (fun r -> ignore (Heavy_aware.step t r)) inst.Instance.requests;
   check_bool "uses the given set" true (Cset.equal heavy (Heavy_aware.heavy_set t));
@@ -128,7 +128,7 @@ let test_all_heavy_rejected () =
       ignore
         (Heavy_aware.create_with_heavy
            ~heavy:(Cset.full ~n_commodities:5)
-           inst.Instance.metric inst.Instance.cost))
+           (Instance.env inst)))
 
 (* ---------- Cost_function.project / with_surcharge ---------- *)
 

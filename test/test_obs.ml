@@ -373,7 +373,7 @@ let clustered_instance ~seed ~n_requests =
 let counters_vs_trace create =
   let inst = clustered_instance ~seed:0xbe9c4 ~n_requests:40 in
   with_metrics (fun () ->
-      let t = create inst.Instance.metric inst.Instance.cost in
+      let t = create (Instance.env inst) in
       Array.iter (fun r -> ignore (Pd_omflp.step t r)) inst.Instance.requests;
       let trace = List.concat (Pd_omflp.trace t) in
       let count pred = List.length (List.filter pred trace) in
@@ -413,7 +413,7 @@ let test_cache_exact_under_metrics () =
   let inst = clustered_instance ~seed:0xca5e ~n_requests:50 in
   with_metrics (fun () ->
       let t =
-        Pd_omflp.create_incremental inst.Instance.metric inst.Instance.cost
+        Pd_omflp.create_incremental (Instance.env inst)
       in
       Array.iter
         (fun r ->

@@ -9,7 +9,7 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let run_pd inst =
-  let t = Pd_omflp.create inst.Instance.metric inst.Instance.cost in
+  let t = Pd_omflp.create (Instance.env inst) in
   Array.iter (fun r -> ignore (Pd_omflp.step t r)) inst.Instance.requests;
   t
 
@@ -166,7 +166,7 @@ let prop_cache_exact =
     QCheck.small_int (fun seed ->
       let inst = random_instance seed in
       let t =
-        Pd_omflp.create_incremental inst.Instance.metric inst.Instance.cost
+        Pd_omflp.create_incremental (Instance.env inst)
       in
       let ok = ref true in
       Array.iter

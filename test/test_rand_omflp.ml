@@ -114,7 +114,7 @@ let test_lemma20_balance_fresh_state () =
   let reps = 4000 in
   let total_construction = ref 0.0 in
   for seed = 0 to reps - 1 do
-    let t = Rand_omflp.create ~seed metric cost in
+    let t = Rand_omflp.create ~seed (Problem_env.omflp metric cost) in
     ignore (Rand_omflp.step t r);
     total_construction :=
       !total_construction
@@ -146,7 +146,7 @@ let small_flip_frequency ~n_commodities ~reps =
   let r = Request.make ~site:0 ~demand in
   let smalls = ref 0 in
   for seed = 0 to reps - 1 do
-    let t = Rand_omflp.create ~seed metric cost in
+    let t = Rand_omflp.create ~seed (Problem_env.omflp metric cost) in
     ignore (Rand_omflp.step t r);
     let run = Rand_omflp.run_so_far t in
     Alcotest.(check int) "large facility always built" 1 (Run.n_large run);

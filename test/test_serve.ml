@@ -20,8 +20,15 @@ let contains ~sub s =
   go 0
 
 let scenario index =
-  let sc = Omflp_check.Scenario.generate ~master_seed ~index () in
+  let sc = Omflp_check.Scenario.golden ~master_seed ~index in
   (sc.Omflp_check.Scenario.instance, sc.Omflp_check.Scenario.algo_seed)
+
+(* The fixture/golden scenario each family is pinned on — must mirror
+   tools/gen_snapshot_fixtures.ml. *)
+let family_index = function
+  | Problem_env.Family.Omflp -> 0
+  | Problem_env.Family.Nonmetric_fl -> 30
+  | Problem_env.Family.Multi_facility_leasing -> 33
 
 let load_golden () =
   let golden = "golden/run_digests.txt" in
@@ -51,7 +58,9 @@ let test_kill_at_every_step () =
      random-order stream and 0/2 are i.i.d. at the pinned master seed
      (index 5 adds a multi-site random-order one). Checkpoint/resume has
      to be order-oblivious, so every model rides the same contract. *)
-  let indices = [ 0; 1; 2; 5 ] in
+  (* Indices 30/33 are the golden non-metric and leasing scenarios, so
+     NONMETRIC-BF and LEASE-PD ride the same contract. *)
+  let indices = [ 0; 1; 2; 5; 30; 33 ] in
   let tags =
     List.map
       (fun index ->
@@ -68,7 +77,7 @@ let test_kill_at_every_step () =
       List.iter
         (fun (name, (module A : Algo_intf.ALGO)) ->
           let straight =
-            let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+            let t = A.create ~seed (Instance.env inst) in
             Array.iter (fun r -> ignore (A.step t r)) inst.Instance.requests;
             Omflp_check.Oracle.run_digest (A.run_so_far t)
           in
@@ -80,12 +89,12 @@ let test_kill_at_every_step () =
                 (Digest.to_hex (Digest.string straight))
           | None -> Alcotest.failf "no golden digest for %d %s" index name);
           for k = 0 to n do
-            let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+            let t = A.create ~seed (Instance.env inst) in
             for i = 0 to k - 1 do
               ignore (A.step t inst.Instance.requests.(i))
             done;
             let blob = A.snapshot t in
-            let t' = A.restore inst.Instance.metric inst.Instance.cost blob in
+            let t' = A.restore (Instance.env inst) blob in
             for i = k to n - 1 do
               ignore (A.step t' inst.Instance.requests.(i))
             done;
@@ -96,7 +105,7 @@ let test_kill_at_every_step () =
                  from the uninterrupted run"
                 name index k
           done)
-        (Registry.extended ()))
+        (Registry.of_family (Instance.family inst)))
     indices
 
 (* ---------- committed snapshot fixtures (codec cross-version) ---------- *)
@@ -117,18 +126,19 @@ let fixture_path name =
 
 let test_snapshot_fixture_cross_version () =
   let golden = load_golden () in
-  let inst, seed = scenario 0 in
-  let n = Instance.n_requests inst in
-  let cut = min 5 n in
   List.iter
     (fun (name, (module A : Algo_intf.ALGO)) ->
+      let index = family_index A.family in
+      let inst, seed = scenario index in
+      let n = Instance.n_requests inst in
+      let cut = min 5 n in
       let path = fixture_path name in
       if not (Sys.file_exists path) then
         Alcotest.failf
           "no committed fixture for %s — run tools/gen_snapshot_fixtures.exe"
           name;
       let committed = In_channel.with_open_bin path In_channel.input_all in
-      let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+      let t = A.create ~seed (Instance.env inst) in
       for i = 0 to cut - 1 do
         ignore (A.step t inst.Instance.requests.(i))
       done;
@@ -136,7 +146,7 @@ let test_snapshot_fixture_cross_version () =
         (Printf.sprintf "%s snapshot bytes match the committed fixture" name)
         true
         (A.snapshot t = committed);
-      let t' = A.restore inst.Instance.metric inst.Instance.cost committed in
+      let t' = A.restore (Instance.env inst) committed in
       for i = cut to n - 1 do
         ignore (A.step t' inst.Instance.requests.(i))
       done;
@@ -144,13 +154,13 @@ let test_snapshot_fixture_cross_version () =
         Digest.to_hex
           (Digest.string (Omflp_check.Oracle.run_digest (A.run_so_far t')))
       in
-      match Hashtbl.find_opt golden (0, name) with
+      match Hashtbl.find_opt golden (index, name) with
       | Some md5 ->
           check_string
             (Printf.sprintf "%s committed fixture continues into golden run"
                name)
             md5 digest
-      | None -> Alcotest.failf "no golden digest for 0 %s" name)
+      | None -> Alcotest.failf "no golden digest for %d %s" index name)
     (Registry.extended ())
 
 (* A blob must only restore into the algorithm that wrote it. *)
@@ -158,11 +168,11 @@ let test_snapshot_rejects_foreign_blob () =
   let inst, seed = scenario 0 in
   let module P = Pd_omflp in
   let module G = Greedy_baseline in
-  let t = G.create ~seed inst.Instance.metric inst.Instance.cost in
+  let t = G.create ~seed (Instance.env inst) in
   ignore (G.step t inst.Instance.requests.(0));
   let blob = G.snapshot t in
   check_bool "foreign blob raises Failure" true
-    (match P.restore inst.Instance.metric inst.Instance.cost blob with
+    (match P.restore (Instance.env inst) blob with
     | _ -> false
     | exception Failure _ -> true)
 
@@ -211,7 +221,7 @@ let test_wire_decision_latency_variants () =
   let session =
     Session.create
       ~algo:(module Pd_omflp : Algo_intf.ALGO)
-      ~seed inst.Instance.metric inst.Instance.cost
+      ~seed (Instance.env inst)
   in
   let d = Session.handle session inst.Instance.requests.(0) in
   let canonical = Wire.decision_to_json d in
@@ -235,7 +245,7 @@ let test_wire_decision_buffer_allocation_bounded () =
   let session =
     Session.create
       ~algo:(module Pd_omflp : Algo_intf.ALGO)
-      ~seed inst.Instance.metric inst.Instance.cost
+      ~seed (Instance.env inst)
   in
   let d = Session.handle session inst.Instance.requests.(0) in
   let b = Buffer.create 256 in
@@ -290,8 +300,7 @@ let crash_after ~dir ~snapshot_every k =
   let inst, _ = scenario 0 in
   let cp = fresh_checkpoint ~dir ~snapshot_every in
   let session =
-    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp
-      inst.Instance.metric inst.Instance.cost
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp (Instance.env inst)
   in
   for i = 0 to k - 1 do
     ignore (Session.handle session inst.Instance.requests.(i))
@@ -301,8 +310,7 @@ let crash_after ~dir ~snapshot_every k =
 (* Reference decision log: the full run, straight through. *)
 let reference_decisions inst =
   let session =
-    Session.create ~algo:algo_pd ~seed:0 inst.Instance.metric
-      inst.Instance.cost
+    Session.create ~algo:algo_pd ~seed:0 (Instance.env inst)
   in
   Array.to_list inst.Instance.requests
   |> List.map (fun r -> Wire.decision_to_json (Session.handle session r))
@@ -315,7 +323,7 @@ let resume_and_finish ~dir inst =
       ~instance_md5:md5
   in
   let session, lost =
-    Session.resume ~algo:algo_pd rz inst.Instance.metric inst.Instance.cost
+    Session.resume ~algo:algo_pd rz (Instance.env inst)
   in
   let rest = ref [] in
   for i = Session.count session to Instance.n_requests inst - 1 do
@@ -370,8 +378,7 @@ let test_handle_batch_matches_handle () =
   with_temp_dir @@ fun dir_b ->
   let cp_a = fresh_checkpoint ~dir:dir_a ~snapshot_every:3 in
   let sa =
-    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_a inst.Instance.metric
-      inst.Instance.cost
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_a (Instance.env inst)
   in
   let per_request = ref [] in
   Array.iter
@@ -381,8 +388,7 @@ let test_handle_batch_matches_handle () =
   Session.close sa;
   let cp_b = fresh_checkpoint ~dir:dir_b ~snapshot_every:3 in
   let sb =
-    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_b inst.Instance.metric
-      inst.Instance.cost
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_b (Instance.env inst)
   in
   let batched = ref [] in
   let i = ref 0 in
@@ -563,8 +569,7 @@ let test_resume_detects_divergent_snapshot () =
   (* A: the genuine session, six requests in arrival order. *)
   let cp_a = fresh_checkpoint ~dir:dir_a ~snapshot_every:4 in
   let sa =
-    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_a inst.Instance.metric
-      inst.Instance.cost
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_a (Instance.env inst)
   in
   for i = 0 to 5 do
     ignore (Session.handle sa inst.Instance.requests.(i))
@@ -573,8 +578,7 @@ let test_resume_detects_divergent_snapshot () =
      first request served six times over. *)
   let cp_b = fresh_checkpoint ~dir:dir_b ~snapshot_every:4 in
   let sb =
-    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_b inst.Instance.metric
-      inst.Instance.cost
+    Session.create ~algo:algo_pd ~seed:0 ~checkpoint:cp_b (Instance.env inst)
   in
   for _ = 1 to 6 do
     ignore (Session.handle sb inst.Instance.requests.(0))
@@ -593,7 +597,7 @@ let test_resume_detects_divergent_snapshot () =
           ~n_commodities:(Instance.n_commodities inst)
           ~instance_md5:md5
       in
-      Session.resume ~algo:algo_pd rz inst.Instance.metric inst.Instance.cost)
+      Session.resume ~algo:algo_pd rz (Instance.env inst))
 
 (* ---------- the socket server ---------- *)
 
@@ -655,8 +659,7 @@ let test_server_multi_client_byte_identical () =
       for i = 0 to 7 do
         let reference =
           let s =
-            Session.create ~algo:algo_pd ~seed:0 inst.Instance.metric
-              inst.Instance.cost
+            Session.create ~algo:algo_pd ~seed:0 (Instance.env inst)
           in
           List.init per (fun j ->
               Wire.decision_to_json
@@ -870,8 +873,7 @@ let test_server_sigkill_resume () =
       (* The durable log equals the uninterrupted single-session run. *)
       let reference =
         let s =
-          Session.create ~algo:algo_pd ~seed:0 inst.Instance.metric
-            inst.Instance.cost
+          Session.create ~algo:algo_pd ~seed:0 (Instance.env inst)
         in
         Array.to_list inst.Instance.requests
         |> List.map (fun r -> Wire.decision_to_json (Session.handle s r))
@@ -895,7 +897,37 @@ let test_session_algo_mismatch () =
   expect_failure ~substring:"checkpoint belongs to" (fun () ->
       Session.create
         ~algo:(module Greedy_baseline : Algo_intf.ALGO)
-        ~seed:0 ~checkpoint:cp inst.Instance.metric inst.Instance.cost)
+        ~seed:0 ~checkpoint:cp (Instance.env inst))
+
+(* An algorithm from the wrong problem family must refuse at session open
+   with the named mismatch error — never crash mid-run. *)
+let test_session_family_mismatch () =
+  let inst, _ = scenario 0 in
+  expect_failure
+    ~substring:
+      "family mismatch: algorithm NONMETRIC-BF serves the nonmetric-fl \
+       family but the environment is omflp" (fun () ->
+      Session.create
+        ~algo:(module Nonmetric_bf : Algo_intf.ALGO)
+        ~seed:0 (Instance.env inst));
+  let lease_inst, _ = scenario 33 in
+  expect_failure ~substring:"family mismatch: algorithm PD-OMFLP" (fun () ->
+      Session.create
+        ~algo:(module Pd_omflp : Algo_intf.ALGO)
+        ~seed:0 (Instance.env lease_inst))
+
+(* A snapshot blob must never restore across families: the environment's
+   family gate fires before any state is rebuilt. *)
+let test_cross_family_restore_refused () =
+  let omflp_inst, _ = scenario 0 in
+  let lease_inst, lseed = scenario 33 in
+  let t = Lease_pd.create ~seed:lseed (Instance.env lease_inst) in
+  ignore (Lease_pd.step t lease_inst.Instance.requests.(0));
+  let blob = Lease_pd.snapshot t in
+  check_bool "leasing blob refuses an OMFLP environment" true
+    (match Lease_pd.restore (Instance.env omflp_inst) blob with
+    | _ -> false
+    | exception Failure msg -> contains ~sub:"family mismatch" msg)
 
 let () =
   Alcotest.run "serve"
@@ -908,6 +940,10 @@ let () =
             `Quick test_snapshot_fixture_cross_version;
           Alcotest.test_case "foreign blob rejected" `Quick
             test_snapshot_rejects_foreign_blob;
+          Alcotest.test_case "family mismatch refused at session open" `Quick
+            test_session_family_mismatch;
+          Alcotest.test_case "cross-family restore refused" `Quick
+            test_cross_family_restore_refused;
         ] );
       ( "wire",
         [

@@ -1,27 +1,37 @@
 (* Regenerates test/golden/run_digests.txt: one MD5 of the full run
    digest (Oracle.run_digest) per (scenario, registered algorithm) pair
-   on a fixed seed set. The optimization layer must never change these —
-   the pin is the decision-invariance contract of every perf PR.
+   on a fixed seed set, each scenario run by the registered algorithms of
+   its family (Scenario.golden: indices 0-29 plain OMFLP, 30-32
+   non-metric, 33-35 leasing). The optimization layer must never change
+   these — the pin is the decision-invariance contract of every perf PR.
 
    Usage: dune exec tools/gen_digests.exe > test/golden/run_digests.txt *)
 
 let master_seed = 0xD16E57
 
-let n_scenarios = 30
+let n_scenarios = 36
 
 let () =
   Printf.printf "# run digests: master_seed=%#x scenarios=%d\n" master_seed
     n_scenarios;
   Printf.printf "# regenerate: dune exec tools/gen_digests.exe > test/golden/run_digests.txt\n";
   for index = 0 to n_scenarios - 1 do
-    let scenario = Omflp_check.Scenario.generate ~master_seed ~index () in
+    let scenario = Omflp_check.Scenario.golden ~master_seed ~index in
+    let fam =
+      Omflp_instance.Instance.family scenario.Omflp_check.Scenario.instance
+    in
     List.iter
       (fun (name, algo) ->
-        let run =
-          Omflp_core.Simulator.run ~seed:scenario.Omflp_check.Scenario.algo_seed
-            ~check:false algo scenario.Omflp_check.Scenario.instance
-        in
-        let md5 = Digest.to_hex (Digest.string (Omflp_check.Oracle.run_digest run)) in
-        Printf.printf "%02d %-14s %s\n" index name md5)
+        if Omflp_core.Registry.family_of algo = fam then begin
+          let run =
+            Omflp_core.Simulator.run
+              ~seed:scenario.Omflp_check.Scenario.algo_seed ~check:false algo
+              scenario.Omflp_check.Scenario.instance
+          in
+          let md5 =
+            Digest.to_hex (Digest.string (Omflp_check.Oracle.run_digest run))
+          in
+          Printf.printf "%02d %-14s %s\n" index name md5
+        end)
       (Omflp_core.Registry.extended ())
   done

@@ -1,10 +1,11 @@
 (* Regenerates test/golden/snapshot_v2/<algo>.snap: the committed
    snapshot-codec fixtures. Each file holds the exact blob every
-   registered algorithm emits after serving the first 5 requests of
-   check scenario 0 — test_serve pins current snapshots to these bytes
-   and proves the committed bytes still restore and continue into the
-   golden run digests. Regenerate ONLY on a deliberate wire-format
-   change, together with a tag bump in the algorithm's codec.
+   registered algorithm emits after serving the first 5 requests of a
+   golden check scenario of its own family (index 0 for OMFLP, 30 for
+   non-metric, 33 for leasing) — test_serve pins current snapshots to
+   these bytes and proves the committed bytes still restore and continue
+   into the golden run digests. Regenerate ONLY on a deliberate
+   wire-format change, together with a tag bump in the algorithm's codec.
 
    Usage: dune exec tools/gen_snapshot_fixtures.exe *)
 
@@ -12,16 +13,25 @@ open Omflp_instance
 
 let master_seed = 0xD16E57
 
+let scenario_for fam =
+  let index =
+    match fam with
+    | Problem_env.Family.Omflp -> 0
+    | Problem_env.Family.Nonmetric_fl -> 30
+    | Problem_env.Family.Multi_facility_leasing -> 33
+  in
+  Omflp_check.Scenario.golden ~master_seed ~index
+
 let () =
   let dir = Filename.concat "test" (Filename.concat "golden" "snapshot_v2") in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let sc = Omflp_check.Scenario.generate ~master_seed ~index:0 () in
-  let inst = sc.Omflp_check.Scenario.instance in
-  let seed = sc.Omflp_check.Scenario.algo_seed in
-  let cut = min 5 (Instance.n_requests inst) in
   List.iter
     (fun (name, (module A : Omflp_core.Algo_intf.ALGO)) ->
-      let t = A.create ~seed inst.Instance.metric inst.Instance.cost in
+      let sc = scenario_for A.family in
+      let inst = sc.Omflp_check.Scenario.instance in
+      let seed = sc.Omflp_check.Scenario.algo_seed in
+      let cut = min 5 (Instance.n_requests inst) in
+      let t = A.create ~seed (Instance.env inst) in
       for i = 0 to cut - 1 do
         ignore (A.step t inst.Instance.requests.(i))
       done;
